@@ -1,0 +1,79 @@
+//! Trace-replay throughput of each detector (events/second).
+//!
+//! Generic ≪ FastTrack is the FASTTRACK paper's headline; PACER below a
+//! few percent should sit near its r = 0 floor, far under FASTTRACK.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pacer_core::PacerDetector;
+use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_trace::gen::{insert_sampling_periods, GenConfig};
+use pacer_trace::{Detector, Trace};
+
+fn replay_trace() -> Trace {
+    GenConfig::small(7)
+        .with_threads(12)
+        .with_ops_per_thread(2_000)
+        .with_lock_discipline(0.85)
+        .generate()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let base = replay_trace();
+    let sampled_3 = insert_sampling_periods(&base, 0.03, 200, 1);
+    let sampled_100 = insert_sampling_periods(&base, 1.0, 200, 1);
+    let events = base.len() as u64;
+
+    let mut group = c.benchmark_group("replay");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::new("generic", events), &base, |b, t| {
+        b.iter(|| {
+            let mut d = GenericDetector::new();
+            d.run(black_box(t));
+            black_box(d.races().len())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("fasttrack", events), &base, |b, t| {
+        b.iter(|| {
+            let mut d = FastTrackDetector::new();
+            d.run(black_box(t));
+            black_box(d.races().len())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("pacer@0%", events), &base, |b, t| {
+        b.iter(|| {
+            let mut d = PacerDetector::new();
+            d.run(black_box(t));
+            black_box(d.races().len())
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("pacer@3%", events),
+        &sampled_3,
+        |b, t| {
+            b.iter(|| {
+                let mut d = PacerDetector::new();
+                d.run(black_box(t));
+                black_box(d.races().len())
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("pacer@100%", events),
+        &sampled_100,
+        |b, t| {
+            b.iter(|| {
+                let mut d = PacerDetector::new();
+                d.run(black_box(t));
+                black_box(d.races().len())
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation: PACER with and without the version-epoch fast path (§3.2).
+//!
+//! Measures *pure analysis time* by replaying pre-recorded event streams
+//! (no interpreter in the loop — end-to-end numbers would bury the join
+//! cost under instruction dispatch). The fast path pays in proportion to
+//! thread count: with 9 threads an O(n) join is nanoseconds and the
+//! version bookkeeping roughly breaks even; with ~100 threads skipping
+//! O(n) joins wins clearly — the paper's scalability argument (§2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pacer_core::PacerDetector;
+use pacer_runtime::{Vm, VmConfig};
+use pacer_trace::{Detector, RecordingDetector, Trace};
+use pacer_workloads::{adversarial, hsqldb, xalan, Scale, Workload};
+
+fn record(workload: &Workload, rate: f64) -> Trace {
+    let compiled = workload.compiled();
+    let mut rec = RecordingDetector::new();
+    let cfg = VmConfig::new(3).with_sampling_rate(rate);
+    Vm::run(&compiled, &mut rec, &cfg).expect("workload runs");
+    rec.into_trace()
+}
+
+fn bench_version_fast_path(c: &mut Criterion) {
+    for (name, workload) in [
+        ("xalan-9threads", xalan(Scale::Test)),
+        ("hsqldb-103threads", hsqldb(Scale::Small)),
+        ("adversarial-churn", adversarial(Scale::Test)),
+    ] {
+        let trace = record(&workload, 0.03);
+        let mut group = c.benchmark_group(format!("versions/{name}"));
+        group.sample_size(20);
+        for (label, enabled) in [("with-versions", true), ("no-versions", false)] {
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let mut det = PacerDetector::new().with_version_fast_path(enabled);
+                    det.run(black_box(&trace));
+                    black_box(det.races().len())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// A pure synchronization workload: `threads` workers take turns on one
+/// lock for `rounds` rounds, outside any sampling period. After the clocks
+/// converge, every acquire is redundant — the version fast path turns each
+/// into an O(1) check, while without it every acquire pays an O(threads)
+/// comparison. This is Table 3's "non-sampling fast joins" column in
+/// isolation.
+fn lock_convergence_trace(threads: u32, rounds: u32) -> Trace {
+    use pacer_clock::ThreadId;
+    use pacer_trace::{Action, LockId};
+    let mut trace = Trace::new();
+    let main = ThreadId::new(0);
+    for t in 1..=threads {
+        trace.push(Action::Fork {
+            t: main,
+            u: ThreadId::new(t),
+        });
+    }
+    let m = LockId::new(0);
+    for _ in 0..rounds {
+        for t in 1..=threads {
+            trace.push(Action::Acquire {
+                t: ThreadId::new(t),
+                m,
+            });
+            trace.push(Action::Release {
+                t: ThreadId::new(t),
+                m,
+            });
+        }
+    }
+    for t in 1..=threads {
+        trace.push(Action::Join {
+            t: main,
+            u: ThreadId::new(t),
+        });
+    }
+    trace
+}
+
+fn bench_lock_convergence(c: &mut Criterion) {
+    for threads in [8u32, 64, 256] {
+        let trace = lock_convergence_trace(threads, 40);
+        let mut group = c.benchmark_group(format!("converged-joins/{threads}threads"));
+        group.sample_size(20);
+        for (label, enabled) in [("with-versions", true), ("no-versions", false)] {
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let mut det = PacerDetector::new().with_version_fast_path(enabled);
+                    det.run(black_box(&trace));
+                    black_box(det.stats().joins.non_sampling_fast)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_version_fast_path, bench_lock_convergence);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N]
+//!
+//! EXPERIMENT: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!             fig10 fleet ablation all      (default: all)
+//! --quick : tiny workloads, few trials (smoke test, seconds)
+//! --small : default — small workloads, paper trial counts ÷ 10
+//! --full  : the §5.1 trial counts (slow)
+//! ```
+
+use std::process::ExitCode;
+
+use pacer_bench::{ExpConfig, Experiment};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::small();
+    let mut chosen: Vec<Experiment> = Vec::new();
+    let mut run_all = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--small" => cfg = ExpConfig::small(),
+            "--full" => cfg = ExpConfig::full(),
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(seed) => cfg.base_seed = seed,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "all" => run_all = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            name => match Experiment::parse(name) {
+                Some(e) => chosen.push(e),
+                None => {
+                    eprintln!("unknown experiment `{name}`");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+    if chosen.is_empty() || run_all {
+        chosen = Experiment::ALL.to_vec();
+    }
+
+    for e in chosen {
+        let started = std::time::Instant::now();
+        eprintln!("== running {} ...", e.name());
+        match e.run(&cfg) {
+            Ok(text) => {
+                println!("================ {} ================", e.name());
+                println!("{text}");
+                eprintln!(
+                    "== {} done in {:.1}s",
+                    e.name(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(msg) => {
+                eprintln!("experiment {} failed: {msg}", e.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N]\n\
+         experiments: {} all",
+        Experiment::ALL
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}

@@ -1,0 +1,203 @@
+//! One function per table and figure of the evaluation.
+
+mod extras;
+mod figures;
+mod tables;
+
+pub use extras::{ablation, fleet};
+pub use figures::{fig10, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+pub use tables::{table1, table2, table3};
+
+use pacer_workloads::Scale;
+
+/// The sampling rates the paper's accuracy experiments sweep.
+pub const ACCURACY_RATES: &[f64] = &[0.01, 0.03, 0.05, 0.10, 0.25];
+
+/// Experiment sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Divides the paper's trial counts (1 = the full §5.1 formula).
+    pub trial_divisor: u32,
+    /// Base RNG seed; change it to re-run with fresh schedules.
+    pub base_seed: u64,
+}
+
+impl ExpConfig {
+    /// Fast smoke configuration (seconds per experiment).
+    pub fn quick() -> Self {
+        ExpConfig {
+            scale: Scale::Test,
+            trial_divisor: 25,
+            base_seed: 20_100_601,
+        }
+    }
+
+    /// Default reproduction configuration (tens of seconds per
+    /// experiment).
+    pub fn small() -> Self {
+        ExpConfig {
+            scale: Scale::Small,
+            trial_divisor: 10,
+            base_seed: 20_100_601,
+        }
+    }
+
+    /// The paper's full trial counts (minutes per experiment).
+    pub fn full() -> Self {
+        ExpConfig {
+            scale: Scale::Small,
+            trial_divisor: 1,
+            base_seed: 20_100_601,
+        }
+    }
+
+    /// Trials for a sampled run at `rate`, after dividing the §5.1
+    /// formula (never below 6).
+    pub fn trials_at(&self, rate: f64) -> u32 {
+        (pacer_harness::num_trials(rate) / self.trial_divisor).max(6)
+    }
+
+    /// Trials for fully sampled censuses (the paper's 50).
+    pub fn full_rate_trials(&self) -> u32 {
+        (50 / self.trial_divisor).max(6)
+    }
+}
+
+/// The experiments the `reproduce` binary can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1: effective vs specified sampling rates.
+    Table1,
+    /// Table 2: thread counts and race counts.
+    Table2,
+    /// Table 3: operation counts at r = 3%.
+    Table3,
+    /// Figure 3: dynamic detection rate vs sampling rate.
+    Fig3,
+    /// Figure 4: distinct detection rate vs sampling rate.
+    Fig4,
+    /// Figure 5: per-race detection rates.
+    Fig5,
+    /// Figure 6: LITERACE per-race detection on eclipse.
+    Fig6,
+    /// Figure 7: overhead breakdown r = 0–3%.
+    Fig7,
+    /// Figure 8: slowdown vs r = 0–100%.
+    Fig8,
+    /// Figure 9: slowdown vs r = 0–10%.
+    Fig9,
+    /// Figure 10: space over normalized time.
+    Fig10,
+    /// Extension: distributed-debugging fleet simulation.
+    Fleet,
+    /// Extension: version fast path + accordion ablations.
+    Ablation,
+}
+
+impl Experiment {
+    /// Every experiment, in presentation order.
+    pub const ALL: &'static [Experiment] = &[
+        Experiment::Table1,
+        Experiment::Table2,
+        Experiment::Table3,
+        Experiment::Fig3,
+        Experiment::Fig4,
+        Experiment::Fig5,
+        Experiment::Fig6,
+        Experiment::Fig7,
+        Experiment::Fig8,
+        Experiment::Fig9,
+        Experiment::Fig10,
+        Experiment::Fleet,
+        Experiment::Ablation,
+    ];
+
+    /// Parses a command-line name (`"table1"`, `"fig10"`, …).
+    pub fn parse(name: &str) -> Option<Experiment> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "table1" => Experiment::Table1,
+            "table2" => Experiment::Table2,
+            "table3" => Experiment::Table3,
+            "fig3" => Experiment::Fig3,
+            "fig4" => Experiment::Fig4,
+            "fig5" => Experiment::Fig5,
+            "fig6" => Experiment::Fig6,
+            "fig7" => Experiment::Fig7,
+            "fig8" => Experiment::Fig8,
+            "fig9" => Experiment::Fig9,
+            "fig10" => Experiment::Fig10,
+            "fleet" => Experiment::Fleet,
+            "ablation" => Experiment::Ablation,
+            _ => return None,
+        })
+    }
+
+    /// The command-line name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Fig3 => "fig3",
+            Experiment::Fig4 => "fig4",
+            Experiment::Fig5 => "fig5",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fleet => "fleet",
+            Experiment::Ablation => "ablation",
+        }
+    }
+
+    /// Runs the experiment, returning its rendered text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error text of the first failed VM run.
+    pub fn run(&self, cfg: &ExpConfig) -> Result<String, String> {
+        let go = |r: Result<String, pacer_runtime::VmError>| r.map_err(|e| e.to_string());
+        match self {
+            Experiment::Table1 => go(table1(cfg)),
+            Experiment::Table2 => go(table2(cfg)),
+            Experiment::Table3 => go(table3(cfg)),
+            Experiment::Fig3 => go(fig3(cfg)),
+            Experiment::Fig4 => go(fig4(cfg)),
+            Experiment::Fig5 => go(fig5(cfg)),
+            Experiment::Fig6 => go(fig6(cfg)),
+            Experiment::Fig7 => go(fig7(cfg)),
+            Experiment::Fig8 => go(fig8(cfg)),
+            Experiment::Fig9 => go(fig9(cfg)),
+            Experiment::Fig10 => go(fig10(cfg)),
+            Experiment::Fleet => go(fleet(cfg)),
+            Experiment::Ablation => go(ablation(cfg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for &e in Experiment::ALL {
+            assert_eq!(Experiment::parse(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::parse("TABLE1"), Some(Experiment::Table1));
+        assert_eq!(Experiment::parse("nope"), None);
+    }
+
+    #[test]
+    fn trial_counts_scale_down() {
+        let quick = ExpConfig::quick();
+        let full = ExpConfig::full();
+        assert_eq!(full.trials_at(0.01), 500);
+        assert!(quick.trials_at(0.01) < 50);
+        assert!(quick.trials_at(0.01) >= 6);
+        assert_eq!(full.full_rate_trials(), 50);
+    }
+}

@@ -1,0 +1,509 @@
+//! Implementation of the `pacer` command-line tool.
+//!
+//! Subcommands (see [`run`] for dispatch):
+//!
+//! ```text
+//! pacer run <file> [--rate R] [--seed N] [--detector D] [--trace OUT]
+//!     Compile and execute a mini-language program under a race detector.
+//!     D ∈ {pacer, pacer-accordion, fasttrack, generic, literace, none}.
+//! pacer replay <file.trace> [--detector D]
+//!     Re-analyze a recorded trace offline.
+//! pacer check <file>
+//!     Parse, analyze, and compile only; print instrumentation summary.
+//! pacer fmt <file>
+//!     Pretty-print the program in canonical form.
+//! pacer fold <file>
+//!     Constant-fold, then pretty-print.
+//! pacer lint <file>
+//!     Static lockset discipline check (imprecise by design: §6.2).
+//! ```
+//!
+//! The library form exists so the behavior is unit-testable; `main.rs` is a
+//! thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use pacer_core::{AccordionPacerDetector, PacerDetector};
+use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_lang::ir::CompiledProgram;
+use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
+use pacer_runtime::{InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig};
+use pacer_trace::{Detector, RaceReport, RecordingDetector, Trace};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+struct Options {
+    rate: f64,
+    seed: u64,
+    detector: String,
+    trace_out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rate: 0.03,
+            seed: 42,
+            detector: "pacer".into(),
+            trace_out: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: pacer <command> [args]
+
+commands:
+  run <file>     compile + execute under a detector
+                 [--rate R] [--seed N] [--detector D] [--trace OUT]
+  replay <file>  re-analyze a recorded .trace file [--detector D]
+  check <file>   compile only; print the instrumentation summary
+  fmt <file>     pretty-print canonical source
+  fold <file>    constant-fold, then pretty-print
+  lint <file>    static lockset check (may report false positives)
+
+detectors: pacer (default), pacer-accordion, fasttrack, generic,
+           literace, none
+";
+
+/// Entry point: dispatches on `args` (without the program name), returning
+/// the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "fmt" => cmd_fmt(&args[1..], false),
+        "fold" => cmd_fmt(&args[1..], true),
+        "lint" => cmd_lint(&args[1..]),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
+    let mut file = None;
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rate" => {
+                i += 1;
+                let v: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--rate requires a number in [0, 1]"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(err("--rate must be in [0, 1]"));
+                }
+                opts.rate = v;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--seed requires an integer"))?;
+            }
+            "--detector" => {
+                i += 1;
+                opts.detector = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| err("--detector requires a name"))?;
+            }
+            "--trace" => {
+                i += 1;
+                opts.trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--trace requires a path"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}`")));
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err(err("multiple input files given"));
+                }
+            }
+        }
+        i += 1;
+    }
+    let file = file.ok_or_else(|| err("missing input file"))?;
+    Ok((file, opts))
+}
+
+fn load_program(path: &str) -> Result<(pacer_lang::ast::Program, CompiledProgram), CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let ast = pacer_lang::parse(&source).map_err(|e| err(format!("{path}: {e}")))?;
+    let compiled = pacer_lang::compile(&ast).map_err(|e| err(format!("{path}: {e}")))?;
+    Ok((ast, compiled))
+}
+
+fn report_races(
+    out: &mut String,
+    program: Option<&CompiledProgram>,
+    races: &[RaceReport],
+) {
+    let mut distinct: Vec<_> = races.iter().map(RaceReport::distinct_key).collect();
+    distinct.sort();
+    distinct.dedup();
+    let _ = writeln!(
+        out,
+        "\n{} dynamic race report(s), {} distinct:",
+        races.len(),
+        distinct.len()
+    );
+    for (a, b) in distinct {
+        match program {
+            Some(p) => {
+                let _ = writeln!(out, "  {}  <->  {}", p.describe_site(a), p.describe_site(b));
+            }
+            None => {
+                let _ = writeln!(out, "  {a}  <->  {b}");
+            }
+        }
+    }
+}
+
+fn summarize_run(out: &mut String, outcome: &RunOutcome) {
+    let _ = writeln!(
+        out,
+        "executed {} steps, {} threads ({} max live), {} GCs, result {:?}",
+        outcome.steps,
+        outcome.threads_started,
+        outcome.max_live_threads,
+        outcome.gc_count,
+        outcome.main_result
+    );
+    if outcome.elided_accesses > 0 {
+        let _ = writeln!(
+            out,
+            "escape analysis elided {} thread-local accesses",
+            outcome.elided_accesses
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let (file, opts) = parse_options(args)?;
+    let (_, compiled) = load_program(&file)?;
+    let cfg = VmConfig::new(opts.seed).with_sampling_rate(opts.rate);
+    let mut out = String::new();
+
+    // Optionally record the event stream alongside the analysis by
+    // re-running with the same seed (identical schedule).
+    let vm_err = |e: pacer_runtime::VmError| err(format!("runtime error: {e}"));
+    match opts.detector.as_str() {
+        "pacer" => {
+            let mut d = PacerDetector::new();
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            let _ = writeln!(
+                out,
+                "effective sampling rate: {:.2}%",
+                d.stats().effective_rate().unwrap_or(0.0) * 100.0
+            );
+            report_races(&mut out, Some(&compiled), d.races());
+        }
+        "pacer-accordion" => {
+            let mut d = AccordionPacerDetector::new();
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            let _ = writeln!(out, "clock slots used: {}", d.slots_in_use());
+            report_races(&mut out, Some(&compiled), d.races());
+        }
+        "fasttrack" => {
+            let mut d = FastTrackDetector::new();
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            report_races(&mut out, Some(&compiled), d.races());
+        }
+        "generic" => {
+            let mut d = GenericDetector::new();
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            report_races(&mut out, Some(&compiled), d.races());
+        }
+        "literace" => {
+            let mut d = LiteRaceDetector::new(LiteRaceConfig::default(), opts.seed);
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            let _ = writeln!(
+                out,
+                "effective sampling rate: {:.2}%",
+                d.effective_rate().unwrap_or(0.0) * 100.0
+            );
+            report_races(&mut out, Some(&compiled), d.races());
+        }
+        "none" => {
+            let mut d = NullDetector;
+            let cfg = cfg.clone().with_instrument(InstrumentMode::Off);
+            let outcome = Vm::run(&compiled, &mut d, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+        }
+        other => return Err(err(format!("unknown detector `{other}`"))),
+    }
+
+    if let Some(path) = opts.trace_out {
+        let mut rec = RecordingDetector::new();
+        Vm::run(&compiled, &mut rec, &cfg).map_err(vm_err)?;
+        rec.trace()
+            .save(&path)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "\nevent trace written to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    let (file, opts) = parse_options(args)?;
+    let trace =
+        Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
+    trace
+        .validate()
+        .map_err(|e| err(format!("{file}: invalid trace: {e}")))?;
+    let mut out = String::new();
+    let stats = trace.stats();
+    let _ = writeln!(
+        out,
+        "replaying {} actions ({} accesses, {} sync ops, {} threads)",
+        trace.len(),
+        stats.accesses(),
+        stats.sync_ops(),
+        trace.thread_count()
+    );
+    let races = match opts.detector.as_str() {
+        "pacer" | "pacer-accordion" => {
+            let mut d = PacerDetector::new();
+            d.run(&trace);
+            d.races().to_vec()
+        }
+        "fasttrack" => {
+            let mut d = FastTrackDetector::new();
+            d.run(&trace);
+            d.races().to_vec()
+        }
+        "generic" => {
+            let mut d = GenericDetector::new();
+            d.run(&trace);
+            d.races().to_vec()
+        }
+        "literace" => {
+            let mut d = LiteRaceDetector::new(LiteRaceConfig::default(), opts.seed);
+            d.run(&trace);
+            d.races().to_vec()
+        }
+        other => return Err(err(format!("unknown detector `{other}`"))),
+    };
+    report_races(&mut out, None, &races);
+    Ok(out)
+}
+
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    let (file, _) = parse_options(args)?;
+    let (ast, compiled) = load_program(&file)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{file}: {} function(s), {} shared slot(s), {} lock(s), {} volatile(s)",
+        compiled.functions.len(),
+        compiled.globals,
+        compiled.locks,
+        compiled.volatiles
+    );
+    let _ = writeln!(
+        out,
+        "{} instrumented site(s)",
+        compiled.instrumented_sites()
+    );
+    for f in &ast.functions {
+        let info = pacer_lang::escape::analyze(f);
+        let locals = info.provably_local_locals();
+        if !locals.is_empty() {
+            let _ = writeln!(
+                out,
+                "  fn {}: thread-local (uninstrumented): {}",
+                f.name,
+                locals.join(", ")
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let (file, _) = parse_options(args)?;
+    let source = std::fs::read_to_string(&file)
+        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    let ast = pacer_lang::parse(&source).map_err(|e| err(format!("{file}: {e}")))?;
+    let report = pacer_lang::lockset::lockset_lint(&ast);
+    let mut out = String::new();
+    for w in &report.warnings {
+        out.push_str(&w.render());
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} shared variable(s) checked, {} warning(s)",
+        file,
+        report.checked_vars,
+        report.warnings.len()
+    );
+    if !report.warnings.is_empty() {
+        let _ = writeln!(
+            out,
+            "note: lockset is a heuristic — volatile/fork-join protocols are
+             safe but still flagged; confirm with `pacer run --detector fasttrack`"
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_fmt(args: &[String], fold: bool) -> Result<String, CliError> {
+    let (file, _) = parse_options(args)?;
+    let source = std::fs::read_to_string(&file)
+        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    let mut ast = pacer_lang::parse(&source).map_err(|e| err(format!("{file}: {e}")))?;
+    if fold {
+        ast = pacer_lang::fold_program(&ast);
+    }
+    Ok(pacer_lang::print(&ast))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const RACY: &str = "
+        shared x;
+        fn w() { let i = 0; while (i < 50) { x = x + 1; i = i + 1; } }
+        fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+    ";
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["--help"])).unwrap();
+        assert!(out.contains("usage: pacer"));
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_with_fasttrack_reports_races() {
+        let path = write_temp("pacer_cli_racy.pl", RACY);
+        let out = run(&args(&["run", &path, "--detector", "fasttrack", "--seed", "3"]))
+            .unwrap();
+        assert!(out.contains("distinct:"), "{out}");
+        assert!(out.contains("w: x"), "site descriptions shown: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_records_and_replay_reanalyzes() {
+        let src = write_temp("pacer_cli_rec.pl", RACY);
+        let trace_path = std::env::temp_dir().join("pacer_cli_rec.trace");
+        let trace_str = trace_path.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "run", &src, "--detector", "fasttrack", "--seed", "5", "--trace", &trace_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("event trace written"));
+        let replayed = run(&args(&["replay", &trace_str, "--detector", "generic"])).unwrap();
+        assert!(replayed.contains("replaying"), "{replayed}");
+        assert!(replayed.contains("distinct:"), "{replayed}");
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn check_reports_escape_results() {
+        let src = write_temp(
+            "pacer_cli_check.pl",
+            "shared g; fn main() { let o = new obj; o.f = 1; let p = new obj; g = p; }",
+        );
+        let out = run(&args(&["check", &src])).unwrap();
+        assert!(out.contains("instrumented site(s)"));
+        assert!(out.contains("thread-local (uninstrumented): o"), "{out}");
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fmt_and_fold_pretty_print() {
+        let src = write_temp("pacer_cli_fmt.pl", "shared x;fn main(){x=1+2;}");
+        let fmt = run(&args(&["fmt", &src])).unwrap();
+        assert!(fmt.contains("x = (1 + 2);"), "{fmt}");
+        let folded = run(&args(&["fold", &src])).unwrap();
+        assert!(folded.contains("x = 3;"), "{folded}");
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn pacer_run_prints_effective_rate() {
+        let path = write_temp("pacer_cli_pacer.pl", RACY);
+        let out = run(&args(&["run", &path, "--rate", "1.0", "--seed", "1"])).unwrap();
+        assert!(out.contains("effective sampling rate"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        assert!(run(&args(&["run"])).is_err(), "missing file");
+        assert!(run(&args(&["run", "f", "--rate", "2"])).is_err());
+        assert!(run(&args(&["run", "f", "--bogus"])).is_err());
+        assert!(run(&args(&["run", "/nonexistent.pl"])).is_err());
+        assert!(run(&args(&["replay", "/nonexistent.trace"])).is_err());
+    }
+
+    #[test]
+    fn detector_none_runs_uninstrumented() {
+        let path = write_temp("pacer_cli_none.pl", RACY);
+        let out = run(&args(&["run", &path, "--detector", "none"])).unwrap();
+        assert!(out.contains("executed"));
+        assert!(!out.contains("distinct"));
+        std::fs::remove_file(&path).ok();
+    }
+}

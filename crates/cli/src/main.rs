@@ -1,0 +1,17 @@
+//! The `pacer` binary: see [`pacer_cli::run`] for the command reference.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pacer_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pacer: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

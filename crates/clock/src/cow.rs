@@ -1,0 +1,187 @@
+//! Copy-on-write vector clocks: PACER's clock-sharing protocol.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::VectorClock;
+
+/// A reference-counted, copy-on-write vector clock.
+///
+/// PACER shares vector clocks between synchronization objects during
+/// non-sampling periods: a lock release performs a *shallow* copy of the
+/// thread's clock (Algorithm 9) and any later mutation first *clones* a
+/// shared clock (Algorithms 10 and 11). The paper implements this with an
+/// explicit `isShared` bit plus `setShared`/`clone` operations; `CowClock`
+/// realizes the same protocol with an [`Rc`] reference count —
+/// `strong_count > 1` is exactly `isShared`, and [`CowClock::make_mut`]
+/// clones on demand ("Whenever PACER creates a shallow copy, it marks the
+/// object shared", §A.4).
+///
+/// The caller is responsible for counting deep vs. shallow copies (Table 3);
+/// [`CowClock::is_shared`] lets it observe whether a `make_mut` will clone.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{CowClock, ThreadId, VectorClock};
+///
+/// let t0 = ThreadId::new(0);
+/// let mut a = CowClock::new(VectorClock::from_slice(&[1, 2]));
+/// let b = a.shallow_copy();           // lock release outside sampling
+/// assert!(a.is_shared() && b.is_shared());
+/// assert!(CowClock::ptr_eq(&a, &b));
+///
+/// a.make_mut().increment(t0);          // clone-on-write
+/// assert!(!CowClock::ptr_eq(&a, &b));
+/// assert_eq!(a.clock().get(t0), 2);
+/// assert_eq!(b.clock().get(t0), 1, "the shared snapshot is unchanged");
+/// ```
+#[derive(Clone)]
+pub struct CowClock(Rc<VectorClock>);
+
+impl CowClock {
+    /// Wraps a vector clock in an unshared copy-on-write cell.
+    pub fn new(clock: VectorClock) -> Self {
+        CowClock(Rc::new(clock))
+    }
+
+    /// Creates an unshared minimal clock `⊥_c`.
+    pub fn bottom() -> Self {
+        CowClock::new(VectorClock::new())
+    }
+
+    /// Borrows the underlying clock for reading.
+    pub fn clock(&self) -> &VectorClock {
+        &self.0
+    }
+
+    /// `isShared`: whether another synchronization object currently holds
+    /// this same clock storage.
+    pub fn is_shared(&self) -> bool {
+        Rc::strong_count(&self.0) > 1
+    }
+
+    /// Shallow copy: shares the underlying storage (`clock_m ←shallow
+    /// clock_t` plus `setShared(..., true)`, Algorithm 9). `O(1)`.
+    pub fn shallow_copy(&self) -> CowClock {
+        CowClock(Rc::clone(&self.0))
+    }
+
+    /// Deep copy: element-by-element copy into fresh, unshared storage.
+    /// `O(n)`.
+    pub fn deep_copy(&self) -> CowClock {
+        CowClock(Rc::new((*self.0).clone()))
+    }
+
+    /// Mutable access, cloning first if the storage is shared (`clone()` in
+    /// Algorithms 10, 11, and 16). Check [`is_shared`](Self::is_shared)
+    /// beforehand to account for the clone.
+    pub fn make_mut(&mut self) -> &mut VectorClock {
+        Rc::make_mut(&mut self.0)
+    }
+
+    /// Returns `true` if both handles point at the same storage.
+    pub fn ptr_eq(a: &CowClock, b: &CowClock) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// An opaque identity for the underlying storage, equal for handles
+    /// that share. Space accounting uses it to charge each shared clock
+    /// buffer once.
+    pub fn storage_id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+impl Default for CowClock {
+    fn default() -> Self {
+        CowClock::bottom()
+    }
+}
+
+impl fmt::Debug for CowClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cow({:?}, rc={})",
+            self.0,
+            Rc::strong_count(&self.0)
+        )
+    }
+}
+
+impl PartialEq for CowClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for CowClock {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn fresh_clock_is_unshared() {
+        let c = CowClock::bottom();
+        assert!(!c.is_shared());
+        assert!(c.clock().is_bottom());
+    }
+
+    #[test]
+    fn shallow_copy_shares_storage() {
+        let a = CowClock::new(VectorClock::from_slice(&[1]));
+        let b = a.shallow_copy();
+        assert!(a.is_shared());
+        assert!(b.is_shared());
+        assert!(CowClock::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_copy_does_not_share() {
+        let a = CowClock::new(VectorClock::from_slice(&[1]));
+        let b = a.deep_copy();
+        assert!(!a.is_shared());
+        assert!(!b.is_shared());
+        assert!(!CowClock::ptr_eq(&a, &b));
+        assert_eq!(a, b, "deep copies are equal by value");
+    }
+
+    #[test]
+    fn make_mut_clones_only_when_shared() {
+        let mut a = CowClock::new(VectorClock::from_slice(&[1]));
+        let before = Rc::as_ptr(&a.0);
+        a.make_mut().increment(t(0));
+        assert_eq!(Rc::as_ptr(&a.0), before, "unshared: mutated in place");
+
+        let b = a.shallow_copy();
+        a.make_mut().increment(t(0));
+        assert!(!CowClock::ptr_eq(&a, &b), "shared: cloned before mutating");
+        assert_eq!(a.clock().get(t(0)), 3);
+        assert_eq!(b.clock().get(t(0)), 2);
+        assert!(!b.is_shared(), "the snapshot holder became sole owner");
+    }
+
+    #[test]
+    fn dropping_a_sharer_unshares() {
+        let a = CowClock::bottom();
+        let b = a.shallow_copy();
+        assert!(a.is_shared());
+        drop(b);
+        assert!(!a.is_shared());
+    }
+
+    #[test]
+    fn debug_mentions_refcount() {
+        let a = CowClock::bottom();
+        let _b = a.shallow_copy();
+        assert!(format!("{a:?}").contains("rc=2"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Epochs: the scalar `c@t` clock representation.
+
+use std::fmt;
+
+use crate::{ClockValue, ThreadId, VectorClock};
+
+/// An epoch `c@t`: the clock value `c` of thread `t` at some instant
+/// (§2.2, §A.1).
+///
+/// FASTTRACK replaces the last-write vector clock (and, when reads are
+/// totally ordered, the last-read vector clock) with an epoch, reducing the
+/// common-case race check from `O(n)` to `O(1)`.
+///
+/// The minimal epoch `⊥_e = 0@t0` satisfies `⊥_e ≼ C` for every clock `C`;
+/// any epoch with clock zero is minimal.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{Epoch, ThreadId, VectorClock};
+///
+/// let t1 = ThreadId::new(1);
+/// let c = VectorClock::from_slice(&[0, 5]);
+/// assert!(Epoch::new(5, t1).leq_clock(&c));
+/// assert!(!Epoch::new(6, t1).leq_clock(&c));
+/// assert!(Epoch::MIN.leq_clock(&VectorClock::new()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    clock: ClockValue,
+    tid: ThreadId,
+}
+
+impl Epoch {
+    /// The minimal epoch `⊥_e = 0@0`.
+    pub const MIN: Epoch = Epoch {
+        clock: 0,
+        tid: ThreadId::new(0),
+    };
+
+    /// Creates the epoch `clock@tid`.
+    pub const fn new(clock: ClockValue, tid: ThreadId) -> Self {
+        Epoch { clock, tid }
+    }
+
+    /// Creates thread `t`'s *current epoch* `E(t) = C_t(t)@t` from its
+    /// vector clock.
+    pub fn of_thread(t: ThreadId, clock_t: &VectorClock) -> Self {
+        Epoch {
+            clock: clock_t.get(t),
+            tid: t,
+        }
+    }
+
+    /// The clock component `c`.
+    pub const fn clock(self) -> ClockValue {
+        self.clock
+    }
+
+    /// The thread component `t`.
+    pub const fn tid(self) -> ThreadId {
+        self.tid
+    }
+
+    /// The constant-time order `c@t ≼ C  iff  c ≤ C(t)` (§A.1, eq. 4).
+    ///
+    /// In FASTTRACK this implies happens-before; in PACER it implies
+    /// happens-before only for epochs recorded in sampling periods, which is
+    /// all PACER ever compares (§3.2).
+    pub fn leq_clock(self, clock: &VectorClock) -> bool {
+        self.clock <= clock.get(self.tid)
+    }
+
+    /// Returns `true` if this is a minimal epoch (clock component zero).
+    pub fn is_min(self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::MIN
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn min_precedes_everything() {
+        assert!(Epoch::MIN.leq_clock(&VectorClock::new()));
+        assert!(Epoch::new(0, t(7)).is_min());
+        assert!(Epoch::new(0, t(7)).leq_clock(&VectorClock::new()));
+    }
+
+    #[test]
+    fn leq_checks_only_own_component() {
+        let c = VectorClock::from_slice(&[9, 2]);
+        assert!(Epoch::new(2, t(1)).leq_clock(&c));
+        assert!(!Epoch::new(3, t(1)).leq_clock(&c));
+        // A huge value at another thread is irrelevant.
+        assert!(Epoch::new(1, t(1)).leq_clock(&c));
+    }
+
+    #[test]
+    fn of_thread_reads_current_component() {
+        let mut c = VectorClock::new();
+        c.increment(t(2));
+        c.increment(t(2));
+        let e = Epoch::of_thread(t(2), &c);
+        assert_eq!(e, Epoch::new(2, t(2)));
+        assert!(e.leq_clock(&c));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Epoch::new(4, t(3));
+        assert_eq!(e.clock(), 4);
+        assert_eq!(e.tid(), t(3));
+        assert_eq!(e.to_string(), "4@t3");
+        assert_eq!(format!("{e:?}"), "4@t3");
+    }
+
+    #[test]
+    fn default_is_min() {
+        assert_eq!(Epoch::default(), Epoch::MIN);
+    }
+}

@@ -1,0 +1,172 @@
+//! Single-word epoch packing.
+//!
+//! The real FASTTRACK/PACER implementations store an epoch `c@t` in **one
+//! machine word** so metadata can be read and compare-and-swapped
+//! atomically (§4 uses CAS on metadata words). [`PackedEpoch`] reproduces
+//! that layout: the thread id in the low bits, the clock in the high bits.
+//! The analysis in this repository uses the struct form ([`Epoch`]) for
+//! clarity; this type exists for fidelity, for space-layout tests, and as
+//! the natural representation if the detectors were made lock-free.
+
+use std::fmt;
+
+use crate::{ClockValue, Epoch, ThreadId};
+
+/// Bits reserved for the thread id (16 M threads — far beyond the paper's
+/// 403).
+pub const TID_BITS: u32 = 24;
+
+/// Maximum clock value a packed epoch can carry (`2^40 − 1`).
+pub const MAX_PACKED_CLOCK: ClockValue = (1 << (64 - TID_BITS)) - 1;
+
+/// An [`Epoch`] packed into a single `u64`: `clock << 24 | tid`.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{Epoch, PackedEpoch, ThreadId, VectorClock};
+///
+/// let epoch = Epoch::new(7, ThreadId::new(3));
+/// let packed = PackedEpoch::pack(epoch).unwrap();
+/// assert_eq!(packed.unpack(), epoch);
+///
+/// let clock = VectorClock::from_slice(&[0, 0, 0, 9]);
+/// assert!(packed.leq_clock(&clock));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedEpoch(u64);
+
+impl PackedEpoch {
+    /// The minimal epoch `0@t0` packed.
+    pub const MIN: PackedEpoch = PackedEpoch(0);
+
+    /// Packs an epoch. Returns `None` if the clock exceeds
+    /// [`MAX_PACKED_CLOCK`] or the thread id does not fit in
+    /// [`TID_BITS`].
+    pub fn pack(epoch: Epoch) -> Option<PackedEpoch> {
+        let tid = u64::from(epoch.tid().raw());
+        if epoch.clock() > MAX_PACKED_CLOCK || tid >= (1 << TID_BITS) {
+            return None;
+        }
+        Some(PackedEpoch((epoch.clock() << TID_BITS) | tid))
+    }
+
+    /// Unpacks back into the struct form.
+    pub fn unpack(self) -> Epoch {
+        Epoch::new(
+            self.0 >> TID_BITS,
+            ThreadId::new((self.0 & ((1 << TID_BITS) - 1)) as u32),
+        )
+    }
+
+    /// The raw word (what a lock-free implementation would CAS).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs from a raw word.
+    pub const fn from_raw(raw: u64) -> PackedEpoch {
+        PackedEpoch(raw)
+    }
+
+    /// The constant-time `≼` against a vector clock, without unpacking the
+    /// struct form first.
+    pub fn leq_clock(self, clock: &crate::VectorClock) -> bool {
+        let tid = ThreadId::new((self.0 & ((1 << TID_BITS) - 1)) as u32);
+        (self.0 >> TID_BITS) <= clock.get(tid)
+    }
+
+    /// Same-epoch test against a thread's current epoch — the "no action"
+    /// gate of Algorithms 7/8, one integer comparison on the packed form.
+    pub fn is_epoch_of(self, t: ThreadId, clock: &crate::VectorClock) -> bool {
+        Self::pack(Epoch::of_thread(t, clock)) == Some(self)
+    }
+}
+
+impl Default for PackedEpoch {
+    fn default() -> Self {
+        PackedEpoch::MIN
+    }
+}
+
+impl fmt::Debug for PackedEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packed:{:?}", self.unpack())
+    }
+}
+
+impl TryFrom<Epoch> for PackedEpoch {
+    type Error = Epoch;
+
+    fn try_from(epoch: Epoch) -> Result<Self, Epoch> {
+        PackedEpoch::pack(epoch).ok_or(epoch)
+    }
+}
+
+impl From<PackedEpoch> for Epoch {
+    fn from(packed: PackedEpoch) -> Epoch {
+        packed.unpack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorClock;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn round_trips() {
+        for (c, tid) in [(0u64, 0u32), (1, 0), (0, 1), (12345, 402), (MAX_PACKED_CLOCK, 99)] {
+            let e = Epoch::new(c, t(tid));
+            let p = PackedEpoch::pack(e).unwrap();
+            assert_eq!(p.unpack(), e);
+            assert_eq!(Epoch::from(p), e);
+            assert_eq!(PackedEpoch::from_raw(p.raw()), p);
+        }
+    }
+
+    #[test]
+    fn min_is_zero_word() {
+        assert_eq!(PackedEpoch::MIN.raw(), 0);
+        assert_eq!(PackedEpoch::MIN.unpack(), Epoch::MIN);
+        assert_eq!(PackedEpoch::default(), PackedEpoch::MIN);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(PackedEpoch::pack(Epoch::new(MAX_PACKED_CLOCK + 1, t(0))).is_none());
+        assert!(PackedEpoch::pack(Epoch::new(0, t(1 << TID_BITS))).is_none());
+        let e = Epoch::new(MAX_PACKED_CLOCK + 1, t(0));
+        assert_eq!(PackedEpoch::try_from(e), Err(e));
+    }
+
+    #[test]
+    fn leq_clock_matches_struct_form() {
+        let clock = VectorClock::from_slice(&[3, 7, 0]);
+        for (c, tid) in [(0u64, 0u32), (3, 0), (4, 0), (7, 1), (8, 1), (1, 2)] {
+            let e = Epoch::new(c, t(tid));
+            let p = PackedEpoch::pack(e).unwrap();
+            assert_eq!(p.leq_clock(&clock), e.leq_clock(&clock), "{e}");
+        }
+    }
+
+    #[test]
+    fn same_epoch_gate() {
+        let mut clock = VectorClock::new();
+        clock.increment(t(2));
+        let p = PackedEpoch::pack(Epoch::of_thread(t(2), &clock)).unwrap();
+        assert!(p.is_epoch_of(t(2), &clock));
+        clock.increment(t(2));
+        assert!(!p.is_epoch_of(t(2), &clock));
+    }
+
+    #[test]
+    fn debug_shows_epoch() {
+        let p = PackedEpoch::pack(Epoch::new(5, t(1))).unwrap();
+        assert_eq!(format!("{p:?}"), "packed:5@t1");
+    }
+}

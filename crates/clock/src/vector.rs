@@ -1,0 +1,282 @@
+//! Vector clocks with the pointwise partial order and join.
+
+use std::fmt;
+
+use crate::{ClockValue, ThreadId};
+
+/// A vector clock `C : Tid → Nat` (§A.1).
+///
+/// The clock is stored densely, indexed by [`ThreadId::index`]. Entries past
+/// the end of the storage are implicitly zero, so clocks for programs with
+/// thousands of threads only pay for the threads they have actually
+/// communicated with.
+///
+/// Following the paper, three operations are defined: `copy` (plain
+/// [`Clone`]), [`increment`](Self::increment), and the least-upper-bound
+/// [`join`](Self::join) `⊔`. The pointwise order `⊑` is
+/// [`leq`](Self::leq).
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{ThreadId, VectorClock};
+///
+/// let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+/// let mut c = VectorClock::new();
+/// c.increment(t0);
+/// c.increment(t0);
+/// c.increment(t1);
+/// assert_eq!(c.get(t0), 2);
+/// assert_eq!(c.get(t1), 1);
+/// assert_eq!(c.get(ThreadId::new(9)), 0, "absent entries are zero");
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    slots: Vec<ClockValue>,
+}
+
+impl VectorClock {
+    /// Creates the minimal clock `⊥_c` that maps every thread to zero.
+    pub fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// Creates a clock with capacity reserved for `threads` threads.
+    pub fn with_capacity(threads: usize) -> Self {
+        VectorClock {
+            slots: Vec::with_capacity(threads),
+        }
+    }
+
+    /// Creates a clock from explicit per-thread values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pacer_clock::{ThreadId, VectorClock};
+    ///
+    /// let c = VectorClock::from_slice(&[3, 0, 1]);
+    /// assert_eq!(c.get(ThreadId::new(0)), 3);
+    /// assert_eq!(c.get(ThreadId::new(2)), 1);
+    /// ```
+    pub fn from_slice(values: &[ClockValue]) -> Self {
+        VectorClock {
+            slots: values.to_vec(),
+        }
+    }
+
+    /// Returns the clock value for thread `t` (zero if never set).
+    pub fn get(&self, t: ThreadId) -> ClockValue {
+        self.slots.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock value for thread `t`, growing storage as needed.
+    pub fn set(&mut self, t: ThreadId, value: ClockValue) {
+        let i = t.index();
+        if i >= self.slots.len() {
+            if value == 0 {
+                return; // implicit zero; avoid growing
+            }
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] = value;
+    }
+
+    /// Increments thread `t`'s component: `inc_t(C)` (§A.1, eq. 2).
+    ///
+    /// This is the mechanism by which logical time passes.
+    pub fn increment(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] += 1;
+    }
+
+    /// Joins `other` into `self`: `C ← C ⊔ other`, the pointwise maximum
+    /// (§A.1, eq. 3). Takes `O(n)` time in the number of threads.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Tests the pointwise order `self ⊑ other` (§A.1): every component of
+    /// `self` is less than or equal to the corresponding component of
+    /// `other`. Takes `O(n)` time.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        for (i, &mine) in self.slots.iter().enumerate() {
+            if mine > other.slots.get(i).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if this is the minimal clock `⊥_c` (all zeros).
+    pub fn is_bottom(&self) -> bool {
+        self.slots.iter().all(|&v| v == 0)
+    }
+
+    /// Number of storage slots currently materialized.
+    ///
+    /// This is what PACER's space accounting charges for a deep copy: one
+    /// word per materialized slot.
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over `(thread, value)` pairs with nonzero values.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, ClockValue)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (ThreadId::new(i as u32), v))
+    }
+
+    /// Truncates the clock of a retired thread slot to zero (accordion-clock
+    /// support: the slot may later be reassigned to a fresh thread).
+    pub fn clear_slot(&mut self, t: ThreadId) {
+        if let Some(v) = self.slots.get_mut(t.index()) {
+            *v = 0;
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.slots)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(ThreadId, ClockValue)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, ClockValue)>>(iter: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (t, v) in iter {
+            vc.set(t, v);
+        }
+        vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn new_is_bottom() {
+        let c = VectorClock::new();
+        assert!(c.is_bottom());
+        assert_eq!(c.get(t(5)), 0);
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut c = VectorClock::new();
+        c.increment(t(2));
+        c.increment(t(2));
+        assert_eq!(c.get(t(2)), 2);
+        assert_eq!(c.get(t(0)), 0);
+        assert_eq!(c.width(), 3);
+    }
+
+    #[test]
+    fn set_zero_does_not_grow() {
+        let mut c = VectorClock::new();
+        c.set(t(100), 0);
+        assert_eq!(c.width(), 0);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = VectorClock::from_slice(&[3, 0, 5]);
+        let b = VectorClock::from_slice(&[1, 4]);
+        a.join(&b);
+        assert_eq!(a, VectorClock::from_slice(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn join_grows_to_longer_operand() {
+        let mut a = VectorClock::from_slice(&[1]);
+        let b = VectorClock::from_slice(&[0, 0, 7]);
+        a.join(&b);
+        assert_eq!(a.get(t(2)), 7);
+    }
+
+    #[test]
+    fn leq_is_pointwise() {
+        let a = VectorClock::from_slice(&[1, 2]);
+        let b = VectorClock::from_slice(&[1, 3, 0]);
+        let c = VectorClock::from_slice(&[2, 1]);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.leq(&c) && !c.leq(&a), "a and c are concurrent");
+    }
+
+    #[test]
+    fn leq_with_implicit_zeros() {
+        let a = VectorClock::from_slice(&[0, 0, 1]);
+        let b = VectorClock::from_slice(&[5]);
+        assert!(!a.leq(&b));
+        assert!(VectorClock::new().leq(&a), "⊥ ⊑ everything");
+    }
+
+    #[test]
+    fn bottom_leq_everything_and_join_identity() {
+        let a = VectorClock::from_slice(&[2, 9]);
+        let mut b = a.clone();
+        b.join(&VectorClock::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let c = VectorClock::from_slice(&[0, 3, 0, 1]);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(t(1), 3), (t(3), 1)]);
+    }
+
+    #[test]
+    fn collect_from_pairs() {
+        let c: VectorClock = vec![(t(1), 4), (t(0), 2)].into_iter().collect();
+        assert_eq!(c, VectorClock::from_slice(&[2, 4]));
+    }
+
+    #[test]
+    fn clear_slot_zeroes_entry() {
+        let mut c = VectorClock::from_slice(&[1, 2, 3]);
+        c.clear_slot(t(1));
+        assert_eq!(c.get(t(1)), 0);
+        c.clear_slot(t(9)); // out of range: no-op
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = VectorClock::from_slice(&[1, 0, 2]);
+        assert_eq!(c.to_string(), "⟨1,0,2⟩");
+        assert_eq!(format!("{c:?}"), "VC[1, 0, 2]");
+    }
+}

@@ -1,0 +1,217 @@
+//! Version vectors and version epochs (§3.2, §A.2).
+//!
+//! PACER assigns a *version* to every distinct value a thread's vector clock
+//! takes. During non-sampling ("timeless") periods clocks change rarely, so
+//! redundant synchronization can be recognized — and its `O(n)` join
+//! skipped — by comparing a synchronization object's [`VersionEpoch`]
+//! against the acquiring thread's [`VersionVector`].
+//!
+//! These are *not* the version vectors used in distributed systems (the
+//! paper's footnote 2).
+
+use std::fmt;
+
+use crate::{ClockValue, ThreadId};
+
+/// A version vector `V : Tid → Nat` (§A.2).
+///
+/// `V(u)` is the most recent version of thread `u`'s vector clock that has
+/// been joined into the owner's vector clock; that version and all earlier
+/// versions of `u`'s clock are guaranteed pointwise-≤ the owner's clock
+/// (Lemma 7).
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{ThreadId, VersionEpoch, VersionVector};
+///
+/// let t1 = ThreadId::new(1);
+/// let mut v = VersionVector::new();
+/// v.set(t1, 3);
+/// assert!(VersionEpoch::at(2, t1).leq(&v), "older versions are subsumed");
+/// assert!(!VersionEpoch::at(4, t1).leq(&v));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    slots: Vec<ClockValue>,
+}
+
+impl VersionVector {
+    /// Creates the minimal version vector `⊥_v` (all zeros).
+    pub fn new() -> Self {
+        VersionVector { slots: Vec::new() }
+    }
+
+    /// Returns the version recorded for thread `t` (zero if none).
+    pub fn get(&self, t: ThreadId) -> ClockValue {
+        self.slots.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Records version `v` for thread `t`.
+    pub fn set(&mut self, t: ThreadId, v: ClockValue) {
+        let i = t.index();
+        if i >= self.slots.len() {
+            if v == 0 {
+                return;
+            }
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] = v;
+    }
+
+    /// Increments thread `t`'s version: `inc_t(V)` (§A.2, eq. 5). A thread
+    /// increments its own slot whenever its vector clock changes.
+    pub fn increment(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] += 1;
+    }
+
+    /// Number of materialized slots (for space accounting).
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Zeroes a retired thread's slot (accordion-clock support).
+    pub fn clear_slot(&mut self, t: ThreadId) {
+        if let Some(v) = self.slots.get_mut(t.index()) {
+            *v = 0;
+        }
+    }
+}
+
+impl fmt::Debug for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ver{:?}", self.slots)
+    }
+}
+
+/// A version epoch `v@t` (§A.2): "the vector clock of this synchronization
+/// object equals version `v` of thread `t`'s vector clock".
+///
+/// The minimal version epoch `⊥_ve = 0@t` satisfies `⊥_ve ≼ V` for every
+/// version vector `V`; the maximal element `⊤_ve` (represented by `null` in
+/// the paper, [`VersionEpoch::Top`] here) satisfies it for none. `⊤_ve`
+/// marks a volatile variable whose clock is a join of several threads'
+/// clocks and therefore no single thread's snapshot (Table 7, rule 9).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum VersionEpoch {
+    /// Version `v` of thread `t`'s vector clock.
+    At {
+        /// Version number.
+        v: ClockValue,
+        /// Owning thread.
+        t: ThreadId,
+    },
+    /// `⊤_ve`: never subsumed by any version vector.
+    Top,
+}
+
+impl VersionEpoch {
+    /// The minimal version epoch `⊥_ve = 0@t0`.
+    pub const BOTTOM: VersionEpoch = VersionEpoch::At {
+        v: 0,
+        t: ThreadId::new(0),
+    };
+
+    /// Creates the version epoch `v@t`.
+    pub const fn at(v: ClockValue, t: ThreadId) -> Self {
+        VersionEpoch::At { v, t }
+    }
+
+    /// The subsumption test `v@t ≼ V  iff  v ≤ V(t)` (§A.2, eq. 6);
+    /// `⊤_ve ≼ V` is always false. Constant time — this is the fast path
+    /// that lets PACER skip `O(n)` joins.
+    pub fn leq(self, vv: &VersionVector) -> bool {
+        match self {
+            VersionEpoch::At { v, t } => v <= vv.get(t),
+            VersionEpoch::Top => false,
+        }
+    }
+
+    /// Returns `true` for `⊤_ve`.
+    pub const fn is_top(self) -> bool {
+        matches!(self, VersionEpoch::Top)
+    }
+}
+
+impl Default for VersionEpoch {
+    fn default() -> Self {
+        VersionEpoch::BOTTOM
+    }
+}
+
+impl fmt::Debug for VersionEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersionEpoch::At { v, t } => write!(f, "v{v}@{t}"),
+            VersionEpoch::Top => write!(f, "⊤ve"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn bottom_is_subsumed_by_everything() {
+        assert!(VersionEpoch::BOTTOM.leq(&VersionVector::new()));
+        assert!(VersionEpoch::at(0, t(9)).leq(&VersionVector::new()));
+    }
+
+    #[test]
+    fn top_is_subsumed_by_nothing() {
+        let mut vv = VersionVector::new();
+        vv.set(t(0), ClockValue::MAX);
+        assert!(!VersionEpoch::Top.leq(&vv));
+        assert!(VersionEpoch::Top.is_top());
+        assert!(!VersionEpoch::BOTTOM.is_top());
+    }
+
+    #[test]
+    fn subsumption_compares_one_slot() {
+        let mut vv = VersionVector::new();
+        vv.set(t(2), 5);
+        assert!(VersionEpoch::at(5, t(2)).leq(&vv));
+        assert!(VersionEpoch::at(4, t(2)).leq(&vv));
+        assert!(!VersionEpoch::at(6, t(2)).leq(&vv));
+        assert!(!VersionEpoch::at(1, t(3)).leq(&vv));
+    }
+
+    #[test]
+    fn increment_bumps_own_slot() {
+        let mut vv = VersionVector::new();
+        vv.increment(t(1));
+        vv.increment(t(1));
+        assert_eq!(vv.get(t(1)), 2);
+        assert_eq!(vv.get(t(0)), 0);
+    }
+
+    #[test]
+    fn set_zero_does_not_grow() {
+        let mut vv = VersionVector::new();
+        vv.set(t(50), 0);
+        assert_eq!(vv.width(), 0);
+        vv.set(t(2), 1);
+        assert_eq!(vv.width(), 3);
+        vv.clear_slot(t(2));
+        assert_eq!(vv.get(t(2)), 0);
+    }
+
+    #[test]
+    fn default_and_debug() {
+        assert_eq!(VersionEpoch::default(), VersionEpoch::BOTTOM);
+        assert_eq!(format!("{:?}", VersionEpoch::at(3, t(1))), "v3@t1");
+        assert_eq!(format!("{:?}", VersionEpoch::Top), "⊤ve");
+        let mut vv = VersionVector::new();
+        vv.set(t(0), 2);
+        assert_eq!(format!("{vv:?}"), "Ver[2]");
+    }
+}

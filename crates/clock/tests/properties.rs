@@ -1,0 +1,244 @@
+//! Property tests for the clock primitives: lattice laws, epoch/clock
+//! consistency, and copy-on-write equivalence with eager clocks.
+
+use proptest::prelude::*;
+
+use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VectorClock, VersionEpoch, VersionVector};
+
+const MAX_THREADS: u32 = 12;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u64..50, 0..MAX_THREADS as usize)
+        .prop_map(|v| VectorClock::from_slice(&v))
+}
+
+fn arb_tid() -> impl Strategy<Value = ThreadId> {
+    (0..MAX_THREADS).prop_map(ThreadId::new)
+}
+
+proptest! {
+    // ---- Partial-order laws for ⊑ ----
+
+    #[test]
+    fn leq_is_reflexive(a in arb_clock()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_is_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn leq_is_antisymmetric_up_to_padding(a in arb_clock(), b in arb_clock()) {
+        // a ⊑ b ∧ b ⊑ a ⇒ equal values (trailing zeros may differ in
+        // storage, so compare through `get`).
+        if a.leq(&b) && b.leq(&a) {
+            for i in 0..MAX_THREADS {
+                let t = ThreadId::new(i);
+                prop_assert_eq!(a.get(t), b.get(t));
+            }
+        }
+    }
+
+    // ---- Join is the least upper bound ----
+
+    #[test]
+    fn join_is_an_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn join_is_least(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        // Any common upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            let mut j = a.clone();
+            j.join(&b);
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative(a in arb_clock(), b in arb_clock()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        for i in 0..MAX_THREADS {
+            let t = ThreadId::new(i);
+            prop_assert_eq!(ab.get(t), ba.get(t));
+        }
+    }
+
+    #[test]
+    fn join_is_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        for i in 0..MAX_THREADS {
+            let t = ThreadId::new(i);
+            prop_assert_eq!(left.get(t), right.get(t));
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent(a in arb_clock()) {
+        let mut j = a.clone();
+        j.join(&a);
+        prop_assert!(j.leq(&a) && a.leq(&j));
+    }
+
+    #[test]
+    fn bottom_is_identity(a in arb_clock()) {
+        let mut j = a.clone();
+        j.join(&VectorClock::new());
+        prop_assert!(j.leq(&a) && a.leq(&j));
+        prop_assert!(VectorClock::new().leq(&a));
+    }
+
+    // ---- Increment ----
+
+    #[test]
+    fn increment_strictly_grows_own_component(a in arb_clock(), t in arb_tid()) {
+        let mut b = a.clone();
+        b.increment(t);
+        prop_assert!(a.leq(&b));
+        prop_assert!(!b.leq(&a));
+        prop_assert_eq!(b.get(t), a.get(t) + 1);
+    }
+
+    // ---- Epochs agree with one-component clocks ----
+
+    #[test]
+    fn epoch_leq_iff_component_leq(c in 0u64..50, t in arb_tid(), clock in arb_clock()) {
+        let e = Epoch::new(c, t);
+        prop_assert_eq!(e.leq_clock(&clock), c <= clock.get(t));
+    }
+
+    #[test]
+    fn own_epoch_always_leq_own_clock(clock in arb_clock(), t in arb_tid()) {
+        prop_assert!(Epoch::of_thread(t, &clock).leq_clock(&clock));
+    }
+
+    // ---- Version epochs ----
+
+    #[test]
+    fn version_epoch_leq_matches_slot(v in 0u64..50, t in arb_tid(), slots in prop::collection::vec(0u64..50, 0..MAX_THREADS as usize)) {
+        let mut vv = VersionVector::new();
+        for (i, &s) in slots.iter().enumerate() {
+            vv.set(ThreadId::new(i as u32), s);
+        }
+        prop_assert_eq!(VersionEpoch::at(v, t).leq(&vv), v <= vv.get(t));
+        prop_assert!(!VersionEpoch::Top.leq(&vv));
+    }
+
+    // ---- Copy-on-write clocks behave like eager copies ----
+
+    #[test]
+    fn cow_matches_eager_under_random_ops(
+        base in arb_clock(),
+        ops in prop::collection::vec((0..3u8, arb_tid(), arb_clock()), 0..20),
+    ) {
+        // Model: an eagerly copied clock. Subject: a CowClock sharing
+        // storage with a snapshot holder. The snapshot must never change.
+        let snapshot_expected = base.clone();
+        let mut eager = base.clone();
+        let mut cow = CowClock::new(base);
+        let snapshot = cow.shallow_copy();
+
+        for (op, t, other) in ops {
+            match op {
+                0 => {
+                    eager.increment(t);
+                    cow.make_mut().increment(t);
+                }
+                1 => {
+                    eager.join(&other);
+                    cow.make_mut().join(&other);
+                }
+                _ => {
+                    let c = eager.get(t);
+                    eager.set(t, c + 1);
+                    let c = cow.clock().get(t);
+                    cow.make_mut().set(t, c + 1);
+                }
+            }
+        }
+        for i in 0..MAX_THREADS {
+            let t = ThreadId::new(i);
+            prop_assert_eq!(cow.clock().get(t), eager.get(t));
+            prop_assert_eq!(snapshot.clock().get(t), snapshot_expected.get(t));
+        }
+    }
+
+    // ---- Read maps ----
+
+    #[test]
+    fn read_map_agrees_with_reference_map(
+        ops in prop::collection::vec((arb_tid(), 1u64..40, 0u32..100, prop::bool::ANY), 0..30),
+    ) {
+        use std::collections::HashMap;
+        let mut subject = ReadMap::empty();
+        let mut reference: HashMap<ThreadId, (u64, u32)> = HashMap::new();
+        for (t, c, site, remove) in ops {
+            if remove {
+                subject.remove(t);
+                reference.remove(&t);
+            } else {
+                subject.insert(t, c, site);
+                reference.insert(t, (c, site));
+            }
+            prop_assert_eq!(subject.len(), reference.len());
+            for (&t, &(c, site)) in &reference {
+                let entry = subject.get(t).expect("entry present");
+                prop_assert_eq!(entry.clock, c);
+                prop_assert_eq!(entry.site, site);
+            }
+        }
+    }
+
+    #[test]
+    fn read_map_leq_means_every_entry_leq(
+        entries in prop::collection::vec((arb_tid(), 1u64..40), 0..8),
+        clock in arb_clock(),
+    ) {
+        let mut rm = ReadMap::empty();
+        let mut dedup: std::collections::HashMap<ThreadId, u64> = Default::default();
+        for (t, c) in entries {
+            rm.insert(t, c, 0);
+            dedup.insert(t, c);
+        }
+        let expected = dedup.iter().all(|(&t, &c)| c <= clock.get(t));
+        prop_assert_eq!(rm.leq_clock(&clock), expected);
+        let racing = rm.entries_racing_with(&clock);
+        prop_assert_eq!(racing.is_empty(), expected);
+        for e in racing {
+            prop_assert!(e.clock > clock.get(e.tid));
+        }
+    }
+}
+
+proptest! {
+    /// Packed epochs agree with the struct form on every operation.
+    #[test]
+    fn packed_epoch_equivalence(
+        c in 0u64..pacer_clock::MAX_PACKED_CLOCK,
+        tid in 0u32..1000,
+        clock in arb_clock(),
+    ) {
+        use pacer_clock::PackedEpoch;
+        let e = Epoch::new(c, ThreadId::new(tid));
+        let p = PackedEpoch::pack(e).expect("in range");
+        prop_assert_eq!(p.unpack(), e);
+        prop_assert_eq!(p.leq_clock(&clock), e.leq_clock(&clock));
+    }
+}

@@ -1,0 +1,273 @@
+//! Sampling policies for trace replay.
+//!
+//! The PACER implementation toggles sampling at garbage-collection
+//! boundaries (§4) — the runtime crate reproduces that. When replaying a
+//! bare [`Trace`](pacer_trace::Trace) without a simulated heap, the
+//! [`Sampled`] adapter drives a [`PacerDetector`](crate::PacerDetector) (or
+//! any detector) from a [`SamplingPolicy`], injecting
+//! `SampleBegin`/`SampleEnd` markers between program actions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pacer_trace::{Action, Detector, RaceReport};
+
+/// Decides, before each program action, whether the analysis should be in a
+/// sampling period.
+pub trait SamplingPolicy {
+    /// Returns the desired sampling state for the upcoming action.
+    fn desired(&mut self, upcoming: &Action) -> bool;
+}
+
+/// Deterministic duty-cycle sampling: within every window of `window`
+/// actions, the first `sampled` actions are analyzed.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_core::{PeriodicSampler, SamplingPolicy};
+/// use pacer_trace::Action;
+///
+/// let mut p = PeriodicSampler::new(100, 3); // 3% duty cycle
+/// let a = Action::SampleBegin; // any action; periodic ignores it
+/// let sampled = (0..100).filter(|_| p.desired(&a)).count();
+/// assert_eq!(sampled, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PeriodicSampler {
+    window: u64,
+    sampled: u64,
+    count: u64,
+}
+
+impl PeriodicSampler {
+    /// Creates a policy sampling the first `sampled` of every `window`
+    /// actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `sampled > window`.
+    pub fn new(window: u64, sampled: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(sampled <= window, "duty cycle cannot exceed the window");
+        PeriodicSampler {
+            window,
+            sampled,
+            count: 0,
+        }
+    }
+
+    /// A policy approximating sampling rate `rate` with the given window.
+    pub fn with_rate(window: u64, rate: f64) -> Self {
+        let sampled = ((window as f64) * rate.clamp(0.0, 1.0)).round() as u64;
+        PeriodicSampler::new(window, sampled.min(window))
+    }
+}
+
+impl SamplingPolicy for PeriodicSampler {
+    fn desired(&mut self, _upcoming: &Action) -> bool {
+        let phase = self.count % self.window;
+        self.count += 1;
+        phase < self.sampled
+    }
+}
+
+/// Randomized global sampling periods with geometric lengths, averaging
+/// `avg_period` actions per period and an overall duty cycle of `rate` —
+/// the trace-level analogue of the paper's randomized GC-boundary toggling.
+#[derive(Clone, Debug)]
+pub struct RandomSampler {
+    rate: f64,
+    p_off: f64,
+    p_on: f64,
+    sampling: bool,
+    rng: StdRng,
+}
+
+impl RandomSampler {
+    /// Creates a randomized policy with duty cycle `rate` and mean sampling
+    /// period length `avg_period` (in actions).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate ≤ 1` and `avg_period ≥ 1`.
+    pub fn new(rate: f64, avg_period: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(avg_period >= 1, "avg_period must be at least 1");
+        let p_off = 1.0 / avg_period as f64;
+        let p_on = if rate >= 1.0 {
+            1.0
+        } else {
+            (p_off * rate / (1.0 - rate)).min(1.0)
+        };
+        RandomSampler {
+            rate,
+            p_off,
+            p_on,
+            sampling: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SamplingPolicy for RandomSampler {
+    fn desired(&mut self, _upcoming: &Action) -> bool {
+        if self.sampling {
+            if self.rate < 1.0 && self.rng.gen_bool(self.p_off) {
+                self.sampling = false;
+            }
+        } else if self.rng.gen_bool(self.p_on) {
+            self.sampling = true;
+        }
+        self.sampling
+    }
+}
+
+/// Adapts a detector to a sampling policy: forwards every program action,
+/// inserting `SampleBegin`/`SampleEnd` markers whenever the policy's desired
+/// state changes. Markers already present in the input are dropped — the
+/// policy owns sampling.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_core::{PacerDetector, PeriodicSampler, Sampled};
+/// use pacer_trace::{Detector, Trace};
+///
+/// let trace = Trace::parse("fork t0 t1\nwr t0 x0 s1\nwr t1 x0 s2")?;
+/// let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(10, 10));
+/// d.run(&trace);
+/// assert_eq!(d.races().len(), 1, "100% duty cycle sees everything");
+/// # Ok::<(), pacer_trace::ParseTraceError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sampled<D, P> {
+    inner: D,
+    policy: P,
+    sampling: bool,
+}
+
+impl<D: Detector, P: SamplingPolicy> Sampled<D, P> {
+    /// Wraps `inner`, driving its sampling periods from `policy`.
+    pub fn new(inner: D, policy: P) -> Self {
+        Sampled {
+            inner,
+            policy,
+            sampling: false,
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped detector.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: Detector, P: SamplingPolicy> Detector for Sampled<D, P> {
+    fn name(&self) -> String {
+        format!("{}+policy", self.inner.name())
+    }
+
+    fn on_action(&mut self, action: &Action) {
+        if action.is_sampling_marker() {
+            return;
+        }
+        let want = self.policy.desired(action);
+        if want != self.sampling {
+            self.inner.on_action(if want {
+                &Action::SampleBegin
+            } else {
+                &Action::SampleEnd
+            });
+            self.sampling = want;
+        }
+        self.inner.on_action(action);
+    }
+
+    fn races(&self) -> &[RaceReport] {
+        self.inner.races()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacerDetector;
+    use pacer_trace::Trace;
+
+    #[test]
+    fn periodic_hits_exact_duty_cycle() {
+        let mut p = PeriodicSampler::new(1000, 30);
+        let a = Action::SampleBegin;
+        let hits = (0..10_000).filter(|_| p.desired(&a)).count();
+        assert_eq!(hits, 300);
+    }
+
+    #[test]
+    fn with_rate_rounds_to_window() {
+        let mut p = PeriodicSampler::with_rate(100, 0.034);
+        let a = Action::SampleBegin;
+        let hits = (0..100).filter(|_| p.desired(&a)).count();
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        PeriodicSampler::new(0, 0);
+    }
+
+    #[test]
+    fn random_sampler_approximates_rate() {
+        let mut p = RandomSampler::new(0.10, 50, 7);
+        let a = Action::SampleBegin;
+        let n = 100_000;
+        let hits = (0..n).filter(|_| p.desired(&a)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.06..0.15).contains(&rate), "rate {rate} far from 0.10");
+    }
+
+    #[test]
+    fn random_sampler_full_rate_always_samples() {
+        let mut p = RandomSampler::new(1.0, 10, 0);
+        let a = Action::SampleBegin;
+        assert!((0..100).all(|_| p.desired(&a)));
+    }
+
+    #[test]
+    fn sampled_adapter_inserts_balanced_markers() {
+        let trace = Trace::parse(
+            "fork t0 t1\nwr t0 x0 s1\nwr t1 x0 s2\nwr t0 x1 s3\nwr t1 x1 s4",
+        )
+        .unwrap();
+        let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(2, 1));
+        d.run(&trace);
+        // Alternating periods: markers were injected and the detector is in
+        // a consistent state (no panic, races from sampled firsts only).
+        assert!(d.inner().stats().sample_periods >= 1);
+    }
+
+    #[test]
+    fn zero_duty_cycle_never_samples() {
+        let trace = Trace::parse("fork t0 t1\nwr t0 x0 s1\nwr t1 x0 s2").unwrap();
+        let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(100, 0));
+        d.run(&trace);
+        assert!(d.races().is_empty());
+        assert_eq!(d.inner().stats().sample_periods, 0);
+    }
+
+    #[test]
+    fn input_markers_are_ignored_by_adapter() {
+        let trace =
+            Trace::parse("fork t0 t1\nsbegin\nwr t0 x0 s1\nsend\nwr t1 x0 s2").unwrap();
+        let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(100, 0));
+        d.run(&trace);
+        assert!(d.races().is_empty(), "policy (never sample) wins");
+        assert_eq!(d.name(), "pacer+policy");
+    }
+}

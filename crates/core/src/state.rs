@@ -1,0 +1,661 @@
+//! PACER's analysis state and its redefined vector-clock operations.
+//!
+//! The state `σ = (C, L, V, R, W, s)` of §A.4, together with the copy,
+//! increment, and join operations of Algorithms 9–11 and 16 / Table 7.
+//! Copy-on-write sharing uses [`CowClock`]; redundancy detection uses
+//! [`VersionVector`]s (threads) and [`VersionEpoch`]s (locks and
+//! volatiles).
+
+use std::collections::HashMap;
+
+use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VersionEpoch, VersionVector};
+use pacer_trace::{LockId, SiteId, VarId, VolatileId};
+
+use crate::PacerStats;
+
+/// Thread metadata: a versioned vector clock plus a version vector (§A.3).
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadMeta {
+    pub clock: CowClock,
+    pub ver: VersionVector,
+}
+
+impl ThreadMeta {
+    /// Initial state: `(inc_t(⊥_c), inc_t(⊥_v))` (§A.4, eq. 7).
+    fn initial(t: ThreadId) -> Self {
+        let mut clock = pacer_clock::VectorClock::new();
+        clock.increment(t);
+        let mut ver = VersionVector::new();
+        ver.increment(t);
+        ThreadMeta {
+            clock: CowClock::new(clock),
+            ver,
+        }
+    }
+
+    /// `vepoch(t) ≡ ver_t[t]@t` — the thread's current version epoch.
+    pub fn vepoch(&self, t: ThreadId) -> VersionEpoch {
+        VersionEpoch::at(self.ver.get(t), t)
+    }
+}
+
+/// Lock/volatile metadata: a (possibly shared) vector clock plus a version
+/// epoch (§A.3).
+#[derive(Clone, Debug)]
+pub(crate) struct SyncObjMeta {
+    pub clock: CowClock,
+    pub vepoch: VersionEpoch,
+}
+
+impl Default for SyncObjMeta {
+    fn default() -> Self {
+        SyncObjMeta {
+            clock: CowClock::bottom(),
+            vepoch: VersionEpoch::BOTTOM,
+        }
+    }
+}
+
+/// The sampled last write: epoch plus reporting site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct WriteInfo {
+    pub epoch: Epoch,
+    pub site: SiteId,
+}
+
+/// Per-variable metadata. Either side may be absent (`null` in Algorithms
+/// 12–13); a variable with neither is removed from the map entirely, which
+/// is what makes untracked accesses take the fast path.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarMeta {
+    pub write: Option<WriteInfo>,
+    pub read: Option<ReadMap>,
+}
+
+impl VarMeta {
+    pub fn is_empty(&self) -> bool {
+        self.write.is_none() && self.read.is_none()
+    }
+}
+
+/// Identifies the source operand of a thread-target join.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SyncRef {
+    Thread(ThreadId),
+    Lock(LockId),
+    Volatile(VolatileId),
+}
+
+/// The full PACER analysis state `σ`.
+#[derive(Clone, Debug)]
+pub(crate) struct PacerState {
+    pub threads: Vec<Option<ThreadMeta>>,
+    pub locks: HashMap<LockId, SyncObjMeta>,
+    pub volatiles: HashMap<VolatileId, SyncObjMeta>,
+    pub vars: HashMap<VarId, VarMeta>,
+    pub sampling: bool,
+    /// Ablation switch: when false, the version-epoch fast path is skipped
+    /// and every join pays the `O(n)` comparison (benchmarked by the
+    /// `version_ablation` bench).
+    pub use_versions: bool,
+}
+
+impl Default for PacerState {
+    fn default() -> Self {
+        PacerState {
+            threads: Vec::new(),
+            locks: HashMap::new(),
+            volatiles: HashMap::new(),
+            vars: HashMap::new(),
+            sampling: false,
+            use_versions: true,
+        }
+    }
+}
+
+impl PacerState {
+    /// Thread metadata, created at its initial value on first use.
+    pub fn thread(&mut self, t: ThreadId) -> &mut ThreadMeta {
+        let i = t.index();
+        if i >= self.threads.len() {
+            self.threads.resize_with(i + 1, || None);
+        }
+        self.threads[i].get_or_insert_with(|| ThreadMeta::initial(t))
+    }
+
+    /// Reads the source operand of a join without holding a borrow: returns
+    /// its current version epoch and an `O(1)` handle on its clock. Absent
+    /// objects (never-released locks, never-written volatiles) read as
+    /// `(⊥_ve, ⊥_c)`, for which every join is a fast no-op.
+    fn read_source(&mut self, source: SyncRef) -> (VersionEpoch, CowClock) {
+        match source {
+            SyncRef::Thread(u) => {
+                let meta = self.thread(u);
+                (meta.vepoch(u), meta.clock.shallow_copy())
+            }
+            SyncRef::Lock(m) => match self.locks.get(&m) {
+                Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
+                None => (VersionEpoch::BOTTOM, CowClock::bottom()),
+            },
+            SyncRef::Volatile(v) => match self.volatiles.get(&v) {
+                Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
+                None => (VersionEpoch::BOTTOM, CowClock::bottom()),
+            },
+        }
+    }
+
+    /// Vector-clock increment (Algorithm 10): `C_t ← inc_t(C_t, s)`.
+    ///
+    /// No-op outside sampling periods — this is what makes them *timeless*.
+    pub fn increment(&mut self, t: ThreadId, stats: &mut PacerStats) {
+        if !self.sampling {
+            return;
+        }
+        let meta = self.thread(t);
+        if meta.clock.is_shared() {
+            stats.cow_clones += 1;
+        }
+        meta.clock.make_mut().increment(t);
+        meta.ver.increment(t);
+    }
+
+    /// Vector-clock join with a thread target (Algorithm 11 / Table 7,
+    /// rules 4–6): `C_t ← C_t ⊔ S_o`.
+    pub fn join_into_thread(&mut self, t: ThreadId, source: SyncRef, stats: &mut PacerStats) {
+        let (src_vepoch, src_clock) = self.read_source(source);
+        let sampling = self.sampling;
+        let use_versions = self.use_versions;
+        let meta = self.thread(t);
+
+        // Rule 4 {Same version epoch}: the source's snapshot is already
+        // subsumed — O(1), no clock work at all.
+        if use_versions && src_vepoch.leq(&meta.ver) {
+            if sampling {
+                stats.joins.sampling_fast += 1;
+            } else {
+                stats.joins.non_sampling_fast += 1;
+            }
+            return;
+        }
+        if sampling {
+            stats.joins.sampling_slow += 1;
+        } else {
+            stats.joins.non_sampling_slow += 1;
+        }
+
+        // Rules 5–6: O(n) comparison decides whether the join changes C_t.
+        if !src_clock.clock().leq(meta.clock.clock()) {
+            // Rule 6 {Concurrent}: perform the join.
+            if meta.clock.is_shared() {
+                stats.cow_clones += 1;
+            }
+            meta.clock.make_mut().join(src_clock.clock());
+            meta.ver.increment(t);
+        }
+        // Rules 5 and 6 both record the received version (skipped for ⊤_ve).
+        if let VersionEpoch::At { v, t: u } = src_vepoch {
+            meta.ver.set(u, v);
+        }
+    }
+
+    /// Vector-clock copy into a lock (Algorithm 9): `C_m ← C_t`, at a lock
+    /// release. Shallow outside sampling periods, deep inside.
+    pub fn copy_to_lock(&mut self, m: LockId, t: ThreadId, stats: &mut PacerStats) {
+        let sampling = self.sampling;
+        let meta = self.thread(t);
+        let (clock, vepoch) = if sampling {
+            stats.copies.sampling_deep += 1;
+            (meta.clock.deep_copy(), meta.vepoch(t))
+        } else {
+            stats.copies.non_sampling_shallow += 1;
+            (meta.clock.shallow_copy(), meta.vepoch(t))
+        };
+        self.locks.insert(m, SyncObjMeta { clock, vepoch });
+    }
+
+    /// Vector-clock join with a volatile target (Algorithm 16 / Table 7,
+    /// rules 7–9): `C_vx ← C_vx ⊔ C_t`, at a volatile write.
+    ///
+    /// When the thread's clock subsumes the volatile's (detected by version
+    /// epoch or by an `O(n)` comparison) the join degenerates to a copy —
+    /// shallow outside sampling periods — and the volatile keeps a version
+    /// epoch. Otherwise the volatile's clock becomes a true join of several
+    /// threads' clocks and its version epoch becomes `⊤_ve`.
+    ///
+    /// Deviation note: Algorithm 16 as printed only takes the subsumption
+    /// fast path while sampling; we follow the Table 7 semantics (and the
+    /// surrounding prose), which applies it in both periods. See DESIGN.md.
+    pub fn join_into_volatile(&mut self, vx: VolatileId, t: ThreadId, stats: &mut PacerStats) {
+        let sampling = self.sampling;
+        let (t_vepoch, t_clock) = {
+            let meta = self.thread(t);
+            (meta.vepoch(t), meta.clock.shallow_copy())
+        };
+        let existing = self.volatiles.get(&vx);
+
+        // Does C_t subsume C_vx?
+        let (subsumes, fast) = match existing {
+            None => (true, true),
+            Some(meta) => {
+                let ver_hit = self.use_versions && {
+                    // Check the volatile's version epoch against the
+                    // thread's version vector.
+                    let thread_ver = &self.threads[t.index()].as_ref().expect("thread exists").ver;
+                    meta.vepoch.leq(thread_ver)
+                };
+                if ver_hit {
+                    (true, true)
+                } else {
+                    (meta.clock.clock().leq(t_clock.clock()), false)
+                }
+            }
+        };
+        if fast {
+            if sampling {
+                stats.joins.sampling_fast += 1;
+            } else {
+                stats.joins.non_sampling_fast += 1;
+            }
+        } else if sampling {
+            stats.joins.sampling_slow += 1;
+        } else {
+            stats.joins.non_sampling_slow += 1;
+        }
+
+        if subsumes {
+            // Rules 7–8: the join is a copy of C_t.
+            let clock = if sampling {
+                stats.copies.sampling_deep += 1;
+                t_clock.deep_copy()
+            } else {
+                stats.copies.non_sampling_shallow += 1;
+                t_clock.shallow_copy()
+            };
+            self.volatiles.insert(
+                vx,
+                SyncObjMeta {
+                    clock,
+                    vepoch: t_vepoch,
+                },
+            );
+        } else {
+            // Rule 9 {Concurrent}: real join; version epoch becomes ⊤_ve.
+            let meta = self.volatiles.get_mut(&vx).expect("subsumes=false implies entry");
+            if meta.clock.is_shared() {
+                stats.cow_clones += 1;
+            }
+            meta.clock.make_mut().join(t_clock.clock());
+            meta.vepoch = VersionEpoch::Top;
+        }
+    }
+
+    /// `sbegin()` (Table 5, rule 1): increments every live thread's clock
+    /// and version, then enables sampling. The increments add no
+    /// happens-before edges; they only re-establish *strict*
+    /// well-formedness (Lemma 5) so epochs recorded in this period are
+    /// distinguishable.
+    pub fn sample_begin(&mut self, stats: &mut PacerStats) {
+        stats.sample_periods += 1;
+        for i in 0..self.threads.len() {
+            let t = ThreadId::new(i as u32);
+            if let Some(meta) = &mut self.threads[i] {
+                if meta.clock.is_shared() {
+                    stats.cow_clones += 1;
+                }
+                meta.clock.make_mut().increment(t);
+                meta.ver.increment(t);
+            }
+        }
+        self.sampling = true;
+    }
+
+    /// `send()` (Table 5, rule 2): disables sampling.
+    pub fn sample_end(&mut self) {
+        self.sampling = false;
+    }
+
+    /// Live metadata footprint in machine words. Shared clock buffers are
+    /// charged once — that is precisely the saving shallow copies buy.
+    pub fn footprint_words(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut words = 0usize;
+        fn charge(seen: &mut std::collections::HashSet<usize>, c: &CowClock) -> usize {
+            if seen.insert(c.storage_id()) {
+                c.clock().width()
+            } else {
+                0
+            }
+        }
+        for meta in self.threads.iter().flatten() {
+            words += charge(&mut seen, &meta.clock);
+            words += meta.ver.width();
+        }
+        for meta in self.locks.values() {
+            words += charge(&mut seen, &meta.clock);
+            words += 2; // version epoch
+        }
+        for meta in self.volatiles.values() {
+            words += charge(&mut seen, &meta.clock);
+            words += 2;
+        }
+        for meta in self.vars.values() {
+            words += 2; // write epoch + site (inline but charged per entry)
+            words += meta.read.as_ref().map_or(0, |r| r.footprint_words() + 1);
+        }
+        words
+    }
+
+    /// Checks the well-formedness invariants of Definition 1 plus Lemma 7
+    /// (versions imply vector-clock ordering). Used by property tests after
+    /// every transition; `O(n²)` and debug-only by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_invariants(&self) {
+        let live: Vec<(ThreadId, &ThreadMeta)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (ThreadId::new(i as u32), m)))
+            .collect();
+        for &(t, tm) in &live {
+            let own = tm.clock.clock().get(t);
+            let own_ver = tm.ver.get(t);
+            for &(u, um) in &live {
+                if u == t {
+                    continue;
+                }
+                // Definition 1.1: C_u.vc(t) ≤ C_t.vc(t).
+                assert!(
+                    um.clock.clock().get(t) <= own,
+                    "invariant 1 violated: C_{u}({t}) > C_{t}({t})"
+                );
+                // Definition 1.6: C_u.ver(t) ≤ C_t.ver(t).
+                assert!(
+                    um.ver.get(t) <= own_ver,
+                    "invariant 6 violated: ver_{u}({t}) > ver_{t}({t})"
+                );
+            }
+            for (m, lm) in &self.locks {
+                // Definition 1.2 / 1.7.
+                assert!(
+                    lm.clock.clock().get(t) <= own,
+                    "invariant 2 violated: C_{m}({t}) > C_{t}({t})"
+                );
+                if let VersionEpoch::At { v, t: vt } = lm.vepoch {
+                    if vt == t {
+                        assert!(v <= own_ver, "invariant 7 violated at lock {m}");
+                    }
+                }
+            }
+            for (vx, vm) in &self.volatiles {
+                // Definition 1.5 / 1.8.
+                assert!(
+                    vm.clock.clock().get(t) <= own,
+                    "invariant 5 violated: C_{vx}({t}) > C_{t}({t})"
+                );
+                if let VersionEpoch::At { v, t: vt } = vm.vepoch {
+                    if vt == t {
+                        assert!(v <= own_ver, "invariant 8 violated at volatile {vx}");
+                    }
+                }
+            }
+            // Definition 1.3 / 1.4: variable metadata is bounded by thread
+            // clocks.
+            for (x, xm) in &self.vars {
+                if let Some(w) = &xm.write {
+                    if w.epoch.tid() == t {
+                        assert!(
+                            w.epoch.clock() <= own,
+                            "invariant 4 violated: W_{x} ahead of C_{t}({t})"
+                        );
+                    }
+                }
+                if let Some(r) = &xm.read {
+                    for entry in r.iter() {
+                        if entry.tid == t {
+                            assert!(
+                                entry.clock <= own,
+                                "invariant 3 violated: R_{x}({t}) ahead of C_{t}({t})"
+                            );
+                        }
+                    }
+                }
+            }
+            // Lemma 7: Ver(o) ≼ C_t.ver ⇒ S_o.vc ⊑ C_t.vc.
+            for (m, lm) in &self.locks {
+                if lm.vepoch.leq(&tm.ver) {
+                    assert!(
+                        lm.clock.clock().leq(tm.clock.clock()),
+                        "lemma 7 violated: lock {m} subsumed by version but not by clock of {t}"
+                    );
+                }
+            }
+            for (vx, vm) in &self.volatiles {
+                if vm.vepoch.leq(&tm.ver) {
+                    assert!(
+                        vm.clock.clock().leq(tm.clock.clock()),
+                        "lemma 7 violated: volatile {vx} subsumed by version but not by clock of {t}"
+                    );
+                }
+            }
+            for &(u, um) in &live {
+                if um.vepoch(u).leq(&tm.ver) {
+                    assert!(
+                        um.clock.clock().leq(tm.clock.clock()),
+                        "lemma 7 violated: thread {u} subsumed by version but not by clock of {t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn initial_thread_state_matches_equation_7() {
+        let mut st = PacerState::default();
+        let meta = st.thread(t(2));
+        assert_eq!(meta.clock.clock().get(t(2)), 1);
+        assert_eq!(meta.ver.get(t(2)), 1);
+        assert_eq!(meta.vepoch(t(2)), VersionEpoch::at(1, t(2)));
+    }
+
+    #[test]
+    fn increment_is_noop_outside_sampling() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.increment(t(0), &mut stats);
+        assert_eq!(st.thread(t(0)).clock.clock().get(t(0)), 1, "timeless");
+        st.sampling = true;
+        st.increment(t(0), &mut stats);
+        assert_eq!(st.thread(t(0)).clock.clock().get(t(0)), 2);
+        assert_eq!(st.thread(t(0)).ver.get(t(0)), 2, "version tracks clock");
+    }
+
+    #[test]
+    fn copy_to_lock_is_shallow_outside_sampling() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.copy_to_lock(LockId::new(0), t(0), &mut stats);
+        assert_eq!(stats.copies.non_sampling_shallow, 1);
+        assert_eq!(stats.copies.sampling_deep, 0);
+        let lock = &st.locks[&LockId::new(0)];
+        assert!(CowClock::ptr_eq(
+            &lock.clock,
+            &st.threads[0].as_ref().unwrap().clock
+        ));
+        assert_eq!(lock.vepoch, VersionEpoch::at(1, t(0)));
+    }
+
+    #[test]
+    fn copy_to_lock_is_deep_inside_sampling() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.sampling = true;
+        st.copy_to_lock(LockId::new(0), t(0), &mut stats);
+        assert_eq!(stats.copies.sampling_deep, 1);
+        let lock = &st.locks[&LockId::new(0)];
+        assert!(!CowClock::ptr_eq(
+            &lock.clock,
+            &st.threads[0].as_ref().unwrap().clock
+        ));
+    }
+
+    #[test]
+    fn redundant_join_takes_fast_path() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.thread(t(1));
+        st.copy_to_lock(LockId::new(0), t(0), &mut stats);
+        // First acquire by t1: slow (never received t0's version).
+        st.join_into_thread(t(1), SyncRef::Lock(LockId::new(0)), &mut stats);
+        assert_eq!(stats.joins.non_sampling_slow, 1);
+        // Redundant re-acquire: fast.
+        st.join_into_thread(t(1), SyncRef::Lock(LockId::new(0)), &mut stats);
+        assert_eq!(stats.joins.non_sampling_fast, 1);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn join_of_missing_lock_is_fast_noop() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.join_into_thread(t(0), SyncRef::Lock(LockId::new(9)), &mut stats);
+        assert_eq!(stats.joins.non_sampling_fast, 1);
+        assert_eq!(st.thread(t(0)).clock.clock().get(t(0)), 1);
+    }
+
+    #[test]
+    fn join_updates_clock_and_version_when_concurrent() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.sampling = true;
+        st.thread(t(0));
+        st.thread(t(1));
+        st.increment(t(0), &mut stats); // make t0's clock nontrivial
+        st.copy_to_lock(LockId::new(0), t(0), &mut stats);
+        st.join_into_thread(t(1), SyncRef::Lock(LockId::new(0)), &mut stats);
+        let m1 = st.threads[1].as_ref().unwrap();
+        assert_eq!(m1.clock.clock().get(t(0)), 2, "received t0's time");
+        assert_eq!(m1.ver.get(t(1)), 2, "own version bumped by the join");
+        assert_eq!(m1.ver.get(t(0)), 2, "recorded t0's version");
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn shared_clock_is_cloned_before_join_mutation() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.thread(t(1));
+        // Outside sampling: t1 releases a lock, sharing its clock.
+        st.copy_to_lock(LockId::new(1), t(1), &mut stats);
+        // t0 publishes a nontrivial clock via lock 0.
+        st.sampling = true;
+        st.increment(t(0), &mut stats);
+        st.copy_to_lock(LockId::new(0), t(0), &mut stats);
+        st.sampling = false;
+        // t1 joins lock 0: its (shared) clock must be cloned first.
+        let before = stats.cow_clones;
+        st.join_into_thread(t(1), SyncRef::Lock(LockId::new(0)), &mut stats);
+        assert_eq!(stats.cow_clones, before + 1);
+        // Lock 1 still holds the old snapshot.
+        assert_eq!(st.locks[&LockId::new(1)].clock.clock().get(t(0)), 0);
+        assert_eq!(st.threads[1].as_ref().unwrap().clock.clock().get(t(0)), 2);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn volatile_join_subsumed_becomes_copy() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        // First write: volatile absent → fast, copy.
+        st.join_into_volatile(VolatileId::new(0), t(0), &mut stats);
+        assert_eq!(stats.joins.non_sampling_fast, 1);
+        assert_eq!(stats.copies.non_sampling_shallow, 1);
+        let meta = &st.volatiles[&VolatileId::new(0)];
+        assert_eq!(meta.vepoch, VersionEpoch::at(1, t(0)));
+        // Redundant re-write: version fast path.
+        st.join_into_volatile(VolatileId::new(0), t(0), &mut stats);
+        assert_eq!(stats.joins.non_sampling_fast, 2);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn concurrent_volatile_writers_reach_top() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.sampling = true;
+        st.thread(t(0));
+        st.thread(t(1));
+        let vx = VolatileId::new(0);
+        st.join_into_volatile(vx, t(0), &mut stats);
+        st.increment(t(0), &mut stats);
+        // t1 has not seen t0: its write cannot subsume the volatile.
+        st.join_into_volatile(vx, t(1), &mut stats);
+        assert_eq!(st.volatiles[&vx].vepoch, VersionEpoch::Top);
+        let c = st.volatiles[&vx].clock.clock();
+        assert_eq!(c.get(t(0)), 1);
+        assert_eq!(c.get(t(1)), 1);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn sample_begin_increments_every_live_thread() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.thread(t(0));
+        st.thread(t(2));
+        st.sample_begin(&mut stats);
+        assert!(st.sampling);
+        assert_eq!(stats.sample_periods, 1);
+        assert_eq!(st.threads[0].as_ref().unwrap().clock.clock().get(t(0)), 2);
+        assert!(st.threads[1].is_none(), "unseen threads untouched");
+        assert_eq!(st.threads[2].as_ref().unwrap().clock.clock().get(t(2)), 2);
+        st.sample_end();
+        assert!(!st.sampling);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn footprint_charges_shared_storage_once() {
+        let mut st = PacerState::default();
+        let mut stats = PacerStats::default();
+        st.sampling = true;
+        st.thread(t(0));
+        st.increment(t(0), &mut stats);
+        st.sampling = false;
+        let solo = st.footprint_words();
+        // Shallow-copy the thread clock into three locks: footprint should
+        // grow only by the per-lock version epochs, not by clock storage.
+        for m in 0..3 {
+            st.copy_to_lock(LockId::new(m), t(0), &mut stats);
+        }
+        assert_eq!(st.footprint_words(), solo + 3 * 2);
+    }
+
+    #[test]
+    fn var_meta_emptiness() {
+        let mut vm = VarMeta::default();
+        assert!(vm.is_empty());
+        vm.write = Some(WriteInfo {
+            epoch: Epoch::new(1, t(0)),
+            site: SiteId::new(0),
+        });
+        assert!(!vm.is_empty());
+    }
+}

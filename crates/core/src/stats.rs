@@ -1,0 +1,273 @@
+//! Operation statistics: the counters behind Table 3 and Table 1.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Vector-clock join counts, split by period and cost (Table 3, top).
+///
+/// A *fast* join is resolved by the version-epoch check alone in `O(1)`
+/// (Table 7, rule 4); a *slow* join needed `O(n)` work — a pointwise
+/// comparison and possibly the join itself (rules 5–6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinCounts {
+    /// Slow joins inside sampling periods.
+    pub sampling_slow: u64,
+    /// Fast joins inside sampling periods.
+    pub sampling_fast: u64,
+    /// Slow joins outside sampling periods (should be nearly zero).
+    pub non_sampling_slow: u64,
+    /// Fast joins outside sampling periods.
+    pub non_sampling_fast: u64,
+}
+
+impl JoinCounts {
+    /// Total joins in both periods.
+    pub fn total(&self) -> u64 {
+        self.sampling_slow + self.sampling_fast + self.non_sampling_slow + self.non_sampling_fast
+    }
+}
+
+impl AddAssign for JoinCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sampling_slow += rhs.sampling_slow;
+        self.sampling_fast += rhs.sampling_fast;
+        self.non_sampling_slow += rhs.non_sampling_slow;
+        self.non_sampling_fast += rhs.non_sampling_fast;
+    }
+}
+
+/// Vector-clock copy counts, split by period and depth (Table 3, middle).
+///
+/// A *deep* copy is element-by-element (`O(n)`); a *shallow* copy shares
+/// storage (`O(1)`, Algorithm 9). Sampling periods always copy deeply;
+/// non-sampling periods copy shallowly except for thread forks, which the
+/// implementation always copies deeply ("since they are rare and it
+/// simplifies the implementation somewhat", §5.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopyCounts {
+    /// Deep copies inside sampling periods.
+    pub sampling_deep: u64,
+    /// Shallow copies inside sampling periods (always zero by Algorithm 9).
+    pub sampling_shallow: u64,
+    /// Deep copies outside sampling periods (forks only).
+    pub non_sampling_deep: u64,
+    /// Shallow copies outside sampling periods.
+    pub non_sampling_shallow: u64,
+}
+
+impl CopyCounts {
+    /// Total copies in both periods.
+    pub fn total(&self) -> u64 {
+        self.sampling_deep + self.sampling_shallow + self.non_sampling_deep
+            + self.non_sampling_shallow
+    }
+}
+
+impl AddAssign for CopyCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sampling_deep += rhs.sampling_deep;
+        self.sampling_shallow += rhs.sampling_shallow;
+        self.non_sampling_deep += rhs.non_sampling_deep;
+        self.non_sampling_shallow += rhs.non_sampling_shallow;
+    }
+}
+
+/// Read or write instrumentation-path counts (Table 3, bottom).
+///
+/// Inside a sampling period every access takes the slow path. Outside, the
+/// inlined check `sampling || metadata != null` (§4) sends accesses to
+/// untracked variables down the *fast* path — a single comparison — and
+/// only accesses to variables with surviving sampled metadata down the
+/// *slow* path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathCounts {
+    /// Slow-path accesses inside sampling periods.
+    pub sampling_slow: u64,
+    /// Slow-path accesses outside sampling periods.
+    pub non_sampling_slow: u64,
+    /// Fast-path accesses outside sampling periods.
+    pub non_sampling_fast: u64,
+}
+
+impl PathCounts {
+    /// Total accesses in both periods.
+    pub fn total(&self) -> u64 {
+        self.sampling_slow + self.non_sampling_slow + self.non_sampling_fast
+    }
+}
+
+impl AddAssign for PathCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sampling_slow += rhs.sampling_slow;
+        self.non_sampling_slow += rhs.non_sampling_slow;
+        self.non_sampling_fast += rhs.non_sampling_fast;
+    }
+}
+
+/// Every operation counter PACER maintains (the data behind Tables 1 and 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacerStats {
+    /// Vector-clock joins.
+    pub joins: JoinCounts,
+    /// Vector-clock copies.
+    pub copies: CopyCounts,
+    /// Read instrumentation paths.
+    pub reads: PathCounts,
+    /// Write instrumentation paths.
+    pub writes: PathCounts,
+    /// Clone-on-write events: a shared clock had to be duplicated before a
+    /// mutation (Algorithms 10/11).
+    pub cow_clones: u64,
+    /// Number of sampling periods entered (`sbegin` count).
+    pub sample_periods: u64,
+    /// Synchronization operations inside sampling periods (the paper's
+    /// measure of sampled *work*, used by the bias-corrected GC sampler).
+    pub sampled_sync_ops: u64,
+    /// Synchronization operations outside sampling periods.
+    pub unsampled_sync_ops: u64,
+}
+
+impl PacerStats {
+    /// The *effective sampling rate*: the fraction of data accesses that
+    /// executed inside sampling periods (Table 1 reports this against the
+    /// specified rate).
+    ///
+    /// Returns `None` if no accesses were observed.
+    pub fn effective_rate(&self) -> Option<f64> {
+        let sampled = self.reads.sampling_slow + self.writes.sampling_slow;
+        let total = self.reads.total() + self.writes.total();
+        (total > 0).then(|| sampled as f64 / total as f64)
+    }
+
+    /// Fraction of non-sampling joins that took the fast path — the §5.4
+    /// claim is that this is nearly 1.
+    ///
+    /// Returns `None` if there were no non-sampling joins.
+    pub fn non_sampling_fast_join_fraction(&self) -> Option<f64> {
+        let total = self.joins.non_sampling_slow + self.joins.non_sampling_fast;
+        (total > 0).then(|| self.joins.non_sampling_fast as f64 / total as f64)
+    }
+}
+
+impl AddAssign for PacerStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.joins += rhs.joins;
+        self.copies += rhs.copies;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.cow_clones += rhs.cow_clones;
+        self.sample_periods += rhs.sample_periods;
+        self.sampled_sync_ops += rhs.sampled_sync_ops;
+        self.unsampled_sync_ops += rhs.unsampled_sync_ops;
+    }
+}
+
+impl fmt::Display for PacerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "joins:  sampling slow={} fast={} | non-sampling slow={} fast={}",
+            self.joins.sampling_slow,
+            self.joins.sampling_fast,
+            self.joins.non_sampling_slow,
+            self.joins.non_sampling_fast
+        )?;
+        writeln!(
+            f,
+            "copies: sampling deep={} shallow={} | non-sampling deep={} shallow={}",
+            self.copies.sampling_deep,
+            self.copies.sampling_shallow,
+            self.copies.non_sampling_deep,
+            self.copies.non_sampling_shallow
+        )?;
+        writeln!(
+            f,
+            "reads:  sampling slow={} | non-sampling slow={} fast={}",
+            self.reads.sampling_slow, self.reads.non_sampling_slow, self.reads.non_sampling_fast
+        )?;
+        write!(
+            f,
+            "writes: sampling slow={} | non-sampling slow={} fast={}",
+            self.writes.sampling_slow, self.writes.non_sampling_slow, self.writes.non_sampling_fast
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_is_sampled_fraction_of_accesses() {
+        let stats = PacerStats {
+            reads: PathCounts {
+                sampling_slow: 3,
+                non_sampling_slow: 1,
+                non_sampling_fast: 6,
+            },
+            writes: PathCounts {
+                sampling_slow: 2,
+                non_sampling_slow: 0,
+                non_sampling_fast: 8,
+            },
+            ..PacerStats::default()
+        };
+        assert_eq!(stats.effective_rate(), Some(0.25));
+    }
+
+    #[test]
+    fn effective_rate_none_without_accesses() {
+        assert_eq!(PacerStats::default().effective_rate(), None);
+        assert_eq!(
+            PacerStats::default().non_sampling_fast_join_fraction(),
+            None
+        );
+    }
+
+    #[test]
+    fn totals_and_add_assign() {
+        let mut a = PacerStats::default();
+        a.joins.sampling_slow = 1;
+        a.copies.non_sampling_shallow = 2;
+        a.reads.non_sampling_fast = 3;
+        a.cow_clones = 4;
+        let mut b = a;
+        b += a;
+        assert_eq!(b.joins.total(), 2);
+        assert_eq!(b.copies.total(), 4);
+        assert_eq!(b.reads.total(), 6);
+        assert_eq!(b.cow_clones, 8);
+    }
+
+    #[test]
+    fn fast_join_fraction() {
+        let stats = PacerStats {
+            joins: JoinCounts {
+                non_sampling_slow: 1,
+                non_sampling_fast: 99,
+                ..JoinCounts::default()
+            },
+            ..PacerStats::default()
+        };
+        assert_eq!(stats.non_sampling_fast_join_fraction(), Some(0.99));
+    }
+
+    #[test]
+    fn display_mentions_all_sections() {
+        let s = PacerStats::default().to_string();
+        assert!(s.contains("joins:"));
+        assert!(s.contains("copies:"));
+        assert!(s.contains("reads:"));
+        assert!(s.contains("writes:"));
+    }
+
+    #[test]
+    fn path_counts_total() {
+        let p = PathCounts {
+            sampling_slow: 1,
+            non_sampling_slow: 2,
+            non_sampling_fast: 3,
+        };
+        assert_eq!(p.total(), 6);
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared synchronization-clock state for the unsampled detectors.
+
+use std::collections::HashMap;
+
+use pacer_clock::{ThreadId, VectorClock};
+use pacer_trace::{Action, LockId, VolatileId};
+
+/// Vector clocks for every synchronization object: threads, locks, and
+/// volatile variables (§2.1).
+///
+/// Both [`GenericDetector`](crate::GenericDetector) and
+/// [`FastTrackDetector`](crate::FastTrackDetector) perform identical
+/// analysis at synchronization operations (Algorithms 1–4 for locks and
+/// threads, 14–15 for volatiles); this type implements it once.
+///
+/// Thread clocks are created lazily, initialized to `inc_t(⊥_c)` as in the
+/// initial analysis state (§A.4, eq. 7).
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::ThreadId;
+/// use pacer_fasttrack::SyncClocks;
+/// use pacer_trace::{Action, LockId};
+///
+/// let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+/// let m = LockId::new(0);
+/// let mut sync = SyncClocks::new();
+/// sync.apply(&Action::Release { t: t0, m });
+/// sync.apply(&Action::Acquire { t: t1, m });
+/// // t1 now knows t0's time at the release.
+/// assert_eq!(sync.clock(t1).get(t0), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SyncClocks {
+    threads: Vec<Option<VectorClock>>,
+    locks: HashMap<LockId, VectorClock>,
+    volatiles: HashMap<VolatileId, VectorClock>,
+}
+
+impl SyncClocks {
+    /// Creates empty synchronization state.
+    pub fn new() -> Self {
+        SyncClocks::default()
+    }
+
+    /// The current vector clock of thread `t`, creating it at its initial
+    /// value `inc_t(⊥_c)` if `t` has not been seen yet.
+    pub fn clock(&mut self, t: ThreadId) -> &VectorClock {
+        self.ensure(t)
+    }
+
+    fn ensure(&mut self, t: ThreadId) -> &mut VectorClock {
+        let i = t.index();
+        if i >= self.threads.len() {
+            self.threads.resize(i + 1, None);
+        }
+        self.threads[i].get_or_insert_with(|| {
+            let mut c = VectorClock::new();
+            c.increment(t);
+            c
+        })
+    }
+
+    /// Applies a synchronization action (Algorithms 1–4, 14–15). Returns
+    /// `true` if the action was a synchronization action; data accesses and
+    /// sampling markers return `false` untouched.
+    pub fn apply(&mut self, action: &Action) -> bool {
+        match *action {
+            Action::Acquire { t, m } => {
+                // C_t ← C_t ⊔ C_m
+                if let Some(cm) = self.locks.get(&m).cloned() {
+                    self.ensure(t).join(&cm);
+                } else {
+                    self.ensure(t);
+                }
+            }
+            Action::Release { t, m } => {
+                // C_m ← C_t ; C_t[t]++
+                let ct = self.ensure(t).clone();
+                self.locks.insert(m, ct);
+                self.ensure(t).increment(t);
+            }
+            Action::Fork { t, u } => {
+                // C_u ← C_t ; C_u[u]++ ; C_t[t]++
+                let ct = self.ensure(t).clone();
+                let cu = self.ensure(u);
+                *cu = ct;
+                cu.increment(u);
+                self.ensure(t).increment(t);
+            }
+            Action::Join { t, u } => {
+                // C_t ← C_u ⊔ C_t ; C_u[u]++
+                let cu = self.ensure(u).clone();
+                self.ensure(t).join(&cu);
+                self.ensure(u).increment(u);
+            }
+            Action::VolRead { t, v } => {
+                // C_t ← C_t ⊔ C_v
+                if let Some(cv) = self.volatiles.get(&v).cloned() {
+                    self.ensure(t).join(&cv);
+                } else {
+                    self.ensure(t);
+                }
+            }
+            Action::VolWrite { t, v } => {
+                // C_v ← C_v ⊔ C_t ; C_t[t]++
+                let ct = self.ensure(t).clone();
+                let cv = self.volatiles.entry(v).or_default();
+                cv.join(&ct);
+                self.ensure(t).increment(t);
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Approximate live metadata footprint in machine words (for space
+    /// accounting): one word per materialized clock slot.
+    pub fn footprint_words(&self) -> usize {
+        let t: usize = self
+            .threads
+            .iter()
+            .flatten()
+            .map(VectorClock::width)
+            .sum();
+        let l: usize = self.locks.values().map(VectorClock::width).sum();
+        let v: usize = self.volatiles.values().map(VectorClock::width).sum();
+        t + l + v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn fresh_thread_starts_at_one() {
+        let mut s = SyncClocks::new();
+        assert_eq!(s.clock(t(3)).get(t(3)), 1);
+        assert_eq!(s.clock(t(3)).get(t(0)), 0);
+    }
+
+    #[test]
+    fn release_acquire_transfers_time() {
+        let mut s = SyncClocks::new();
+        let m = LockId::new(0);
+        s.apply(&Action::Release { t: t(0), m });
+        // The release incremented t0 past the published time.
+        assert_eq!(s.clock(t(0)).get(t(0)), 2);
+        s.apply(&Action::Acquire { t: t(1), m });
+        assert_eq!(s.clock(t(1)).get(t(0)), 1);
+        assert_eq!(s.clock(t(1)).get(t(1)), 1);
+    }
+
+    #[test]
+    fn acquire_of_unreleased_lock_is_noop() {
+        let mut s = SyncClocks::new();
+        s.apply(&Action::Acquire {
+            t: t(0),
+            m: LockId::new(9),
+        });
+        assert_eq!(s.clock(t(0)).get(t(0)), 1);
+    }
+
+    #[test]
+    fn fork_publishes_parent_time_to_child() {
+        let mut s = SyncClocks::new();
+        s.apply(&Action::Fork { t: t(0), u: t(1) });
+        assert_eq!(s.clock(t(1)).get(t(0)), 1, "child sees parent");
+        assert_eq!(s.clock(t(1)).get(t(1)), 1, "child incremented own slot");
+        assert_eq!(s.clock(t(0)).get(t(0)), 2, "parent advanced past fork");
+    }
+
+    #[test]
+    fn join_publishes_child_time_to_parent() {
+        let mut s = SyncClocks::new();
+        s.apply(&Action::Fork { t: t(0), u: t(1) });
+        s.apply(&Action::Release {
+            t: t(1),
+            m: LockId::new(0),
+        });
+        s.apply(&Action::Join { t: t(0), u: t(1) });
+        assert_eq!(s.clock(t(0)).get(t(1)), 2, "parent sees child's time");
+    }
+
+    #[test]
+    fn volatile_write_then_read_creates_edge() {
+        let mut s = SyncClocks::new();
+        let v = VolatileId::new(0);
+        s.apply(&Action::VolWrite { t: t(0), v });
+        s.apply(&Action::VolRead { t: t(1), v });
+        assert_eq!(s.clock(t(1)).get(t(0)), 1);
+    }
+
+    #[test]
+    fn volatile_write_joins_rather_than_copies() {
+        // Two concurrent volatile writers: the volatile's clock accumulates
+        // both (Algorithm 15 joins).
+        let mut s = SyncClocks::new();
+        let v = VolatileId::new(0);
+        s.apply(&Action::VolWrite { t: t(0), v });
+        s.apply(&Action::VolWrite { t: t(1), v });
+        s.apply(&Action::VolRead { t: t(2), v });
+        assert_eq!(s.clock(t(2)).get(t(0)), 1);
+        assert_eq!(s.clock(t(2)).get(t(1)), 1);
+    }
+
+    #[test]
+    fn non_sync_actions_are_ignored() {
+        let mut s = SyncClocks::new();
+        assert!(!s.apply(&Action::SampleBegin));
+        assert!(!s.apply(&Action::Read {
+            t: t(0),
+            x: pacer_trace::VarId::new(0),
+            site: pacer_trace::SiteId::new(0),
+        }));
+    }
+
+    #[test]
+    fn footprint_counts_materialized_slots() {
+        let mut s = SyncClocks::new();
+        assert_eq!(s.footprint_words(), 0);
+        s.apply(&Action::Fork { t: t(0), u: t(1) });
+        assert!(s.footprint_words() >= 3, "t0 (1 slot) + t1 (2 slots)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Detection-rate methodology (§5.1–§5.3, Figures 3–6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pacer_lang::ir::CompiledProgram;
+use pacer_runtime::VmError;
+
+use crate::trials::{run_trial, DetectorKind, RaceKey};
+
+/// The race census from fully sampled trials (Table 2's right half).
+#[derive(Clone, Debug)]
+pub struct RaceCensus {
+    /// Number of fully sampled trials run.
+    pub trials: u32,
+    /// For each distinct race: the number of trials it occurred in.
+    pub trial_counts: BTreeMap<RaceKey, u32>,
+    /// For each distinct race: total dynamic occurrences across all trials.
+    pub dynamic_counts: BTreeMap<RaceKey, u64>,
+}
+
+impl RaceCensus {
+    /// Runs `trials` fully sampled (r = 100%) trials of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first VM error.
+    pub fn collect(
+        program: &CompiledProgram,
+        trials: u32,
+        base_seed: u64,
+    ) -> Result<Self, VmError> {
+        let mut trial_counts: BTreeMap<RaceKey, u32> = BTreeMap::new();
+        let mut dynamic_counts: BTreeMap<RaceKey, u64> = BTreeMap::new();
+        for i in 0..trials {
+            let r = run_trial(program, DetectorKind::FastTrack, base_seed + i as u64)?;
+            for key in &r.distinct_races {
+                *trial_counts.entry(*key).or_default() += 1;
+            }
+            for key in &r.dynamic_races {
+                *dynamic_counts.entry(*key).or_default() += 1;
+            }
+        }
+        Ok(RaceCensus {
+            trials,
+            trial_counts,
+            dynamic_counts,
+        })
+    }
+
+    /// Distinct races occurring in at least `threshold` trials.
+    pub fn races_with_at_least(&self, threshold: u32) -> Vec<RaceKey> {
+        self.trial_counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// The §5.1 *evaluation races*: those appearing in at least half of the
+    /// fully sampled trials.
+    pub fn evaluation_races(&self) -> Vec<RaceKey> {
+        self.races_with_at_least(self.trials.div_ceil(2))
+    }
+
+    /// Average dynamic occurrences per fully sampled trial for `race`.
+    pub fn dynamic_avg(&self, race: RaceKey) -> f64 {
+        *self.dynamic_counts.get(&race).unwrap_or(&0) as f64 / self.trials as f64
+    }
+
+    /// Fraction of fully sampled trials in which `race` occurred.
+    pub fn occurrence_rate(&self, race: RaceKey) -> f64 {
+        *self.trial_counts.get(&race).unwrap_or(&0) as f64 / self.trials as f64
+    }
+}
+
+/// Detection rates measured at one sampling rate (one x-position of
+/// Figures 3–5).
+#[derive(Clone, Debug)]
+pub struct DetectionResult {
+    /// The sampling rate the trials ran at.
+    pub rate: f64,
+    /// Trials run.
+    pub trials: u32,
+    /// Figure 3's measure: unweighted average over evaluation races of
+    /// (avg dynamic detections per run at `rate`) / (avg at 100%).
+    pub dynamic_rate: f64,
+    /// Figure 4's measure: unweighted average over evaluation races of
+    /// (fraction of trials detecting the race) / (fraction at 100%).
+    pub distinct_rate: f64,
+    /// Figure 5's data: per-race distinct detection rate.
+    pub per_race: BTreeMap<RaceKey, f64>,
+}
+
+/// Runs `trials` sampled trials and computes detection rates against the
+/// census (§5.2).
+///
+/// # Errors
+///
+/// Propagates the first VM error.
+///
+/// # Panics
+///
+/// Panics if `eval_races` is empty.
+pub fn measure_detection(
+    program: &CompiledProgram,
+    kind: DetectorKind,
+    rate_for_normalization: f64,
+    census: &RaceCensus,
+    eval_races: &[RaceKey],
+    trials: u32,
+    base_seed: u64,
+) -> Result<DetectionResult, VmError> {
+    assert!(!eval_races.is_empty(), "no evaluation races");
+    let eval: BTreeSet<RaceKey> = eval_races.iter().copied().collect();
+    let mut dynamic: BTreeMap<RaceKey, u64> = BTreeMap::new();
+    let mut detected_trials: BTreeMap<RaceKey, u32> = BTreeMap::new();
+    for i in 0..trials {
+        let r = run_trial(program, kind, base_seed + 7919 * i as u64)?;
+        for key in &r.dynamic_races {
+            if eval.contains(key) {
+                *dynamic.entry(*key).or_default() += 1;
+            }
+        }
+        for key in &r.distinct_races {
+            if eval.contains(key) {
+                *detected_trials.entry(*key).or_default() += 1;
+            }
+        }
+    }
+
+    let mut dynamic_sum = 0.0;
+    let mut distinct_sum = 0.0;
+    let mut per_race = BTreeMap::new();
+    for &race in &eval {
+        let full_dynamic = census.dynamic_avg(race).max(1e-9);
+        let here_dynamic = *dynamic.get(&race).unwrap_or(&0) as f64 / trials as f64;
+        dynamic_sum += here_dynamic / full_dynamic;
+
+        let full_distinct = census.occurrence_rate(race).max(1e-9);
+        let here_distinct =
+            *detected_trials.get(&race).unwrap_or(&0) as f64 / trials as f64;
+        let rate = here_distinct / full_distinct;
+        distinct_sum += rate;
+        per_race.insert(race, rate);
+    }
+    Ok(DetectionResult {
+        rate: rate_for_normalization,
+        trials,
+        dynamic_rate: dynamic_sum / eval.len() as f64,
+        distinct_rate: distinct_sum / eval.len() as f64,
+        per_race,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_workloads::{eclipse, hsqldb, Scale};
+
+    #[test]
+    fn census_counts_trials_and_dynamics() {
+        let program = hsqldb(Scale::Test).compiled();
+        let census = RaceCensus::collect(&program, 6, 100).unwrap();
+        assert_eq!(census.trials, 6);
+        let eval = census.evaluation_races();
+        assert!(!eval.is_empty(), "hsqldb has reliable races");
+        for &race in &eval {
+            assert!(census.occurrence_rate(race) >= 0.5);
+            assert!(census.dynamic_avg(race) > 0.0);
+        }
+        // Threshold 1 is a superset of the evaluation set.
+        assert!(census.races_with_at_least(1).len() >= eval.len());
+    }
+
+    #[test]
+    fn full_rate_detection_is_near_one() {
+        let program = hsqldb(Scale::Test).compiled();
+        let census = RaceCensus::collect(&program, 6, 42).unwrap();
+        let eval = census.evaluation_races();
+        let result = measure_detection(
+            &program,
+            DetectorKind::Pacer { rate: 1.0 },
+            1.0,
+            &census,
+            &eval,
+            6,
+            42,
+        )
+        .unwrap();
+        assert!(
+            result.distinct_rate > 0.7,
+            "full sampling should find evaluation races: {}",
+            result.distinct_rate
+        );
+        assert_eq!(result.per_race.len(), eval.len());
+    }
+
+    #[test]
+    fn zero_sampling_detects_nothing() {
+        let program = eclipse(Scale::Test).compiled();
+        let census = RaceCensus::collect(&program, 4, 7).unwrap();
+        let eval = census.evaluation_races();
+        let result = measure_detection(
+            &program,
+            DetectorKind::Pacer { rate: 0.0 },
+            0.0,
+            &census,
+            &eval,
+            4,
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.dynamic_rate, 0.0);
+        assert_eq!(result.distinct_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluation races")]
+    fn empty_eval_set_panics() {
+        let program = eclipse(Scale::Test).compiled();
+        let census = RaceCensus {
+            trials: 1,
+            trial_counts: BTreeMap::new(),
+            dynamic_counts: BTreeMap::new(),
+        };
+        let _ = measure_detection(
+            &program,
+            DetectorKind::FastTrack,
+            1.0,
+            &census,
+            &[],
+            1,
+            0,
+        );
+    }
+}

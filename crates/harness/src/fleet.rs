@@ -1,0 +1,120 @@
+//! Distributed-debugging deployment simulation.
+//!
+//! The paper's deployment story (§1, §3): "we envision developers deploying
+//! PACER on many deployed instances, as in distributed debugging
+//! frameworks [17; 18]. … Since PACER guarantees that the chance of finding
+//! *any individual race* is equal to the sampling rate, with enough
+//! deployed instances, the odds of finding every race become high." This
+//! module simulates that fleet: many independent instances, each running
+//! the workload once under PACER at a low sampling rate, aggregating their
+//! reports centrally.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pacer_lang::ir::CompiledProgram;
+use pacer_runtime::VmError;
+
+use crate::trials::{run_trial, DetectorKind, RaceKey};
+
+/// Aggregated results of a simulated deployment.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Instances simulated.
+    pub instances: u32,
+    /// Sampling rate each instance ran at.
+    pub rate: f64,
+    /// For each distinct race: how many instances reported it.
+    pub reporters: BTreeMap<RaceKey, u32>,
+    /// Cumulative distinct races after each instance (growth curve).
+    pub cumulative: Vec<usize>,
+}
+
+impl FleetReport {
+    /// Distinct races found by at least one instance.
+    pub fn found(&self) -> BTreeSet<RaceKey> {
+        self.reporters.keys().copied().collect()
+    }
+
+    /// Fraction of `targets` found by the fleet.
+    pub fn coverage(&self, targets: &[RaceKey]) -> f64 {
+        if targets.is_empty() {
+            return 1.0;
+        }
+        let found = self.found();
+        targets.iter().filter(|t| found.contains(t)).count() as f64 / targets.len() as f64
+    }
+
+    /// Mean number of reporting instances per found race — roughly
+    /// `instances × rate × occurrence` for reliable races.
+    pub fn mean_reporters(&self) -> Option<f64> {
+        (!self.reporters.is_empty()).then(|| {
+            self.reporters.values().map(|&v| v as f64).sum::<f64>()
+                / self.reporters.len() as f64
+        })
+    }
+}
+
+/// Simulates `instances` deployed runs at sampling rate `rate`, each with
+/// its own schedule, aggregating race reports.
+///
+/// # Errors
+///
+/// Propagates the first VM error.
+pub fn simulate_fleet(
+    program: &CompiledProgram,
+    instances: u32,
+    rate: f64,
+    base_seed: u64,
+) -> Result<FleetReport, VmError> {
+    let mut reporters: BTreeMap<RaceKey, u32> = BTreeMap::new();
+    let mut cumulative = Vec::with_capacity(instances as usize);
+    for i in 0..instances {
+        let r = run_trial(
+            program,
+            DetectorKind::Pacer { rate },
+            base_seed + 104_729 * i as u64,
+        )?;
+        for key in &r.distinct_races {
+            *reporters.entry(*key).or_default() += 1;
+        }
+        cumulative.push(reporters.len());
+    }
+    Ok(FleetReport {
+        instances,
+        rate,
+        reporters,
+        cumulative,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::RaceCensus;
+    use pacer_workloads::{hsqldb, Scale};
+
+    #[test]
+    fn fleet_coverage_grows_with_instances() {
+        let program = hsqldb(Scale::Test).compiled();
+        let census = RaceCensus::collect(&program, 4, 77).unwrap();
+        let eval = census.evaluation_races();
+        let small = simulate_fleet(&program, 5, 0.10, 1).unwrap();
+        let large = simulate_fleet(&program, 40, 0.10, 1).unwrap();
+        assert!(large.coverage(&eval) >= small.coverage(&eval));
+        assert!(
+            large.coverage(&eval) > 0.5,
+            "40 instances at 10% should find most reliable races: {}",
+            large.coverage(&eval)
+        );
+        // The cumulative curve is monotone.
+        assert!(large.cumulative.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_rate_fleet_finds_nothing() {
+        let program = hsqldb(Scale::Test).compiled();
+        let fleet = simulate_fleet(&program, 5, 0.0, 2).unwrap();
+        assert!(fleet.found().is_empty());
+        assert_eq!(fleet.coverage(&[]), 1.0, "vacuous coverage");
+    }
+}

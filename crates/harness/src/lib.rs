@@ -1,0 +1,37 @@
+//! Experiment harness: multi-trial runners, detection-rate computation,
+//! overhead and space measurement, and table/figure rendering.
+//!
+//! This crate drives every experiment in the paper's evaluation (§5):
+//!
+//! * [`trials`] — compile-once workload running under any detector
+//!   configuration, with the §5.1 trial-count formula
+//!   `numTrials_r = min(max(⌈1000%/r⌉, 50), 500)`;
+//! * [`detection`] — the §5.1/§5.2 methodology: a race *census* at a 100%
+//!   sampling rate selects the *evaluation races* (those occurring in at
+//!   least half the fully sampled trials), then sampled trials measure
+//!   dynamic and distinct detection rates per race (Figures 3–6);
+//! * [`overhead`] — wall-clock slowdown of each instrumentation
+//!   configuration relative to the uninstrumented VM (Figures 7–9);
+//! * [`space`] — live metadata + heap over normalized time via full-GC
+//!   probes (Figure 10);
+//! * [`census`] — thread/race counts (Table 2), effective sampling rates
+//!   (Table 1), and operation counts (Table 3);
+//! * [`fleet`] — the distributed-debugging deployment simulation from the
+//!   paper's vision (§1): many instances, each sampling at a low rate;
+//! * [`render`] — plain-text tables and data series for every table and
+//!   figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod detection;
+pub mod fleet;
+pub mod math;
+pub mod overhead;
+pub mod render;
+pub mod space;
+pub mod trials;
+
+pub use detection::{DetectionResult, RaceCensus};
+pub use trials::{num_trials, DetectorKind, RaceKey, TrialResult};

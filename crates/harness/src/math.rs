@@ -1,0 +1,154 @@
+//! Small statistics helpers shared by the experiments.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (average of the middle two for even lengths); 0 for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Normal-approximation confidence interval for a binomial proportion:
+/// `p̂ ± z·σ`, clamped to `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let (lo, hi) = pacer_harness::math::binomial_ci(0.5, 100, 1.96);
+/// assert!(lo > 0.39 && hi < 0.61);
+/// ```
+pub fn binomial_ci(p_hat: f64, n: u32, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let sigma = (p_hat * (1.0 - p_hat) / f64::from(n)).sqrt();
+    ((p_hat - z * sigma).max(0.0), (p_hat + z * sigma).min(1.0))
+}
+
+/// Expected number of trials until the first detection of an event with
+/// per-trial probability `p` (the geometric-distribution mean `1/p`).
+///
+/// §5.1's arithmetic: "Even a frequent race with o = 100% and r = 1%
+/// requires 100 trials" — per-trial detection probability `r·o = 1%`,
+/// expectation 100.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pacer_harness::math::expected_trials_to_detect(0.01), 100.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1`.
+pub fn expected_trials_to_detect(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    1.0 / p
+}
+
+/// Trials needed to detect an event of per-trial probability `p` with
+/// overall probability at least `target`: `⌈ln(1−target)/ln(1−p)⌉`.
+///
+/// §5.1: "with a sampling rate r = 1% and an occurrence rate o = 2% … we
+/// would need 5000 trials to expect the race to be reported in one trial —
+/// and many more trials to report the race with high probability."
+///
+/// # Examples
+///
+/// ```
+/// // r = 1%, o = 2% ⇒ p = 0.0002; 95% confidence needs ~15k trials.
+/// let n = pacer_harness::math::trials_for_probability(0.0002, 0.95);
+/// assert!((14_000..16_000).contains(&n));
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1` and `0 ≤ target < 1`.
+pub fn trials_for_probability(p: f64, target: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+    if target == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    ((1.0 - target).ln() / (1.0 - p).ln()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12, "classic example: σ = 2, got {s}");
+    }
+
+    #[test]
+    fn median_handles_both_parities() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn detection_trial_arithmetic_matches_the_paper() {
+        // "Even a frequent race with o = 100% and r = 1% requires 100
+        // trials to have break-even odds" (expected-detections reading).
+        assert_eq!(expected_trials_to_detect(0.01), 100.0);
+        // r = 1%, o = 2% ⇒ "we would need 5000 trials to expect the race
+        // to be reported in one trial".
+        assert_eq!(expected_trials_to_detect(0.01 * 0.02), 5000.0);
+        // "many more trials to report the race with high probability":
+        let n95 = trials_for_probability(0.0002, 0.95);
+        assert!(n95 > 10_000, "{n95}");
+        assert_eq!(trials_for_probability(0.5, 0.0), 0);
+        assert!(trials_for_probability(0.5, 0.75) == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_panics() {
+        expected_trials_to_detect(0.0);
+    }
+
+    #[test]
+    fn binomial_ci_shrinks_with_n() {
+        let (lo1, hi1) = binomial_ci(0.5, 10, 1.96);
+        let (lo2, hi2) = binomial_ci(0.5, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+        assert_eq!(binomial_ci(0.5, 0, 1.96), (0.0, 1.0));
+        let (lo, hi) = binomial_ci(0.0, 50, 3.0);
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+}

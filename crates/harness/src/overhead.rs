@@ -1,0 +1,118 @@
+//! Wall-clock overhead measurement (Figures 7–9).
+
+use std::time::Duration;
+
+use pacer_lang::ir::CompiledProgram;
+use pacer_runtime::VmError;
+
+use crate::trials::{run_trial, DetectorKind};
+
+/// Wall-clock time for one configuration, totalled over the trial seeds.
+#[derive(Clone, Debug)]
+pub struct OverheadPoint {
+    /// The configuration measured.
+    pub kind: DetectorKind,
+    /// Total wall-clock time over the trials (after a warm-up run).
+    pub total: Duration,
+    /// Slowdown relative to the uninstrumented baseline (1.0 = no
+    /// overhead).
+    pub slowdown: f64,
+}
+
+/// Overheads of a set of configurations on one program, all normalized to
+/// the uninstrumented baseline — the bars of Figure 7 / the curves of
+/// Figures 8–9.
+#[derive(Clone, Debug)]
+pub struct OverheadProfile {
+    /// Baseline total over the trials.
+    pub base: Duration,
+    /// One point per requested configuration, in input order.
+    pub points: Vec<OverheadPoint>,
+}
+
+/// Measures total wall time of each configuration over `trials_each` runs
+/// with identical seeds per configuration, so every configuration executes
+/// the *same set of schedules* and only the analysis cost differs.
+/// Individual runs last a few milliseconds, so totals (preceded by one
+/// warm-up run) are used rather than the paper's median-of-10 of
+/// minutes-long runs.
+///
+/// # Errors
+///
+/// Propagates the first VM error.
+///
+/// # Panics
+///
+/// Panics if `trials_each == 0`.
+pub fn measure_overhead(
+    program: &CompiledProgram,
+    kinds: &[DetectorKind],
+    trials_each: u32,
+    base_seed: u64,
+) -> Result<OverheadProfile, VmError> {
+    assert!(trials_each > 0, "need at least one trial per configuration");
+    // Warm up every configuration once, then *interleave* them round-robin
+    // so slow machine drift (other processes, frequency scaling) hits all
+    // configurations equally instead of biasing whichever ran last.
+    let _ = run_trial(program, DetectorKind::Uninstrumented, base_seed)?;
+    for &kind in kinds {
+        let _ = run_trial(program, kind, base_seed)?;
+    }
+    let mut base = Duration::ZERO;
+    let mut totals = vec![Duration::ZERO; kinds.len()];
+    for i in 0..trials_each {
+        let seed = base_seed + u64::from(i);
+        base += run_trial(program, DetectorKind::Uninstrumented, seed)?.wall;
+        for (k, &kind) in kinds.iter().enumerate() {
+            totals[k] += run_trial(program, kind, seed)?.wall;
+        }
+    }
+    let points = kinds
+        .iter()
+        .zip(totals)
+        .map(|(&kind, total)| OverheadPoint {
+            kind,
+            total,
+            slowdown: total.as_secs_f64() / base.as_secs_f64().max(1e-9),
+        })
+        .collect();
+    Ok(OverheadProfile { base, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_workloads::{xalan, Scale};
+
+    #[test]
+    fn overheads_measure_every_configuration() {
+        // Wall-clock ordering claims are validated by the release-mode
+        // `reproduce fig7/fig8` experiments; under parallel debug test
+        // execution timing is too noisy, so this only checks structure.
+        let program = xalan(Scale::Test).compiled();
+        let profile = measure_overhead(
+            &program,
+            &[
+                DetectorKind::SyncOnly,
+                DetectorKind::Pacer { rate: 0.0 },
+                DetectorKind::FastTrack,
+            ],
+            3,
+            1,
+        )
+        .unwrap();
+        assert_eq!(profile.points.len(), 3);
+        assert!(profile.base.as_nanos() > 0);
+        for p in &profile.points {
+            assert!(p.slowdown.is_finite() && p.slowdown > 0.0);
+            assert!(p.total.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let program = xalan(Scale::Test).compiled();
+        let _ = measure_overhead(&program, &[], 0, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Space-over-time measurement (Figure 10).
+
+use pacer_core::PacerDetector;
+use pacer_fasttrack::FastTrackDetector;
+use pacer_lang::ir::CompiledProgram;
+use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
+use pacer_runtime::{InstrumentMode, NullDetector, Vm, VmConfig, VmError};
+
+/// One point of a Figure-10 curve: taken at a full-heap collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SpacePoint {
+    /// Execution progress in interpreter steps (normalize by the last
+    /// point's steps to get the paper's "normalized time" x-axis).
+    pub steps: u64,
+    /// Live program heap bytes (including the two metadata header words
+    /// per object).
+    pub heap_bytes: u64,
+    /// Live detector metadata bytes.
+    pub metadata_bytes: u64,
+}
+
+impl SpacePoint {
+    /// Total live bytes: program heap plus analysis metadata.
+    pub fn total(&self) -> u64 {
+        self.heap_bytes + self.metadata_bytes
+    }
+}
+
+/// Which curve of Figure 10 to record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpaceConfig {
+    /// Unmodified VM ("Base").
+    Base,
+    /// Object metadata only ("OM only"): header words, no analysis.
+    ObjectMetadataOnly,
+    /// PACER at a sampling rate.
+    Pacer {
+        /// Target sampling rate.
+        rate: f64,
+    },
+    /// FASTTRACK (≈ PACER at 100%, no discard).
+    FastTrack,
+    /// Online LITERACE (space does *not* scale with its sampling rate).
+    LiteRace {
+        /// Burst length.
+        burst: u64,
+    },
+}
+
+impl SpaceConfig {
+    /// Curve label.
+    pub fn label(&self) -> String {
+        match self {
+            SpaceConfig::Base => "base".into(),
+            SpaceConfig::ObjectMetadataOnly => "om-only".into(),
+            SpaceConfig::Pacer { rate } => format!("pacer@{}%", rate * 100.0),
+            SpaceConfig::FastTrack => "fasttrack".into(),
+            SpaceConfig::LiteRace { burst } => format!("literace(b={burst})"),
+        }
+    }
+}
+
+const WORD_BYTES: u64 = 8;
+
+/// Runs one trial recording live space at every full-heap collection.
+///
+/// The measurement mirrors §5.4: "the amount of live (reachable) memory …
+/// after each full-heap collection", including application and analysis
+/// memory, from "a single trial of each configuration" so sampling spikes
+/// are visible.
+///
+/// # Errors
+///
+/// Propagates VM errors.
+pub fn measure_space(
+    program: &CompiledProgram,
+    config: SpaceConfig,
+    seed: u64,
+) -> Result<Vec<SpacePoint>, VmError> {
+    let mut points = Vec::new();
+    match config {
+        SpaceConfig::Base => {
+            // No detector and no per-object header words: subtract the two
+            // header words our heap always charges.
+            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::Off);
+            let mut det = NullDetector;
+            let out = Vm::run(program, &mut det, &cfg)?;
+            for s in &out.space_samples {
+                let headers = 2 * WORD_BYTES * count_objects(s.heap_bytes);
+                points.push(SpacePoint {
+                    steps: s.steps,
+                    heap_bytes: s.heap_bytes.saturating_sub(headers),
+                    metadata_bytes: 0,
+                });
+            }
+        }
+        SpaceConfig::ObjectMetadataOnly => {
+            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::Off);
+            let mut det = NullDetector;
+            let out = Vm::run(program, &mut det, &cfg)?;
+            for s in &out.space_samples {
+                points.push(SpacePoint {
+                    steps: s.steps,
+                    heap_bytes: s.heap_bytes,
+                    metadata_bytes: 0,
+                });
+            }
+        }
+        SpaceConfig::Pacer { rate } => {
+            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let mut det = PacerDetector::new();
+            Vm::run_with_probe(program, &mut det, &cfg, |d, s| {
+                points.push(SpacePoint {
+                    steps: s.steps,
+                    heap_bytes: s.heap_bytes,
+                    metadata_bytes: d.footprint_words() as u64 * WORD_BYTES,
+                });
+            })?;
+        }
+        SpaceConfig::FastTrack => {
+            let cfg = VmConfig::new(seed);
+            let mut det = FastTrackDetector::new();
+            Vm::run_with_probe(program, &mut det, &cfg, |d, s| {
+                points.push(SpacePoint {
+                    steps: s.steps,
+                    heap_bytes: s.heap_bytes,
+                    metadata_bytes: d.footprint_words() as u64 * WORD_BYTES,
+                });
+            })?;
+        }
+        SpaceConfig::LiteRace { burst } => {
+            let cfg = VmConfig::new(seed);
+            let mut det = LiteRaceDetector::new(
+                LiteRaceConfig {
+                    burst_length: burst,
+                    ..LiteRaceConfig::default()
+                },
+                seed,
+            );
+            Vm::run_with_probe(program, &mut det, &cfg, |d, s| {
+                points.push(SpacePoint {
+                    steps: s.steps,
+                    heap_bytes: s.heap_bytes,
+                    metadata_bytes: d.footprint_words() as u64 * WORD_BYTES,
+                });
+            })?;
+        }
+    }
+    Ok(points)
+}
+
+/// Rough object count from heap bytes (objects dominate; used only to
+/// subtract header words for the Base curve).
+fn count_objects(heap_bytes: u64) -> u64 {
+    heap_bytes / pacer_runtime::OBJECT_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_workloads::{eclipse, Scale};
+
+    fn max_meta(points: &[SpacePoint]) -> u64 {
+        points.iter().map(|p| p.metadata_bytes).max().unwrap_or(0)
+    }
+
+    #[test]
+    fn pacer_space_scales_with_rate() {
+        let program = eclipse(Scale::Small).compiled();
+        let p0 = measure_space(&program, SpaceConfig::Pacer { rate: 0.0 }, 3).unwrap();
+        let p25 = measure_space(&program, SpaceConfig::Pacer { rate: 0.25 }, 3).unwrap();
+        let p100 = measure_space(&program, SpaceConfig::Pacer { rate: 1.0 }, 3).unwrap();
+        assert!(!p0.is_empty() && !p100.is_empty());
+        assert!(
+            max_meta(&p25) > max_meta(&p0),
+            "sampling must add metadata: {} vs {}",
+            max_meta(&p25),
+            max_meta(&p0)
+        );
+        assert!(
+            max_meta(&p100) > max_meta(&p25),
+            "more sampling, more metadata: {} vs {}",
+            max_meta(&p100),
+            max_meta(&p25)
+        );
+    }
+
+    #[test]
+    fn literace_space_is_near_full_even_when_sampling_little() {
+        // Figure 10's LITERACE observation: code sampling does not shrink
+        // metadata. Compare its metadata to PACER at a low rate.
+        let program = eclipse(Scale::Small).compiled();
+        let lr = measure_space(&program, SpaceConfig::LiteRace { burst: 10 }, 3).unwrap();
+        let pacer = measure_space(&program, SpaceConfig::Pacer { rate: 0.05 }, 3).unwrap();
+        let lr_meta = lr.iter().map(|p| p.metadata_bytes).max().unwrap();
+        let pacer_meta = pacer.iter().map(|p| p.metadata_bytes).max().unwrap();
+        assert!(
+            lr_meta >= pacer_meta,
+            "literace metadata {lr_meta} < pacer@5% {pacer_meta}"
+        );
+    }
+
+    #[test]
+    fn base_curve_has_no_metadata() {
+        let program = eclipse(Scale::Test).compiled();
+        let base = measure_space(&program, SpaceConfig::Base, 1).unwrap();
+        for p in &base {
+            assert_eq!(p.metadata_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(SpaceConfig::Base.label(), "base");
+        assert!(SpaceConfig::Pacer { rate: 0.03 }.label().contains('3'));
+    }
+}

@@ -1,0 +1,216 @@
+//! Abstract syntax for the mini concurrent language.
+
+/// A complete program: global declarations plus function definitions.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Shared (racy) global variables, scalar or array.
+    pub shareds: Vec<SharedDecl>,
+    /// Declared locks.
+    pub locks: Vec<String>,
+    /// Declared volatile variables.
+    pub volatiles: Vec<String>,
+    /// Function definitions; execution starts at `main`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A `shared` declaration: a scalar (`shared x;`) or a fixed-size array
+/// (`shared xs[16];`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedDecl {
+    /// Variable name.
+    pub name: String,
+    /// Array length, or `None` for a scalar.
+    pub len: Option<u32>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (integers, references, or thread handles at
+    /// runtime).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a local.
+    Let {
+        /// Local name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }` (else optional).
+    If {
+        /// Condition (nonzero = true).
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `sync m { … }` — a lock-guarded block (like Java `synchronized`).
+    Sync {
+        /// Lock name.
+        lock: String,
+        /// Guarded body.
+        body: Vec<Stmt>,
+    },
+    /// `join expr;` — blocks until the thread value terminates.
+    Join {
+        /// Thread handle expression.
+        thread: Expr,
+    },
+    /// `wait m;` — releases lock `m` (which must be held by an enclosing
+    /// `sync m`), blocks until notified, then reacquires it. Like Java's
+    /// `Object.wait`.
+    Wait {
+        /// The lock/monitor name.
+        lock: String,
+    },
+    /// `notify m;` / `notifyall m;` — wakes one/all threads waiting on
+    /// `m` (which must be held). Like Java's `notify`/`notifyAll`.
+    Notify {
+        /// The lock/monitor name.
+        lock: String,
+        /// Wake every waiter instead of one.
+        all: bool,
+    },
+    /// `return expr;` (or `return;`, yielding 0).
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+    },
+    /// An expression evaluated for effect (e.g. a call).
+    Expr(Expr),
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// A bare name: a local, shared scalar, or volatile (resolved during
+    /// lowering against the declaration tables).
+    Name(String),
+    /// `name[index]` — a shared array element.
+    Index(String, Box<Expr>),
+    /// `name.field` — a field of the object held by local `name`.
+    Field(String, String),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// A bare name (local, shared scalar, or volatile).
+    Name(String),
+    /// `name[index]` — shared array element read.
+    Index(String, Box<Expr>),
+    /// `name.field` — field read of the object held by local `name`.
+    Field(String, String),
+    /// `new obj` — heap allocation.
+    New,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `spawn f(args)` — starts a thread, evaluates to a thread handle.
+    Spawn {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `f(args)` — a plain (same-thread) call.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x`: 1 if zero, else 0).
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (trapping on division by zero)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (strict, both sides evaluated)
+    And,
+    /// `||` (strict)
+    Or,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_lookup() {
+        let p = Program {
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                body: vec![],
+            }],
+            ..Program::default()
+        };
+        assert!(p.function("main").is_some());
+        assert!(p.function("other").is_none());
+    }
+}

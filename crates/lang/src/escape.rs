@@ -1,0 +1,449 @@
+//! Intraprocedural escape analysis.
+//!
+//! Mirrors the paper's use of "Jikes RVM's existing static escape analysis
+//! to identify accesses to provably local data, which it does not
+//! instrument" (§4) — a "simple, mostly intraprocedural escape analysis"
+//! (§6.1). Field accesses through a local variable that provably holds only
+//! thread-local allocations are compiled *without* race-check
+//! instrumentation.
+//!
+//! The analysis is flow-insensitive. Per function it computes, for each
+//! local:
+//!
+//! * `may_hold` — the local may hold a heap object;
+//! * `unknown` — it may hold an object of unknown origin (a parameter, a
+//!   call result, or a value read out of a heap field);
+//! * `escaping` — an object it holds may become reachable by another
+//!   thread (stored to a shared global or array, stored into any heap
+//!   field, passed to `spawn` or a call, or returned).
+//!
+//! Escape facts propagate backwards through copy assignments (`a = b`
+//! makes `b` escape whenever `a` does) to a fixpoint.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_lang::escape::analyze;
+//!
+//! let program = pacer_lang::parse(
+//!     "
+//!     shared g;
+//!     fn main() {
+//!         let local = new obj;     // never escapes
+//!         local.f = 1;
+//!         let leaked = new obj;    // stored to a shared global
+//!         g = leaked;
+//!     }
+//! ",
+//! )?;
+//! let info = analyze(&program.functions[0]);
+//! assert!(info.is_provably_local("local"));
+//! assert!(!info.is_provably_local("leaked"));
+//! # Ok::<(), pacer_lang::ParseError>(())
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, Function, LValue, Stmt};
+
+/// Per-function escape facts. See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct EscapeInfo {
+    may_hold: HashSet<String>,
+    unknown: HashSet<String>,
+    escaping: HashSet<String>,
+}
+
+impl EscapeInfo {
+    /// Returns `true` if field accesses through `local` need no race-check
+    /// instrumentation: it provably holds only allocations that never
+    /// escape this thread.
+    pub fn is_provably_local(&self, local: &str) -> bool {
+        self.may_hold.contains(local)
+            && !self.unknown.contains(local)
+            && !self.escaping.contains(local)
+    }
+
+    /// Locals proven thread-local, sorted (for tests and diagnostics).
+    pub fn provably_local_locals(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .may_hold
+            .iter()
+            .filter(|l| self.is_provably_local(l))
+            .map(String::as_str)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    info: EscapeInfo,
+    /// Names that are locals of this function (params + `let` targets).
+    /// Bare names outside this set are shared globals or volatiles.
+    locals: HashSet<String>,
+    /// `flows[a]` = locals whose objects may flow into `a` (a ⊇ b).
+    flows: HashMap<String, HashSet<String>>,
+}
+
+/// Collects every `let`-bound name in a statement tree (shared with the
+/// lockset lint).
+pub(crate) fn collect_lets_pub(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_lets_pub(then_branch, out);
+                collect_lets_pub(else_branch, out);
+            }
+            Stmt::While { body, .. } | Stmt::Sync { body, .. } => collect_lets_pub(body, out),
+            _ => {}
+        }
+    }
+}
+
+impl Collector {
+    /// The locals whose objects may reach the value of `e`, plus whether
+    /// the value may be an object at all.
+    fn obj_sources(&mut self, e: &Expr) -> (HashSet<String>, bool) {
+        match e {
+            Expr::New => (HashSet::new(), true),
+            Expr::Name(n) => {
+                if self.locals.contains(n) {
+                    let mut s = HashSet::new();
+                    s.insert(n.clone());
+                    // Conservatively treat any local as possibly holding an
+                    // object; non-object locals are filtered by `may_hold`
+                    // later.
+                    (s, true)
+                } else {
+                    // Reading a shared global: anything it holds already
+                    // escaped when it was stored there; nothing new leaks,
+                    // and the holder is of unknown origin.
+                    (HashSet::new(), true)
+                }
+            }
+            Expr::Field(..) => {
+                // Reading a field yields heap content of unknown origin.
+                // The *base* object does not escape through a read — only
+                // the value does, and that value was either stored through
+                // a tracked write or is itself unknown.
+                (HashSet::new(), true)
+            }
+            Expr::Call { args, .. } => {
+                // Arguments escape into the callee; result is unknown.
+                for a in args {
+                    self.escape_expr(a);
+                }
+                (HashSet::new(), true)
+            }
+            Expr::Spawn { args, .. } => {
+                for a in args {
+                    self.escape_expr(a);
+                }
+                (HashSet::new(), false) // a thread handle, not an object
+            }
+            Expr::Unary(_, inner) => {
+                self.visit_expr(inner);
+                (HashSet::new(), false)
+            }
+            Expr::Binary(_, l, r) => {
+                self.visit_expr(l);
+                self.visit_expr(r);
+                (HashSet::new(), false)
+            }
+            Expr::Index(_, index) => {
+                self.visit_expr(index);
+                // Shared array elements may hold references published by
+                // any thread: unknown origin.
+                (HashSet::new(), true)
+            }
+            Expr::Int(_) => (HashSet::new(), false),
+        }
+    }
+
+    /// Marks every object reaching `e` as escaping.
+    fn escape_expr(&mut self, e: &Expr) {
+        let (sources, is_obj) = self.obj_sources(e);
+        if is_obj {
+            for s in sources {
+                self.info.escaping.insert(s);
+            }
+            if matches!(e, Expr::Field(..)) {
+                // The *content* escapes; mark unknown-origin content.
+            }
+        }
+    }
+
+    /// Visits an expression in a non-escaping context (condition,
+    /// arithmetic operand): only nested calls/spawns leak.
+    fn visit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Call { args, .. } | Expr::Spawn { args, .. } => {
+                for a in args {
+                    self.escape_expr(a);
+                }
+            }
+            Expr::Unary(_, inner) => self.visit_expr(inner),
+            Expr::Binary(_, l, r) => {
+                self.visit_expr(l);
+                self.visit_expr(r);
+            }
+            Expr::Index(_, index) => self.visit_expr(index),
+            _ => {}
+        }
+    }
+
+    fn bind(&mut self, target: &str, value: &Expr) {
+        let (sources, is_obj) = self.obj_sources(value);
+        if !is_obj {
+            return;
+        }
+        match value {
+            Expr::New => {
+                self.info.may_hold.insert(target.to_string());
+            }
+            Expr::Name(n) if self.locals.contains(n) => {
+                self.info.may_hold.insert(target.to_string());
+                self.flows
+                    .entry(target.to_string())
+                    .or_default()
+                    .extend(sources);
+            }
+            // Globals, array elements, field reads, and call results hold
+            // objects of unknown origin.
+            Expr::Name(_) | Expr::Index(..) | Expr::Field(..) | Expr::Call { .. } => {
+                self.info.may_hold.insert(target.to_string());
+                self.info.unknown.insert(target.to_string());
+            }
+            _ => {}
+        }
+    }
+
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { name, init } => self.bind(name, init),
+            Stmt::Assign { target, value } => match target {
+                LValue::Name(n) if self.locals.contains(n) => self.bind(n, value),
+                LValue::Name(_) => {
+                    // A shared global or volatile: the value escapes.
+                    self.escape_expr(value);
+                }
+                LValue::Index(_, index) => {
+                    self.visit_expr(index);
+                    self.escape_expr(value);
+                }
+                LValue::Field(_, _) => {
+                    // Stored into the heap: conservatively escapes (the
+                    // holder object may itself escape later).
+                    self.escape_expr(value);
+                }
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.visit_expr(cond);
+                for s in then_branch.iter().chain(else_branch) {
+                    self.visit_stmt(s);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.visit_expr(cond);
+                for s in body {
+                    self.visit_stmt(s);
+                }
+            }
+            Stmt::Sync { body, .. } => {
+                for s in body {
+                    self.visit_stmt(s);
+                }
+            }
+            Stmt::Join { thread } => self.visit_expr(thread),
+            Stmt::Wait { .. } | Stmt::Notify { .. } => {}
+            Stmt::Return { value } => {
+                if let Some(v) = value {
+                    self.escape_expr(v);
+                }
+            }
+            Stmt::Expr(e) => self.visit_expr(e),
+        }
+    }
+}
+
+/// Analyzes one function. See the [module docs](self).
+pub fn analyze(function: &Function) -> EscapeInfo {
+    let mut c = Collector::default();
+    c.locals.extend(function.params.iter().cloned());
+    collect_lets_pub(&function.body, &mut c.locals);
+    // Parameters hold values of unknown origin.
+    for p in &function.params {
+        c.info.may_hold.insert(p.clone());
+        c.info.unknown.insert(p.clone());
+    }
+    // Two constraint-collection passes make the flow-insensitive facts
+    // independent of statement order (e.g. `g = a;` before `a = b;`).
+    for s in &function.body {
+        c.visit_stmt(s);
+    }
+    for s in &function.body {
+        c.visit_stmt(s);
+    }
+
+    // Propagate escaping backwards along copy edges to a fixpoint.
+    let mut worklist: Vec<String> = c.info.escaping.iter().cloned().collect();
+    while let Some(l) = worklist.pop() {
+        if let Some(sources) = c.flows.get(&l).cloned() {
+            for s in sources {
+                if c.info.escaping.insert(s.clone()) {
+                    worklist.push(s);
+                }
+            }
+        }
+    }
+    // Unknown origin also flows backwards? No: `a = b` gives `a` whatever
+    // `b` has; unknown propagates *forwards*. Iterate to a fixpoint.
+    loop {
+        let mut changed = false;
+        let flows = c.flows.clone();
+        for (target, sources) in &flows {
+            if sources.iter().any(|s| c.info.unknown.contains(s))
+                && c.info.unknown.insert(target.clone())
+            {
+                changed = true;
+            }
+            if sources.iter().any(|s| c.info.may_hold.contains(s))
+                && c.info.may_hold.insert(target.clone())
+            {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    c.info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn info(src: &str) -> EscapeInfo {
+        let p = parse(src).unwrap();
+        analyze(p.function("main").expect("main"))
+    }
+
+    #[test]
+    fn fresh_allocation_is_local() {
+        let i = info("fn main() { let o = new obj; o.f = 1; let v = o.f; }");
+        assert!(i.is_provably_local("o"));
+        assert_eq!(i.provably_local_locals(), vec!["o"]);
+    }
+
+    #[test]
+    fn stored_to_global_escapes() {
+        let i = info("shared g; fn main() { let o = new obj; g = o; }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn stored_to_array_escapes() {
+        let i = info("shared a[4]; fn main() { let o = new obj; a[0] = o; }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn spawn_argument_escapes() {
+        let i = info("fn w(x) {} fn main() { let o = new obj; let t = spawn w(o); join t; }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn call_argument_escapes() {
+        let i = info("fn f(x) {} fn main() { let o = new obj; f(o); }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn returned_object_escapes() {
+        let i = info("fn main() { let o = new obj; return o; }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn alias_of_escaping_local_escapes() {
+        let i = info("shared g; fn main() { let o = new obj; let p = o; g = p; }");
+        assert!(!i.is_provably_local("o"), "escape flows back through p");
+        assert!(!i.is_provably_local("p"));
+    }
+
+    #[test]
+    fn escape_before_alias_in_program_order() {
+        // `g = p;` textually precedes the aliasing — the two collection
+        // passes make order irrelevant.
+        let i = info(
+            "shared g; fn main() { let p = 0; let o = new obj; g = p; p = o; }",
+        );
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn alias_of_local_stays_local() {
+        let i = info("fn main() { let o = new obj; let p = o; p.f = 2; }");
+        assert!(i.is_provably_local("o"));
+        assert!(i.is_provably_local("p"));
+    }
+
+    #[test]
+    fn parameters_are_unknown() {
+        let p = parse("fn main(q) { q.f = 1; }").unwrap();
+        let i = analyze(&p.functions[0]);
+        assert!(!i.is_provably_local("q"));
+    }
+
+    #[test]
+    fn call_result_is_unknown() {
+        let i = info("fn mk() { return new obj; } fn main() { let o = mk(); o.f = 1; }");
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn field_read_result_is_unknown() {
+        let i = info("fn main() { let o = new obj; let q = o.inner; q.f = 1; }");
+        assert!(i.is_provably_local("o"));
+        assert!(!i.is_provably_local("q"));
+    }
+
+    #[test]
+    fn object_stored_into_heap_field_escapes() {
+        // Conservative: even storing into a local object's field escapes
+        // the stored object.
+        let i = info("fn main() { let o = new obj; let p = new obj; o.child = p; }");
+        assert!(i.is_provably_local("o"));
+        assert!(!i.is_provably_local("p"));
+    }
+
+    #[test]
+    fn escape_inside_control_flow_is_seen() {
+        let i = info(
+            "shared g; fn main() { let o = new obj; while (g < 3) { if (g) { g = o; } } }",
+        );
+        assert!(!i.is_provably_local("o"));
+    }
+
+    #[test]
+    fn integer_locals_are_not_provably_local_objects() {
+        let i = info("fn main() { let i = 3; }");
+        assert!(!i.is_provably_local("i"), "holds no allocation");
+    }
+}

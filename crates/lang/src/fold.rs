@@ -1,0 +1,284 @@
+//! Constant folding: a semantics-preserving optimization pass.
+//!
+//! Folds compile-time-constant arithmetic, collapses `if`/`while` with
+//! constant conditions, and prunes dead branches — the kind of cleanup a
+//! JIT performs before the instrumentation pass runs. Crucially for a race
+//! detector, the pass is *effect-preserving*: it never removes or reorders
+//! shared-variable accesses, volatile accesses, lock operations, calls,
+//! spawns, or joins, so the instrumented event stream of the optimized
+//! program is a subset of the original only where control flow was provably
+//! dead.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_lang::{fold_program, parse, print};
+//!
+//! let p = parse("shared x; fn main() { if (2 > 1) { x = 3 * 4; } else { x = 0; } }")?;
+//! let folded = fold_program(&p);
+//! let text = print(&folded);
+//! assert!(text.contains("x = 12;"), "{text}");
+//! assert!(!text.contains("else"), "dead branch pruned: {text}");
+//! # Ok::<(), pacer_lang::ParseError>(())
+//! ```
+
+use crate::ast::*;
+
+/// Folds every function of a program. Folds constants, prunes dead branches; see the module docs above.
+pub fn fold_program(program: &Program) -> Program {
+    Program {
+        shareds: program.shareds.clone(),
+        locks: program.locks.clone(),
+        volatiles: program.volatiles.clone(),
+        functions: program
+            .functions
+            .iter()
+            .map(|f| Function {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: fold_block(&f.body),
+            })
+            .collect(),
+    }
+}
+
+fn fold_block(body: &[Stmt]) -> Vec<Stmt> {
+    body.iter().flat_map(fold_stmt).collect()
+}
+
+fn fold_stmt(stmt: &Stmt) -> Vec<Stmt> {
+    match stmt {
+        Stmt::Let { name, init } => vec![Stmt::Let {
+            name: name.clone(),
+            init: fold_expr(init),
+        }],
+        Stmt::Assign { target, value } => {
+            let target = match target {
+                LValue::Index(n, i) => LValue::Index(n.clone(), Box::new(fold_expr(i))),
+                other => other.clone(),
+            };
+            vec![Stmt::Assign {
+                target,
+                value: fold_expr(value),
+            }]
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let cond = fold_expr(cond);
+            match const_of(&cond) {
+                Some(0) => fold_block(else_branch),
+                Some(_) => fold_block(then_branch),
+                None => vec![Stmt::If {
+                    cond,
+                    then_branch: fold_block(then_branch),
+                    else_branch: fold_block(else_branch),
+                }],
+            }
+        }
+        Stmt::While { cond, body } => {
+            let cond = fold_expr(cond);
+            match const_of(&cond) {
+                // `while (0)` never runs; drop it entirely.
+                Some(0) => vec![],
+                // `while (k)` for nonzero k loops forever: keep as-is (the
+                // body's effects are not ours to judge).
+                _ => vec![Stmt::While {
+                    cond,
+                    body: fold_block(body),
+                }],
+            }
+        }
+        Stmt::Sync { lock, body } => vec![Stmt::Sync {
+            lock: lock.clone(),
+            body: fold_block(body),
+        }],
+        Stmt::Join { thread } => vec![Stmt::Join {
+            thread: fold_expr(thread),
+        }],
+        Stmt::Wait { .. } | Stmt::Notify { .. } => vec![stmt.clone()],
+        Stmt::Return { value } => vec![Stmt::Return {
+            value: value.as_ref().map(fold_expr),
+        }],
+        Stmt::Expr(e) => vec![Stmt::Expr(fold_expr(e))],
+    }
+}
+
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary(op, inner) => {
+            let inner = fold_expr(inner);
+            match (op, const_of(&inner)) {
+                (UnOp::Neg, Some(v)) => Expr::Int(v.wrapping_neg()),
+                (UnOp::Not, Some(v)) => Expr::Int(i64::from(v == 0)),
+                _ => Expr::Unary(*op, Box::new(inner)),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let l = fold_expr(l);
+            let r = fold_expr(r);
+            if let (Some(a), Some(b)) = (const_of(&l), const_of(&r)) {
+                if let Some(v) = eval_bin(*op, a, b) {
+                    return Expr::Int(v);
+                }
+            }
+            // Algebraic identities that cannot change effects (both sides
+            // are pure once one is a literal and the other stays).
+            match (op, const_of(&l), const_of(&r)) {
+                (BinOp::Add, Some(0), _) => r,
+                (BinOp::Add | BinOp::Sub, _, Some(0)) => l,
+                (BinOp::Mul, _, Some(1)) => l,
+                (BinOp::Mul, Some(1), _) => r,
+                _ => Expr::Binary(*op, Box::new(l), Box::new(r)),
+            }
+        }
+        Expr::Index(n, i) => Expr::Index(n.clone(), Box::new(fold_expr(i))),
+        Expr::Spawn { func, args } => Expr::Spawn {
+            func: func.clone(),
+            args: args.iter().map(fold_expr).collect(),
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func: func.clone(),
+            args: args.iter().map(fold_expr).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Evaluates a binary op on constants; `None` for division by zero (left
+/// for the runtime to trap, preserving the error).
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::And => i64::from(a != 0 && b != 0),
+        BinOp::Or => i64::from(a != 0 || b != 0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, print};
+
+    fn folded(src: &str) -> String {
+        print(&fold_program(&parse(src).unwrap()))
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let t = folded("fn main() { let a = 2 + 3 * 4; }");
+        assert!(t.contains("let a = 14;"), "{t}");
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let t = folded("fn main() { let a = (3 < 4) && !(0); }");
+        assert!(t.contains("let a = 1;"), "{t}");
+    }
+
+    #[test]
+    fn prunes_dead_if_branches() {
+        let t = folded("shared x; fn main() { if (0) { x = 1; } else { x = 2; } }");
+        assert!(t.contains("x = 2;"), "{t}");
+        assert!(!t.contains("x = 1;"), "{t}");
+        assert!(!t.contains("if"), "{t}");
+    }
+
+    #[test]
+    fn drops_never_running_loops() {
+        let t = folded("shared x; fn main() { while (1 > 2) { x = 1; } }");
+        assert!(!t.contains("while"), "{t}");
+    }
+
+    #[test]
+    fn keeps_infinite_loops() {
+        let t = folded("shared x; fn main() { while (1) { x = 1; } }");
+        assert!(t.contains("while (1)"), "{t}");
+    }
+
+    #[test]
+    fn preserves_division_by_zero_for_runtime() {
+        let t = folded("fn main() { let a = 1 / 0; }");
+        assert!(t.contains("1 / 0"), "{t}");
+    }
+
+    #[test]
+    fn identities_do_not_drop_effects() {
+        // `x + 0` where x is a shared read must keep the read.
+        let t = folded("shared x; fn main() { let a = x + 0; let b = 0 + x; let c = x * 1; }");
+        assert_eq!(t.matches('x').count() - 1, 3, "all three reads kept: {t}");
+    }
+
+    #[test]
+    fn folding_preserves_program_results() {
+        // Fold, compile both, run both: same main result and same shared
+        // access counts (single-threaded, so fully deterministic).
+        let src = "
+            shared x;
+            fn main() {
+                let i = 0;
+                while (i < 2 + 3) {
+                    if (1) { x = x + i * 1; }
+                    if (0) { x = 999; }
+                    i = i + 1 + 0;
+                }
+                return x;
+            }
+        ";
+        let original = parse(src).unwrap();
+        let folded = fold_program(&original);
+        let run = |p: &Program| {
+            let compiled = crate::compile(p).unwrap();
+            // The lang crate has no VM; interpret via instruction counts is
+            // not possible here, so compare compiled shapes instead:
+            // the folded program must still contain the x accesses.
+            compiled
+        };
+        let c1 = run(&original);
+        let c2 = run(&folded);
+        assert!(c2.instrumented_sites() <= c1.instrumented_sites());
+        assert!(c2.instrumented_sites() >= 2, "x read+write survive");
+        assert!(
+            c2.functions[c2.entry as usize].code.len()
+                < c1.functions[c1.entry as usize].code.len(),
+            "folding shrinks code"
+        );
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let p = parse("shared x; fn main() { x = (1 + 2) * (3 + 4) + x; }").unwrap();
+        let once = fold_program(&p);
+        let twice = fold_program(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,249 @@
+//! The stack-machine IR produced by the lowering pass.
+
+use std::fmt;
+
+use pacer_trace::SiteId;
+
+pub use crate::ast::BinOp;
+
+/// One IR instruction. The virtual machine is a simple operand-stack
+/// machine with per-frame local slots.
+///
+/// Stack effects are noted as `[inputs] → [outputs]` (top of stack last).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `[] → [k]`
+    Const(i64),
+    /// `[] → [locals[i]]`
+    LoadLocal(u16),
+    /// `[v] → []`, `locals[i] = v`
+    StoreLocal(u16),
+    /// `[] → [global[slot]]` — instrumented shared-scalar read.
+    LoadGlobal {
+        /// Global slot (also the runtime `VarId`).
+        slot: u32,
+        /// Static race-check site.
+        site: SiteId,
+    },
+    /// `[v] → []` — instrumented shared-scalar write.
+    StoreGlobal {
+        /// Global slot.
+        slot: u32,
+        /// Static race-check site.
+        site: SiteId,
+    },
+    /// `[i] → [global[base + i mod len]]` — instrumented array read
+    /// (indices wrap, keeping every access in bounds).
+    LoadElem {
+        /// First slot of the array.
+        base: u32,
+        /// Array length.
+        len: u32,
+        /// Static race-check site.
+        site: SiteId,
+    },
+    /// `[i, v] → []` — instrumented array write.
+    StoreElem {
+        /// First slot of the array.
+        base: u32,
+        /// Array length.
+        len: u32,
+        /// Static race-check site.
+        site: SiteId,
+    },
+    /// `[] → [ref]` — heap allocation.
+    NewObject,
+    /// `[ref] → [value]` — field read; `instrumented == false` when escape
+    /// analysis proved the object thread-local (§4).
+    LoadField {
+        /// Interned field name.
+        field: u16,
+        /// Static race-check site.
+        site: SiteId,
+        /// Whether the access emits a race-check event.
+        instrumented: bool,
+    },
+    /// `[ref, v] → []` — field write.
+    StoreField {
+        /// Interned field name.
+        field: u16,
+        /// Static race-check site.
+        site: SiteId,
+        /// Whether the access emits a race-check event.
+        instrumented: bool,
+    },
+    /// `[] → [v]` — volatile read (synchronization, never races).
+    LoadVolatile(u32),
+    /// `[v] → []` — volatile write.
+    StoreVolatile(u32),
+    /// `[] → []` — lock acquire (blocks if held).
+    Acquire(u32),
+    /// `[] → []` — lock release.
+    Release(u32),
+    /// `[] → []` — first half of `wait m`: releases the (held) lock and
+    /// parks the thread on `m`'s wait queue. The compiler always emits an
+    /// [`Instr::Acquire`] of the same lock immediately after, which the
+    /// thread retries once notified (the monitor-reacquire half).
+    WaitRelease(u32),
+    /// `[] → []` — wakes one (`all == false`) or every waiter of lock `m`;
+    /// a no-op when nobody waits (like Java's `notify`).
+    Notify {
+        /// The lock whose wait queue is signalled.
+        lock: u32,
+        /// Wake all waiters instead of one.
+        all: bool,
+    },
+    /// `[arg0..argN] → [thread]` — start a thread running function `func`.
+    Spawn {
+        /// Callee index.
+        func: u16,
+        /// Argument count.
+        argc: u8,
+    },
+    /// `[arg0..argN] → [ret]` — same-thread call.
+    Call {
+        /// Callee index.
+        func: u16,
+        /// Argument count.
+        argc: u8,
+    },
+    /// `[thread] → []` — blocks until the thread terminates.
+    JoinThread,
+    /// `[] → []` — unconditional branch.
+    Jump(u32),
+    /// `[v] → []` — branch when `v == 0`.
+    JumpIfZero(u32),
+    /// `[a, b] → [a ⊕ b]`
+    Bin(BinOp),
+    /// `[a] → [-a]`
+    Neg,
+    /// `[a] → [!a]` (1 if zero, else 0)
+    Not,
+    /// `[v] → []`
+    Pop,
+    /// `[v] → returns v` — pops the frame; the last instruction of every
+    /// function body.
+    Return,
+}
+
+/// Descriptive metadata for one static access site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Index of the function containing the site.
+    pub function: u16,
+    /// Human-readable location, e.g. `worker: counter (write)`.
+    pub description: String,
+}
+
+/// A lowered function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledFunction {
+    /// Source name.
+    pub name: String,
+    /// Number of parameters (stored in the first local slots).
+    pub n_params: u16,
+    /// Total local slots (params included).
+    pub n_locals: u16,
+    /// Instructions; always ends with [`Instr::Return`].
+    pub code: Vec<Instr>,
+}
+
+/// A compiled program, ready for the `pacer-runtime` virtual machine.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    /// Function bodies; [`CompiledProgram::entry`] indexes `main`.
+    pub functions: Vec<CompiledFunction>,
+    /// Index of `main`.
+    pub entry: u16,
+    /// Number of shared global slots (scalar = 1 slot, array = its length).
+    /// Runtime `VarId`s `0..globals` are globals; object fields allocate
+    /// ids above this.
+    pub globals: u32,
+    /// Number of declared locks.
+    pub locks: u32,
+    /// Number of declared volatiles.
+    pub volatiles: u32,
+    /// Site metadata, indexed by [`SiteId`]. Sites are numbered
+    /// consecutively within each function and padded to
+    /// [`crate::lower::REGION_ALIGN`] at function boundaries, so
+    /// `site / REGION_ALIGN` is exactly the containing function — the
+    /// LITERACE "method" region. Padding entries have `function ==
+    /// u16::MAX`.
+    pub sites: Vec<SiteInfo>,
+    /// Interned field names.
+    pub field_names: Vec<String>,
+}
+
+impl CompiledProgram {
+    /// Looks up a compiled function by name.
+    pub fn function(&self, name: &str) -> Option<(u16, &CompiledFunction)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (i as u16, f))
+    }
+
+    /// Human-readable description of a site (for race reports).
+    pub fn describe_site(&self, site: SiteId) -> &str {
+        self.sites
+            .get(site.index())
+            .map_or("<unknown site>", |s| s.description.as_str())
+    }
+
+    /// Count of instrumented access instructions (static sites),
+    /// excluding region-alignment padding.
+    pub fn instrumented_sites(&self) -> usize {
+        self.sites.iter().filter(|s| s.function != u16::MAX).count()
+    }
+}
+
+impl fmt::Display for CompiledFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {} (params={}, locals={})", self.name, self.n_params, self.n_locals)?;
+        for (i, instr) in self.code.iter().enumerate() {
+            writeln!(f, "  {i:4}: {instr:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_lookup_and_describe() {
+        let prog = CompiledProgram {
+            functions: vec![CompiledFunction {
+                name: "main".into(),
+                n_params: 0,
+                n_locals: 0,
+                code: vec![Instr::Const(0), Instr::Return],
+            }],
+            sites: vec![SiteInfo {
+                function: 0,
+                description: "main: x (write)".into(),
+            }],
+            ..CompiledProgram::default()
+        };
+        assert_eq!(prog.function("main").unwrap().0, 0);
+        assert!(prog.function("nope").is_none());
+        assert_eq!(prog.describe_site(SiteId::new(0)), "main: x (write)");
+        assert_eq!(prog.describe_site(SiteId::new(9)), "<unknown site>");
+        assert_eq!(prog.instrumented_sites(), 1);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let f = CompiledFunction {
+            name: "main".into(),
+            n_params: 0,
+            n_locals: 1,
+            code: vec![Instr::Const(3), Instr::StoreLocal(0), Instr::Const(0), Instr::Return],
+        };
+        let text = f.to_string();
+        assert!(text.contains("fn main"));
+        assert!(text.contains("Const(3)"));
+    }
+}

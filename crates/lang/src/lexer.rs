@@ -1,0 +1,208 @@
+//! Tokenizer for the mini concurrent language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A punctuation or operator lexeme (`"{"`, `"=="`, `"&&"`, …).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A tokenization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">=", "&&", "||"];
+const PUNCTS1: &[&str] = &[
+    "{", "}", "(", ")", "[", "]", ";", ",", "=", "+", "-", "*", "/", "%", "<", ">", "!", ".",
+];
+
+/// Tokenizes `source`. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let text = &source[start..i];
+            let value = text.parse::<i64>().map_err(|_| LexError {
+                line,
+                message: format!("integer literal `{text}` out of range"),
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                line,
+            });
+            continue;
+        }
+        // Operators are pure ASCII: compare bytes, never slice the string
+        // (slicing could split a multi-byte character).
+        if i + 1 < bytes.len() {
+            let two = &bytes[i..i + 2];
+            if let Some(&p) = PUNCTS2.iter().find(|&&p| p.as_bytes() == two) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        if let Some(&p) = PUNCTS1.iter().find(|&&p| p.as_bytes() == [bytes[i]]) {
+            tokens.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        let offending = source[i..].chars().next().expect("i < len");
+        return Err(LexError {
+            line,
+            message: format!("unexpected character `{offending}`"),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_mixed_input() {
+        let ks = kinds("let x = 42; // answer\nx = x + 1;");
+        assert_eq!(ks[0], TokenKind::Ident("let".into()));
+        assert_eq!(ks[1], TokenKind::Ident("x".into()));
+        assert_eq!(ks[2], TokenKind::Punct("="));
+        assert_eq!(ks[3], TokenKind::Int(42));
+        assert_eq!(ks[4], TokenKind::Punct(";"));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let ks = kinds("a <= b == c && d");
+        assert!(ks.contains(&TokenKind::Punct("<=")));
+        assert!(ks.contains(&TokenKind::Punct("==")));
+        assert!(ks.contains(&TokenKind::Punct("&&")));
+    }
+
+    #[test]
+    fn comments_run_to_eol() {
+        let ks = kinds("a // b c d\ne");
+        assert_eq!(ks.len(), 3); // a, e, EOF
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.to_string().contains('?'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_overflowing_integers() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn underscores_in_identifiers() {
+        let ks = kinds("foo_bar _x x1");
+        assert_eq!(ks[0], TokenKind::Ident("foo_bar".into()));
+        assert_eq!(ks[1], TokenKind::Ident("_x".into()));
+        assert_eq!(ks[2], TokenKind::Ident("x1".into()));
+    }
+}

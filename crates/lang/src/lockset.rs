@@ -1,0 +1,351 @@
+//! A static lockset lint: the Eraser-style discipline check, at compile
+//! time.
+//!
+//! For every shared variable the lint intersects the sets of locks held at
+//! its static accesses (from `sync` nesting). An empty intersection with at
+//! least one write is a warning: no single lock consistently protects the
+//! variable.
+//!
+//! This is the *imprecise* style of analysis the PACER paper contrasts
+//! itself with (§2, §6.2): lockset enforces one particular discipline, so
+//! it flags correct programs that synchronize through volatiles, fork/join
+//! structure, or `wait`/`notify` protocols — see the
+//! `producer_consumer.pl` sample, which is provably race-free (the dynamic
+//! detectors stay silent at a 100% sampling rate) yet warned about here.
+//! Keeping the lint in-tree makes that precision gap concrete and testable.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_lang::lockset::lockset_lint;
+//!
+//! let p = pacer_lang::parse(
+//!     "
+//!     shared guarded; shared bare; lock m;
+//!     fn w() { sync m { guarded = guarded + 1; } bare = bare + 1; }
+//!     fn main() { let t = spawn w(); join t; w(); }
+//! ",
+//! )?;
+//! let report = lockset_lint(&p);
+//! let flagged: Vec<_> = report.warnings.iter().map(|w| w.variable.as_str()).collect();
+//! assert_eq!(flagged, vec!["bare"]);
+//! # Ok::<(), pacer_lang::ParseError>(())
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::ast::{Expr, LValue, Program, Stmt};
+
+/// One recorded static access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessNote {
+    /// Function containing the access.
+    pub function: String,
+    /// Whether it writes.
+    pub write: bool,
+    /// Locks held (by `sync` nesting) at the access, sorted.
+    pub locks: Vec<String>,
+}
+
+/// A variable with no consistent lock discipline.
+#[derive(Clone, Debug)]
+pub struct LintWarning {
+    /// The shared variable (arrays are treated as a whole).
+    pub variable: String,
+    /// Every static access, in program order.
+    pub accesses: Vec<AccessNote>,
+}
+
+impl LintWarning {
+    /// Renders the warning for human consumption.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "warning: shared `{}` has no consistent lock (candidate set empty)\n",
+            self.variable
+        );
+        for a in &self.accesses {
+            let locks = if a.locks.is_empty() {
+                "no locks".to_string()
+            } else {
+                format!("holding {{{}}}", a.locks.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  {} in fn {} ({locks})",
+                if a.write { "write" } else { "read" },
+                a.function
+            );
+        }
+        out
+    }
+}
+
+/// The lint's result.
+#[derive(Clone, Debug, Default)]
+pub struct LocksetReport {
+    /// Variables flagged, in declaration order.
+    pub warnings: Vec<LintWarning>,
+    /// Shared variables examined.
+    pub checked_vars: usize,
+}
+
+struct Walker<'p> {
+    shared: HashSet<&'p str>,
+    function: String,
+    locals: HashSet<String>,
+    held: Vec<String>,
+    accesses: BTreeMap<String, Vec<AccessNote>>,
+}
+
+impl Walker<'_> {
+    fn note(&mut self, var: &str, write: bool) {
+        if !self.shared.contains(var) || self.locals.contains(var) {
+            return;
+        }
+        let mut locks: Vec<String> = self.held.clone();
+        locks.sort();
+        locks.dedup();
+        self.accesses
+            .entry(var.to_string())
+            .or_default()
+            .push(AccessNote {
+                function: self.function.clone(),
+                write,
+                locks,
+            });
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Name(n) => self.note(n, false),
+            Expr::Index(n, i) => {
+                self.note(n, false);
+                self.expr(i);
+            }
+            Expr::Unary(_, inner) => self.expr(inner),
+            Expr::Binary(_, l, r) => {
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::Spawn { args, .. } | Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Field(..) | Expr::New | Expr::Int(_) => {}
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { init, .. } => self.expr(init),
+            Stmt::Assign { target, value } => {
+                match target {
+                    LValue::Name(n) => self.note(n, true),
+                    LValue::Index(n, i) => {
+                        self.note(n, true);
+                        self.expr(i);
+                    }
+                    LValue::Field(..) => {}
+                }
+                self.expr(value);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                for s in then_branch.iter().chain(else_branch) {
+                    self.stmt(s);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond);
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Sync { lock, body } => {
+                self.held.push(lock.clone());
+                for s in body {
+                    self.stmt(s);
+                }
+                self.held.pop();
+            }
+            Stmt::Join { thread } => self.expr(thread),
+            Stmt::Return { value } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            Stmt::Expr(e) => self.expr(e),
+            Stmt::Wait { .. } | Stmt::Notify { .. } => {}
+        }
+    }
+}
+
+/// Runs the lint over a program. See the [module docs](self).
+pub fn lockset_lint(program: &Program) -> LocksetReport {
+    let shared: HashSet<&str> = program.shareds.iter().map(|s| s.name.as_str()).collect();
+    let mut accesses: BTreeMap<String, Vec<AccessNote>> = BTreeMap::new();
+    for f in program.functions.iter() {
+        let mut locals: HashSet<String> = f.params.iter().cloned().collect();
+        crate::escape::collect_lets_pub(&f.body, &mut locals);
+        let mut w = Walker {
+            shared: shared.clone(),
+            function: f.name.clone(),
+            locals,
+            held: Vec::new(),
+            accesses: BTreeMap::new(),
+        };
+        for s in &f.body {
+            w.stmt(s);
+        }
+        for (var, notes) in w.accesses {
+            accesses.entry(var).or_default().extend(notes);
+        }
+    }
+
+    let mut warnings = Vec::new();
+    for decl in &program.shareds {
+        let Some(notes) = accesses.get(&decl.name) else {
+            continue;
+        };
+        if notes.len() < 2 || !notes.iter().any(|n| n.write) {
+            continue;
+        }
+        // Candidate lockset: the intersection of all access locksets.
+        let mut candidate: BTreeSet<&String> = notes[0].locks.iter().collect();
+        for n in &notes[1..] {
+            let here: BTreeSet<&String> = n.locks.iter().collect();
+            candidate = candidate.intersection(&here).copied().collect();
+        }
+        if candidate.is_empty() {
+            warnings.push(LintWarning {
+                variable: decl.name.clone(),
+                accesses: notes.clone(),
+            });
+        }
+    }
+    LocksetReport {
+        warnings,
+        checked_vars: accesses.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn flagged(src: &str) -> Vec<String> {
+        lockset_lint(&parse(src).unwrap())
+            .warnings
+            .into_iter()
+            .map(|w| w.variable)
+            .collect()
+    }
+
+    #[test]
+    fn consistent_discipline_is_clean() {
+        let f = flagged(
+            "shared x; lock m;
+             fn a() { sync m { x = x + 1; } }
+             fn main() { sync m { x = 0; } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_write_is_flagged() {
+        let f = flagged(
+            "shared x; lock m;
+             fn a() { sync m { x = x + 1; } }
+             fn main() { x = 0; }",
+        );
+        assert_eq!(f, vec!["x"]);
+    }
+
+    #[test]
+    fn different_locks_are_flagged() {
+        let f = flagged(
+            "shared x; lock m; lock l;
+             fn a() { sync m { x = 1; } }
+             fn main() { sync l { x = 2; } }",
+        );
+        assert_eq!(f, vec!["x"]);
+    }
+
+    #[test]
+    fn nested_locks_count_all_held() {
+        let f = flagged(
+            "shared x; lock m; lock l;
+             fn a() { sync m { sync l { x = 1; } } }
+             fn main() { sync l { x = 2; } }",
+        );
+        assert!(f.is_empty(), "l is held at both accesses: {f:?}");
+    }
+
+    #[test]
+    fn read_only_vars_are_clean() {
+        let f = flagged(
+            "shared x;
+             fn a() { let v = x; }
+             fn main() { let w = x + 1; }",
+        );
+        assert!(f.is_empty(), "no writes, no warning: {f:?}");
+    }
+
+    #[test]
+    fn single_access_is_clean() {
+        let f = flagged("shared x; fn main() { x = 1; }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn volatile_protocol_is_a_known_false_positive() {
+        // Race-free by volatile publication, yet lockset warns — the
+        // imprecision §6.2 describes.
+        let f = flagged(
+            "shared data; volatile ready;
+             fn producer() { data = 9; ready = 1; }
+             fn consumer() { while (ready == 0) { } let v = data; }
+             fn main() {
+                 let p = spawn producer();
+                 let c = spawn consumer();
+                 join p; join c;
+             }",
+        );
+        assert_eq!(f, vec!["data"], "lockset cannot model the volatile edge");
+    }
+
+    #[test]
+    fn locals_shadow_shared_names() {
+        let f = flagged(
+            "shared x;
+             fn a() { let x = 1; x = x + 1; }
+             fn main() { x = 2; }",
+        );
+        assert!(f.is_empty(), "the writes in `a` hit the local: {f:?}");
+    }
+
+    #[test]
+    fn warning_renders_accesses() {
+        let report = lockset_lint(
+            &parse(
+                "shared x; lock m;
+                 fn a() { sync m { x = 1; } }
+                 fn main() { let v = x; }",
+            )
+            .unwrap(),
+        );
+        assert_eq!(report.warnings.len(), 1);
+        let text = report.warnings[0].render();
+        assert!(text.contains("shared `x`"));
+        assert!(text.contains("write in fn a (holding {m})"));
+        assert!(text.contains("read in fn main (no locks)"));
+        assert!(report.checked_vars >= 1);
+    }
+}

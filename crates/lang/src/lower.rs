@@ -1,0 +1,768 @@
+//! Lowering: AST → instrumented stack-machine IR.
+//!
+//! This pass plays the role of the paper's compiler instrumentation (§4):
+//! every access to potentially shared data (shared scalars, array elements,
+//! and heap fields) is compiled to an instruction carrying a static
+//! [`SiteId`]; field accesses proven thread-local by the
+//! [escape analysis](crate::escape) are compiled with `instrumented:
+//! false` and never reach the detector.
+//!
+//! Sites are numbered consecutively within each function, so dividing a
+//! site id by a region size recovers a LITERACE-style "method" region.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pacer_trace::SiteId;
+
+use crate::ast::*;
+use crate::escape::{analyze, EscapeInfo};
+use crate::ir::{CompiledFunction, CompiledProgram, Instr, SiteInfo};
+
+/// A semantic error found while lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// The function being compiled, if any.
+    pub function: Option<String>,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "in fn {name}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[derive(Clone, Copy)]
+enum GlobalRef {
+    Scalar(u32),
+    Array { base: u32, len: u32 },
+}
+
+struct ProgramCtx {
+    globals: HashMap<String, GlobalRef>,
+    n_global_slots: u32,
+    locks: HashMap<String, u32>,
+    volatiles: HashMap<String, u32>,
+    functions: HashMap<String, (u16, usize)>, // name -> (index, arity)
+    field_names: Vec<String>,
+    field_ids: HashMap<String, u16>,
+    sites: Vec<SiteInfo>,
+}
+
+/// Site ids are padded to this alignment at every function boundary, so
+/// `site / REGION_ALIGN` never crosses a function: integer-dividing a site
+/// id recovers LITERACE's "method" region exactly.
+pub const REGION_ALIGN: u32 = 64;
+
+impl ProgramCtx {
+    /// Pads the site table to the next region boundary (called at each
+    /// function start).
+    fn align_sites(&mut self) {
+        while !(self.sites.len() as u32).is_multiple_of(REGION_ALIGN) {
+            self.sites.push(SiteInfo {
+                function: u16::MAX,
+                description: "(padding)".to_string(),
+            });
+        }
+    }
+
+    fn field_id(&mut self, name: &str) -> u16 {
+        if let Some(&id) = self.field_ids.get(name) {
+            return id;
+        }
+        let id = self.field_names.len() as u16;
+        self.field_names.push(name.to_string());
+        self.field_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn new_site(&mut self, function: u16, description: String) -> SiteId {
+        let id = SiteId::new(self.sites.len() as u32);
+        self.sites.push(SiteInfo {
+            function,
+            description,
+        });
+        id
+    }
+}
+
+struct FnCtx<'p> {
+    ctx: &'p mut ProgramCtx,
+    fn_name: String,
+    fn_index: u16,
+    locals: HashMap<String, u16>,
+    escape: EscapeInfo,
+    code: Vec<Instr>,
+    /// Locks held by enclosing `sync` blocks (for `return` unwinding).
+    lock_stack: Vec<u32>,
+}
+
+/// Compiles a parsed program.
+///
+/// # Errors
+///
+/// Reports undeclared names, arity mismatches, shape mismatches (indexing
+/// a scalar, assigning to an array name), and a missing `main`.
+///
+/// # Examples
+///
+/// ```
+/// let program = pacer_lang::parse("shared x; fn main() { x = x + 1; }")?;
+/// let compiled = pacer_lang::compile(&program)?;
+/// assert_eq!(compiled.instrumented_sites(), 2, "one read + one write site");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+    let mut globals = HashMap::new();
+    let mut n_global_slots = 0u32;
+    for s in &program.shareds {
+        let r = match s.len {
+            None => {
+                let r = GlobalRef::Scalar(n_global_slots);
+                n_global_slots += 1;
+                r
+            }
+            Some(len) => {
+                let r = GlobalRef::Array {
+                    base: n_global_slots,
+                    len,
+                };
+                n_global_slots += len;
+                r
+            }
+        };
+        if globals.insert(s.name.clone(), r).is_some() {
+            return Err(CompileError {
+                function: None,
+                message: format!("duplicate shared declaration `{}`", s.name),
+            });
+        }
+    }
+    let locks: HashMap<String, u32> = program
+        .locks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u32))
+        .collect();
+    let volatiles: HashMap<String, u32> = program
+        .volatiles
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u32))
+        .collect();
+    let functions: HashMap<String, (u16, usize)> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), (i as u16, f.params.len())))
+        .collect();
+    if functions.len() != program.functions.len() {
+        return Err(CompileError {
+            function: None,
+            message: "duplicate function definition".into(),
+        });
+    }
+
+    let mut ctx = ProgramCtx {
+        globals,
+        n_global_slots,
+        locks,
+        volatiles,
+        functions,
+        field_names: Vec::new(),
+        field_ids: HashMap::new(),
+        sites: Vec::new(),
+    };
+
+    let mut compiled_fns = Vec::with_capacity(program.functions.len());
+    for (i, f) in program.functions.iter().enumerate() {
+        ctx.align_sites();
+        let mut fc = FnCtx {
+            fn_name: f.name.clone(),
+            fn_index: i as u16,
+            locals: f
+                .params
+                .iter()
+                .enumerate()
+                .map(|(j, p)| (p.clone(), j as u16))
+                .collect(),
+            escape: analyze(f),
+            code: Vec::new(),
+            lock_stack: Vec::new(),
+            ctx: &mut ctx,
+        };
+        fc.block(&f.body)?;
+        // Implicit `return 0`.
+        fc.code.push(Instr::Const(0));
+        fc.code.push(Instr::Return);
+        compiled_fns.push(CompiledFunction {
+            name: f.name.clone(),
+            n_params: f.params.len() as u16,
+            n_locals: fc.locals.len() as u16,
+            code: fc.code,
+        });
+    }
+
+    let entry = ctx
+        .functions
+        .get("main")
+        .map(|&(i, _)| i)
+        .ok_or_else(|| CompileError {
+            function: None,
+            message: "program has no `main` function".into(),
+        })?;
+
+    Ok(CompiledProgram {
+        functions: compiled_fns,
+        entry,
+        globals: ctx.n_global_slots,
+        locks: ctx.locks.len() as u32,
+        volatiles: ctx.volatiles.len() as u32,
+        sites: ctx.sites,
+        field_names: ctx.field_names,
+    })
+}
+
+impl FnCtx<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError {
+            function: Some(self.fn_name.clone()),
+            message: message.into(),
+        })
+    }
+
+    fn local(&mut self, name: &str) -> u16 {
+        if let Some(&i) = self.locals.get(name) {
+            return i;
+        }
+        let i = self.locals.len() as u16;
+        self.locals.insert(name.to_string(), i);
+        i
+    }
+
+    fn site(&mut self, what: &str, kind: &str) -> SiteId {
+        let desc = format!("{}: {} ({})", self.fn_name, what, kind);
+        self.ctx.new_site(self.fn_index, desc)
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { name, init } => {
+                self.expr(init)?;
+                let slot = self.local(name);
+                self.code.push(Instr::StoreLocal(slot));
+            }
+            Stmt::Assign { target, value } => match target {
+                LValue::Name(name) => {
+                    if self.locals.contains_key(name.as_str()) {
+                        self.expr(value)?;
+                        let slot = self.locals[name.as_str()];
+                        self.code.push(Instr::StoreLocal(slot));
+                    } else if let Some(&vid) = self.ctx.volatiles.get(name) {
+                        self.expr(value)?;
+                        self.code.push(Instr::StoreVolatile(vid));
+                    } else if let Some(&g) = self.ctx.globals.get(name) {
+                        match g {
+                            GlobalRef::Scalar(slot) => {
+                                self.expr(value)?;
+                                let site = self.site(name, "write");
+                                self.code.push(Instr::StoreGlobal { slot, site });
+                            }
+                            GlobalRef::Array { .. } => {
+                                return self.err(format!(
+                                    "`{name}` is an array; assign to an element"
+                                ));
+                            }
+                        }
+                    } else {
+                        return self.err(format!("assignment to undeclared `{name}`"));
+                    }
+                }
+                LValue::Index(name, index) => {
+                    let Some(&g) = self.ctx.globals.get(name) else {
+                        return self.err(format!("undeclared shared array `{name}`"));
+                    };
+                    let GlobalRef::Array { base, len } = g else {
+                        return self.err(format!("`{name}` is a scalar, not an array"));
+                    };
+                    self.expr(index)?;
+                    self.expr(value)?;
+                    let site = self.site(&format!("{name}[..]"), "write");
+                    self.code.push(Instr::StoreElem { base, len, site });
+                }
+                LValue::Field(obj, field) => {
+                    let Some(&slot) = self.locals.get(obj.as_str()) else {
+                        return self.err(format!("field store through undeclared local `{obj}`"));
+                    };
+                    self.code.push(Instr::LoadLocal(slot));
+                    self.expr(value)?;
+                    let instrumented = !self.escape.is_provably_local(obj);
+                    let field_id = self.ctx.field_id(field);
+                    let kind = if instrumented { "write" } else { "write, local: elided" };
+                    let site = self.site(&format!("{obj}.{field}"), kind);
+                    self.code.push(Instr::StoreField {
+                        field: field_id,
+                        site,
+                        instrumented,
+                    });
+                }
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond)?;
+                let jz = self.emit_placeholder();
+                self.block(then_branch)?;
+                if else_branch.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.code[jz] = Instr::JumpIfZero(end);
+                } else {
+                    let jmp = self.code.len();
+                    self.code.push(Instr::Jump(0));
+                    let else_start = self.code.len() as u32;
+                    self.code[jz] = Instr::JumpIfZero(else_start);
+                    self.block(else_branch)?;
+                    let end = self.code.len() as u32;
+                    self.code[jmp] = Instr::Jump(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.code.len() as u32;
+                self.expr(cond)?;
+                let jz = self.emit_placeholder();
+                self.block(body)?;
+                self.code.push(Instr::Jump(top));
+                let end = self.code.len() as u32;
+                self.code[jz] = Instr::JumpIfZero(end);
+            }
+            Stmt::Sync { lock, body } => {
+                let Some(&m) = self.ctx.locks.get(lock) else {
+                    return self.err(format!("undeclared lock `{lock}`"));
+                };
+                self.code.push(Instr::Acquire(m));
+                self.lock_stack.push(m);
+                self.block(body)?;
+                self.lock_stack.pop();
+                self.code.push(Instr::Release(m));
+            }
+            Stmt::Join { thread } => {
+                self.expr(thread)?;
+                self.code.push(Instr::JoinThread);
+            }
+            Stmt::Wait { lock } => {
+                let Some(&m) = self.ctx.locks.get(lock) else {
+                    return self.err(format!("undeclared lock `{lock}`"));
+                };
+                if !self.lock_stack.contains(&m) {
+                    return self.err(format!(
+                        "`wait {lock}` outside a `sync {lock}` block"
+                    ));
+                }
+                self.code.push(Instr::WaitRelease(m));
+                self.code.push(Instr::Acquire(m));
+            }
+            Stmt::Notify { lock, all } => {
+                let Some(&m) = self.ctx.locks.get(lock) else {
+                    return self.err(format!("undeclared lock `{lock}`"));
+                };
+                if !self.lock_stack.contains(&m) {
+                    return self.err(format!(
+                        "`notify {lock}` outside a `sync {lock}` block"
+                    ));
+                }
+                self.code.push(Instr::Notify { lock: m, all: *all });
+            }
+            Stmt::Return { value } => {
+                match value {
+                    Some(v) => self.expr(v)?,
+                    None => self.code.push(Instr::Const(0)),
+                }
+                // Unwind any `sync` blocks we are returning out of.
+                for &m in self.lock_stack.clone().iter().rev() {
+                    self.code.push(Instr::Release(m));
+                }
+                self.code.push(Instr::Return);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Instr::Pop);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_placeholder(&mut self) -> usize {
+        let at = self.code.len();
+        self.code.push(Instr::JumpIfZero(0));
+        at
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(v) => self.code.push(Instr::Const(*v)),
+            Expr::Name(name) => {
+                if let Some(&slot) = self.locals.get(name.as_str()) {
+                    self.code.push(Instr::LoadLocal(slot));
+                } else if let Some(&vid) = self.ctx.volatiles.get(name) {
+                    self.code.push(Instr::LoadVolatile(vid));
+                } else if let Some(&g) = self.ctx.globals.get(name) {
+                    match g {
+                        GlobalRef::Scalar(slot) => {
+                            let site = self.site(name, "read");
+                            self.code.push(Instr::LoadGlobal { slot, site });
+                        }
+                        GlobalRef::Array { .. } => {
+                            return self.err(format!("`{name}` is an array; index it"));
+                        }
+                    }
+                } else {
+                    return self.err(format!("undeclared name `{name}`"));
+                }
+            }
+            Expr::Index(name, index) => {
+                let Some(&g) = self.ctx.globals.get(name) else {
+                    return self.err(format!("undeclared shared array `{name}`"));
+                };
+                let GlobalRef::Array { base, len } = g else {
+                    return self.err(format!("`{name}` is a scalar, not an array"));
+                };
+                self.expr(index)?;
+                let site = self.site(&format!("{name}[..]"), "read");
+                self.code.push(Instr::LoadElem { base, len, site });
+            }
+            Expr::Field(obj, field) => {
+                let Some(&slot) = self.locals.get(obj.as_str()) else {
+                    return self.err(format!("field read through undeclared local `{obj}`"));
+                };
+                self.code.push(Instr::LoadLocal(slot));
+                let instrumented = !self.escape.is_provably_local(obj);
+                let field_id = self.ctx.field_id(field);
+                let kind = if instrumented { "read" } else { "read, local: elided" };
+                let site = self.site(&format!("{obj}.{field}"), kind);
+                self.code.push(Instr::LoadField {
+                    field: field_id,
+                    site,
+                    instrumented,
+                });
+            }
+            Expr::New => self.code.push(Instr::NewObject),
+            Expr::Unary(op, inner) => {
+                self.expr(inner)?;
+                self.code.push(match op {
+                    UnOp::Neg => Instr::Neg,
+                    UnOp::Not => Instr::Not,
+                });
+            }
+            Expr::Binary(op, l, r) => {
+                self.expr(l)?;
+                self.expr(r)?;
+                self.code.push(Instr::Bin(*op));
+            }
+            Expr::Spawn { func, args } => {
+                let (idx, arity) = self.resolve_fn(func)?;
+                if args.len() != arity {
+                    return self.err(format!(
+                        "spawn {func}: expected {arity} args, got {}",
+                        args.len()
+                    ));
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Instr::Spawn {
+                    func: idx,
+                    argc: args.len() as u8,
+                });
+            }
+            Expr::Call { func, args } => {
+                let (idx, arity) = self.resolve_fn(func)?;
+                if args.len() != arity {
+                    return self.err(format!(
+                        "call {func}: expected {arity} args, got {}",
+                        args.len()
+                    ));
+                }
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Instr::Call {
+                    func: idx,
+                    argc: args.len() as u8,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_fn(&self, name: &str) -> Result<(u16, usize), CompileError> {
+        self.ctx
+            .functions
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError {
+                function: Some(self.fn_name.clone()),
+                message: format!("call to undefined function `{name}`"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    fn compile_err(src: &str) -> CompileError {
+        compile(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn globals_get_slots() {
+        let p = compile_src("shared x; shared a[4]; shared y; fn main() {}");
+        assert_eq!(p.globals, 6);
+    }
+
+    #[test]
+    fn scalar_accesses_are_instrumented_with_sites() {
+        let p = compile_src("shared x; fn main() { x = x + 1; }");
+        let main = &p.functions[p.entry as usize];
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::LoadGlobal { slot: 0, .. })));
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::StoreGlobal { slot: 0, .. })));
+        assert_eq!(p.sites.len(), 2);
+        assert!(p.describe_site(pacer_trace::SiteId::new(0)).contains("read"));
+    }
+
+    #[test]
+    fn local_object_accesses_are_elided() {
+        let p = compile_src("fn main() { let o = new obj; o.f = 1; let v = o.f; }");
+        let main = &p.functions[0];
+        let fields: Vec<bool> = main
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                Instr::LoadField { instrumented, .. }
+                | Instr::StoreField { instrumented, .. } => Some(*instrumented),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fields, vec![false, false], "both accesses elided");
+    }
+
+    #[test]
+    fn escaping_object_accesses_are_instrumented() {
+        let p = compile_src("shared g; fn main() { let o = new obj; g = o; o.f = 1; }");
+        let main = &p.functions[0];
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::StoreField { instrumented: true, .. })));
+    }
+
+    #[test]
+    fn sync_compiles_to_acquire_release() {
+        let p = compile_src("lock m; fn main() { sync m { } }");
+        assert_eq!(
+            p.functions[0].code[..2],
+            [Instr::Acquire(0), Instr::Release(0)]
+        );
+    }
+
+    #[test]
+    fn return_inside_sync_releases_locks() {
+        let p = compile_src("lock m; lock l; fn main() { sync m { sync l { return 3; } } }");
+        let code = &p.functions[0].code;
+        let ret = code.iter().position(|i| *i == Instr::Return).unwrap();
+        assert_eq!(code[ret - 1], Instr::Release(0), "outer lock released");
+        assert_eq!(code[ret - 2], Instr::Release(1), "inner lock released");
+    }
+
+    #[test]
+    fn while_loops_jump_back() {
+        let p = compile_src("shared x; fn main() { while (x < 3) { x = x + 1; } }");
+        let code = &p.functions[0].code;
+        assert!(code.iter().any(|i| matches!(i, Instr::Jump(0))));
+        assert!(code.iter().any(|i| matches!(i, Instr::JumpIfZero(_))));
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let p = compile_src("shared x; fn main() { if (x) { x = 1; } else { x = 2; } }");
+        let code = &p.functions[0].code;
+        let jz = code
+            .iter()
+            .find_map(|i| match i {
+                Instr::JumpIfZero(t) => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(code[jz as usize - 1], Instr::Jump(_)));
+    }
+
+    #[test]
+    fn volatile_accesses_use_volatile_instrs() {
+        let p = compile_src("volatile v; fn main() { v = v + 1; }");
+        let code = &p.functions[0].code;
+        assert!(code.contains(&Instr::LoadVolatile(0)));
+        assert!(code.contains(&Instr::StoreVolatile(0)));
+        assert_eq!(p.sites.len(), 0, "volatiles never race: no sites");
+    }
+
+    #[test]
+    fn spawn_and_call_resolve_arity() {
+        let p = compile_src("fn w(a, b) {} fn main() { let t = spawn w(1, 2); join t; w(3, 4); }");
+        let code = &p.functions[1].code;
+        assert!(code.iter().any(|i| matches!(i, Instr::Spawn { func: 0, argc: 2 })));
+        assert!(code.iter().any(|i| matches!(i, Instr::Call { func: 0, argc: 2 })));
+        assert!(code.contains(&Instr::JoinThread));
+    }
+
+    #[test]
+    fn functions_end_with_return() {
+        let p = compile_src("fn main() {}");
+        assert_eq!(
+            p.functions[0].code,
+            vec![Instr::Const(0), Instr::Return]
+        );
+    }
+
+    #[test]
+    fn field_names_are_interned() {
+        let p = compile_src("shared g; fn main() { let o = new obj; g = o; o.a = 1; o.b = 2; o.a = 3; }");
+        assert_eq!(p.field_names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn error_missing_main() {
+        let e = compile_err("fn helper() {}");
+        assert!(e.to_string().contains("main"));
+    }
+
+    #[test]
+    fn error_undeclared_name() {
+        let e = compile_err("fn main() { x = 1; }");
+        assert!(e.to_string().contains("undeclared"));
+        assert!(e.to_string().contains("in fn main"));
+    }
+
+    #[test]
+    fn error_bad_arity() {
+        let e = compile_err("fn w(a) {} fn main() { w(); }");
+        assert!(e.message.contains("expected 1 args"));
+    }
+
+    #[test]
+    fn error_index_scalar() {
+        let e = compile_err("shared x; fn main() { x[0] = 1; }");
+        assert!(e.message.contains("scalar"));
+    }
+
+    #[test]
+    fn error_assign_whole_array() {
+        let e = compile_err("shared a[2]; fn main() { a = 1; }");
+        assert!(e.message.contains("array"));
+    }
+
+    #[test]
+    fn error_undefined_function() {
+        let e = compile_err("fn main() { nope(); }");
+        assert!(e.message.contains("undefined function"));
+    }
+
+    #[test]
+    fn error_duplicate_shared() {
+        let e = compile_err("shared x; shared x; fn main() {}");
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn sites_are_consecutive_per_function() {
+        let p = compile_src(
+            "shared x; shared y;
+             fn a() { x = 1; y = 2; }
+             fn main() { x = 3; }",
+        );
+        assert_eq!(p.sites[0].function, 0);
+        assert_eq!(p.sites[1].function, 0);
+        // The second function starts at the next region boundary.
+        assert_eq!(p.sites[REGION_ALIGN as usize].function, 1);
+        assert_eq!(p.sites[2].function, u16::MAX, "padding");
+        assert_eq!(p.instrumented_sites(), 3);
+    }
+}
+
+#[cfg(test)]
+mod wait_notify_tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn wait_compiles_to_release_then_reacquire() {
+        let p = compile(&parse("lock m; fn main() { sync m { wait m; } }").unwrap()).unwrap();
+        let code = &p.functions[0].code;
+        let pos = code
+            .iter()
+            .position(|i| matches!(i, Instr::WaitRelease(0)))
+            .expect("wait emitted");
+        assert_eq!(code[pos + 1], Instr::Acquire(0), "monitor reacquired");
+    }
+
+    #[test]
+    fn notify_variants_compile() {
+        let p = compile(
+            &parse("lock m; fn main() { sync m { notify m; notifyall m; } }").unwrap(),
+        )
+        .unwrap();
+        let code = &p.functions[0].code;
+        assert!(code.contains(&Instr::Notify { lock: 0, all: false }));
+        assert!(code.contains(&Instr::Notify { lock: 0, all: true }));
+    }
+
+    #[test]
+    fn wait_outside_sync_is_rejected() {
+        let e = compile(&parse("lock m; fn main() { wait m; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("outside"), "{e}");
+        let e = compile(&parse("lock m; lock l; fn main() { sync l { notify m; } }").unwrap())
+            .unwrap_err();
+        assert!(e.message.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn wait_on_undeclared_lock_is_rejected() {
+        let e = compile(&parse("fn main() { wait nothere; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn wait_notify_round_trip_through_printer() {
+        let src = "lock m; fn main() { sync m { wait m; notify m; notifyall m; } }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&crate::print(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,678 @@
+//! Recursive-descent parser for the mini concurrent language.
+//!
+//! Grammar (EBNF, `;`-terminated statements, C-style expressions):
+//!
+//! ```text
+//! program   := (shared | lock | volatile | function)*
+//! shared    := "shared" IDENT ("[" INT "]")? ";"
+//! lock      := "lock" IDENT ";"
+//! volatile  := "volatile" IDENT ";"
+//! function  := "fn" IDENT "(" params? ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "while" "(" expr ")" block
+//!            | "sync" IDENT block
+//!            | "join" expr ";"
+//!            | "return" expr? ";"
+//!            | lvalue "=" expr ";"
+//!            | expr ";"
+//! lvalue    := IDENT | IDENT "[" expr "]" | IDENT "." IDENT
+//! expr      := or ; or := and ("||" and)* ; and := cmp ("&&" cmp)*
+//! cmp       := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add       := mul (("+"|"-") mul)* ; mul := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | primary
+//! primary   := INT | "new" "obj" | "spawn" IDENT "(" args? ")"
+//!            | IDENT "(" args? ")" | lvalue | "(" expr ")"
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A syntax error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "fn", "let", "if", "else", "while", "sync", "spawn", "join", "new", "obj", "shared", "lock",
+    "volatile", "return", "wait", "notify", "notifyall",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let p = pacer_lang::parse("shared x; fn main() { x = 3; }")?;
+/// assert_eq!(p.shareds.len(), 1);
+/// assert_eq!(p.functions[0].name, "main");
+/// # Ok::<(), pacer_lang::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => {
+                let other = other.clone();
+                self.error(format!("expected `{p}`, found {other}"))
+            }
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_if_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            let found = self.peek().clone();
+            self.error(format!("expected `{kw}`, found {found}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                let other = other.clone();
+                self.error(format!("expected identifier, found {other}"))
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(v)
+            }
+            other => {
+                let other = other.clone();
+                self.error(format!("expected integer, found {other}"))
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "shared" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        let len = if self.eat_if_punct("[") {
+                            let n = self.int()?;
+                            if n <= 0 || n > 1_000_000 {
+                                return self.error("array length must be in 1..=1000000");
+                            }
+                            self.eat_punct("]")?;
+                            Some(n as u32)
+                        } else {
+                            None
+                        };
+                        self.eat_punct(";")?;
+                        program.shareds.push(SharedDecl { name, len });
+                    }
+                    "lock" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        self.eat_punct(";")?;
+                        program.locks.push(name);
+                    }
+                    "volatile" => {
+                        self.bump();
+                        let name = self.ident()?;
+                        self.eat_punct(";")?;
+                        program.volatiles.push(name);
+                    }
+                    "fn" => {
+                        program.functions.push(self.function()?);
+                    }
+                    other => {
+                        let other = other.to_string();
+                        return self.error(format!(
+                            "expected `shared`, `lock`, `volatile`, or `fn`, found `{other}`"
+                        ));
+                    }
+                },
+                other => {
+                    let other = other.clone();
+                    return self.error(format!("expected a declaration, found {other}"));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.eat_keyword("fn")?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat_if_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.error("unterminated block: expected `}`");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_keyword("let") {
+            self.bump();
+            let name = self.ident()?;
+            self.eat_punct("=")?;
+            let init = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Let { name, init });
+        }
+        if self.at_keyword("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let then_branch = self.block()?;
+            let else_branch = if self.at_keyword("else") {
+                self.bump();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.at_keyword("while") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_keyword("sync") {
+            self.bump();
+            let lock = self.ident()?;
+            let body = self.block()?;
+            return Ok(Stmt::Sync { lock, body });
+        }
+        if self.at_keyword("join") {
+            self.bump();
+            let thread = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Join { thread });
+        }
+        if self.at_keyword("wait") {
+            self.bump();
+            let lock = self.ident()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Wait { lock });
+        }
+        if self.at_keyword("notify") {
+            self.bump();
+            let lock = self.ident()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Notify { lock, all: false });
+        }
+        if self.at_keyword("notifyall") {
+            self.bump();
+            let lock = self.ident()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Notify { lock, all: true });
+        }
+        if self.at_keyword("return") {
+            self.bump();
+            let value = if self.at_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return { value });
+        }
+        // Assignment or expression statement. Try an lvalue followed by `=`.
+        let checkpoint = self.pos;
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if !KEYWORDS.contains(&name.as_str()) {
+                self.bump();
+                if self.eat_if_punct("=") {
+                    let value = self.expr()?;
+                    self.eat_punct(";")?;
+                    return Ok(Stmt::Assign {
+                        target: LValue::Name(name),
+                        value,
+                    });
+                }
+                if self.at_punct("[") {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.eat_punct("]")?;
+                    if self.eat_if_punct("=") {
+                        let value = self.expr()?;
+                        self.eat_punct(";")?;
+                        return Ok(Stmt::Assign {
+                            target: LValue::Index(name, Box::new(index)),
+                            value,
+                        });
+                    }
+                    // Not an assignment: rewind and parse as expression.
+                    self.pos = checkpoint;
+                } else if self.at_punct(".") {
+                    self.bump();
+                    let field = self.ident()?;
+                    if self.eat_if_punct("=") {
+                        let value = self.expr()?;
+                        self.eat_punct(";")?;
+                        return Ok(Stmt::Assign {
+                            target: LValue::Field(name, field),
+                            value,
+                        });
+                    }
+                    self.pos = checkpoint;
+                } else {
+                    self.pos = checkpoint;
+                }
+            }
+        }
+        let expr = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_if_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_if_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Punct("==") => Some(BinOp::Eq),
+            TokenKind::Punct("!=") => Some(BinOp::Ne),
+            TokenKind::Punct("<") => Some(BinOp::Lt),
+            TokenKind::Punct("<=") => Some(BinOp::Le),
+            TokenKind::Punct(">") => Some(BinOp::Gt),
+            TokenKind::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct("+") => BinOp::Add,
+                TokenKind::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct("*") => BinOp::Mul,
+                TokenKind::Punct("/") => BinOp::Div,
+                TokenKind::Punct("%") => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_if_punct("-") {
+            let inner = self.unary_expr()?;
+            // Negated literals fold at parse time, so `Expr::Int` covers
+            // the full i64 range and `-5` round-trips through the printer
+            // as a literal. `Unary(Neg, Int(_))` therefore never appears
+            // in parsed ASTs.
+            if let Expr::Int(v) = inner {
+                return Ok(Expr::Int(v.wrapping_neg()));
+            }
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        if self.eat_if_punct("!") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        if let TokenKind::Int(v) = self.peek() {
+            let v = *v;
+            self.bump();
+            return Ok(Expr::Int(v));
+        }
+        if self.eat_if_punct("(") {
+            let e = self.expr()?;
+            self.eat_punct(")")?;
+            return Ok(e);
+        }
+        if self.at_keyword("new") {
+            self.bump();
+            self.eat_keyword("obj")?;
+            return Ok(Expr::New);
+        }
+        if self.at_keyword("spawn") {
+            self.bump();
+            let func = self.ident()?;
+            let args = self.call_args()?;
+            return Ok(Expr::Spawn { func, args });
+        }
+        let name = self.ident()?;
+        if self.at_punct("(") {
+            let args = self.call_args()?;
+            return Ok(Expr::Call { func: name, args });
+        }
+        if self.eat_if_punct("[") {
+            let index = self.expr()?;
+            self.eat_punct("]")?;
+            return Ok(Expr::Index(name, Box::new(index)));
+        }
+        if self.eat_if_punct(".") {
+            let field = self.ident()?;
+            return Ok(Expr::Field(name, field));
+        }
+        Ok(Expr::Name(name))
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat_punct("(")?;
+        let mut args = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_if_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("shared x; shared a[4]; lock m; volatile v; fn main() {}").unwrap();
+        assert_eq!(p.shareds.len(), 2);
+        assert_eq!(p.shareds[1].len, Some(4));
+        assert_eq!(p.locks, vec!["m"]);
+        assert_eq!(p.volatiles, vec!["v"]);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_statements() {
+        let p = parse(
+            "
+            shared x; lock m;
+            fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { x = x + i; } else { x = x - 1; }
+                    sync m { x = 0; }
+                    i = i + 1;
+                }
+                return x;
+            }
+        ",
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[0], Stmt::Let { .. }));
+        assert!(matches!(body[1], Stmt::While { .. }));
+        assert!(matches!(body[2], Stmt::Return { .. }));
+    }
+
+    #[test]
+    fn parses_spawn_join_and_calls() {
+        let p = parse(
+            "
+            fn work(a, b) { return a + b; }
+            fn main() {
+                let t = spawn work(1, 2);
+                join t;
+                let r = work(3, 4);
+                work(r, 0);
+            }
+        ",
+        )
+        .unwrap();
+        let body = &p.functions[1].body;
+        assert!(matches!(
+            &body[0],
+            Stmt::Let { init: Expr::Spawn { func, .. }, .. } if func == "work"
+        ));
+        assert!(matches!(&body[1], Stmt::Join { .. }));
+        assert!(matches!(&body[3], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn parses_objects_and_fields() {
+        let p = parse(
+            "
+            shared g;
+            fn main() {
+                let o = new obj;
+                o.count = 3;
+                let v = o.count;
+                g = o.count + 1;
+            }
+        ",
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(&body[0], Stmt::Let { init: Expr::New, .. }));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign { target: LValue::Field(o, f), .. } if o == "o" && f == "count"
+        ));
+    }
+
+    #[test]
+    fn parses_array_accesses() {
+        let p = parse("shared a[8]; fn main() { a[3] = a[2] + 1; }").unwrap();
+        assert!(matches!(
+            &p.functions[0].body[0],
+            Stmt::Assign { target: LValue::Index(..), value: Expr::Binary(..) }
+        ));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("fn main() { let x = 1 + 2 * 3 < 7 && 1; }").unwrap();
+        let Stmt::Let { init, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        // && at the top.
+        assert!(matches!(init, Expr::Binary(BinOp::And, ..)));
+    }
+
+    #[test]
+    fn array_read_without_assign_is_expression() {
+        let p = parse("shared a[2]; fn f(i) {} fn main() { f(a[1]); a[0]; }").unwrap();
+        assert!(matches!(&p.functions[1].body[1], Stmt::Expr(Expr::Index(..))));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("fn main() {\n  let = 3;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("identifier"));
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert!(parse("fn while() {}").is_err());
+        assert!(parse("shared fn;").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_is_reported() {
+        let err = parse("fn main() { let a = 1;").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let p = parse("").unwrap();
+        assert!(p.functions.is_empty());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("fn main() { let a = - ! - 1; }").unwrap();
+        let Stmt::Let { init, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::Unary(UnOp::Neg, _)));
+    }
+}

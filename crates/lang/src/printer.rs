@@ -1,0 +1,285 @@
+//! Pretty-printer: AST → canonical source text.
+//!
+//! The printer emits source the [parser](crate::parse) accepts, and
+//! round-trips: `parse(print(p)) == p` (property-tested). Useful for
+//! dumping generated workloads, normalizing fixtures, and debugging
+//! transformation passes.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program as canonical source text.
+///
+/// # Examples
+///
+/// ```
+/// let program = pacer_lang::parse("shared x; fn main() { x = x + 1; }")?;
+/// let text = pacer_lang::print(&program);
+/// assert!(text.contains("x = (x + 1);"), "canonical, fully parenthesized");
+/// let again = pacer_lang::parse(&text)?;
+/// assert_eq!(program, again);
+/// # Ok::<(), pacer_lang::ParseError>(())
+/// ```
+pub fn print(program: &Program) -> String {
+    let mut out = String::new();
+    for s in &program.shareds {
+        match s.len {
+            None => {
+                let _ = writeln!(out, "shared {};", s.name);
+            }
+            Some(len) => {
+                let _ = writeln!(out, "shared {}[{len}];", s.name);
+            }
+        }
+    }
+    for m in &program.locks {
+        let _ = writeln!(out, "lock {m};");
+    }
+    for v in &program.volatiles {
+        let _ = writeln!(out, "volatile {v};");
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let _ = write!(out, "fn {}({})", f.name, f.params.join(", "));
+    out.push_str(" {\n");
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, body: &[Stmt], level: usize) {
+    out.push_str("{\n");
+    for s in body {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Let { name, init } => {
+            let _ = write!(out, "let {name} = {};", expr(init));
+        }
+        Stmt::Assign { target, value } => {
+            let t = match target {
+                LValue::Name(n) => n.clone(),
+                LValue::Index(n, i) => format!("{n}[{}]", expr(i)),
+                LValue::Field(o, f) => format!("{o}.{f}"),
+            };
+            let _ = write!(out, "{t} = {};", expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = write!(out, "if ({}) ", expr(cond));
+            print_block(out, then_branch, level);
+            if !else_branch.is_empty() {
+                out.push_str(" else ");
+                print_block(out, else_branch, level);
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = write!(out, "while ({}) ", expr(cond));
+            print_block(out, body, level);
+        }
+        Stmt::Sync { lock, body } => {
+            let _ = write!(out, "sync {lock} ");
+            print_block(out, body, level);
+        }
+        Stmt::Join { thread } => {
+            let _ = write!(out, "join {};", expr(thread));
+        }
+        Stmt::Wait { lock } => {
+            let _ = write!(out, "wait {lock};");
+        }
+        Stmt::Notify { lock, all } => {
+            let kw = if *all { "notifyall" } else { "notify" };
+            let _ = write!(out, "{kw} {lock};");
+        }
+        Stmt::Return { value } => match value {
+            Some(v) => {
+                let _ = write!(out, "return {};", expr(v));
+            }
+            None => out.push_str("return;"),
+        },
+        Stmt::Expr(e) => {
+            let _ = write!(out, "{};", expr(e));
+        }
+    }
+    out.push('\n');
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Renders an expression, parenthesizing every compound subexpression so
+/// precedence never needs reconstruction (canonical, not minimal).
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                // Negative literals print as parenthesized unary minus so
+                // `a - -1` stays parseable.
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Name(n) => n.clone(),
+        Expr::Index(n, i) => format!("{n}[{}]", expr(i)),
+        Expr::Field(o, f) => format!("{o}.{f}"),
+        Expr::New => "new obj".to_string(),
+        Expr::Unary(UnOp::Neg, inner) => format!("(-{})", expr(inner)),
+        Expr::Unary(UnOp::Not, inner) => format!("(!{})", expr(inner)),
+        Expr::Binary(op, l, r) => format!("({} {} {})", expr(l), bin_op(*op), expr(r)),
+        Expr::Spawn { func, args } => format!(
+            "spawn {func}({})",
+            args.iter().map(expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Call { func, args } => format!(
+            "{func}({})",
+            args.iter().map(expr).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip("shared x; shared a[4]; lock m; volatile v; fn main() {}");
+    }
+
+    #[test]
+    fn round_trips_statements() {
+        round_trip(
+            "
+            shared x; lock m;
+            fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { x = x + i; } else { x = x - 1; }
+                    sync m { x = 0; }
+                    i = i + 1;
+                }
+                return x;
+            }
+        ",
+        );
+    }
+
+    #[test]
+    fn round_trips_objects_threads_arrays() {
+        round_trip(
+            "
+            shared g; shared a[3];
+            fn w(p, q) { return p + q; }
+            fn main() {
+                let o = new obj;
+                o.f = 1;
+                g = o.f;
+                a[2] = w(1, 2);
+                let t = spawn w(3, 4);
+                join t;
+                w(a[0], -1);
+            }
+        ",
+        );
+    }
+
+    #[test]
+    fn round_trips_nested_expressions() {
+        round_trip(
+            "fn main() { let z = !(1 + 2 * 3 < 4) && (5 >= -6 || 7 != 8 / 2); }",
+        );
+    }
+
+    #[test]
+    fn round_trips_generated_workloads() {
+        for w in pacer_workloads_sources() {
+            round_trip(&w);
+        }
+    }
+
+    /// Inline copies of small generated-workload shapes (avoiding a dev
+    /// dependency cycle with pacer-workloads).
+    fn pacer_workloads_sources() -> Vec<String> {
+        vec![
+            "
+            shared sink; lock relay;
+            fn flash(id) { sync relay { sink = sink + id; } }
+            fn main() {
+                let k = 0;
+                while (k < 4) {
+                    let a = spawn flash(k);
+                    join a;
+                    k = k + 1;
+                }
+            }
+            "
+            .to_string(),
+        ]
+    }
+
+    #[test]
+    fn negative_literals_print_parseable() {
+        round_trip("fn main() { let a = 1 - -2; let b = -3; }");
+    }
+
+    #[test]
+    fn printed_text_is_stable() {
+        // print(parse(print(p))) == print(p): canonical form is a fixpoint.
+        let p = parse("shared x; fn main() { x = (1 + 2) * 3; }").unwrap();
+        let once = print(&p);
+        let twice = print(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the language pipeline: printer round-trips, folding
+//! laws, and lexer/parser robustness over generated ASTs.
+
+use proptest::prelude::*;
+
+use pacer_lang::ast::*;
+use pacer_lang::{compile, fold_program, parse, print};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Names that are never keywords.
+    "[a-z][a-z0-9_]{0,6}x".prop_map(|s| s)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Int),
+        arb_name().prop_map(Expr::Name),
+        Just(Expr::New),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
+                ];
+                Expr::Binary(
+                    ops[op as usize % ops.len()],
+                    Box::new(l),
+                    Box::new(r),
+                )
+            }),
+            // Parsed ASTs never contain Neg of a literal (the parser folds
+            // it into the literal), so the generator canonicalizes too.
+            inner.clone().prop_map(|e| match e {
+                Expr::Int(v) => Expr::Int(v.wrapping_neg()),
+                e => Expr::Unary(UnOp::Neg, Box::new(e)),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (arb_name(), inner.clone()).prop_map(|(n, i)| Expr::Index(n, Box::new(i))),
+            (arb_name(), arb_name()).prop_map(|(o, f)| Expr::Field(o, f)),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (arb_name(), arb_expr()).prop_map(|(name, init)| Stmt::Let { name, init }),
+        (arb_name(), arb_expr()).prop_map(|(n, value)| Stmt::Assign {
+            target: LValue::Name(n),
+            value,
+        }),
+        (arb_name(), arb_expr(), arb_expr()).prop_map(|(n, i, value)| Stmt::Assign {
+            target: LValue::Index(n, Box::new(i)),
+            value,
+        }),
+        (arb_name(), arb_name(), arb_expr()).prop_map(|(o, f, value)| Stmt::Assign {
+            target: LValue::Field(o, f),
+            value,
+        }),
+        arb_expr().prop_map(Stmt::Expr),
+        prop::option::of(arb_expr()).prop_map(|value| Stmt::Return { value }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (arb_expr(), prop::collection::vec(inner.clone(), 0..3),
+             prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }),
+            (arb_expr(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(cond, body)| Stmt::While { cond, body }),
+            (arb_name(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(lock, body)| Stmt::Sync { lock, body }),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((arb_name(), prop::option::of(1u32..8)), 0..3),
+        prop::collection::vec(arb_name(), 0..2),
+        prop::collection::vec(arb_name(), 0..2),
+        prop::collection::vec(
+            (arb_name(), prop::collection::vec(arb_name(), 0..3),
+             prop::collection::vec(arb_stmt(), 0..5)),
+            1..3,
+        ),
+    )
+        .prop_map(|(shareds, locks, volatiles, fns)| Program {
+            shareds: shareds
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, len))| SharedDecl {
+                    name: format!("{name}{i}"),
+                    len,
+                })
+                .collect(),
+            locks,
+            volatiles,
+            functions: fns
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, params, body))| Function {
+                    name: format!("{name}{i}"),
+                    params,
+                    body,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(print(p)) == p` for arbitrary ASTs (not just parseable
+    /// sources): the printer is a total inverse of the parser.
+    #[test]
+    fn print_parse_round_trip(p in arb_program()) {
+        let text = print(&p);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable text: {e}\n{text}"));
+        prop_assert_eq!(reparsed, p);
+    }
+
+    /// Folding is idempotent.
+    #[test]
+    fn fold_is_idempotent(p in arb_program()) {
+        let once = fold_program(&p);
+        let twice = fold_program(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Folding commutes with the printer round trip.
+    #[test]
+    fn fold_commutes_with_round_trip(p in arb_program()) {
+        let folded_then_printed = parse(&print(&fold_program(&p))).unwrap();
+        prop_assert_eq!(folded_then_printed, fold_program(&p));
+    }
+
+    /// If the original compiles, the folded program compiles too, with no
+    /// more instrumented sites.
+    #[test]
+    fn fold_preserves_compilability(p in arb_program()) {
+        if let Ok(original) = compile(&p) {
+            let folded = compile(&fold_program(&p))
+                .expect("folding must not break a compilable program");
+            prop_assert!(folded.instrumented_sites() <= original.instrumented_sites());
+        }
+    }
+
+    /// The lexer+parser never panic on arbitrary input bytes.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,200 @@
+//! The GC-boundary sampling controller with bias correction (§4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides, at the end of each (nursery) garbage collection, whether the
+/// next inter-collection window is a sampling period.
+///
+/// Naively enabling sampling with probability `r` *undersamples*: sampling
+/// windows allocate race-detection metadata, so collections arrive sooner
+/// and less program work happens inside them. Following §4, the controller
+/// measures program work in **synchronization operations** (which are
+/// independent of sampling), estimates the average work per sampled and
+/// per unsampled window, and adjusts the enable probability so the
+/// *work-weighted* fraction of sampled execution converges to the target
+/// rate. Table 1 evaluates exactly this mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_runtime::GcSampler;
+///
+/// let mut s = GcSampler::new(0.25, 7);
+/// let mut sampled_windows = 0;
+/// for _ in 0..1000 {
+///     if s.on_gc() {
+///         sampled_windows += 1;
+///     }
+///     // …window executes; the VM reports sync ops via count_sync()…
+/// }
+/// // With no feedback the probability stays at the target rate.
+/// assert!((150..350).contains(&sampled_windows));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GcSampler {
+    target: f64,
+    rng: StdRng,
+    sampling: bool,
+    /// Sync ops observed in sampled / unsampled windows.
+    sampled_sync: u64,
+    unsampled_sync: u64,
+    /// Completed windows of each kind.
+    sampled_windows: u64,
+    unsampled_windows: u64,
+}
+
+impl GcSampler {
+    /// Creates a controller targeting sampling rate `rate ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        GcSampler {
+            target: rate,
+            rng: StdRng::seed_from_u64(seed),
+            sampling: false,
+            sampled_sync: 0,
+            unsampled_sync: 0,
+            sampled_windows: 0,
+            unsampled_windows: 0,
+        }
+    }
+
+    /// The target sampling rate.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Whether the current window is a sampling period.
+    pub fn is_sampling(&self) -> bool {
+        self.sampling
+    }
+
+    /// Records one synchronization operation in the current window.
+    pub fn count_sync(&mut self) {
+        if self.sampling {
+            self.sampled_sync += 1;
+        } else {
+            self.unsampled_sync += 1;
+        }
+    }
+
+    /// Called at the end of a collection: closes the current window and
+    /// draws the next one. Returns the new sampling state.
+    pub fn on_gc(&mut self) -> bool {
+        if self.sampling {
+            self.sampled_windows += 1;
+        } else {
+            self.unsampled_windows += 1;
+        }
+        let p = self.adjusted_probability();
+        self.sampling = p > 0.0 && self.rng.gen_bool(p.min(1.0));
+        self.sampling
+    }
+
+    /// The bias-corrected enable probability: solves
+    /// `p·w_s / (p·w_s + (1−p)·w_n) = r` for `p`, where `w_s`/`w_n` are
+    /// the measured mean sync-ops per sampled/unsampled window.
+    fn adjusted_probability(&self) -> f64 {
+        let r = self.target;
+        if r <= 0.0 {
+            return 0.0;
+        }
+        if r >= 1.0 {
+            return 1.0;
+        }
+        let ws = if self.sampled_windows > 0 {
+            self.sampled_sync as f64 / self.sampled_windows as f64
+        } else {
+            return r; // no observations yet: start at the target
+        };
+        let wn = if self.unsampled_windows > 0 {
+            self.unsampled_sync as f64 / self.unsampled_windows as f64
+        } else {
+            return r;
+        };
+        if ws <= 0.0 || wn <= 0.0 {
+            return r;
+        }
+        (r * wn) / (ws * (1.0 - r) + r * wn)
+    }
+
+    /// The work-weighted effective rate observed so far (sync-op measure).
+    ///
+    /// Returns `None` before any sync op.
+    pub fn observed_rate(&self) -> Option<f64> {
+        let total = self.sampled_sync + self.unsampled_sync;
+        (total > 0).then(|| self.sampled_sync as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_samples() {
+        let mut s = GcSampler::new(0.0, 1);
+        assert!((0..100).all(|_| !s.on_gc()));
+    }
+
+    #[test]
+    fn full_rate_always_samples() {
+        let mut s = GcSampler::new(1.0, 1);
+        assert!((0..100).all(|_| s.on_gc()));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn out_of_range_rate_panics() {
+        GcSampler::new(1.5, 0);
+    }
+
+    #[test]
+    fn uncorrected_probability_matches_target() {
+        // Equal work per window: correction is a no-op.
+        let mut s = GcSampler::new(0.10, 3);
+        let mut sampled = 0;
+        for _ in 0..20_000 {
+            if s.on_gc() {
+                sampled += 1;
+            }
+            for _ in 0..50 {
+                s.count_sync();
+            }
+        }
+        let rate = sampled as f64 / 20_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn correction_compensates_short_sampled_windows() {
+        // Sampled windows see only 20% of the work of unsampled windows
+        // (metadata allocation shortens them). Without correction the
+        // work-weighted rate would be ≈ r/5.
+        let mut s = GcSampler::new(0.10, 5);
+        for _ in 0..50_000 {
+            let sampling = s.on_gc();
+            let work = if sampling { 10 } else { 50 };
+            for _ in 0..work {
+                s.count_sync();
+            }
+        }
+        let observed = s.observed_rate().unwrap();
+        assert!(
+            (0.08..0.13).contains(&observed),
+            "work-weighted rate {observed} should converge to 0.10"
+        );
+    }
+
+    #[test]
+    fn observed_rate_none_without_work() {
+        let s = GcSampler::new(0.5, 0);
+        assert_eq!(s.observed_rate(), None);
+        assert_eq!(s.target(), 0.5);
+        assert!(!s.is_sampling());
+    }
+}

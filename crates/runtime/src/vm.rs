@@ -1,0 +1,1197 @@
+//! The virtual machine: seeded preemptive execution of compiled programs.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pacer_clock::ThreadId;
+use pacer_lang::ir::{BinOp, CompiledProgram, Instr};
+use pacer_trace::{Action, ActionStats, Detector, LockId, RaceReport, VolatileId};
+
+use crate::heap::{Heap, ObjId, SpaceSample};
+use crate::sampler::GcSampler;
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A 64-bit integer (also booleans: zero is false).
+    Int(i64),
+    /// A heap object reference.
+    Ref(ObjId),
+    /// A thread handle (from `spawn`).
+    Thread(u32),
+}
+
+impl Value {
+    fn as_int(self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(VmError::Type(format!("expected int, found {other:?}"))),
+        }
+    }
+
+    fn truthy(self) -> bool {
+        !matches!(self, Value::Int(0))
+    }
+}
+
+/// How much instrumentation the run carries (the configurations of
+/// Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InstrumentMode {
+    /// No detector calls at all: the unmodified-VM baseline.
+    Off,
+    /// Object metadata + synchronization instrumentation only
+    /// ("OM + sync ops, r = 0%").
+    SyncOnly,
+    /// Full instrumentation: sync ops and read/write barriers.
+    #[default]
+    Full,
+}
+
+/// Configuration for one VM run.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Scheduler / sampler seed: equal seeds give equal interleavings.
+    pub seed: u64,
+    /// Maximum instructions per scheduling turn (quantum is drawn from
+    /// `1..=max_quantum`).
+    pub max_quantum: u32,
+    /// Allocation between nursery collections (the paper uses 32 MB; the
+    /// default here is scaled down so runs see on the order of a hundred
+    /// sampling-period decisions, like the paper's long executions).
+    pub nursery_bytes: u64,
+    /// A full-heap collection (space sample) every this many nurseries.
+    pub full_gc_every: u32,
+    /// Target global sampling rate `r ∈ [0, 1]`; periods toggle at GC
+    /// boundaries (§4).
+    pub sampling_rate: f64,
+    /// Bytes charged to the allocation clock per analyzed access inside a
+    /// sampling period — the metadata-allocation bias §4 corrects for.
+    pub metadata_bytes_per_sampled_access: u64,
+    /// Safety limit on executed instructions.
+    pub max_steps: u64,
+    /// Instrumentation level.
+    pub instrument: InstrumentMode,
+}
+
+impl VmConfig {
+    /// A configuration with the given scheduler seed and full
+    /// instrumentation at rate 0 (never sampling).
+    pub fn new(seed: u64) -> Self {
+        VmConfig {
+            seed,
+            max_quantum: 24,
+            nursery_bytes: 2 * 1024,
+            full_gc_every: 8,
+            sampling_rate: 0.0,
+            metadata_bytes_per_sampled_access: 8,
+            max_steps: 200_000_000,
+            instrument: InstrumentMode::Full,
+        }
+    }
+
+    /// Sets the target sampling rate.
+    pub fn with_sampling_rate(mut self, rate: f64) -> Self {
+        self.sampling_rate = rate;
+        self
+    }
+
+    /// Sets the instrumentation mode.
+    pub fn with_instrument(mut self, mode: InstrumentMode) -> Self {
+        self.instrument = mode;
+        self
+    }
+
+    /// Sets the step limit.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Sets the nursery size (allocation between sampling decisions).
+    pub fn with_nursery_bytes(mut self, bytes: u64) -> Self {
+        self.nursery_bytes = bytes;
+        self
+    }
+}
+
+/// A runtime error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Operand of the wrong kind.
+    Type(String),
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// All live threads are blocked.
+    Deadlock,
+    /// The configured step limit was exceeded.
+    StepLimit(u64),
+    /// Internal stack underflow (a compiler bug if it ever fires).
+    StackUnderflow,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Type(m) => write!(f, "type error: {m}"),
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::Deadlock => write!(f, "deadlock: all live threads blocked"),
+            VmError::StepLimit(n) => write!(f, "step limit exceeded after {n} instructions"),
+            VmError::StackUnderflow => write!(f, "operand stack underflow"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// A detector that ignores everything (for uninstrumented baselines).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullDetector;
+
+impl Detector for NullDetector {
+    fn name(&self) -> String {
+        "null".to_string()
+    }
+
+    fn on_action(&mut self, _action: &Action) {}
+
+    fn races(&self) -> &[RaceReport] {
+        &[]
+    }
+}
+
+/// What a run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Instructions executed across all threads.
+    pub steps: u64,
+    /// Dynamic action counts (synchronization + instrumented accesses),
+    /// counted even when instrumentation is off, so baselines are
+    /// comparable.
+    pub stats: ActionStats,
+    /// Field accesses elided by escape analysis (never instrumented).
+    pub elided_accesses: u64,
+    /// Nursery collections.
+    pub gc_count: u64,
+    /// Full-heap collections (space samples).
+    pub full_gc_count: u64,
+    /// Space samples taken at full-heap collections.
+    pub space_samples: Vec<SpaceSample>,
+    /// `main`'s return value.
+    pub main_result: Value,
+    /// Work-weighted effective sampling rate per the GC sampler's sync-op
+    /// measure (`None` when no sync ops ran).
+    pub sampler_observed_rate: Option<f64>,
+    /// Total bytes allocated (program + charged metadata).
+    pub total_allocated: u64,
+    /// Threads ever started (including main).
+    pub threads_started: usize,
+    /// Maximum simultaneously live threads.
+    pub max_live_threads: usize,
+}
+
+#[derive(Clone, Debug)]
+enum ThreadState {
+    Runnable,
+    BlockedLock(u32),
+    BlockedJoin(u32),
+    /// Parked on a lock's wait queue until a notify (not schedulable).
+    /// Carries the lock for diagnostics; wakeups come via the queue.
+    #[allow(dead_code)]
+    Waiting(u32),
+    Done(Value),
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: u16,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+#[derive(Clone, Debug)]
+struct SimThread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+}
+
+/// The virtual machine. Use [`Vm::run`] or [`Vm::run_with_probe`].
+pub struct Vm<'p, D: Detector> {
+    program: &'p CompiledProgram,
+    config: &'p VmConfig,
+    detector: &'p mut D,
+    threads: Vec<SimThread>,
+    globals: Vec<Value>,
+    volatiles: Vec<Value>,
+    lock_holders: Vec<Option<u32>>,
+    /// Per-lock wait queues (FIFO), for `wait`/`notify`.
+    wait_queues: Vec<Vec<u32>>,
+    heap: Heap,
+    sampler: GcSampler,
+    rng: StdRng,
+    steps: u64,
+    stats: ActionStats,
+    elided: u64,
+    gc_count: u64,
+    full_gc_count: u64,
+    space_samples: Vec<SpaceSample>,
+    max_live: usize,
+}
+
+impl<'p, D: Detector> Vm<'p, D> {
+    /// Runs `program` to completion under `config`, feeding `detector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on type errors, deadlock, or step-limit
+    /// exhaustion.
+    pub fn run(
+        program: &CompiledProgram,
+        detector: &mut D,
+        config: &VmConfig,
+    ) -> Result<RunOutcome, VmError> {
+        Self::run_with_probe(program, detector, config, |_, _| {})
+    }
+
+    /// Like [`Vm::run`], but calls `probe(detector, sample)` at every
+    /// full-heap collection so callers can record detector metadata size
+    /// over time (Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on type errors, deadlock, or step-limit
+    /// exhaustion.
+    pub fn run_with_probe(
+        program: &CompiledProgram,
+        detector: &mut D,
+        config: &VmConfig,
+        mut probe: impl FnMut(&D, &SpaceSample),
+    ) -> Result<RunOutcome, VmError> {
+        let entry = program.entry;
+        let main_fn = &program.functions[entry as usize];
+        let main = SimThread {
+            frames: vec![Frame {
+                func: entry,
+                pc: 0,
+                locals: vec![Value::Int(0); main_fn.n_locals as usize],
+                stack: Vec::new(),
+            }],
+            state: ThreadState::Runnable,
+        };
+        let mut vm = Vm {
+            program,
+            config,
+            detector,
+            threads: vec![main],
+            globals: vec![Value::Int(0); program.globals as usize],
+            volatiles: vec![Value::Int(0); program.volatiles as usize],
+            lock_holders: vec![None; program.locks as usize],
+            wait_queues: vec![Vec::new(); program.locks as usize],
+            heap: Heap::new(program.globals),
+            sampler: GcSampler::new(config.sampling_rate, config.seed ^ 0x5a5a_5a5a),
+            rng: StdRng::seed_from_u64(config.seed),
+            steps: 0,
+            stats: ActionStats::default(),
+            elided: 0,
+            gc_count: 0,
+            full_gc_count: 0,
+            space_samples: Vec::new(),
+            max_live: 1,
+        };
+
+        // Treat run start as a collection boundary so the first window is
+        // drawn like every other (and r = 100% samples from step 0).
+        let sampling = vm.sampler.on_gc();
+        if sampling {
+            vm.emit_marker(Action::SampleBegin);
+        }
+
+        vm.schedule(&mut probe)?;
+
+        let main_result = match &vm.threads[0].state {
+            ThreadState::Done(v) => *v,
+            _ => Value::Int(0),
+        };
+        Ok(RunOutcome {
+            steps: vm.steps,
+            stats: vm.stats,
+            elided_accesses: vm.elided,
+            gc_count: vm.gc_count,
+            full_gc_count: vm.full_gc_count,
+            space_samples: vm.space_samples,
+            main_result,
+            sampler_observed_rate: vm.sampler.observed_rate(),
+            total_allocated: vm.heap.total_allocated(),
+            threads_started: vm.threads.len(),
+            max_live_threads: vm.max_live,
+        })
+    }
+
+    fn schedule(&mut self, probe: &mut impl FnMut(&D, &SpaceSample)) -> Result<(), VmError> {
+        loop {
+            // A thread is enabled if runnable, or blocked on a condition
+            // that now holds.
+            let mut enabled: Vec<usize> = Vec::new();
+            let mut all_done = true;
+            for (i, t) in self.threads.iter().enumerate() {
+                match t.state {
+                    ThreadState::Runnable => {
+                        enabled.push(i);
+                        all_done = false;
+                    }
+                    ThreadState::BlockedLock(m) => {
+                        all_done = false;
+                        if self.lock_holders[m as usize].is_none() {
+                            enabled.push(i);
+                        }
+                    }
+                    ThreadState::BlockedJoin(u) => {
+                        all_done = false;
+                        if matches!(self.threads[u as usize].state, ThreadState::Done(_)) {
+                            enabled.push(i);
+                        }
+                    }
+                    ThreadState::Waiting(_) => {
+                        // Only a notify can unpark it.
+                        all_done = false;
+                    }
+                    ThreadState::Done(_) => {}
+                }
+            }
+            if enabled.is_empty() {
+                return if all_done {
+                    Ok(())
+                } else {
+                    Err(VmError::Deadlock)
+                };
+            }
+            let ti = enabled[self.rng.gen_range(0..enabled.len())];
+            self.threads[ti].state = ThreadState::Runnable;
+            let quantum = self.rng.gen_range(1..=self.config.max_quantum);
+            for _ in 0..quantum {
+                if !matches!(self.threads[ti].state, ThreadState::Runnable) {
+                    break;
+                }
+                self.step(ti as u32, probe)?;
+                if self.steps > self.config.max_steps {
+                    return Err(VmError::StepLimit(self.steps));
+                }
+            }
+        }
+    }
+
+    fn emit_marker(&mut self, action: Action) {
+        self.stats.count(&action);
+        if matches!(self.config.instrument, InstrumentMode::Full) {
+            self.detector.on_action(&action);
+        }
+    }
+
+    fn emit_sync(&mut self, action: Action) {
+        self.stats.count(&action);
+        self.sampler.count_sync();
+        if !matches!(self.config.instrument, InstrumentMode::Off) {
+            self.detector.on_action(&action);
+        }
+    }
+
+    fn emit_access(&mut self, action: Action) {
+        self.stats.count(&action);
+        if matches!(self.config.instrument, InstrumentMode::Full) {
+            if self.sampler.is_sampling() {
+                // Sampled accesses allocate analysis metadata, advancing
+                // the allocation clock (§4's bias source).
+                self.heap
+                    .charge(self.config.metadata_bytes_per_sampled_access, false);
+            }
+            self.detector.on_action(&action);
+        }
+    }
+
+    fn maybe_gc(&mut self, probe: &mut impl FnMut(&D, &SpaceSample)) {
+        if self.heap.bytes_since_gc < self.config.nursery_bytes {
+            return;
+        }
+        self.heap.bytes_since_gc = 0;
+        self.gc_count += 1;
+        if self.config.full_gc_every > 0 && (self.gc_count).is_multiple_of(self.config.full_gc_every as u64)
+        {
+            self.full_gc_count += 1;
+            let sample = SpaceSample {
+                steps: self.steps,
+                heap_bytes: self.heap.live_bytes(),
+                allocated_bytes: self.heap.total_allocated(),
+            };
+            self.space_samples.push(sample);
+            probe(self.detector, &sample);
+        }
+        let was = self.sampler.is_sampling();
+        let now = self.sampler.on_gc();
+        if was != now {
+            self.emit_marker(if now {
+                Action::SampleBegin
+            } else {
+                Action::SampleEnd
+            });
+        }
+    }
+
+    fn frame(&mut self, ti: u32) -> &mut Frame {
+        self.threads[ti as usize]
+            .frames
+            .last_mut()
+            .expect("live thread has a frame")
+    }
+
+    fn pop(&mut self, ti: u32) -> Result<Value, VmError> {
+        self.frame(ti).stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    fn push(&mut self, ti: u32, v: Value) {
+        self.frame(ti).stack.push(v);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        ti: u32,
+        probe: &mut impl FnMut(&D, &SpaceSample),
+    ) -> Result<(), VmError> {
+        let (func, pc) = {
+            let f = self.frame(ti);
+            (f.func, f.pc)
+        };
+        let instr = self.program.functions[func as usize].code[pc];
+        self.steps += 1;
+        let tid = ThreadId::new(ti);
+        // Most instructions advance pc by one; blocking ones reset it.
+        self.frame(ti).pc = pc + 1;
+        match instr {
+            Instr::Const(v) => self.push(ti, Value::Int(v)),
+            Instr::LoadLocal(i) => {
+                let v = self.frame(ti).locals[i as usize];
+                self.push(ti, v);
+            }
+            Instr::StoreLocal(i) => {
+                let v = self.pop(ti)?;
+                let f = self.frame(ti);
+                if f.locals.len() <= i as usize {
+                    f.locals.resize(i as usize + 1, Value::Int(0));
+                }
+                f.locals[i as usize] = v;
+            }
+            Instr::LoadGlobal { slot, site } => {
+                self.emit_access(Action::Read {
+                    t: tid,
+                    x: pacer_trace::VarId::new(slot),
+                    site,
+                });
+                self.maybe_gc(probe);
+                let v = self.globals[slot as usize];
+                self.push(ti, v);
+            }
+            Instr::StoreGlobal { slot, site } => {
+                let v = self.pop(ti)?;
+                self.emit_access(Action::Write {
+                    t: tid,
+                    x: pacer_trace::VarId::new(slot),
+                    site,
+                });
+                self.maybe_gc(probe);
+                self.globals[slot as usize] = v;
+            }
+            Instr::LoadElem { base, len, site } => {
+                let idx = self.pop(ti)?.as_int()?;
+                let slot = base + (idx.rem_euclid(len as i64)) as u32;
+                self.emit_access(Action::Read {
+                    t: tid,
+                    x: pacer_trace::VarId::new(slot),
+                    site,
+                });
+                self.maybe_gc(probe);
+                let v = self.globals[slot as usize];
+                self.push(ti, v);
+            }
+            Instr::StoreElem { base, len, site } => {
+                let v = self.pop(ti)?;
+                let idx = self.pop(ti)?.as_int()?;
+                let slot = base + (idx.rem_euclid(len as i64)) as u32;
+                self.emit_access(Action::Write {
+                    t: tid,
+                    x: pacer_trace::VarId::new(slot),
+                    site,
+                });
+                self.maybe_gc(probe);
+                self.globals[slot as usize] = v;
+            }
+            Instr::NewObject => {
+                let obj = self.heap.alloc();
+                self.maybe_gc(probe);
+                self.push(ti, Value::Ref(obj));
+            }
+            Instr::LoadField {
+                field,
+                site,
+                instrumented,
+            } => {
+                let obj = match self.pop(ti)? {
+                    Value::Ref(o) => o,
+                    other => {
+                        return Err(VmError::Type(format!(
+                            "field read on non-object {other:?}"
+                        )))
+                    }
+                };
+                if instrumented {
+                    let x = self.heap.field_var(obj, field);
+                    self.emit_access(Action::Read { t: tid, x, site });
+                    self.maybe_gc(probe);
+                } else {
+                    self.elided += 1;
+                }
+                let v = self.heap.load_field(obj, field);
+                self.push(ti, v);
+            }
+            Instr::StoreField {
+                field,
+                site,
+                instrumented,
+            } => {
+                let v = self.pop(ti)?;
+                let obj = match self.pop(ti)? {
+                    Value::Ref(o) => o,
+                    other => {
+                        return Err(VmError::Type(format!(
+                            "field write on non-object {other:?}"
+                        )))
+                    }
+                };
+                if instrumented {
+                    let x = self.heap.field_var(obj, field);
+                    self.emit_access(Action::Write { t: tid, x, site });
+                } else {
+                    self.elided += 1;
+                }
+                self.heap.store_field(obj, field, v);
+                self.maybe_gc(probe);
+            }
+            Instr::LoadVolatile(v) => {
+                self.emit_sync(Action::VolRead {
+                    t: tid,
+                    v: VolatileId::new(v),
+                });
+                let value = self.volatiles[v as usize];
+                self.push(ti, value);
+            }
+            Instr::StoreVolatile(v) => {
+                let value = self.pop(ti)?;
+                self.emit_sync(Action::VolWrite {
+                    t: tid,
+                    v: VolatileId::new(v),
+                });
+                self.volatiles[v as usize] = value;
+            }
+            Instr::Acquire(m) => {
+                if self.lock_holders[m as usize].is_none() {
+                    self.lock_holders[m as usize] = Some(ti);
+                    self.emit_sync(Action::Acquire {
+                        t: tid,
+                        m: LockId::new(m),
+                    });
+                } else {
+                    // Retry later: stay at this instruction.
+                    self.frame(ti).pc = pc;
+                    self.threads[ti as usize].state = ThreadState::BlockedLock(m);
+                }
+            }
+            Instr::Release(m) => {
+                debug_assert_eq!(self.lock_holders[m as usize], Some(ti));
+                self.lock_holders[m as usize] = None;
+                self.emit_sync(Action::Release {
+                    t: tid,
+                    m: LockId::new(m),
+                });
+            }
+            Instr::WaitRelease(m) => {
+                // First half of `wait m`: release the monitor and park.
+                // The following Acquire instruction (always emitted by the
+                // compiler) re-enters the monitor once notified.
+                debug_assert_eq!(self.lock_holders[m as usize], Some(ti));
+                self.lock_holders[m as usize] = None;
+                self.emit_sync(Action::Release {
+                    t: tid,
+                    m: LockId::new(m),
+                });
+                self.wait_queues[m as usize].push(ti);
+                self.threads[ti as usize].state = ThreadState::Waiting(m);
+            }
+            Instr::Notify { lock, all } => {
+                // Wakes waiters; they contend on the monitor like Java's
+                // notify. No happens-before edge beyond the monitor itself,
+                // so no action is emitted.
+                let queue = &mut self.wait_queues[lock as usize];
+                let count = if all { queue.len() } else { usize::from(!queue.is_empty()) };
+                for _ in 0..count {
+                    let waiter = queue.remove(0);
+                    debug_assert!(matches!(
+                        self.threads[waiter as usize].state,
+                        ThreadState::Waiting(_)
+                    ));
+                    self.threads[waiter as usize].state = ThreadState::Runnable;
+                }
+            }
+            Instr::Spawn { func, argc } => {
+                let callee = &self.program.functions[func as usize];
+                let mut locals = vec![Value::Int(0); callee.n_locals as usize];
+                for i in (0..argc as usize).rev() {
+                    locals[i] = self.pop(ti)?;
+                }
+                let child = self.threads.len() as u32;
+                self.threads.push(SimThread {
+                    frames: vec![Frame {
+                        func,
+                        pc: 0,
+                        locals,
+                        stack: Vec::new(),
+                    }],
+                    state: ThreadState::Runnable,
+                });
+                let live = self
+                    .threads
+                    .iter()
+                    .filter(|t| !matches!(t.state, ThreadState::Done(_)))
+                    .count();
+                self.max_live = self.max_live.max(live);
+                self.emit_sync(Action::Fork {
+                    t: tid,
+                    u: ThreadId::new(child),
+                });
+                self.push(ti, Value::Thread(child));
+            }
+            Instr::Call { func, argc } => {
+                let callee = &self.program.functions[func as usize];
+                let mut locals = vec![Value::Int(0); callee.n_locals as usize];
+                for i in (0..argc as usize).rev() {
+                    locals[i] = self.pop(ti)?;
+                }
+                self.threads[ti as usize].frames.push(Frame {
+                    func,
+                    pc: 0,
+                    locals,
+                    stack: Vec::new(),
+                });
+            }
+            Instr::JoinThread => {
+                let handle = *self
+                    .frame(ti)
+                    .stack
+                    .last()
+                    .ok_or(VmError::StackUnderflow)?;
+                let u = match handle {
+                    Value::Thread(u) => u,
+                    other => {
+                        return Err(VmError::Type(format!("join of non-thread {other:?}")))
+                    }
+                };
+                if matches!(self.threads[u as usize].state, ThreadState::Done(_)) {
+                    self.pop(ti)?;
+                    self.emit_sync(Action::Join {
+                        t: tid,
+                        u: ThreadId::new(u),
+                    });
+                } else {
+                    self.frame(ti).pc = pc;
+                    self.threads[ti as usize].state = ThreadState::BlockedJoin(u);
+                }
+            }
+            Instr::Jump(target) => self.frame(ti).pc = target as usize,
+            Instr::JumpIfZero(target) => {
+                let v = self.pop(ti)?;
+                if !v.truthy() {
+                    self.frame(ti).pc = target as usize;
+                }
+            }
+            Instr::Bin(op) => {
+                let b = self.pop(ti)?;
+                let a = self.pop(ti)?;
+                let result = self.binop(op, a, b)?;
+                self.push(ti, result);
+            }
+            Instr::Neg => {
+                let v = self.pop(ti)?.as_int()?;
+                self.push(ti, Value::Int(v.wrapping_neg()));
+            }
+            Instr::Not => {
+                let v = self.pop(ti)?;
+                self.push(ti, Value::Int(i64::from(!v.truthy())));
+            }
+            Instr::Pop => {
+                self.pop(ti)?;
+            }
+            Instr::Return => {
+                let value = self.pop(ti)?;
+                let thread = &mut self.threads[ti as usize];
+                thread.frames.pop();
+                if let Some(caller) = thread.frames.last_mut() {
+                    caller.stack.push(value);
+                } else {
+                    thread.state = ThreadState::Done(value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn binop(&self, op: BinOp, a: Value, b: Value) -> Result<Value, VmError> {
+        // Equality works on any same-kind values; everything else is
+        // integer arithmetic.
+        match op {
+            BinOp::Eq => return Ok(Value::Int(i64::from(a == b))),
+            BinOp::Ne => return Ok(Value::Int(i64::from(a != b))),
+            _ => {}
+        }
+        let a = a.as_int()?;
+        let b = b.as_int()?;
+        let v = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero);
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(VmError::DivideByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::Lt => i64::from(a < b),
+            BinOp::Le => i64::from(a <= b),
+            BinOp::Gt => i64::from(a > b),
+            BinOp::Ge => i64::from(a >= b),
+            BinOp::And => i64::from(a != 0 && b != 0),
+            BinOp::Or => i64::from(a != 0 || b != 0),
+            BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
+        };
+        Ok(Value::Int(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_core::PacerDetector;
+    use pacer_fasttrack::FastTrackDetector;
+
+    fn run_src(src: &str, seed: u64) -> (RunOutcome, FastTrackDetector) {
+        let program = pacer_lang::parse(src).unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(seed);
+        let outcome = Vm::run(&compiled, &mut det, &cfg).unwrap();
+        (outcome, det)
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let (out, _) = run_src(
+            "
+            fn main() {
+                let s = 0;
+                let i = 1;
+                while (i <= 10) {
+                    if (i % 2 == 0) { s = s + i; }
+                    i = i + 1;
+                }
+                return s;
+            }
+        ",
+            1,
+        );
+        assert_eq!(out.main_result, Value::Int(30), "2+4+6+8+10");
+    }
+
+    #[test]
+    fn calls_return_values() {
+        let (out, _) = run_src(
+            "
+            fn add(a, b) { return a + b; }
+            fn main() { return add(add(1, 2), 4); }
+        ",
+            1,
+        );
+        assert_eq!(out.main_result, Value::Int(7));
+    }
+
+    #[test]
+    fn objects_store_fields() {
+        let (out, _) = run_src(
+            "
+            fn main() {
+                let o = new obj;
+                o.a = 5;
+                o.b = o.a * 2;
+                return o.b;
+            }
+        ",
+            1,
+        );
+        assert_eq!(out.main_result, Value::Int(10));
+        assert_eq!(out.elided_accesses, 4, "all field accesses elided");
+        assert_eq!(out.stats.accesses(), 0);
+    }
+
+    #[test]
+    fn spawn_join_and_shared_counter_with_lock() {
+        let (out, det) = run_src(
+            "
+            shared x; lock m;
+            fn worker() {
+                let i = 0;
+                while (i < 20) {
+                    sync m { x = x + 1; }
+                    i = i + 1;
+                }
+            }
+            fn main() {
+                let a = spawn worker();
+                let b = spawn worker();
+                join a; join b;
+                return x;
+            }
+        ",
+            42,
+        );
+        assert_eq!(out.main_result, Value::Int(40), "no lost updates");
+        assert!(det.races().is_empty(), "guarded counter is race-free");
+        assert_eq!(out.threads_started, 3);
+        assert_eq!(out.max_live_threads, 3);
+    }
+
+    #[test]
+    fn unguarded_counter_races_and_loses_updates_sometimes() {
+        let mut any_race = false;
+        for seed in 0..8 {
+            let (_, det) = run_src(
+                "
+                shared x;
+                fn worker() {
+                    let i = 0;
+                    while (i < 30) { x = x + 1; i = i + 1; }
+                }
+                fn main() {
+                    let a = spawn worker();
+                    let b = spawn worker();
+                    join a; join b;
+                }
+            ",
+                seed,
+            );
+            any_race |= !det.races().is_empty();
+        }
+        assert!(any_race, "unguarded increments must race under FASTTRACK");
+    }
+
+    #[test]
+    fn volatile_flag_publishes() {
+        let (out, det) = run_src(
+            "
+            shared data; volatile ready;
+            fn producer() { data = 99; ready = 1; }
+            fn consumer() {
+                while (ready == 0) { }
+                return data;
+            }
+            fn main() {
+                let p = spawn producer();
+                let c = spawn consumer();
+                join p; join c;
+            }
+        ",
+            7,
+        );
+        assert!(det.races().is_empty(), "volatile handoff orders accesses");
+        assert!(out.stats.vol_reads > 0);
+        assert_eq!(out.stats.vol_writes, 1);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let program = pacer_lang::parse(
+            "
+            lock a; lock b; volatile turn;
+            fn one() { sync a { turn = 1; while (turn != 2) {} sync b {} } }
+            fn two() { sync b { while (turn != 1) {} turn = 2; sync a {} } }
+            fn main() {
+                let x = spawn one();
+                let y = spawn two();
+                join x; join y;
+            }
+        ",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = NullDetector;
+        // The two threads each hold one lock and spin for the other. The
+        // volatile handshake forces the overlap under every schedule; the
+        // spin loops make progress (so it is the step limit or the lock
+        // blocking that ends the run).
+        let cfg = VmConfig::new(3).with_max_steps(2_000_000);
+        let err = Vm::run(&compiled, &mut det, &cfg).unwrap_err();
+        assert!(
+            matches!(err, VmError::Deadlock | VmError::StepLimit(_)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn locks_are_not_reentrant() {
+        // Java monitors are reentrant; this simulated runtime's locks are
+        // not (trace well-formedness forbids double acquire), so nested
+        // sync on the same lock self-deadlocks — documented behavior.
+        let program =
+            pacer_lang::parse("lock m; fn main() { sync m { sync m { } } }").unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = NullDetector;
+        assert_eq!(
+            Vm::run(&compiled, &mut det, &VmConfig::new(0)).unwrap_err(),
+            VmError::Deadlock
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let program = pacer_lang::parse("fn main() { while (1) { } }").unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = NullDetector;
+        let cfg = VmConfig::new(0).with_max_steps(10_000);
+        assert!(matches!(
+            Vm::run(&compiled, &mut det, &cfg),
+            Err(VmError::StepLimit(_))
+        ));
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        let program = pacer_lang::parse("shared x; fn main() { x = 1 / x; }").unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = NullDetector;
+        assert_eq!(
+            Vm::run(&compiled, &mut det, &VmConfig::new(0)).unwrap_err(),
+            VmError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let src = "
+            shared x;
+            fn w() { let i = 0; while (i < 50) { x = x + 1; i = i + 1; } }
+            fn main() { let a = spawn w(); let b = spawn w(); join a; join b; return x; }
+        ";
+        let (o1, d1) = run_src(src, 99);
+        let (o2, d2) = run_src(src, 99);
+        assert_eq!(o1.main_result, o2.main_result);
+        assert_eq!(o1.steps, o2.steps);
+        assert_eq!(d1.races().len(), d2.races().len());
+    }
+
+    #[test]
+    fn different_seeds_interleave_differently() {
+        let src = "
+            shared x;
+            fn w() { let i = 0; while (i < 50) { x = x + 1; i = i + 1; } }
+            fn main() { let a = spawn w(); let b = spawn w(); join a; join b; return x; }
+        ";
+        let results: std::collections::HashSet<i64> = (0..10)
+            .map(|seed| match run_src(src, seed).0.main_result {
+                Value::Int(v) => v,
+                _ => -1,
+            })
+            .collect();
+        assert!(results.len() > 1, "lost updates vary across schedules");
+    }
+
+    #[test]
+    fn gc_fires_and_samples_space() {
+        let program = pacer_lang::parse(
+            "
+            fn main() {
+                let i = 0;
+                while (i < 3000) { let o = new obj; o.f = i; i = i + 1; }
+            }
+        ",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = NullDetector;
+        let cfg = VmConfig::new(1).with_nursery_bytes(4 * 1024);
+        let out = Vm::run(&compiled, &mut det, &cfg).unwrap();
+        assert!(out.gc_count > 10, "allocation drives nursery GCs");
+        assert!(out.full_gc_count >= 1);
+        assert_eq!(out.space_samples.len(), out.full_gc_count as usize);
+        assert!(out.space_samples.last().unwrap().heap_bytes > 0);
+    }
+
+    #[test]
+    fn sampling_markers_reach_the_detector() {
+        let program = pacer_lang::parse(
+            "
+            shared x;
+            fn main() {
+                let i = 0;
+                while (i < 4000) { let o = new obj; x = x + 1; i = i + 1; }
+            }
+        ",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        let mut det = PacerDetector::new();
+        let cfg = VmConfig::new(5)
+            .with_sampling_rate(0.5)
+            .with_nursery_bytes(2 * 1024);
+        let out = Vm::run(&compiled, &mut det, &cfg).unwrap();
+        assert!(det.stats().sample_periods >= 1, "sampling toggled at GCs");
+        let eff = det.stats().effective_rate().unwrap();
+        assert!(
+            (0.2..0.9).contains(&eff),
+            "effective rate {eff} should be near 0.5"
+        );
+        assert!(out.gc_count > 20);
+    }
+
+    #[test]
+    fn instrument_off_emits_nothing() {
+        let program = pacer_lang::parse(
+            "shared x; lock m; fn main() { sync m { x = 1; } }",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        struct Panicker;
+        impl Detector for Panicker {
+            fn name(&self) -> String {
+                "panicker".into()
+            }
+            fn on_action(&mut self, a: &Action) {
+                panic!("detector called in Off mode: {a}");
+            }
+            fn races(&self) -> &[RaceReport] {
+                &[]
+            }
+        }
+        let cfg = VmConfig::new(0).with_instrument(InstrumentMode::Off);
+        let out = Vm::run(&compiled, &mut Panicker, &cfg).unwrap();
+        // Ops are still counted for comparability.
+        assert_eq!(out.stats.writes, 1);
+        assert_eq!(out.stats.acquires, 1);
+    }
+
+    #[test]
+    fn sync_only_forwards_sync_but_not_accesses() {
+        let program = pacer_lang::parse(
+            "shared x; lock m; fn main() { sync m { x = 1; } }",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        #[derive(Default)]
+        struct Counter {
+            sync: u64,
+            access: u64,
+        }
+        impl Detector for Counter {
+            fn name(&self) -> String {
+                "counter".into()
+            }
+            fn on_action(&mut self, a: &Action) {
+                if a.is_sync() {
+                    self.sync += 1;
+                } else if a.is_access() {
+                    self.access += 1;
+                }
+            }
+            fn races(&self) -> &[RaceReport] {
+                &[]
+            }
+        }
+        let mut c = Counter::default();
+        let cfg = VmConfig::new(0).with_instrument(InstrumentMode::SyncOnly);
+        Vm::run(&compiled, &mut c, &cfg).unwrap();
+        assert_eq!(c.sync, 2);
+        assert_eq!(c.access, 0);
+    }
+
+    #[test]
+    fn array_indices_wrap() {
+        let (out, _) = run_src(
+            "
+            shared a[4];
+            fn main() { a[7] = 9; return a[3]; }
+        ",
+            0,
+        );
+        assert_eq!(out.main_result, Value::Int(9), "7 mod 4 == 3");
+    }
+
+    #[test]
+    fn vm_trace_is_well_formed_and_matches_oracle_precision() {
+        use pacer_trace::{HbOracle, Trace};
+
+        // Record the emitted actions with a recording detector, validate
+        // the trace, and check FASTTRACK's reports against the oracle.
+        #[derive(Default)]
+        struct Recorder {
+            trace: Trace,
+        }
+        impl Detector for Recorder {
+            fn name(&self) -> String {
+                "recorder".into()
+            }
+            fn on_action(&mut self, a: &Action) {
+                self.trace.push(*a);
+            }
+            fn races(&self) -> &[RaceReport] {
+                &[]
+            }
+        }
+        let program = pacer_lang::parse(
+            "
+            shared x; shared y; lock m;
+            fn w(k) {
+                let i = 0;
+                while (i < 10) {
+                    sync m { x = x + k; }
+                    y = y + 1;
+                    i = i + 1;
+                }
+            }
+            fn main() {
+                let a = spawn w(1);
+                let b = spawn w(2);
+                join a; join b;
+            }
+        ",
+        )
+        .unwrap();
+        let compiled = pacer_lang::compile(&program).unwrap();
+        for seed in 0..5 {
+            let mut rec = Recorder::default();
+            Vm::run(&compiled, &mut rec, &VmConfig::new(seed)).unwrap();
+            rec.trace.validate().unwrap();
+            let oracle = HbOracle::analyze(&rec.trace);
+            let mut ft = FastTrackDetector::new();
+            ft.run(&rec.trace);
+            let truth: std::collections::HashSet<_> =
+                oracle.distinct_races().into_iter().collect();
+            for r in ft.races() {
+                assert!(truth.contains(&r.distinct_key()));
+            }
+        }
+    }
+}

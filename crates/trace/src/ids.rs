@@ -1,0 +1,89 @@
+//! Identifier newtypes for program entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its dense index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A data variable (an object field, static field, or array element in
+    /// the paper's Java terminology). Only data variables can race.
+    VarId,
+    "x"
+);
+
+id_type!(
+    /// A lock (in Java, any object used in a `synchronized` block).
+    LockId,
+    "m"
+);
+
+id_type!(
+    /// A volatile variable: a synchronization object whose reads/writes
+    /// create happens-before edges and never race (§2.1, Appendix C).
+    VolatileId,
+    "v"
+);
+
+id_type!(
+    /// A static program location ("site", §4 Reporting Races). Two dynamic
+    /// races with the same pair of sites are the same *distinct* race
+    /// (§5.1).
+    SiteId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        assert_eq!(VarId::new(3).index(), 3);
+        assert_eq!(LockId::from(2).raw(), 2);
+        assert_eq!(VarId::new(1).to_string(), "x1");
+        assert_eq!(LockId::new(1).to_string(), "m1");
+        assert_eq!(VolatileId::new(1).to_string(), "v1");
+        assert_eq!(SiteId::new(1).to_string(), "s1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(SiteId::new(1) < SiteId::new(5));
+        assert_eq!(VarId::default(), VarId::new(0));
+    }
+}

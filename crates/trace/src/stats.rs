@@ -1,0 +1,141 @@
+//! Per-kind action counts.
+
+use std::fmt;
+
+use crate::Action;
+
+/// Counts of each action kind in a trace or execution.
+///
+/// Used by the harness to characterize workloads (reads/writes/sync mixes,
+/// Table 3 denominators) and by the runtime's sampling-bias correction,
+/// which "measures program work in terms of synchronization operations"
+/// (§4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActionStats {
+    /// `rd` actions.
+    pub reads: u64,
+    /// `wr` actions.
+    pub writes: u64,
+    /// `acq` actions.
+    pub acquires: u64,
+    /// `rel` actions.
+    pub releases: u64,
+    /// `fork` actions.
+    pub forks: u64,
+    /// `join` actions.
+    pub joins: u64,
+    /// `vol_rd` actions.
+    pub vol_reads: u64,
+    /// `vol_wr` actions.
+    pub vol_writes: u64,
+    /// `sbegin` markers.
+    pub sample_begins: u64,
+    /// `send` markers.
+    pub sample_ends: u64,
+}
+
+impl ActionStats {
+    /// Counts the actions in `actions`.
+    pub fn of<'a, I: IntoIterator<Item = &'a Action>>(actions: I) -> Self {
+        let mut s = ActionStats::default();
+        for a in actions {
+            s.count(a);
+        }
+        s
+    }
+
+    /// Adds one action to the counts.
+    pub fn count(&mut self, action: &Action) {
+        match action {
+            Action::Read { .. } => self.reads += 1,
+            Action::Write { .. } => self.writes += 1,
+            Action::Acquire { .. } => self.acquires += 1,
+            Action::Release { .. } => self.releases += 1,
+            Action::Fork { .. } => self.forks += 1,
+            Action::Join { .. } => self.joins += 1,
+            Action::VolRead { .. } => self.vol_reads += 1,
+            Action::VolWrite { .. } => self.vol_writes += 1,
+            Action::SampleBegin => self.sample_begins += 1,
+            Action::SampleEnd => self.sample_ends += 1,
+        }
+    }
+
+    /// Total data-variable accesses (`rd` + `wr`).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total synchronization operations (`acq`, `rel`, `fork`, `join`,
+    /// `vol_rd`, `vol_wr`) — the paper's measure of program work.
+    pub fn sync_ops(&self) -> u64 {
+        self.acquires + self.releases + self.forks + self.joins + self.vol_reads + self.vol_writes
+    }
+
+    /// Total actions counted (including sampling markers).
+    pub fn total(&self) -> u64 {
+        self.accesses() + self.sync_ops() + self.sample_begins + self.sample_ends
+    }
+}
+
+impl fmt::Display for ActionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} acq={} rel={} fork={} join={} vrd={} vwr={}",
+            self.reads,
+            self.writes,
+            self.acquires,
+            self.releases,
+            self.forks,
+            self.joins,
+            self.vol_reads,
+            self.vol_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn counts_every_kind() {
+        let trace = Trace::parse(
+            "
+            fork t0 t1
+            sbegin
+            wr t0 x0 s0
+            rd t1 x0 s1
+            acq t1 m0
+            rel t1 m0
+            vrd t0 v0
+            vwr t0 v0
+            send
+            join t0 t1
+        ",
+        )
+        .unwrap();
+        let s = trace.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.forks, 1);
+        assert_eq!(s.joins, 1);
+        assert_eq!(s.vol_reads, 1);
+        assert_eq!(s.vol_writes, 1);
+        assert_eq!(s.sample_begins, 1);
+        assert_eq!(s.sample_ends, 1);
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.sync_ops(), 6);
+        assert_eq!(s.total(), 10);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ActionStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.to_string().matches('0').count(), 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! The text fixture format for traces.
+//!
+//! One action per line, matching each action's [`Display`] form:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! fork t0 t1
+//! sbegin
+//! wr t0 x3 s5
+//! rel t0 m0
+//! send
+//! acq t1 m0
+//! rd t1 x3 s9
+//! join t0 t1
+//! ```
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::error::Error;
+use std::fmt;
+
+use pacer_clock::ThreadId;
+
+use crate::{Action, LockId, SiteId, Trace, VarId, VolatileId};
+
+/// An error produced while parsing the trace text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_id(token: &str, prefix: char, line: usize) -> Result<u32, ParseTraceError> {
+    let rest = token
+        .strip_prefix(prefix)
+        .ok_or_else(|| err(line, format!("expected `{prefix}<n>`, found `{token}`")))?;
+    rest.parse::<u32>()
+        .map_err(|_| err(line, format!("invalid number in `{token}`")))
+}
+
+struct Tokens<'a> {
+    parts: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn next(&mut self) -> Result<&'a str, ParseTraceError> {
+        self.parts
+            .next()
+            .ok_or_else(|| err(self.line, "missing operand"))
+    }
+
+    fn thread(&mut self) -> Result<ThreadId, ParseTraceError> {
+        let tok = self.next()?;
+        Ok(ThreadId::new(parse_id(tok, 't', self.line)?))
+    }
+
+    fn var(&mut self) -> Result<VarId, ParseTraceError> {
+        let tok = self.next()?;
+        Ok(VarId::new(parse_id(tok, 'x', self.line)?))
+    }
+
+    fn lock(&mut self) -> Result<LockId, ParseTraceError> {
+        let tok = self.next()?;
+        Ok(LockId::new(parse_id(tok, 'm', self.line)?))
+    }
+
+    fn volatile(&mut self) -> Result<VolatileId, ParseTraceError> {
+        let tok = self.next()?;
+        Ok(VolatileId::new(parse_id(tok, 'v', self.line)?))
+    }
+
+    fn site(&mut self) -> Result<SiteId, ParseTraceError> {
+        let tok = self.next()?;
+        Ok(SiteId::new(parse_id(tok, 's', self.line)?))
+    }
+
+    fn finish(mut self) -> Result<(), ParseTraceError> {
+        match self.parts.next() {
+            None => Ok(()),
+            Some(extra) => Err(err(self.line, format!("unexpected trailing `{extra}`"))),
+        }
+    }
+}
+
+/// Parses the text format. See the [module docs](self) for the grammar.
+pub fn parse(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let mut toks = Tokens {
+            parts,
+            line: line_no,
+        };
+        let action = match op {
+            "rd" => Action::Read {
+                t: toks.thread()?,
+                x: toks.var()?,
+                site: toks.site()?,
+            },
+            "wr" => Action::Write {
+                t: toks.thread()?,
+                x: toks.var()?,
+                site: toks.site()?,
+            },
+            "acq" => Action::Acquire {
+                t: toks.thread()?,
+                m: toks.lock()?,
+            },
+            "rel" => Action::Release {
+                t: toks.thread()?,
+                m: toks.lock()?,
+            },
+            "fork" => Action::Fork {
+                t: toks.thread()?,
+                u: toks.thread()?,
+            },
+            "join" => Action::Join {
+                t: toks.thread()?,
+                u: toks.thread()?,
+            },
+            "vrd" => Action::VolRead {
+                t: toks.thread()?,
+                v: toks.volatile()?,
+            },
+            "vwr" => Action::VolWrite {
+                t: toks.thread()?,
+                v: toks.volatile()?,
+            },
+            "sbegin" => Action::SampleBegin,
+            "send" => Action::SampleEnd,
+            other => return Err(err(line_no, format!("unknown action `{other}`"))),
+        };
+        toks.finish()?;
+        trace.push(action);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_action_kinds() {
+        let text = "
+            # header comment
+            fork t0 t1
+            sbegin
+            wr t0 x3 s5
+            rd t1 x3 s9
+            acq t1 m0
+            rel t1 m0
+            vrd t0 v1
+            vwr t0 v1
+            send
+            join t0 t1
+        ";
+        let trace = parse(text).unwrap();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.to_text().lines().count(), 10);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let text = "wr t0 x3 s5\nsbegin\nrd t1 x3 s9\n";
+        let trace = parse(text).unwrap();
+        assert_eq!(trace.to_text(), text);
+    }
+
+    #[test]
+    fn reports_unknown_action_with_line() {
+        let e = parse("fork t0 t1\nbogus t0").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn reports_missing_operand() {
+        let e = parse("rd t0 x1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn reports_bad_prefix() {
+        let e = parse("rd x0 x1 s0").unwrap_err();
+        assert!(e.message.contains("expected `t<n>`"));
+    }
+
+    #[test]
+    fn reports_bad_number() {
+        let e = parse("rd tX x1 s0").unwrap_err();
+        assert!(e.message.contains("invalid number"));
+    }
+
+    #[test]
+    fn reports_trailing_tokens() {
+        let e = parse("sbegin now").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n  \n# only comments\n").unwrap().is_empty());
+    }
+}

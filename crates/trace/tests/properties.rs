@@ -1,0 +1,139 @@
+//! Property tests for traces: format round-trips, generator
+//! well-formedness, and oracle invariants.
+
+use proptest::prelude::*;
+
+use pacer_clock::ThreadId;
+use pacer_trace::gen::{insert_sampling_periods, GenConfig};
+use pacer_trace::{Action, HbOracle, LockId, SiteId, Trace, VarId, VolatileId};
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let t = (0u32..6).prop_map(ThreadId::new);
+    let u = (0u32..6).prop_map(ThreadId::new);
+    let x = (0u32..10).prop_map(VarId::new);
+    let m = (0u32..4).prop_map(LockId::new);
+    let v = (0u32..3).prop_map(VolatileId::new);
+    let s = (0u32..1000).prop_map(SiteId::new);
+    prop_oneof![
+        (t.clone(), x.clone(), s.clone()).prop_map(|(t, x, site)| Action::Read { t, x, site }),
+        (t.clone(), x, s).prop_map(|(t, x, site)| Action::Write { t, x, site }),
+        (t.clone(), m.clone()).prop_map(|(t, m)| Action::Acquire { t, m }),
+        (t.clone(), m).prop_map(|(t, m)| Action::Release { t, m }),
+        (t.clone(), u.clone()).prop_map(|(t, u)| Action::Fork { t, u }),
+        (t.clone(), u).prop_map(|(t, u)| Action::Join { t, u }),
+        (t.clone(), v.clone()).prop_map(|(t, v)| Action::VolRead { t, v }),
+        (t, v).prop_map(|(t, v)| Action::VolWrite { t, v }),
+        Just(Action::SampleBegin),
+        Just(Action::SampleEnd),
+    ]
+}
+
+proptest! {
+    // ---- Text format ----
+
+    #[test]
+    fn text_format_round_trips_arbitrary_actions(
+        actions in prop::collection::vec(arb_action(), 0..60)
+    ) {
+        // Round-tripping does not require well-formedness: the format is
+        // purely syntactic.
+        let trace = Trace::from_actions(actions);
+        let parsed = Trace::parse(&trace.to_text()).expect("own output parses");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    // ---- Generator ----
+
+    #[test]
+    fn generated_traces_are_always_well_formed(
+        seed in 0u64..500,
+        discipline in 0.0f64..=1.0,
+        threads in 2usize..6,
+    ) {
+        let trace = GenConfig::small(seed)
+            .with_threads(threads)
+            .with_lock_discipline(discipline)
+            .generate();
+        prop_assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_overlay_preserves_program_actions(
+        seed in 0u64..200,
+        rate in 0.01f64..=1.0,
+    ) {
+        let base = GenConfig::small(seed).generate();
+        let sampled = insert_sampling_periods(&base, rate, 25, seed);
+        prop_assert!(sampled.validate().is_ok());
+        let stripped: Vec<Action> = sampled
+            .iter()
+            .copied()
+            .filter(|a| !a.is_sampling_marker())
+            .collect();
+        prop_assert_eq!(stripped, base.actions().to_vec());
+    }
+
+    // ---- Oracle invariants ----
+
+    #[test]
+    fn oracle_race_sets_are_consistent(seed in 0u64..150) {
+        let trace = GenConfig::small(seed).with_lock_discipline(0.5).generate();
+        let oracle = HbOracle::analyze(&trace);
+        let all: std::collections::HashSet<_> =
+            oracle.all_races().iter().copied().collect();
+        // Shortest ⊆ all.
+        for r in oracle.shortest_races() {
+            prop_assert!(all.contains(r));
+        }
+        // Race pairs are ordered and conflict.
+        let actions = trace.actions();
+        for r in oracle.all_races() {
+            prop_assert!(r.first < r.second);
+            prop_assert!(actions[r.first].conflicts_with(&actions[r.second]));
+            prop_assert_ne!(actions[r.first].thread(), actions[r.second].thread());
+            prop_assert!(!oracle.access_happens_before(r.first, r.second));
+        }
+    }
+
+    #[test]
+    fn guaranteed_races_are_shortest_races(seed in 0u64..100, rate in 0.1f64..=0.9) {
+        let base = GenConfig::small(seed).with_lock_discipline(0.5).generate();
+        let trace = insert_sampling_periods(&base, rate, 20, seed + 1);
+        let oracle = HbOracle::analyze(&trace);
+        let shortest: std::collections::HashSet<_> =
+            oracle.sampled_shortest_races(&trace).into_iter().collect();
+        for r in oracle.sampled_guaranteed_races(&trace) {
+            prop_assert!(shortest.contains(&r), "guaranteed ⊆ sampled shortest");
+        }
+    }
+
+    #[test]
+    fn full_sampling_guarantees_every_shortest_race(seed in 0u64..100) {
+        let base = GenConfig::small(seed).with_lock_discipline(0.5).generate();
+        let trace = insert_sampling_periods(&base, 1.0, 20, 0);
+        let oracle = HbOracle::analyze(&trace);
+        // Under 100% sampling, sampled-shortest = shortest.
+        prop_assert_eq!(
+            oracle.sampled_shortest_races(&trace).len(),
+            oracle.shortest_races().len()
+        );
+    }
+
+    #[test]
+    fn race_free_traces_have_empty_oracle(seed in 0u64..150) {
+        let trace = GenConfig::small(seed).race_free().generate();
+        let oracle = HbOracle::analyze(&trace);
+        prop_assert!(oracle.is_race_free());
+        prop_assert!(oracle.shortest_races().is_empty());
+        prop_assert!(oracle.racy_vars().is_empty());
+        prop_assert!(oracle.distinct_races().is_empty());
+    }
+
+    // ---- Stats ----
+
+    #[test]
+    fn stats_total_matches_length(actions in prop::collection::vec(arb_action(), 0..80)) {
+        let trace = Trace::from_actions(actions);
+        prop_assert_eq!(trace.stats().total(), trace.len() as u64);
+    }
+}

@@ -1,0 +1,548 @@
+//! Synthetic benchmark workloads modeled on the paper's programs.
+//!
+//! The paper evaluates on the multithreaded DaCapo benchmarks (eclipse,
+//! hsqldb, xalan; 2006-10-MR1) and pseudojbb (§5.1). Those are Java
+//! programs we cannot run on this substrate, so each is replaced by a
+//! mini-language program engineered to match the characteristics the
+//! evaluation depends on (see DESIGN.md):
+//!
+//! | workload   | threads (total/max live) | race profile                     |
+//! |------------|--------------------------|----------------------------------|
+//! | eclipse    | 16 / 8                   | many races: hot–hot (LITERACE's blind spot), cold, and rare ones |
+//! | hsqldb     | many short sessions      | moderate count, highly reliable  |
+//! | xalan      | 9 / 9                    | many distinct array races, long tail of rare ones |
+//! | pseudojbb  | waves of 9               | few races, mostly reliable       |
+//!
+//! Race *occurrence* rates vary because racy accesses sit behind
+//! schedule-dependent conditions; distinct races are distinct static site
+//! pairs. Every workload also exercises volatiles (Appendix C), guarded
+//! accesses, and thread-local objects that escape analysis elides.
+//!
+//! The extra [`adversarial`] workload churns short-lived threads so that
+//! fresh clock versions keep arriving during non-sampling periods — the
+//! worst case for PACER's version-based join elision that §3.2 leaves
+//! open.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_workloads::Scale;
+//!
+//! let w = pacer_workloads::eclipse(Scale::Test);
+//! let compiled = w.compiled();
+//! assert!(compiled.instrumented_sites() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use pacer_lang::ir::CompiledProgram;
+
+/// How big a workload instance to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: unit-test sized (tens of milliseconds per run).
+    Test,
+    /// Small: harness default for multi-trial experiments.
+    Small,
+    /// Full: closest to the paper's proportions (slow; use for final
+    /// reproduction runs).
+    Paper,
+}
+
+impl Scale {
+    /// A multiplier applied to inner-loop lengths.
+    fn ops(self, test: u32, small: u32, paper: u32) -> u32 {
+        match self {
+            Scale::Test => test,
+            Scale::Small => small,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// A generated workload: name, program source, and expectations.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name ("eclipse", …).
+    pub name: &'static str,
+    /// Mini-language source text.
+    pub source: String,
+    /// Threads the program starts, including main (Table 2 "Total").
+    pub threads_total: usize,
+    /// Expected maximum simultaneously live threads (Table 2 "Max live").
+    pub max_live: usize,
+}
+
+impl Workload {
+    /// Parses and compiles the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated source fails to parse or compile — that is
+    /// a bug in this crate, covered by tests.
+    pub fn compiled(&self) -> CompiledProgram {
+        let ast = pacer_lang::parse(&self.source)
+            .unwrap_or_else(|e| panic!("workload {}: parse error: {e}", self.name));
+        pacer_lang::compile(&ast)
+            .unwrap_or_else(|e| panic!("workload {}: compile error: {e}", self.name))
+    }
+}
+
+/// All four paper workloads at the given scale.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        eclipse(scale),
+        hsqldb(scale),
+        xalan(scale),
+        pseudojbb(scale),
+    ]
+}
+
+/// Emits `let h<i> = spawn f(<i>);` … `join h<i>;` pairs.
+fn spawn_wave(out: &mut String, func: &str, ids: impl Iterator<Item = u32> + Clone) {
+    for id in ids.clone() {
+        let _ = writeln!(out, "    let h{id} = spawn {func}({id});");
+    }
+    for id in ids {
+        let _ = writeln!(out, "    join h{id};");
+    }
+}
+
+/// The eclipse-like workload: 16 worker threads in two waves of 8, with
+/// hot–hot races (shared counters hammered in the inner loop), cold races
+/// (one-shot per-thread slot writes), guarded traffic, thread-local
+/// objects, and rare schedule-dependent races.
+pub fn eclipse(scale: Scale) -> Workload {
+    let ops = scale.ops(40, 150, 600);
+    let mut src = String::from(
+        "shared hot_a; shared hot_b; shared hot_c;\n\
+         shared cold[8];\n\
+         shared registry[16];\n\
+         shared pool[24];\n\
+         shared guarded; shared phase;\n\
+         shared rare_a; shared rare_b; shared rare_c; shared rare_d;\n\
+         lock m; lock reg_lock;\n\
+         volatile published;\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "// Cold code in its own function = its own LITERACE region: stays at
+// a 100% sampling rate, so LITERACE finds these races easily.
+fn cold_init(id) {{
+    cold[id % 8] = id + 1;    // one-shot: races with the sibling wave
+}}
+fn cold_finish(id) {{
+    let fin = hot_c;          // medium-frequency race
+    hot_c = fin + 1;
+    if (fin % 7 == 3) {{ rare_c = fin; }}
+    if (fin % 11 == 5) {{ rare_d = id; }}
+}}
+// The hot loop: LITERACE's per-(method × thread) rate decays toward its
+// floor here, so the hot-hot races below are its blind spot (Figure 6).
+fn hot_loop(id) {{
+    let i = 0;
+    while (i < {ops}) {{
+        sync m {{ guarded = guarded + 1; }}
+        hot_a = hot_a + 1;            // hot-hot write-write race
+        let snap = hot_b;             // hot read
+        hot_b = snap + id;            // hot write
+        registry[(id * 3 + i) % 16] = i;
+        let scratch = new obj;        // provably local: elided
+        scratch.acc = i * id;
+        scratch.acc = scratch.acc + 1;
+        // Escaping objects: published to a shared pool and mutated by
+        // whoever pulls them — like eclipse's shared AST/build state.
+        // Their per-field metadata is what makes Figure 10 interesting.
+        let fresh = new obj;
+        fresh.load = i;
+        pool[(id * 5 + i) % 24] = fresh;
+        let pulled = pool[(id * 7 + i * 3) % 24];
+        if (pulled != 0) {{
+            pulled.load = pulled.load + 1;   // racy field traffic
+        }}
+        if (i * 8 + id == snap) {{ rare_a = snap; }}   // rare
+        if (snap % 97 == 13) {{ rare_b = id; }}        // rare
+        i = i + 1;
+    }}
+}}
+fn worker(id) {{
+    cold_init(id);
+    hot_loop(id);
+    cold_finish(id);
+    published = id;                   // volatile publish
+}}"
+    );
+    src.push_str("fn main() {\n    phase = 1;\n");
+    spawn_wave(&mut src, "worker", 0..8);
+    src.push_str("    phase = 2;\n");
+    spawn_wave(&mut src, "worker", 8..16);
+    src.push_str("    phase = 3;\n}\n");
+    Workload {
+        name: "eclipse",
+        source: src,
+        threads_total: 17,
+        max_live: 9,
+    }
+}
+
+/// The hsqldb-like workload: many short-lived "session" threads in waves,
+/// disciplined table updates plus a handful of unguarded statistics
+/// counters that race in essentially every run.
+pub fn hsqldb(scale: Scale) -> Workload {
+    // Sessions must live long enough that steady-state lock handoffs
+    // dominate first-communication slow joins (Table 3's hsqldb row still
+    // shows mostly fast non-sampling joins despite 403 threads).
+    let (waves, per_wave, ops) = match scale {
+        Scale::Test => (3u32, 8u32, 40u32),
+        Scale::Small => (6, 17, 120),
+        Scale::Paper => (12, 33, 400),
+    };
+    let total = waves * per_wave;
+    let mut src = String::from(
+        "shared table[32];\n\
+         shared stat_reads; shared stat_writes; shared stat_sessions;\n\
+         shared audit[4];\n\
+         lock table_lock; lock audit_lock;\n\
+         volatile epoch;\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "fn session(id) {{
+    stat_sessions = stat_sessions + 1;   // reliable race
+    let i = 0;
+    while (i < {ops}) {{
+        sync table_lock {{
+            let row = (id + i * 7) % 32;
+            table[row] = table[row] + id;
+        }}
+        stat_reads = stat_reads + 1;     // reliable race
+        if (i % 5 == 0) {{ stat_writes = stat_writes + 1; }}
+        let buf = new obj;
+        buf.row = i;
+        i = i + 1;
+    }}
+    audit[id % 4] = id;                  // racy across sessions
+    epoch = id;
+}}"
+    );
+    src.push_str("fn main() {\n");
+    for w in 0..waves {
+        spawn_wave(&mut src, "session", (w * per_wave)..((w + 1) * per_wave));
+    }
+    src.push_str("}\n");
+    Workload {
+        name: "hsqldb",
+        source: src,
+        threads_total: (total + 1) as usize,
+        max_live: (per_wave + 1) as usize,
+    }
+}
+
+/// The xalan-like workload: 8 transformer threads over a shared table with
+/// mostly-independent regions that occasionally collide, yielding many
+/// distinct races with a long tail of rare ones.
+pub fn xalan(scale: Scale) -> Workload {
+    let ops = scale.ops(50, 200, 800);
+    let mut src = String::from(
+        "shared doc[24];\n\
+         shared out_a; shared out_b; shared out_c; shared out_d;\n\
+         shared collide[6];\n\
+         shared done_count;\n\
+         lock pool;\n\
+         volatile barrier;\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "fn transform(id) {{
+    let i = 0;
+    while (i < {ops}) {{
+        // regioned accesses: mostly private, colliding when the stripe
+        // wraps onto a neighbour's
+        doc[(id * 3 + (i % 3)) % 24] = i;
+        let peek = doc[(id * 3 + i) % 24];
+        if (id % 4 == 0) {{ out_a = out_a + peek; }}
+        if (id % 4 == 1) {{ out_b = out_b + peek; }}
+        if (id % 4 == 2) {{ out_c = out_c + peek; }}
+        if (id % 4 == 3) {{ out_d = out_d + peek; }}
+        if (peek == i * 2 + id) {{ collide[id % 6] = peek; }}  // rare
+        if (peek % 89 == 7) {{ collide[(id + 1) % 6] = id; }}  // rare
+        sync pool {{ done_count = done_count + 1; }}
+        let node = new obj;         // result node: drives the allocation
+        node.tag = i;               // clock that triggers GCs (§4)
+        i = i + 1;
+    }}
+    barrier = id;
+}}"
+    );
+    src.push_str("fn main() {\n");
+    spawn_wave(&mut src, "transform", 0..8);
+    src.push_str("}\n");
+    Workload {
+        name: "xalan",
+        source: src,
+        threads_total: 9,
+        max_live: 9,
+    }
+}
+
+/// The pseudojbb-like workload: four waves of 9 warehouse threads (37
+/// total), disciplined except for a few order-book counters.
+pub fn pseudojbb(scale: Scale) -> Workload {
+    let ops = scale.ops(30, 100, 400);
+    let mut src = String::from(
+        "shared warehouse[9];\n\
+         shared orders; shared new_order_id;\n\
+         shared spill;\n\
+         lock order_lock;\n\
+         volatile tick;\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "fn clerk(id) {{
+    let i = 0;
+    while (i < {ops}) {{
+        sync order_lock {{ orders = orders + 1; }}
+        warehouse[id % 9] = warehouse[id % 9] + 1;  // races across waves
+        new_order_id = new_order_id + 1;            // reliable race
+        let rec = new obj;
+        rec.amount = i;
+        rec.total = rec.amount * 3;
+        if (new_order_id == id * 17 + 5) {{ spill = id; }}  // rare
+        i = i + 1;
+    }}
+    tick = id;
+}}"
+    );
+    src.push_str("fn main() {\n");
+    for w in 0..4u32 {
+        spawn_wave(&mut src, "clerk", (w * 9)..((w + 1) * 9));
+    }
+    src.push_str("}\n");
+    Workload {
+        name: "pseudojbb",
+        source: src,
+        threads_total: 37,
+        max_live: 10,
+    }
+}
+
+/// A fully disciplined, race-free workload (a Monte-Carlo-style reduction):
+/// workers accumulate into thread-local objects and merge under a lock.
+/// Used to validate zero false positives at every sampling rate and to
+/// measure the overhead floor on clean code.
+pub fn montecarlo(scale: Scale) -> Workload {
+    let ops = scale.ops(60, 250, 1000);
+    let workers = 6u32;
+    let mut src = String::from(
+        "shared total; shared rounds;\n\
+         lock merge_lock;\n\
+         volatile done;\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "fn simulate(id) {{
+    let acc = new obj;           // provably thread-local accumulator
+    acc.sum = 0;
+    let state = id * 7 + 3;
+    let i = 0;
+    while (i < {ops}) {{
+        state = (state * 1103515245 + 12345) % 2147483647;
+        if (state < 0) {{ state = -state; }}
+        if (state % 4 < 2) {{ acc.sum = acc.sum + 1; }}
+        i = i + 1;
+    }}
+    sync merge_lock {{
+        total = total + acc.sum;
+        rounds = rounds + {ops};
+    }}
+    done = id;
+}}"
+    );
+    src.push_str("fn main() {\n");
+    spawn_wave(&mut src, "simulate", 0..workers);
+    src.push_str("}\n");
+    Workload {
+        name: "montecarlo",
+        source: src,
+        threads_total: workers as usize + 1,
+        max_live: workers as usize + 1,
+    }
+}
+
+/// The adversarial thread-churn workload: continuously forks and joins
+/// short-lived threads, so every join brings a genuinely new clock version
+/// and the version fast path cannot converge (§3.2's open worst case).
+pub fn adversarial(scale: Scale) -> Workload {
+    let churn = scale.ops(12, 60, 240);
+    let mut src = String::from(
+        "shared sink;\n\
+         lock relay;\n\n\
+         fn flash(id) {\n\
+             sync relay { sink = sink + id; }\n\
+         }\n\
+         fn main() {\n\
+             let k = 0;\n",
+    );
+    let _ = writeln!(
+        src,
+        "    while (k < {churn}) {{
+        let a = spawn flash(k);
+        let b = spawn flash(k + 1);
+        join a;
+        join b;
+        k = k + 1;
+    }}
+}}"
+    );
+    Workload {
+        name: "adversarial",
+        source: src,
+        threads_total: (2 * churn + 1) as usize,
+        max_live: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_fasttrack::FastTrackDetector;
+    use pacer_runtime::{Vm, VmConfig};
+    use pacer_trace::Detector;
+
+    fn run(w: &Workload, seed: u64) -> (pacer_runtime::RunOutcome, FastTrackDetector) {
+        let compiled = w.compiled();
+        let mut det = FastTrackDetector::new();
+        let out = Vm::run(&compiled, &mut det, &VmConfig::new(seed)).unwrap();
+        (out, det)
+    }
+
+    #[test]
+    fn all_workloads_compile_at_every_scale() {
+        for scale in [Scale::Test, Scale::Small, Scale::Paper] {
+            for w in all(scale) {
+                let c = w.compiled();
+                assert!(c.instrumented_sites() > 0, "{}", w.name);
+            }
+            adversarial(scale).compiled();
+        }
+    }
+
+    #[test]
+    fn thread_counts_match_specs() {
+        for w in all(Scale::Test) {
+            let (out, _) = run(&w, 11);
+            assert_eq!(out.threads_started, w.threads_total, "{}", w.name);
+            assert!(
+                out.max_live_threads <= w.max_live,
+                "{}: live {} > spec {}",
+                w.name,
+                out.max_live_threads,
+                w.max_live
+            );
+        }
+    }
+
+    #[test]
+    fn every_workload_races_under_fasttrack() {
+        for w in all(Scale::Test) {
+            let (_, det) = run(&w, 3);
+            assert!(!det.races().is_empty(), "{} should contain races", w.name);
+        }
+    }
+
+    #[test]
+    fn hsqldb_races_are_reliable_across_seeds() {
+        let w = hsqldb(Scale::Test);
+        for seed in 0..5 {
+            let (_, det) = run(&w, seed);
+            assert!(
+                det.distinct_races().len() >= 2,
+                "seed {seed}: reliable races missing"
+            );
+        }
+    }
+
+    #[test]
+    fn eclipse_has_more_distinct_races_than_pseudojbb() {
+        // Table 2's ordering: eclipse ≫ pseudojbb in distinct races.
+        let mut eclipse_races = std::collections::HashSet::new();
+        let mut jbb_races = std::collections::HashSet::new();
+        for seed in 0..5 {
+            let (_, d1) = run(&eclipse(Scale::Test), seed);
+            eclipse_races.extend(d1.distinct_races());
+            let (_, d2) = run(&pseudojbb(Scale::Test), seed);
+            jbb_races.extend(d2.distinct_races());
+        }
+        assert!(
+            eclipse_races.len() > jbb_races.len(),
+            "eclipse {} vs pseudojbb {}",
+            eclipse_races.len(),
+            jbb_races.len()
+        );
+    }
+
+    #[test]
+    fn rare_races_exist_somewhere() {
+        // Across seeds, the distinct-race set should vary: some races do
+        // not occur in every trial (Table 2's ≥1 vs ≥25 columns).
+        let w = eclipse(Scale::Test);
+        let sets: Vec<std::collections::BTreeSet<_>> = (0..6)
+            .map(|seed| run(&w, seed).1.distinct_races().into_iter().collect())
+            .collect();
+        let union: std::collections::BTreeSet<_> = sets.iter().flatten().copied().collect();
+        let intersection = sets
+            .iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        assert!(
+            intersection.len() < union.len(),
+            "expected rare races: union {} == intersection {}",
+            union.len(),
+            intersection.len()
+        );
+        assert!(!intersection.is_empty(), "and some reliable ones");
+    }
+
+    #[test]
+    fn workloads_use_escape_elision_and_volatiles() {
+        for w in all(Scale::Test) {
+            let (out, _) = run(&w, 0);
+            if w.name != "xalan" {
+                assert!(out.elided_accesses > 0, "{}: no elided accesses", w.name);
+            }
+            assert!(out.stats.vol_writes > 0, "{}: no volatile traffic", w.name);
+        }
+    }
+
+    #[test]
+    fn montecarlo_is_race_free_at_every_rate() {
+        use pacer_core::PacerDetector;
+        let w = montecarlo(Scale::Test);
+        let compiled = w.compiled();
+        for (seed, rate) in [(0u64, 0.0f64), (1, 0.25), (2, 1.0)] {
+            let mut pacer = PacerDetector::new();
+            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let out = Vm::run(&compiled, &mut pacer, &cfg).unwrap();
+            assert!(
+                pacer.races().is_empty(),
+                "montecarlo raced at rate {rate} seed {seed}"
+            );
+            assert!(out.elided_accesses > 0, "accumulators are elided");
+        }
+        // FASTTRACK agrees.
+        let (_, det) = run(&w, 9);
+        assert!(det.races().is_empty());
+    }
+
+    #[test]
+    fn adversarial_churns_threads() {
+        let w = adversarial(Scale::Test);
+        let (out, _) = run(&w, 1);
+        assert_eq!(out.threads_started, w.threads_total);
+        assert!(out.max_live_threads <= 3);
+        assert_eq!(out.stats.forks as usize, w.threads_total - 1);
+    }
+}

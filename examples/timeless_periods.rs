@@ -1,0 +1,71 @@
+//! Figure 2, animated: how PACER eliminates O(n) work outside sampling
+//! periods with version epochs and shared (copy-on-write) clocks.
+//!
+//! Run with: `cargo run --example timeless_periods`
+
+use pacer_core::PacerDetector;
+use pacer_trace::{Action, Detector, LockId, Trace};
+use pacer_clock::ThreadId;
+
+fn main() {
+    // Three threads exchanging two locks, exactly like Figure 2: after the
+    // first transfer in each direction, every further acquire receives a
+    // clock value the thread has already seen.
+    let t = |i| ThreadId::new(i);
+    let m = |i| LockId::new(i);
+    let mut trace = Trace::new();
+    trace.push(Action::Fork { t: t(0), u: t(1) });
+    trace.push(Action::Fork { t: t(0), u: t(2) });
+    trace.push(Action::Fork { t: t(0), u: t(3) });
+    for _round in 0..100 {
+        // t3 releases both locks; t1 and t2 acquire them repeatedly.
+        for (thread, lock) in [(3, 0), (3, 1)] {
+            trace.push(Action::Acquire { t: t(thread), m: m(lock) });
+            trace.push(Action::Release { t: t(thread), m: m(lock) });
+        }
+        for (thread, lock) in [(1, 0), (2, 0), (1, 1), (2, 1)] {
+            trace.push(Action::Acquire { t: t(thread), m: m(lock) });
+            trace.push(Action::Release { t: t(thread), m: m(lock) });
+        }
+    }
+
+    println!("=== entirely outside sampling periods (timeless) ===");
+    let mut pacer = PacerDetector::new();
+    pacer.run(&trace);
+    let s = pacer.stats();
+    println!(
+        "joins:  slow={:4}  fast={:4}   ({:.1}% fast — versions detect the redundancy)",
+        s.joins.non_sampling_slow,
+        s.joins.non_sampling_fast,
+        s.non_sampling_fast_join_fraction().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "copies: deep={:4}  shallow={:4} (lock releases share the releaser's clock)",
+        s.copies.non_sampling_deep, s.copies.non_sampling_shallow
+    );
+    println!(
+        "clone-on-write events: {} (a shared clock was about to change)",
+        s.cow_clones
+    );
+
+    println!("\n=== same trace inside one big sampling period ===");
+    let mut sampled = Trace::new();
+    sampled.push(Action::SampleBegin);
+    sampled.extend(trace.iter().copied());
+    let mut pacer = PacerDetector::new();
+    pacer.run(&sampled);
+    let s = pacer.stats();
+    println!(
+        "joins:  slow={:4}  fast={:4}   (every release mints a new version: little redundancy)",
+        s.joins.sampling_slow, s.joins.sampling_fast
+    );
+    println!(
+        "copies: deep={:4}  shallow={:4} (sampling periods always copy deeply)",
+        s.copies.sampling_deep, s.copies.sampling_shallow
+    );
+
+    println!(
+        "\nThe contrast is §3.2's claim: \"versions and shallow copies avoid\n\
+         nearly all O(n) analysis on joins and copies during non-sampling periods\"."
+    );
+}

@@ -1,0 +1,28 @@
+// A classic lost-update bug: deposits race on `balance` because the
+// developer forgot the lock on the fast path.
+//
+//   pacer run programs/bank.pl --detector fasttrack
+//   pacer run programs/bank.pl --rate 0.05 --seed 7
+
+shared balance;
+shared audit_log;
+lock ledger;
+
+fn deposit_worker(id) {
+    let i = 0;
+    while (i < 400) {
+        balance = balance + 1;            // BUG: unguarded read-modify-write
+        sync ledger { audit_log = audit_log + 1; }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let a = spawn deposit_worker(1);
+    let b = spawn deposit_worker(2);
+    let c = spawn deposit_worker(3);
+    join a;
+    join b;
+    join c;
+    return balance;                        // often < 1200
+}

@@ -1,0 +1,38 @@
+// Monitor-based handoff with wait/notify: the consumer parks until the
+// producer fills the slot. Race-free — and a case where the static
+// lockset lint stays quiet because everything happens under `m`.
+//
+//   pacer run programs/handoff.pl --rate 1.0
+//   pacer lint programs/handoff.pl
+
+shared slot;
+shared full;
+lock m;
+
+fn producer(value) {
+    sync m {
+        slot = value;
+        full = 1;
+        notifyall m;
+    }
+}
+
+fn consumer() {
+    let got = 0;
+    sync m {
+        while (full == 0) {
+            wait m;
+        }
+        got = slot;
+    }
+    return got;
+}
+
+fn main() {
+    let c1 = spawn consumer();
+    let c2 = spawn consumer();
+    let p = spawn producer(42);
+    join p;
+    join c1;
+    join c2;
+}

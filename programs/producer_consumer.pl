@@ -1,0 +1,37 @@
+// Correct volatile-flag publication: the producer fills a buffer, then
+// sets `ready`; consumers spin on the flag. Race-free under every
+// detector at every rate.
+//
+//   pacer run programs/producer_consumer.pl --rate 1.0
+
+shared buffer[16];
+volatile ready;
+
+fn producer() {
+    let i = 0;
+    while (i < 16) {
+        buffer[i] = i * i;
+        i = i + 1;
+    }
+    ready = 1;                             // publishes everything above
+}
+
+fn consumer() {
+    while (ready == 0) { }
+    let sum = 0;
+    let i = 0;
+    while (i < 16) {
+        sum = sum + buffer[i];
+        i = i + 1;
+    }
+    return sum;
+}
+
+fn main() {
+    let p = spawn producer();
+    let c1 = spawn consumer();
+    let c2 = spawn consumer();
+    join p;
+    join c1;
+    join c2;
+}

@@ -1,0 +1,33 @@
+// A work-stealing-style loop with a subtle bug: the `claimed` counter is
+// guarded, but the per-slot result writes collide when the modulus wraps.
+//
+//   pacer run programs/worklist.pl --detector pacer --rate 0.25 --seed 3
+//   pacer check programs/worklist.pl
+
+shared results[6];
+shared claimed;
+lock queue;
+
+fn steal(id) {
+    let mine = 0;
+    while (mine < 30) {
+        sync queue {
+            mine = claimed;
+            claimed = claimed + 1;
+        }
+        // BUG: 6 slots but up to 90 items — concurrent workers wrap onto
+        // the same slot without holding the lock.
+        results[mine % 6] = id * 1000 + mine;
+        let scratch = new obj;             // thread-local: uninstrumented
+        scratch.last = mine;
+    }
+}
+
+fn main() {
+    let a = spawn steal(1);
+    let b = spawn steal(2);
+    let c = spawn steal(3);
+    join a;
+    join b;
+    join c;
+}

@@ -1,0 +1,19 @@
+//! `pacer-suite`: umbrella package for the PACER reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate [integration tests](../tests). It re-exports the workspace
+//! crates under short names so examples read naturally.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use pacer_cli as cli;
+pub use pacer_clock as clock;
+pub use pacer_core as pacer;
+pub use pacer_fasttrack as fasttrack;
+pub use pacer_harness as harness;
+pub use pacer_lang as lang;
+pub use pacer_literace as literace;
+pub use pacer_runtime as runtime;
+pub use pacer_trace as trace;
+pub use pacer_workloads as workloads;

@@ -1,0 +1,90 @@
+//! Statistical test of the proportionality guarantee: over many seeded
+//! runs, PACER detects a reliable race in a fraction of trials close to
+//! the sampling rate (§5.2's claim, checked with binomial bounds).
+
+use pacer_harness::detection::RaceCensus;
+use pacer_harness::trials::{run_trial, DetectorKind};
+use pacer_workloads::{hsqldb, Scale};
+
+/// Two-sided tolerance for a binomial proportion: mean ± 4·σ plus slack
+/// for the window-granularity sampling of the GC controller.
+fn binomial_bounds(p: f64, n: u32) -> (f64, f64) {
+    let sigma = (p * (1.0 - p) / n as f64).sqrt();
+    let slack = 0.05 + 4.0 * sigma;
+    ((p - slack).max(0.0), (p + slack).min(1.0))
+}
+
+#[test]
+fn distinct_detection_rate_tracks_sampling_rate() {
+    let program = hsqldb(Scale::Test).compiled();
+    // Reliable races: those in every one of a handful of full trials.
+    let census = RaceCensus::collect(&program, 6, 5000).unwrap();
+    let eval: Vec<_> = census.races_with_at_least(6);
+    assert!(!eval.is_empty(), "need fully reliable races");
+    let eval: std::collections::HashSet<_> = eval.into_iter().collect();
+
+    for rate in [0.25, 0.5] {
+        let trials = 120u32;
+        let mut detected_any = 0u32;
+        for i in 0..trials {
+            let r = run_trial(
+                &program,
+                DetectorKind::Pacer { rate },
+                9_000 + 37 * u64::from(i),
+            )
+            .unwrap();
+            if r.distinct_races.iter().any(|k| eval.contains(k)) {
+                detected_any += 1;
+            }
+        }
+        let observed = f64::from(detected_any) / f64::from(trials);
+        // A reliable race occurs every run with many dynamic instances;
+        // detecting *any* eval race needs at least one sampled first
+        // access, so the per-trial probability is at least ≈ rate (and
+        // higher, since several dynamic occurrences give several chances).
+        let (lo, _) = binomial_bounds(rate, trials);
+        assert!(
+            observed >= lo,
+            "rate {rate}: observed detection fraction {observed} below {lo}"
+        );
+    }
+}
+
+#[test]
+fn detection_scales_monotonically_with_rate() {
+    let program = hsqldb(Scale::Test).compiled();
+    let trials = 60u32;
+    let mut fractions = Vec::new();
+    for rate in [0.02, 0.10, 0.40, 1.0] {
+        let mut dynamic_total = 0usize;
+        for i in 0..trials {
+            let r = run_trial(
+                &program,
+                DetectorKind::Pacer { rate },
+                400 + 13 * u64::from(i),
+            )
+            .unwrap();
+            dynamic_total += r.dynamic_races.len();
+        }
+        fractions.push(dynamic_total as f64 / f64::from(trials));
+    }
+    for pair in fractions.windows(2) {
+        assert!(
+            pair[1] >= pair[0] * 0.8,
+            "dynamic detections should grow with the rate: {fractions:?}"
+        );
+    }
+    assert!(
+        fractions.last().unwrap() > &(fractions[0] * 3.0),
+        "100% sampling must find far more than 2%: {fractions:?}"
+    );
+}
+
+#[test]
+fn zero_rate_never_detects() {
+    let program = hsqldb(Scale::Test).compiled();
+    for i in 0..10 {
+        let r = run_trial(&program, DetectorKind::Pacer { rate: 0.0 }, i).unwrap();
+        assert!(r.dynamic_races.is_empty());
+    }
+}
