@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 CI entry point. Runs fully offline; no network or external deps.
+#
+#   ./ci.sh          fmt check, release build, tests, bench smoke
+#   ./ci.sh --quick  skip the bench smoke run
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+if [ "${1:-}" = "--quick" ]; then
+    echo "== skipping bench smoke (--quick)"
+    exit 0
+fi
+
+# Smoke-run every bench target in quick mode; each writes BENCH_<name>.json
+# at the workspace root.
+for bench in clock_ops detector_throughput workload_overhead version_ablation; do
+    echo "== cargo bench $bench --quick"
+    cargo bench -p pacer-bench --bench "$bench" -- --quick
+done
+
+echo "== ci.sh OK"

@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the clock primitives: the `O(1)` vs `O(n)`
-//! distinction everything else rests on.
+//! distinction everything else rests on. Emits `BENCH_clock_ops.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pacer_bench::Bench;
 use pacer_clock::{CowClock, Epoch, ThreadId, VectorClock, VersionEpoch, VersionVector};
 
 fn clock_of_width(n: u32) -> VectorClock {
@@ -14,56 +14,44 @@ fn clock_of_width(n: u32) -> VectorClock {
     c
 }
 
-fn bench_epoch_vs_vector_compare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compare");
+fn main() {
+    let mut bench = Bench::from_args("clock_ops", std::env::args().skip(1));
+
     for &n in &[8u32, 64, 512] {
         let clock = clock_of_width(n);
         let other = clock_of_width(n);
         let epoch = Epoch::new(3, ThreadId::new(n / 2));
-        group.bench_with_input(BenchmarkId::new("epoch_leq_clock", n), &n, |b, _| {
-            b.iter(|| black_box(epoch).leq_clock(black_box(&clock)));
+        bench.measure(&format!("compare/epoch_leq_clock/{n}"), None, || {
+            black_box(black_box(epoch).leq_clock(black_box(&clock)));
         });
-        group.bench_with_input(BenchmarkId::new("vector_leq_vector", n), &n, |b, _| {
-            b.iter(|| black_box(&other).leq(black_box(&clock)));
+        bench.measure(&format!("compare/vector_leq_vector/{n}"), None, || {
+            black_box(black_box(&other).leq(black_box(&clock)));
         });
     }
-    group.finish();
-}
 
-fn bench_join_and_copy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join_copy");
     for &n in &[8u32, 64, 512] {
         let src = clock_of_width(n);
-        group.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
-            let mut dst = clock_of_width(n);
-            b.iter(|| dst.join(black_box(&src)));
+        let mut dst = clock_of_width(n);
+        bench.measure(&format!("join_copy/join/{n}"), None, || {
+            dst.join(black_box(&src));
         });
         let cow = CowClock::new(clock_of_width(n));
-        group.bench_with_input(BenchmarkId::new("shallow_copy", n), &n, |b, _| {
-            b.iter(|| black_box(cow.shallow_copy()));
+        bench.measure(&format!("join_copy/shallow_copy/{n}"), None, || {
+            black_box(cow.shallow_copy());
         });
-        group.bench_with_input(BenchmarkId::new("deep_copy", n), &n, |b, _| {
-            b.iter(|| black_box(cow.deep_copy()));
+        bench.measure(&format!("join_copy/deep_copy/{n}"), None, || {
+            black_box(cow.deep_copy());
         });
     }
-    group.finish();
-}
 
-fn bench_version_check(c: &mut Criterion) {
     // The fast path PACER buys with versions: a single slot compare,
     // independent of thread count.
     let mut vv = VersionVector::new();
     vv.set(ThreadId::new(400), 9);
     let ve = VersionEpoch::at(5, ThreadId::new(400));
-    c.bench_function("version_epoch_leq", |b| {
-        b.iter(|| black_box(ve).leq(black_box(&vv)));
+    bench.measure("version_epoch_leq", None, || {
+        black_box(black_box(ve).leq(black_box(&vv)));
     });
-}
 
-criterion_group!(
-    benches,
-    bench_epoch_vs_vector_compare,
-    bench_join_and_copy,
-    bench_version_check
-);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -2,14 +2,29 @@
 //!
 //! Generic ≪ FastTrack is the FASTTRACK paper's headline; PACER below a
 //! few percent should sit near its r = 0 floor, far under FASTTRACK.
+//!
+//! Emits `BENCH_detector_throughput.json`. The `context` section carries
+//! the pre-`IdMap` baseline (HashMap-keyed metadata, same workload, same
+//! machine class) so the slab migration's speedup is recorded next to the
+//! current numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use pacer_bench::Bench;
 use pacer_core::PacerDetector;
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
 use pacer_trace::gen::{insert_sampling_periods, GenConfig};
 use pacer_trace::{Detector, Trace};
+
+/// events/sec measured on this workload immediately before the
+/// HashMap → IdMap state migration (same harness, same seed).
+const PRE_IDMAP_BASELINE: &[(&str, f64)] = &[
+    ("replay/generic", 14_620_544.0),
+    ("replay/fasttrack", 17_691_004.0),
+    ("replay/pacer@0%", 57_561_270.0),
+    ("replay/pacer@3%", 50_307_745.0),
+    ("replay/pacer@100%", 12_579_983.0),
+];
 
 fn replay_trace() -> Trace {
     GenConfig::small(7)
@@ -19,61 +34,57 @@ fn replay_trace() -> Trace {
         .generate()
 }
 
-fn bench_detectors(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args("detector_throughput", std::env::args().skip(1));
+
     let base = replay_trace();
     let sampled_3 = insert_sampling_periods(&base, 0.03, 200, 1);
     let sampled_100 = insert_sampling_periods(&base, 1.0, 200, 1);
     let events = base.len() as u64;
 
-    let mut group = c.benchmark_group("replay");
-    group.throughput(Throughput::Elements(events));
-    group.sample_size(20);
+    bench.measure("replay/generic", Some(events), || {
+        let mut d = GenericDetector::new();
+        d.run(black_box(&base));
+        black_box(d.races().len());
+    });
+    bench.measure("replay/fasttrack", Some(events), || {
+        let mut d = FastTrackDetector::new();
+        d.run(black_box(&base));
+        black_box(d.races().len());
+    });
+    bench.measure("replay/pacer@0%", Some(events), || {
+        let mut d = PacerDetector::new();
+        d.run(black_box(&base));
+        black_box(d.races().len());
+    });
+    bench.measure("replay/pacer@3%", Some(events), || {
+        let mut d = PacerDetector::new();
+        d.run(black_box(&sampled_3));
+        black_box(d.races().len());
+    });
+    bench.measure("replay/pacer@100%", Some(events), || {
+        let mut d = PacerDetector::new();
+        d.run(black_box(&sampled_100));
+        black_box(d.races().len());
+    });
 
-    group.bench_with_input(BenchmarkId::new("generic", events), &base, |b, t| {
-        b.iter(|| {
-            let mut d = GenericDetector::new();
-            d.run(black_box(t));
-            black_box(d.races().len())
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("fasttrack", events), &base, |b, t| {
-        b.iter(|| {
-            let mut d = FastTrackDetector::new();
-            d.run(black_box(t));
-            black_box(d.races().len())
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("pacer@0%", events), &base, |b, t| {
-        b.iter(|| {
-            let mut d = PacerDetector::new();
-            d.run(black_box(t));
-            black_box(d.races().len())
-        });
-    });
-    group.bench_with_input(
-        BenchmarkId::new("pacer@3%", events),
-        &sampled_3,
-        |b, t| {
-            b.iter(|| {
-                let mut d = PacerDetector::new();
-                d.run(black_box(t));
-                black_box(d.races().len())
-            });
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::new("pacer@100%", events),
-        &sampled_100,
-        |b, t| {
-            b.iter(|| {
-                let mut d = PacerDetector::new();
-                d.run(black_box(t));
-                black_box(d.races().len())
-            });
-        },
-    );
-    group.finish();
+    let baseline = PRE_IDMAP_BASELINE
+        .iter()
+        .map(|(id, eps)| format!("\"{id}\": {eps}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    bench.context_json("baseline_events_per_sec", format!("{{ {baseline} }}"));
+    for m in bench.results().to_vec() {
+        if let (Some(eps), Some((_, base_eps))) = (
+            m.events_per_sec,
+            PRE_IDMAP_BASELINE.iter().find(|(id, _)| *id == m.id),
+        ) {
+            eprintln!(
+                "{:<40} {:>6.2}x vs pre-IdMap baseline",
+                m.id,
+                eps / base_eps
+            );
+        }
+    }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_detectors);
-criterion_main!(benches);

@@ -6,10 +6,11 @@
 //! thread count: with 9 threads an O(n) join is nanoseconds and the
 //! version bookkeeping roughly breaks even; with ~100 threads skipping
 //! O(n) joins wins clearly — the paper's scalability argument (§2.4).
+//! Emits `BENCH_version_ablation.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pacer_bench::Bench;
 use pacer_core::PacerDetector;
 use pacer_runtime::{Vm, VmConfig};
 use pacer_trace::{Detector, RecordingDetector, Trace};
@@ -21,28 +22,6 @@ fn record(workload: &Workload, rate: f64) -> Trace {
     let cfg = VmConfig::new(3).with_sampling_rate(rate);
     Vm::run(&compiled, &mut rec, &cfg).expect("workload runs");
     rec.into_trace()
-}
-
-fn bench_version_fast_path(c: &mut Criterion) {
-    for (name, workload) in [
-        ("xalan-9threads", xalan(Scale::Test)),
-        ("hsqldb-103threads", hsqldb(Scale::Small)),
-        ("adversarial-churn", adversarial(Scale::Test)),
-    ] {
-        let trace = record(&workload, 0.03);
-        let mut group = c.benchmark_group(format!("versions/{name}"));
-        group.sample_size(20);
-        for (label, enabled) in [("with-versions", true), ("no-versions", false)] {
-            group.bench_function(BenchmarkId::from_parameter(label), |b| {
-                b.iter(|| {
-                    let mut det = PacerDetector::new().with_version_fast_path(enabled);
-                    det.run(black_box(&trace));
-                    black_box(det.races().len())
-                });
-            });
-        }
-        group.finish();
-    }
 }
 
 /// A pure synchronization workload: `threads` workers take turns on one
@@ -84,23 +63,40 @@ fn lock_convergence_trace(threads: u32, rounds: u32) -> Trace {
     trace
 }
 
-fn bench_lock_convergence(c: &mut Criterion) {
-    for threads in [8u32, 64, 256] {
-        let trace = lock_convergence_trace(threads, 40);
-        let mut group = c.benchmark_group(format!("converged-joins/{threads}threads"));
-        group.sample_size(20);
+fn main() {
+    let mut bench = Bench::from_args("version_ablation", std::env::args().skip(1));
+
+    for (name, workload) in [
+        ("xalan-9threads", xalan(Scale::Test)),
+        ("hsqldb-103threads", hsqldb(Scale::Small)),
+        ("adversarial-churn", adversarial(Scale::Test)),
+    ] {
+        let trace = record(&workload, 0.03);
+        let events = trace.len() as u64;
         for (label, enabled) in [("with-versions", true), ("no-versions", false)] {
-            group.bench_function(BenchmarkId::from_parameter(label), |b| {
-                b.iter(|| {
-                    let mut det = PacerDetector::new().with_version_fast_path(enabled);
-                    det.run(black_box(&trace));
-                    black_box(det.stats().joins.non_sampling_fast)
-                });
+            bench.measure(&format!("versions/{name}/{label}"), Some(events), || {
+                let mut det = PacerDetector::new().with_version_fast_path(enabled);
+                det.run(black_box(&trace));
+                black_box(det.races().len());
             });
         }
-        group.finish();
     }
-}
 
-criterion_group!(benches, bench_version_fast_path, bench_lock_convergence);
-criterion_main!(benches);
+    for threads in [8u32, 64, 256] {
+        let trace = lock_convergence_trace(threads, 40);
+        let events = trace.len() as u64;
+        for (label, enabled) in [("with-versions", true), ("no-versions", false)] {
+            bench.measure(
+                &format!("converged-joins/{threads}threads/{label}"),
+                Some(events),
+                || {
+                    let mut det = PacerDetector::new().with_version_fast_path(enabled);
+                    det.run(black_box(&trace));
+                    black_box(det.stats().joins.non_sampling_fast);
+                },
+            );
+        }
+    }
+
+    bench.finish();
+}

@@ -1,46 +1,40 @@
 //! End-to-end workload overhead per instrumentation configuration — the
-//! Criterion counterpart of Figures 7–9.
+//! bench counterpart of Figures 7–9. Emits `BENCH_workload_overhead.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pacer_bench::Bench;
 use pacer_core::PacerDetector;
 use pacer_runtime::{InstrumentMode, NullDetector, Vm, VmConfig};
 use pacer_workloads::{all, Scale};
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args("workload_overhead", std::env::args().skip(1));
+
     for w in all(Scale::Test) {
         let program = w.compiled();
-        let mut group = c.benchmark_group(format!("workload/{}", w.name));
-        group.sample_size(20);
 
-        group.bench_function(BenchmarkId::from_parameter("base"), |b| {
-            let cfg = VmConfig::new(1).with_instrument(InstrumentMode::Off);
-            b.iter(|| {
-                let mut det = NullDetector;
-                black_box(Vm::run(&program, &mut det, &cfg).expect("runs"))
-            });
+        let cfg = VmConfig::new(1).with_instrument(InstrumentMode::Off);
+        bench.measure(&format!("workload/{}/base", w.name), None, || {
+            let mut det = NullDetector;
+            black_box(Vm::run(&program, &mut det, &cfg).expect("runs"));
         });
-        group.bench_function(BenchmarkId::from_parameter("om+sync"), |b| {
-            let cfg = VmConfig::new(1).with_instrument(InstrumentMode::SyncOnly);
-            b.iter(|| {
-                let mut det = PacerDetector::new();
-                black_box(Vm::run(&program, &mut det, &cfg).expect("runs"))
-            });
+
+        let cfg = VmConfig::new(1).with_instrument(InstrumentMode::SyncOnly);
+        bench.measure(&format!("workload/{}/om+sync", w.name), None, || {
+            let mut det = PacerDetector::new();
+            black_box(Vm::run(&program, &mut det, &cfg).expect("runs"));
         });
+
         for rate in [0.0, 0.01, 0.03, 0.25, 1.0] {
-            let label = format!("pacer@{}%", rate * 100.0);
-            group.bench_function(BenchmarkId::from_parameter(label), |b| {
-                let cfg = VmConfig::new(1).with_sampling_rate(rate);
-                b.iter(|| {
-                    let mut det = PacerDetector::new();
-                    black_box(Vm::run(&program, &mut det, &cfg).expect("runs"))
-                });
+            let cfg = VmConfig::new(1).with_sampling_rate(rate);
+            let label = format!("workload/{}/pacer@{}%", w.name, rate * 100.0);
+            bench.measure(&label, None, || {
+                let mut det = PacerDetector::new();
+                black_box(Vm::run(&program, &mut det, &cfg).expect("runs"));
             });
         }
-        group.finish();
     }
-}
 
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -1,13 +1,15 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N]
+//! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]
 //!
 //! EXPERIMENT: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!             fig10 fleet ablation all      (default: all)
 //! --quick : tiny workloads, few trials (smoke test, seconds)
 //! --small : default — small workloads, paper trial counts ÷ 10
 //! --full  : the §5.1 trial counts (slow)
+//! --jobs N: worker threads for the trial engine (default 1; results are
+//!           bit-identical at any value — overhead timing stays sequential)
 //! ```
 
 use std::process::ExitCode;
@@ -32,6 +34,16 @@ fn main() -> ExitCode {
                     Some(seed) => cfg.base_seed = seed,
                     None => {
                         eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(jobs) if jobs > 0 => pacer_harness::parallel::set_jobs(jobs),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -80,7 +92,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N]\n\
+        "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]\n\
          experiments: {} all",
         Experiment::ALL
             .iter()

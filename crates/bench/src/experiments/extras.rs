@@ -102,11 +102,12 @@ pub fn ablation(cfg: &ExpConfig) -> Result<String, VmError> {
     // 3. Adversarial churn.
     let program = adversarial(cfg.scale).compiled();
     let mut det = PacerDetector::new();
-    Vm::run(&program, &mut det, &VmConfig::new(cfg.base_seed).with_sampling_rate(0.03))?;
-    let frac = det
-        .stats()
-        .non_sampling_fast_join_fraction()
-        .unwrap_or(0.0);
+    Vm::run(
+        &program,
+        &mut det,
+        &VmConfig::new(cfg.base_seed).with_sampling_rate(0.03),
+    )?;
+    let frac = det.stats().non_sampling_fast_join_fraction().unwrap_or(0.0);
     let _ = writeln!(
         out,
         "3. adversarial thread churn (r=3%):\n\

@@ -132,8 +132,7 @@ pub fn fig6(cfg: &ExpConfig) -> Result<String, VmError> {
     let census = RaceCensus::collect(&program, cfg.full_rate_trials(), cfg.base_seed)?;
     let eval = census.evaluation_races();
     let trials = cfg.trials_at(0.01);
-    let mut detected: std::collections::BTreeMap<_, u32> =
-        eval.iter().map(|&k| (k, 0)).collect();
+    let mut detected: std::collections::BTreeMap<_, u32> = eval.iter().map(|&k| (k, 0)).collect();
     let mut eff_sum = 0.0;
     // The paper's burst of 1,000 is proportioned to eclipse's billions of
     // accesses; our scaled workloads execute 10⁴–10⁶, so the burst scales
@@ -142,12 +141,14 @@ pub fn fig6(cfg: &ExpConfig) -> Result<String, VmError> {
         pacer_workloads::Scale::Test | pacer_workloads::Scale::Small => 10,
         pacer_workloads::Scale::Paper => 50,
     };
-    for i in 0..trials {
-        let r = run_trial(
+    let results = pacer_harness::parallel::try_run_indexed(trials as usize, |i| {
+        run_trial(
             &program,
             DetectorKind::LiteRace { burst },
             cfg.base_seed + 13 * i as u64,
-        )?;
+        )
+    })?;
+    for r in &results {
         eff_sum += r.effective_rate.unwrap_or(0.0);
         for key in &r.distinct_races {
             if let Some(c) = detected.get_mut(key) {
@@ -178,7 +179,10 @@ pub fn fig6(cfg: &ExpConfig) -> Result<String, VmError> {
         .enumerate()
         .map(|(i, &y)| (i as f64, y))
         .collect();
-    out.push_str(&render::series(&format!("fig6 eclipse literace(b={burst})"), &pts));
+    out.push_str(&render::series(
+        &format!("fig6 eclipse literace(b={burst})"),
+        &pts,
+    ));
     Ok(out)
 }
 
@@ -209,12 +213,7 @@ pub fn fig7(cfg: &ExpConfig) -> Result<String, VmError> {
             w.name.to_string(),
             format!("{:.1}ms", profile.base.as_secs_f64() * 1000.0),
         ];
-        row.extend(
-            profile
-                .points
-                .iter()
-                .map(|p| render::slowdown(p.slowdown)),
-        );
+        row.extend(profile.points.iter().map(|p| render::slowdown(p.slowdown)));
         rows.push(row);
     }
     let mut out = String::from(
@@ -309,12 +308,7 @@ pub fn fig10(cfg: &ExpConfig) -> Result<String, VmError> {
         let last_step = points.last().map_or(1, |p| p.steps).max(1);
         let pts: Vec<(f64, f64)> = points
             .iter()
-            .map(|p| {
-                (
-                    p.steps as f64 / last_step as f64,
-                    p.total() as f64 / 1024.0,
-                )
-            })
+            .map(|p| (p.steps as f64 / last_step as f64, p.total() as f64 / 1024.0))
             .collect();
         out.push_str(&render::series(
             &format!("fig10 eclipse {} (KB)", config.label()),

@@ -24,11 +24,7 @@ pub fn table1(cfg: &ExpConfig) -> Result<String, VmError> {
         let mut row = vec![w.name.to_string()];
         for &rate in ACCURACY_RATES {
             let r = effective_rates(&program, rate, trials, cfg.base_seed)?;
-            row.push(format!(
-                "{:.1}±{:.1}",
-                r.mean * 100.0,
-                r.std_dev * 100.0
-            ));
+            row.push(format!("{:.1}±{:.1}", r.mean * 100.0, r.std_dev * 100.0));
         }
         rows.push(row);
     }
@@ -68,12 +64,14 @@ pub fn table2(cfg: &ExpConfig) -> Result<String, VmError> {
         for &rate in &[0.01, 0.10, 0.25] {
             let n = (cfg.trials_at(rate) / 2).max(4);
             sampled_trials += n;
-            for i in 0..n {
-                let r = pacer_harness::trials::run_trial(
+            let results = pacer_harness::parallel::try_run_indexed(n as usize, |i| {
+                pacer_harness::trials::run_trial(
                     &program,
                     pacer_harness::DetectorKind::Pacer { rate },
-                    cfg.base_seed + 7907 * u64::from(i) + (rate * 1e4) as u64,
-                )?;
+                    cfg.base_seed + 7907 * (i as u64) + (rate * 1e4) as u64,
+                )
+            })?;
+            for r in &results {
                 all_races.extend(r.distinct_races.iter().copied());
             }
         }
@@ -99,7 +97,15 @@ pub fn table2(cfg: &ExpConfig) -> Result<String, VmError> {
         "(races in ≥ half the full trials are the evaluation races; gaps to ∀r/≥1 show rare races)\n"
     );
     out.push_str(&render::table(
-        &["program", "total", "max live", "∀r ≥1", "full ≥1", "≥5", "≥half"],
+        &[
+            "program",
+            "total",
+            "max live",
+            "∀r ≥1",
+            "full ≥1",
+            "≥5",
+            "≥half",
+        ],
         &rows,
     ));
     Ok(out)

@@ -3,9 +3,11 @@
 //!
 //! The [`experiments`] module has one function per table/figure; the
 //! `reproduce` binary dispatches on a name (`table1`, `fig3`, …, or `all`)
-//! and prints the rendered result. Criterion benches under `benches/`
-//! measure detector throughput, clock micro-operations, end-to-end
-//! workload overhead, and the version-fast-path ablation.
+//! and prints the rendered result. The bench targets under `benches/` run
+//! on the in-tree [`timing`] harness (no external deps, fully offline) and
+//! emit machine-readable `BENCH_*.json` files at the workspace root:
+//! detector throughput, clock micro-operations, end-to-end workload
+//! overhead, and the version-fast-path ablation.
 //!
 //! Absolute numbers differ from the paper (the substrate is an interpreter,
 //! not Jikes RVM on a 2009 Core 2 Quad); the *shapes* — who wins, linearity
@@ -16,5 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::{ExpConfig, Experiment};
+pub use timing::{Bench, Measurement};

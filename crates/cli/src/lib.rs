@@ -16,6 +16,11 @@
 //!     Constant-fold, then pretty-print.
 //! pacer lint <file>
 //!     Static lockset discipline check (imprecise by design: §6.2).
+//! pacer fleet <file> [--instances N] [--rate R] [--seed N] [--jobs N]
+//!     Simulate a deployed fleet: N instances each run the program once
+//!     under PACER at rate R, race reports aggregated centrally (§1).
+//!     --jobs parallelizes the instances; output is identical at any
+//!     job count.
 //! ```
 //!
 //! The library form exists so the behavior is unit-testable; `main.rs` is a
@@ -61,6 +66,8 @@ struct Options {
     seed: u64,
     detector: String,
     trace_out: Option<String>,
+    instances: u32,
+    jobs: usize,
 }
 
 impl Default for Options {
@@ -70,6 +77,8 @@ impl Default for Options {
             seed: 42,
             detector: "pacer".into(),
             trace_out: None,
+            instances: 20,
+            jobs: 1,
         }
     }
 }
@@ -85,6 +94,8 @@ commands:
   fmt <file>     pretty-print canonical source
   fold <file>    constant-fold, then pretty-print
   lint <file>    static lockset check (may report false positives)
+  fleet <file>   simulate a deployed fleet of sampling instances
+                 [--instances N] [--rate R] [--seed N] [--jobs N]
 
 detectors: pacer (default), pacer-accordion, fasttrack, generic,
            literace, none
@@ -107,6 +118,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fmt" => cmd_fmt(&args[1..], false),
         "fold" => cmd_fmt(&args[1..], true),
         "lint" => cmd_lint(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -151,6 +163,22 @@ fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
                         .ok_or_else(|| err("--trace requires a path"))?,
                 );
             }
+            "--instances" => {
+                i += 1;
+                opts.instances = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--instances requires a positive integer"))?;
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--jobs requires a positive integer"))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`")));
             }
@@ -167,18 +195,14 @@ fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
 }
 
 fn load_program(path: &str) -> Result<(pacer_lang::ast::Program, CompiledProgram), CliError> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let ast = pacer_lang::parse(&source).map_err(|e| err(format!("{path}: {e}")))?;
     let compiled = pacer_lang::compile(&ast).map_err(|e| err(format!("{path}: {e}")))?;
     Ok((ast, compiled))
 }
 
-fn report_races(
-    out: &mut String,
-    program: Option<&CompiledProgram>,
-    races: &[RaceReport],
-) {
+fn report_races(out: &mut String, program: Option<&CompiledProgram>, races: &[RaceReport]) {
     let mut distinct: Vec<_> = races.iter().map(RaceReport::distinct_key).collect();
     distinct.sort();
     distinct.dedup();
@@ -292,8 +316,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     let (file, opts) = parse_options(args)?;
-    let trace =
-        Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
+    let trace = Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
     trace
         .validate()
         .map_err(|e| err(format!("{file}: invalid trace: {e}")))?;
@@ -368,8 +391,8 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     let (file, _) = parse_options(args)?;
-    let source = std::fs::read_to_string(&file)
-        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    let source =
+        std::fs::read_to_string(&file).map_err(|e| err(format!("cannot read {file}: {e}")))?;
     let ast = pacer_lang::parse(&source).map_err(|e| err(format!("{file}: {e}")))?;
     let report = pacer_lang::lockset::lockset_lint(&ast);
     let mut out = String::new();
@@ -393,10 +416,42 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
+    let (file, opts) = parse_options(args)?;
+    let (_, compiled) = load_program(&file)?;
+    pacer_harness::parallel::set_jobs(opts.jobs);
+    let report =
+        pacer_harness::fleet::simulate_fleet(&compiled, opts.instances, opts.rate, opts.seed)
+            .map_err(|e| err(format!("runtime error: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} instance(s) at r = {:.2}%, seed {}",
+        report.instances,
+        report.rate * 100.0,
+        opts.seed
+    );
+    let found = report.found();
+    let _ = writeln!(out, "distinct races found by the fleet: {}", found.len());
+    if let Some(mean) = report.mean_reporters() {
+        let _ = writeln!(out, "mean reporting instances per race: {mean:.2}");
+    }
+    for (a, b) in &found {
+        let _ = writeln!(
+            out,
+            "  {}  <->  {}",
+            compiled.describe_site(*a),
+            compiled.describe_site(*b)
+        );
+    }
+    let _ = writeln!(out, "cumulative distinct races: {:?}", report.cumulative);
+    Ok(out)
+}
+
 fn cmd_fmt(args: &[String], fold: bool) -> Result<String, CliError> {
     let (file, _) = parse_options(args)?;
-    let source = std::fs::read_to_string(&file)
-        .map_err(|e| err(format!("cannot read {file}: {e}")))?;
+    let source =
+        std::fs::read_to_string(&file).map_err(|e| err(format!("cannot read {file}: {e}")))?;
     let mut ast = pacer_lang::parse(&source).map_err(|e| err(format!("{file}: {e}")))?;
     if fold {
         ast = pacer_lang::fold_program(&ast);
@@ -435,8 +490,15 @@ mod tests {
     #[test]
     fn run_with_fasttrack_reports_races() {
         let path = write_temp("pacer_cli_racy.pl", RACY);
-        let out = run(&args(&["run", &path, "--detector", "fasttrack", "--seed", "3"]))
-            .unwrap();
+        let out = run(&args(&[
+            "run",
+            &path,
+            "--detector",
+            "fasttrack",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
         assert!(out.contains("distinct:"), "{out}");
         assert!(out.contains("w: x"), "site descriptions shown: {out}");
         std::fs::remove_file(&path).ok();
@@ -448,7 +510,14 @@ mod tests {
         let trace_path = std::env::temp_dir().join("pacer_cli_rec.trace");
         let trace_str = trace_path.to_string_lossy().into_owned();
         let out = run(&args(&[
-            "run", &src, "--detector", "fasttrack", "--seed", "5", "--trace", &trace_str,
+            "run",
+            &src,
+            "--detector",
+            "fasttrack",
+            "--seed",
+            "5",
+            "--trace",
+            &trace_str,
         ]))
         .unwrap();
         assert!(out.contains("event trace written"));
@@ -496,6 +565,26 @@ mod tests {
         assert!(run(&args(&["run", "f", "--bogus"])).is_err());
         assert!(run(&args(&["run", "/nonexistent.pl"])).is_err());
         assert!(run(&args(&["replay", "/nonexistent.trace"])).is_err());
+    }
+
+    #[test]
+    fn fleet_output_is_identical_across_job_counts() {
+        let path = write_temp("pacer_cli_fleet.pl", RACY);
+        let base = &[
+            "fleet",
+            &path,
+            "--instances",
+            "8",
+            "--rate",
+            "0.25",
+            "--seed",
+            "3",
+        ];
+        let seq = run(&args(&[base, &["--jobs", "1"][..]].concat())).unwrap();
+        let par = run(&args(&[base, &["--jobs", "4"][..]].concat())).unwrap();
+        assert!(seq.contains("fleet: 8 instance(s)"), "{seq}");
+        assert_eq!(seq, par, "--jobs must not change fleet output");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

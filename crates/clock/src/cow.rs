@@ -101,12 +101,7 @@ impl Default for CowClock {
 
 impl fmt::Debug for CowClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Cow({:?}, rc={})",
-            self.0,
-            Rc::strong_count(&self.0)
-        )
+        write!(f, "Cow({:?}, rc={})", self.0, Rc::strong_count(&self.0))
     }
 }
 

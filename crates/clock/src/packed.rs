@@ -120,7 +120,13 @@ mod tests {
 
     #[test]
     fn round_trips() {
-        for (c, tid) in [(0u64, 0u32), (1, 0), (0, 1), (12345, 402), (MAX_PACKED_CLOCK, 99)] {
+        for (c, tid) in [
+            (0u64, 0u32),
+            (1, 0),
+            (0, 1),
+            (12345, 402),
+            (MAX_PACKED_CLOCK, 99),
+        ] {
             let e = Epoch::new(c, t(tid));
             let p = PackedEpoch::pack(e).unwrap();
             assert_eq!(p.unpack(), e);

@@ -97,13 +97,13 @@ impl ReadMap {
     /// Looks up thread `t`'s entry.
     pub fn get(&self, t: ThreadId) -> Option<ReadEntry> {
         match self {
-            ReadMap::Epoch { epoch, site } => (!epoch.is_min() && epoch.tid() == t).then(|| {
-                ReadEntry {
+            ReadMap::Epoch { epoch, site } => {
+                (!epoch.is_min() && epoch.tid() == t).then(|| ReadEntry {
                     tid: t,
                     clock: epoch.clock(),
                     site: *site,
-                }
-            }),
+                })
+            }
             ReadMap::Map(entries) => entries
                 .binary_search_by_key(&t, |e| e.tid)
                 .ok()
@@ -350,7 +350,8 @@ mod tests {
     fn racing_entries_epoch_case() {
         let r = ReadMap::epoch(Epoch::new(5, t(1)), 77);
         assert_eq!(
-            r.entries_racing_with(&VectorClock::from_slice(&[9, 4])).len(),
+            r.entries_racing_with(&VectorClock::from_slice(&[9, 4]))
+                .len(),
             1
         );
         assert!(r

@@ -52,6 +52,16 @@ impl From<u32> for ThreadId {
     }
 }
 
+impl pacer_collections::DenseKey for ThreadId {
+    fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        ThreadId(u32::try_from(index).expect("index exceeds thread-id space"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,10 @@
 //! Property tests for the clock primitives: lattice laws, epoch/clock
 //! consistency, and copy-on-write equivalence with eager clocks.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VectorClock, VersionEpoch, VersionVector};

@@ -17,9 +17,8 @@
 //! versions continue monotonically rather than resetting, which is what
 //! keeps old epochs and version epochs meaningful.
 
-use std::collections::HashMap;
-
 use pacer_clock::{ClockValue, ThreadId};
+use pacer_collections::IdMap;
 use pacer_trace::{Action, Detector, RaceReport};
 
 use crate::PacerDetector;
@@ -60,7 +59,7 @@ use crate::PacerDetector;
 pub struct AccordionPacerDetector {
     inner: PacerDetector,
     /// External thread id → internal slot.
-    map: HashMap<ThreadId, ThreadId>,
+    map: IdMap<ThreadId, ThreadId>,
     /// Retired slots with the final own clock value the joiner received.
     retired: Vec<(ThreadId, ClockValue)>,
     next_slot: u32,
@@ -85,7 +84,7 @@ impl AccordionPacerDetector {
     }
 
     fn slot(&mut self, external: ThreadId) -> ThreadId {
-        if let Some(&s) = self.map.get(&external) {
+        if let Some(&s) = self.map.get(external) {
             return s;
         }
         // First appearance without a fork (the main thread): fresh slot.
@@ -168,7 +167,7 @@ impl Detector for AccordionPacerDetector {
                     .map
                     .iter()
                     .filter(|&(_, &s)| s == u)
-                    .map(|(&e, _)| e)
+                    .map(|(e, _)| e)
                     .collect();
                 for e in externals {
                     self.map.remove(&e);
@@ -214,29 +213,25 @@ mod tests {
 
     #[test]
     fn sequential_threads_share_one_slot() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             join t0 t1
             fork t0 t2
             join t0 t2
             fork t0 t3
             join t0 t3
-        ",
-        );
+        ");
         assert_eq!(d.slots_in_use(), 2);
     }
 
     #[test]
     fn concurrent_threads_need_distinct_slots() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t0 t2
             join t0 t1
             join t0 t2
-        ",
-        );
+        ");
         assert_eq!(d.slots_in_use(), 3, "t1 and t2 overlap");
     }
 
@@ -244,30 +239,26 @@ mod tests {
     fn unjoined_forker_cannot_reuse() {
         // t1 forks t2 and joins it, but t0 (who never saw the join) forks
         // t3: t3 must not reuse t2's slot.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t1 t2
             join t1 t2
             fork t0 t3
             join t0 t1
             join t0 t3
-        ",
-        );
+        ");
         assert_eq!(d.slots_in_use(), 4);
     }
 
     #[test]
     fn detects_races_like_plain_pacer() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t0 x0 s1
             send
             wr t1 x0 s2
-        ",
-        );
+        ");
         assert_eq!(d.races().len(), 1);
     }
 
@@ -276,8 +267,7 @@ mod tests {
         // Worker t1 writes x under a sample, is joined; its slot is reused
         // by t2. t2's read of x is ordered after the write via the join +
         // fork chain: no race.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t1 x0 s1
@@ -286,8 +276,7 @@ mod tests {
             fork t0 t2
             rd t2 x0 s2
             join t0 t2
-        ",
-        );
+        ");
         assert_eq!(d.slots_in_use(), 2, "t2 reused t1's slot");
         assert!(d.races().is_empty(), "join/fork chain orders the accesses");
     }
@@ -296,8 +285,7 @@ mod tests {
     fn reuse_preserves_real_races() {
         // t1's sampled write races with t3, which overlaps it. Meanwhile t2
         // is joined and its slot reused — the unrelated race must survive.
-        let d = run(
-            "
+        let d = run("
             fork t0 t2
             join t0 t2
             fork t0 t1
@@ -308,8 +296,7 @@ mod tests {
             wr t3 x0 s2
             join t0 t1
             join t0 t3
-        ",
-        );
+        ");
         assert_eq!(d.races().len(), 1);
         assert_eq!(d.slots_in_use(), 3, "t1 reused t2's slot");
     }
@@ -320,8 +307,7 @@ mod tests {
         // is reused by t3 (forked by t0 after the join). The concurrent t2
         // then writes x: the race against the *old* occupant's epoch must
         // still be reported.
-        let d = run(
-            "
+        let d = run("
             fork t0 t2
             fork t0 t1
             sbegin
@@ -333,8 +319,7 @@ mod tests {
             wr t2 x0 s2
             join t0 t2
             join t0 t3
-        ",
-        );
+        ");
         assert_eq!(d.slots_in_use(), 3);
         assert_eq!(d.races().len(), 1);
         assert_eq!(d.races()[0].first.site, pacer_trace::SiteId::new(1));

@@ -121,14 +121,12 @@ impl PacerDetector {
             .expect("materialized above")
             .clock
             .clock();
-        let meta = self.state.vars.entry(x).or_default();
+        let meta = self.state.vars.get_or_insert_with(x, Default::default);
         let epoch_t = Epoch::of_thread(t, ct);
 
         // {If same epoch, no action}: this thread already read f at this
         // very epoch (FASTTRACK's Algorithm 7 gate).
-        if !epoch_t.is_min()
-            && meta.read.as_ref().and_then(ReadMap::as_epoch) == Some(epoch_t)
-        {
+        if !epoch_t.is_min() && meta.read.as_ref().and_then(ReadMap::as_epoch) == Some(epoch_t) {
             return;
         }
 
@@ -218,7 +216,7 @@ impl PacerDetector {
             .expect("materialized above")
             .clock
             .clock();
-        let meta = self.state.vars.entry(x).or_default();
+        let meta = self.state.vars.get_or_insert_with(x, Default::default);
         let epoch_t = Epoch::of_thread(t, ct);
         // {If same epoch, no action} — FASTTRACK's Algorithm 8 gate, before
         // any check: a repeated write at the same epoch changes nothing.
@@ -401,8 +399,7 @@ mod tests {
         // Figure 1's x: sampled read on t2 is ordered (via m0) before t1's
         // unsampled write; the write discards the read/write metadata, so a
         // later racing write is *not* reported against the sampled read.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t0 t2
             sbegin
@@ -414,8 +411,7 @@ mod tests {
             wr t1 x0 s2
             rel t1 m0
             wr t2 x0 s3
-        ",
-        );
+        ");
         assert!(
             d.races().is_empty(),
             "the HB-ordered write became the last racer; metadata was discarded"
@@ -428,8 +424,7 @@ mod tests {
         // Sampled read on t0, then an HB-ordered unsampled read on t1
         // discards it (Table 4 rule 2): a later racing write reports
         // nothing.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t0 t2
             sbegin
@@ -441,8 +436,7 @@ mod tests {
             rd t1 x0 s2
             rel t1 m0
             wr t2 x0 s3
-        ",
-        );
+        ");
         assert!(d.races().is_empty());
         assert_eq!(d.tracked_vars(), 0);
     }
@@ -452,8 +446,7 @@ mod tests {
         // Sampled read on t0; a *concurrent* unsampled read on t1 must keep
         // the sampled epoch (Table 4 rule 4), so the later write still
         // races with it.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t0 t2
             sbegin
@@ -461,8 +454,7 @@ mod tests {
             send
             rd t1 x0 s2
             wr t2 x0 s3
-        ",
-        );
+        ");
         assert_eq!(d.races().len(), 1);
         assert_eq!(d.races()[0].first.site, SiteId::new(1));
     }
@@ -472,8 +464,7 @@ mod tests {
         // Two sampled concurrent reads (t0, t1); t1 re-reads outside the
         // period: only t1's entry is discarded (Table 4 rule 3), so the
         // racing write still pairs with t0's read.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             fork t0 t2
             sbegin
@@ -482,25 +473,25 @@ mod tests {
             send
             rd t1 x0 s4
             wr t2 x0 s3
-        ",
-        );
+        ");
         let firsts: Vec<SiteId> = d.races().iter().map(|r| r.first.site).collect();
         assert!(firsts.contains(&SiteId::new(1)), "t0's read survived");
-        assert!(!firsts.contains(&SiteId::new(2)), "t1's entry was discarded");
+        assert!(
+            !firsts.contains(&SiteId::new(2)),
+            "t1's entry was discarded"
+        );
     }
 
     #[test]
     fn unsampled_write_discards_everything() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t0 x0 s1
             send
             wr t1 x0 s2
             wr t0 x0 s3
-        ",
-        );
+        ");
         // wr s2 races with sampled wr s1 and discards metadata; wr s3 then
         // takes the fast path.
         assert_eq!(d.races().len(), 1);
@@ -510,8 +501,7 @@ mod tests {
 
     #[test]
     fn lock_discipline_is_respected_across_periods() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             acq t0 m0
@@ -521,8 +511,7 @@ mod tests {
             acq t1 m0
             wr t1 x0 s2
             rel t1 m0
-        ",
-        );
+        ");
         assert!(d.races().is_empty());
     }
 
@@ -552,8 +541,7 @@ mod tests {
 
     #[test]
     fn effective_rate_tracks_marker_placement() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t1 x0 s1
@@ -561,15 +549,13 @@ mod tests {
             wr t1 x1 s2
             wr t1 x2 s3
             wr t1 x3 s4
-        ",
-        );
+        ");
         assert_eq!(d.stats().effective_rate(), Some(0.25));
     }
 
     #[test]
     fn volatiles_synchronize_across_periods() {
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t0 x0 s1
@@ -577,8 +563,7 @@ mod tests {
             send
             vrd t1 v0
             rd t1 x0 s2
-        ",
-        );
+        ");
         assert!(d.races().is_empty(), "volatile edge orders the accesses");
     }
 
@@ -587,16 +572,14 @@ mod tests {
         // t0 writes x during sampling; the period ends with no intervening
         // increment, so a second write by t0 sees the same epoch and must
         // not discard (Table 4 rule 5) — the race with t1 is still caught.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t0 x0 s1
             send
             wr t0 x0 s1
             wr t1 x0 s2
-        ",
-        );
+        ");
         assert_eq!(d.races().len(), 1);
     }
 
@@ -604,8 +587,7 @@ mod tests {
     fn second_sampling_period_distinguishes_epochs() {
         // Two sampling periods: sbegin's global increment ensures the
         // second period's accesses get fresh epochs.
-        let d = run(
-            "
+        let d = run("
             fork t0 t1
             sbegin
             wr t0 x0 s1
@@ -613,8 +595,7 @@ mod tests {
             sbegin
             wr t1 x0 s2
             send
-        ",
-        );
+        ");
         assert_eq!(d.races().len(), 1);
         assert_eq!(d.stats().sample_periods, 2);
     }
@@ -660,8 +641,7 @@ mod tests {
             let base = GenConfig::small(seed).with_lock_discipline(0.4).generate();
             let trace = insert_sampling_periods(&base, 0.3, 20, seed);
             let oracle = HbOracle::analyze(&trace);
-            let truth: std::collections::HashSet<_> =
-                oracle.distinct_races().into_iter().collect();
+            let truth: std::collections::HashSet<_> = oracle.distinct_races().into_iter().collect();
             let mut pacer = PacerDetector::new();
             pacer.run(&trace);
             for race in pacer.races() {

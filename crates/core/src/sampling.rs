@@ -7,9 +7,7 @@
 //! any detector) from a [`SamplingPolicy`], injecting
 //! `SampleBegin`/`SampleEnd` markers between program actions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use pacer_prng::Rng;
 use pacer_trace::{Action, Detector, RaceReport};
 
 /// Decides, before each program action, whether the analysis should be in a
@@ -81,7 +79,7 @@ pub struct RandomSampler {
     p_off: f64,
     p_on: f64,
     sampling: bool,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomSampler {
@@ -105,7 +103,7 @@ impl RandomSampler {
             p_off,
             p_on,
             sampling: false,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 }
@@ -241,10 +239,8 @@ mod tests {
 
     #[test]
     fn sampled_adapter_inserts_balanced_markers() {
-        let trace = Trace::parse(
-            "fork t0 t1\nwr t0 x0 s1\nwr t1 x0 s2\nwr t0 x1 s3\nwr t1 x1 s4",
-        )
-        .unwrap();
+        let trace =
+            Trace::parse("fork t0 t1\nwr t0 x0 s1\nwr t1 x0 s2\nwr t0 x1 s3\nwr t1 x1 s4").unwrap();
         let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(2, 1));
         d.run(&trace);
         // Alternating periods: markers were injected and the detector is in
@@ -263,8 +259,7 @@ mod tests {
 
     #[test]
     fn input_markers_are_ignored_by_adapter() {
-        let trace =
-            Trace::parse("fork t0 t1\nsbegin\nwr t0 x0 s1\nsend\nwr t1 x0 s2").unwrap();
+        let trace = Trace::parse("fork t0 t1\nsbegin\nwr t0 x0 s1\nsend\nwr t1 x0 s2").unwrap();
         let mut d = Sampled::new(PacerDetector::new(), PeriodicSampler::new(100, 0));
         d.run(&trace);
         assert!(d.races().is_empty(), "policy (never sample) wins");

@@ -6,9 +6,8 @@
 //! [`VersionVector`]s (threads) and [`VersionEpoch`]s (locks and
 //! volatiles).
 
-use std::collections::HashMap;
-
 use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VersionEpoch, VersionVector};
+use pacer_collections::IdMap;
 use pacer_trace::{LockId, SiteId, VarId, VolatileId};
 
 use crate::PacerStats;
@@ -90,9 +89,9 @@ pub(crate) enum SyncRef {
 #[derive(Clone, Debug)]
 pub(crate) struct PacerState {
     pub threads: Vec<Option<ThreadMeta>>,
-    pub locks: HashMap<LockId, SyncObjMeta>,
-    pub volatiles: HashMap<VolatileId, SyncObjMeta>,
-    pub vars: HashMap<VarId, VarMeta>,
+    pub locks: IdMap<LockId, SyncObjMeta>,
+    pub volatiles: IdMap<VolatileId, SyncObjMeta>,
+    pub vars: IdMap<VarId, VarMeta>,
     pub sampling: bool,
     /// Ablation switch: when false, the version-epoch fast path is skipped
     /// and every join pays the `O(n)` comparison (benchmarked by the
@@ -104,9 +103,9 @@ impl Default for PacerState {
     fn default() -> Self {
         PacerState {
             threads: Vec::new(),
-            locks: HashMap::new(),
-            volatiles: HashMap::new(),
-            vars: HashMap::new(),
+            locks: IdMap::new(),
+            volatiles: IdMap::new(),
+            vars: IdMap::new(),
             sampling: false,
             use_versions: true,
         }
@@ -133,11 +132,11 @@ impl PacerState {
                 let meta = self.thread(u);
                 (meta.vepoch(u), meta.clock.shallow_copy())
             }
-            SyncRef::Lock(m) => match self.locks.get(&m) {
+            SyncRef::Lock(m) => match self.locks.get(m) {
                 Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
                 None => (VersionEpoch::BOTTOM, CowClock::bottom()),
             },
-            SyncRef::Volatile(v) => match self.volatiles.get(&v) {
+            SyncRef::Volatile(v) => match self.volatiles.get(v) {
                 Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
                 None => (VersionEpoch::BOTTOM, CowClock::bottom()),
             },
@@ -231,7 +230,7 @@ impl PacerState {
             let meta = self.thread(t);
             (meta.vepoch(t), meta.clock.shallow_copy())
         };
-        let existing = self.volatiles.get(&vx);
+        let existing = self.volatiles.get(vx);
 
         // Does C_t subsume C_vx?
         let (subsumes, fast) = match existing {
@@ -280,7 +279,10 @@ impl PacerState {
             );
         } else {
             // Rule 9 {Concurrent}: real join; version epoch becomes ⊤_ve.
-            let meta = self.volatiles.get_mut(&vx).expect("subsumes=false implies entry");
+            let meta = self
+                .volatiles
+                .get_mut(vx)
+                .expect("subsumes=false implies entry");
             if meta.clock.is_shared() {
                 stats.cow_clones += 1;
             }
@@ -377,7 +379,7 @@ impl PacerState {
                     "invariant 6 violated: ver_{u}({t}) > ver_{t}({t})"
                 );
             }
-            for (m, lm) in &self.locks {
+            for (m, lm) in self.locks.iter() {
                 // Definition 1.2 / 1.7.
                 assert!(
                     lm.clock.clock().get(t) <= own,
@@ -389,7 +391,7 @@ impl PacerState {
                     }
                 }
             }
-            for (vx, vm) in &self.volatiles {
+            for (vx, vm) in self.volatiles.iter() {
                 // Definition 1.5 / 1.8.
                 assert!(
                     vm.clock.clock().get(t) <= own,
@@ -403,7 +405,7 @@ impl PacerState {
             }
             // Definition 1.3 / 1.4: variable metadata is bounded by thread
             // clocks.
-            for (x, xm) in &self.vars {
+            for (x, xm) in self.vars.iter() {
                 if let Some(w) = &xm.write {
                     if w.epoch.tid() == t {
                         assert!(
@@ -424,7 +426,7 @@ impl PacerState {
                 }
             }
             // Lemma 7: Ver(o) ≼ C_t.ver ⇒ S_o.vc ⊑ C_t.vc.
-            for (m, lm) in &self.locks {
+            for (m, lm) in self.locks.iter() {
                 if lm.vepoch.leq(&tm.ver) {
                     assert!(
                         lm.clock.clock().leq(tm.clock.clock()),
@@ -432,7 +434,7 @@ impl PacerState {
                     );
                 }
             }
-            for (vx, vm) in &self.volatiles {
+            for (vx, vm) in self.volatiles.iter() {
                 if vm.vepoch.leq(&tm.ver) {
                     assert!(
                         vm.clock.clock().leq(tm.clock.clock()),

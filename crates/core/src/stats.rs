@@ -58,7 +58,9 @@ pub struct CopyCounts {
 impl CopyCounts {
     /// Total copies in both periods.
     pub fn total(&self) -> u64 {
-        self.sampling_deep + self.sampling_shallow + self.non_sampling_deep
+        self.sampling_deep
+            + self.sampling_shallow
+            + self.non_sampling_deep
             + self.non_sampling_shallow
     }
 }

@@ -3,6 +3,10 @@
 //! Lemma 7 / Definition 1 invariants — all over randomly generated,
 //! randomly sampled traces.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_core::{AccordionPacerDetector, PacerDetector};
@@ -17,7 +21,9 @@ fn racy_trace(seed: u64, discipline: f64, rate: f64) -> Trace {
     insert_sampling_periods(&base, rate, 15, seed.wrapping_mul(31).wrapping_add(1))
 }
 
-fn race_keys(races: &[RaceReport]) -> Vec<(pacer_trace::VarId, pacer_trace::SiteId, pacer_trace::SiteId)> {
+fn race_keys(
+    races: &[RaceReport],
+) -> Vec<(pacer_trace::VarId, pacer_trace::SiteId, pacer_trace::SiteId)> {
     let mut v: Vec<_> = races
         .iter()
         .map(|r| (r.x, r.first.site, r.second.site))

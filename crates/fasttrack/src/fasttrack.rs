@@ -1,8 +1,7 @@
 //! The FASTTRACK detector (Algorithms 7–8).
 
-use std::collections::HashMap;
-
 use pacer_clock::{Epoch, ReadMap};
+use pacer_collections::IdMap;
 use pacer_trace::{Access, AccessKind, Action, Detector, RaceReport, SiteId, VarId};
 
 use crate::SyncClocks;
@@ -54,7 +53,7 @@ impl Default for VarState {
 #[derive(Clone, Debug, Default)]
 pub struct FastTrackDetector {
     sync: SyncClocks,
-    vars: HashMap<VarId, VarState>,
+    vars: IdMap<VarId, VarState>,
     races: Vec<RaceReport>,
     /// Original-paper behavior: keep a single-entry read map across writes
     /// instead of clearing it (§2.2 "the *original* FASTTRACK algorithm
@@ -114,8 +113,8 @@ impl Detector for FastTrackDetector {
         match *action {
             // Algorithm 7.
             Action::Read { t, x, site } => {
-                let ct = self.sync.clock(t).clone();
-                let state = self.vars.entry(x).or_default();
+                let ct = self.sync.clock(t);
+                let state = self.vars.get_or_insert_with(x, Default::default);
                 let epoch_t = Epoch::of_thread(t, &ct);
                 // {If same epoch, no action}
                 if state.reads.as_epoch() == Some(epoch_t) && !epoch_t.is_min() {
@@ -151,8 +150,8 @@ impl Detector for FastTrackDetector {
             }
             // Algorithm 8.
             Action::Write { t, x, site } => {
-                let ct = self.sync.clock(t).clone();
-                let state = self.vars.entry(x).or_default();
+                let ct = self.sync.clock(t);
+                let state = self.vars.get_or_insert_with(x, Default::default);
                 let epoch_t = Epoch::of_thread(t, &ct);
                 // {If same epoch, no action}
                 if state.write == epoch_t {
@@ -263,18 +262,17 @@ mod tests {
     fn read_map_collapses_after_ordered_reads() {
         // t1's read happens after t0's read (via lock): the map stays an
         // epoch, so footprint stays zero.
-        let d = run(
-            "fork t0 t1\nacq t0 m0\nrd t0 x0 s1\nrel t0 m0\nacq t1 m0\nrd t1 x0 s2\nrel t1 m0",
-        );
+        let d =
+            run("fork t0 t1\nacq t0 m0\nrd t0 x0 s1\nrel t0 m0\nacq t1 m0\nrd t1 x0 s2\nrel t1 m0");
         assert!(d.races().is_empty());
-        let state = d.vars.get(&VarId::new(0)).unwrap();
+        let state = d.vars.get(VarId::new(0)).unwrap();
         assert!(state.reads.as_epoch().is_some(), "still an epoch");
     }
 
     #[test]
     fn concurrent_reads_inflate_the_map() {
         let d = run("fork t0 t1\nrd t0 x0 s1\nrd t1 x0 s2");
-        let state = d.vars.get(&VarId::new(0)).unwrap();
+        let state = d.vars.get(VarId::new(0)).unwrap();
         assert_eq!(state.reads.len(), 2);
         assert!(d.races().is_empty(), "read–read is not a race");
     }
@@ -282,16 +280,15 @@ mod tests {
     #[test]
     fn write_clears_read_map() {
         let d = run("fork t0 t1\nrd t0 x0 s1\nrd t1 x0 s2\njoin t0 t1\nwr t0 x0 s3");
-        let state = d.vars.get(&VarId::new(0)).unwrap();
+        let state = d.vars.get(VarId::new(0)).unwrap();
         assert!(state.reads.is_empty(), "modified FASTTRACK clears R_f");
         assert!(d.races().is_empty());
     }
 
     #[test]
     fn lock_discipline_prevents_race() {
-        let d = run(
-            "fork t0 t1\nacq t0 m0\nwr t0 x0 s1\nrel t0 m0\nacq t1 m0\nwr t1 x0 s2\nrel t1 m0",
-        );
+        let d =
+            run("fork t0 t1\nacq t0 m0\nwr t0 x0 s1\nrel t0 m0\nacq t1 m0\nwr t1 x0 s2\nrel t1 m0");
         assert!(d.races().is_empty());
     }
 
@@ -376,8 +373,7 @@ mod tests {
         for seed in 0..15 {
             let trace = GenConfig::small(seed).with_lock_discipline(0.5).generate();
             let oracle = HbOracle::analyze(&trace);
-            let truth: std::collections::HashSet<_> =
-                oracle.distinct_races().into_iter().collect();
+            let truth: std::collections::HashSet<_> = oracle.distinct_races().into_iter().collect();
             let mut ft = FastTrackDetector::new();
             ft.run(&trace);
             for race in ft.races() {

@@ -1,8 +1,7 @@
 //! The GENERIC `O(n)` vector-clock race detector (Algorithms 1–6).
 
-use std::collections::HashMap;
-
 use pacer_clock::{ClockValue, ThreadId, VectorClock};
+use pacer_collections::IdMap;
 use pacer_trace::{Access, AccessKind, Action, Detector, RaceReport, SiteId, VarId};
 
 use crate::SyncClocks;
@@ -12,9 +11,9 @@ use crate::SyncClocks;
 #[derive(Clone, Debug, Default)]
 struct VarState {
     reads: VectorClock,
-    read_sites: HashMap<ThreadId, SiteId>,
+    read_sites: IdMap<ThreadId, SiteId>,
     writes: VectorClock,
-    write_sites: HashMap<ThreadId, SiteId>,
+    write_sites: IdMap<ThreadId, SiteId>,
 }
 
 /// The simplest sound and precise vector-clock detector (§2.1).
@@ -38,7 +37,7 @@ struct VarState {
 #[derive(Clone, Debug, Default)]
 pub struct GenericDetector {
     sync: SyncClocks,
-    vars: HashMap<VarId, VarState>,
+    vars: IdMap<VarId, VarState>,
     races: Vec<RaceReport>,
 }
 
@@ -72,7 +71,7 @@ impl GenericDetector {
                     first: Access {
                         tid,
                         kind: AccessKind::Write,
-                        site: state.write_sites.get(&tid).copied().unwrap_or_default(),
+                        site: state.write_sites.get(tid).copied().unwrap_or_default(),
                     },
                     second,
                 });
@@ -94,7 +93,7 @@ impl GenericDetector {
                     first: Access {
                         tid,
                         kind: AccessKind::Read,
-                        site: state.read_sites.get(&tid).copied().unwrap_or_default(),
+                        site: state.read_sites.get(tid).copied().unwrap_or_default(),
                     },
                     second,
                 });
@@ -115,8 +114,8 @@ impl Detector for GenericDetector {
         match *action {
             // Algorithm 5: check W_f ⊑ C_t ; R_f[t] ← C_t[t]
             Action::Read { t, x, site } => {
-                let ct = self.sync.clock(t).clone();
-                let state = self.vars.entry(x).or_default();
+                let ct = self.sync.clock(t);
+                let state = self.vars.get_or_insert_with(x, Default::default);
                 let second = Access {
                     tid: t,
                     kind: AccessKind::Read,
@@ -131,8 +130,8 @@ impl Detector for GenericDetector {
             }
             // Algorithm 6: check W_f ⊑ C_t ; check R_f ⊑ C_t ; W_f[t] ← C_t[t]
             Action::Write { t, x, site } => {
-                let ct = self.sync.clock(t).clone();
-                let state = self.vars.entry(x).or_default();
+                let ct = self.sync.clock(t);
+                let state = self.vars.get_or_insert_with(x, Default::default);
                 let second = Access {
                     tid: t,
                     kind: AccessKind::Write,
@@ -204,7 +203,8 @@ mod tests {
 
     #[test]
     fn lock_discipline_prevents_race() {
-        let d = run("fork t0 t1\nacq t0 m0\nwr t0 x0 s1\nrel t0 m0\nacq t1 m0\nwr t1 x0 s2\nrel t1 m0");
+        let d =
+            run("fork t0 t1\nacq t0 m0\nwr t0 x0 s1\nrel t0 m0\nacq t1 m0\nwr t1 x0 s2\nrel t1 m0");
         assert!(d.races().is_empty());
     }
 
@@ -216,9 +216,7 @@ mod tests {
 
     #[test]
     fn multiple_concurrent_reads_race_with_write() {
-        let d = run(
-            "fork t0 t1\nfork t0 t2\nrd t1 x0 s1\nrd t2 x0 s2\nwr t0 x0 s3",
-        );
+        let d = run("fork t0 t1\nfork t0 t2\nrd t1 x0 s1\nrd t2 x0 s2\nwr t0 x0 s3");
         assert_eq!(d.races().len(), 2, "the write races with both reads");
     }
 

@@ -1,8 +1,7 @@
 //! Shared synchronization-clock state for the unsampled detectors.
 
-use std::collections::HashMap;
-
 use pacer_clock::{ThreadId, VectorClock};
+use pacer_collections::IdMap;
 use pacer_trace::{Action, LockId, VolatileId};
 
 /// Vector clocks for every synchronization object: threads, locks, and
@@ -34,8 +33,8 @@ use pacer_trace::{Action, LockId, VolatileId};
 #[derive(Clone, Debug, Default)]
 pub struct SyncClocks {
     threads: Vec<Option<VectorClock>>,
-    locks: HashMap<LockId, VectorClock>,
-    volatiles: HashMap<VolatileId, VectorClock>,
+    locks: IdMap<LockId, VectorClock>,
+    volatiles: IdMap<VolatileId, VectorClock>,
 }
 
 impl SyncClocks {
@@ -51,11 +50,18 @@ impl SyncClocks {
     }
 
     fn ensure(&mut self, t: ThreadId) -> &mut VectorClock {
+        Self::ensure_slot(&mut self.threads, t)
+    }
+
+    /// Free-standing slot materialization so `apply` can borrow a thread
+    /// clock and a lock/volatile clock simultaneously (disjoint fields)
+    /// instead of cloning one side per synchronization operation.
+    fn ensure_slot(threads: &mut Vec<Option<VectorClock>>, t: ThreadId) -> &mut VectorClock {
         let i = t.index();
-        if i >= self.threads.len() {
-            self.threads.resize(i + 1, None);
+        if i >= threads.len() {
+            threads.resize(i + 1, None);
         }
-        self.threads[i].get_or_insert_with(|| {
+        threads[i].get_or_insert_with(|| {
             let mut c = VectorClock::new();
             c.increment(t);
             c
@@ -69,17 +75,22 @@ impl SyncClocks {
         match *action {
             Action::Acquire { t, m } => {
                 // C_t ← C_t ⊔ C_m
-                if let Some(cm) = self.locks.get(&m).cloned() {
-                    self.ensure(t).join(&cm);
+                if let Some(cm) = self.locks.get(m) {
+                    Self::ensure_slot(&mut self.threads, t).join(cm);
                 } else {
                     self.ensure(t);
                 }
             }
             Action::Release { t, m } => {
                 // C_m ← C_t ; C_t[t]++
-                let ct = self.ensure(t).clone();
-                self.locks.insert(m, ct);
-                self.ensure(t).increment(t);
+                let ct = Self::ensure_slot(&mut self.threads, t);
+                match self.locks.get_mut(m) {
+                    Some(cm) => cm.clone_from(ct),
+                    None => {
+                        self.locks.insert(m, ct.clone());
+                    }
+                }
+                Self::ensure_slot(&mut self.threads, t).increment(t);
             }
             Action::Fork { t, u } => {
                 // C_u ← C_t ; C_u[u]++ ; C_t[t]++
@@ -97,18 +108,19 @@ impl SyncClocks {
             }
             Action::VolRead { t, v } => {
                 // C_t ← C_t ⊔ C_v
-                if let Some(cv) = self.volatiles.get(&v).cloned() {
-                    self.ensure(t).join(&cv);
+                if let Some(cv) = self.volatiles.get(v) {
+                    Self::ensure_slot(&mut self.threads, t).join(cv);
                 } else {
                     self.ensure(t);
                 }
             }
             Action::VolWrite { t, v } => {
                 // C_v ← C_v ⊔ C_t ; C_t[t]++
-                let ct = self.ensure(t).clone();
-                let cv = self.volatiles.entry(v).or_default();
-                cv.join(&ct);
-                self.ensure(t).increment(t);
+                let ct = Self::ensure_slot(&mut self.threads, t);
+                self.volatiles
+                    .get_or_insert_with(v, Default::default)
+                    .join(ct);
+                Self::ensure_slot(&mut self.threads, t).increment(t);
             }
             _ => return false,
         }
@@ -118,12 +130,7 @@ impl SyncClocks {
     /// Approximate live metadata footprint in machine words (for space
     /// accounting): one word per materialized clock slot.
     pub fn footprint_words(&self) -> usize {
-        let t: usize = self
-            .threads
-            .iter()
-            .flatten()
-            .map(VectorClock::width)
-            .sum();
+        let t: usize = self.threads.iter().flatten().map(VectorClock::width).sum();
         let l: usize = self.locks.values().map(VectorClock::width).sum();
         let v: usize = self.volatiles.values().map(VectorClock::width).sum();
         t + l + v

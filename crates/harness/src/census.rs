@@ -5,6 +5,7 @@ use pacer_lang::ir::CompiledProgram;
 use pacer_runtime::VmError;
 
 use crate::detection::RaceCensus;
+use crate::parallel::try_run_indexed;
 use crate::trials::{run_trial, DetectorKind};
 
 /// One row of Table 1: effective vs. specified sampling rates.
@@ -36,15 +37,14 @@ pub fn effective_rates(
     base_seed: u64,
 ) -> Result<EffectiveRateRow, VmError> {
     assert!(trials > 0, "need at least one trial");
-    let mut rates = Vec::with_capacity(trials as usize);
-    for i in 0..trials {
-        let r = run_trial(
+    let rates: Vec<f64> = try_run_indexed(trials as usize, |i| {
+        run_trial(
             program,
             DetectorKind::Pacer { rate: specified },
             base_seed + 31 * i as u64,
-        )?;
-        rates.push(r.effective_rate.unwrap_or(0.0));
-    }
+        )
+        .map(|r| r.effective_rate.unwrap_or(0.0))
+    })?;
     Ok(EffectiveRateRow {
         specified,
         mean: crate::math::mean(&rates),
@@ -110,14 +110,17 @@ pub fn operation_counts(
     base_seed: u64,
 ) -> Result<PacerStats, VmError> {
     assert!(trials > 0, "need at least one trial");
-    let mut total = PacerStats::default();
-    for i in 0..trials {
-        let r = run_trial(
+    let per_trial = try_run_indexed(trials as usize, |i| {
+        run_trial(
             program,
             DetectorKind::Pacer { rate },
             base_seed + 17 * i as u64,
-        )?;
-        total += r.pacer_stats.expect("pacer trial has stats");
+        )
+        .map(|r| r.pacer_stats.expect("pacer trial has stats"))
+    })?;
+    let mut total = PacerStats::default();
+    for stats in per_trial {
+        total += stats;
     }
     // Report per-trial averages by dividing the counters.
     Ok(scale_stats(total, trials as u64))

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use pacer_lang::ir::CompiledProgram;
 use pacer_runtime::VmError;
 
+use crate::parallel::try_run_indexed;
 use crate::trials::{run_trial, DetectorKind, RaceKey};
 
 /// The race census from fully sampled trials (Table 2's right half).
@@ -29,10 +30,12 @@ impl RaceCensus {
         trials: u32,
         base_seed: u64,
     ) -> Result<Self, VmError> {
+        let results = try_run_indexed(trials as usize, |i| {
+            run_trial(program, DetectorKind::FastTrack, base_seed + i as u64)
+        })?;
         let mut trial_counts: BTreeMap<RaceKey, u32> = BTreeMap::new();
         let mut dynamic_counts: BTreeMap<RaceKey, u64> = BTreeMap::new();
-        for i in 0..trials {
-            let r = run_trial(program, DetectorKind::FastTrack, base_seed + i as u64)?;
+        for r in &results {
             for key in &r.distinct_races {
                 *trial_counts.entry(*key).or_default() += 1;
             }
@@ -112,10 +115,12 @@ pub fn measure_detection(
 ) -> Result<DetectionResult, VmError> {
     assert!(!eval_races.is_empty(), "no evaluation races");
     let eval: BTreeSet<RaceKey> = eval_races.iter().copied().collect();
+    let results = try_run_indexed(trials as usize, |i| {
+        run_trial(program, kind, base_seed + 7919 * i as u64)
+    })?;
     let mut dynamic: BTreeMap<RaceKey, u64> = BTreeMap::new();
     let mut detected_trials: BTreeMap<RaceKey, u32> = BTreeMap::new();
-    for i in 0..trials {
-        let r = run_trial(program, kind, base_seed + 7919 * i as u64)?;
+    for r in &results {
         for key in &r.dynamic_races {
             if eval.contains(key) {
                 *dynamic.entry(*key).or_default() += 1;
@@ -137,8 +142,7 @@ pub fn measure_detection(
         dynamic_sum += here_dynamic / full_dynamic;
 
         let full_distinct = census.occurrence_rate(race).max(1e-9);
-        let here_distinct =
-            *detected_trials.get(&race).unwrap_or(&0) as f64 / trials as f64;
+        let here_distinct = *detected_trials.get(&race).unwrap_or(&0) as f64 / trials as f64;
         let rate = here_distinct / full_distinct;
         distinct_sum += rate;
         per_race.insert(race, rate);
@@ -223,14 +227,6 @@ mod tests {
             trial_counts: BTreeMap::new(),
             dynamic_counts: BTreeMap::new(),
         };
-        let _ = measure_detection(
-            &program,
-            DetectorKind::FastTrack,
-            1.0,
-            &census,
-            &[],
-            1,
-            0,
-        );
+        let _ = measure_detection(&program, DetectorKind::FastTrack, 1.0, &census, &[], 1, 0);
     }
 }

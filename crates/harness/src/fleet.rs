@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use pacer_lang::ir::CompiledProgram;
 use pacer_runtime::VmError;
 
+use crate::parallel::try_run_indexed;
 use crate::trials::{run_trial, DetectorKind, RaceKey};
 
 /// Aggregated results of a simulated deployment.
@@ -48,8 +49,7 @@ impl FleetReport {
     /// `instances × rate × occurrence` for reliable races.
     pub fn mean_reporters(&self) -> Option<f64> {
         (!self.reporters.is_empty()).then(|| {
-            self.reporters.values().map(|&v| v as f64).sum::<f64>()
-                / self.reporters.len() as f64
+            self.reporters.values().map(|&v| v as f64).sum::<f64>() / self.reporters.len() as f64
         })
     }
 }
@@ -66,14 +66,16 @@ pub fn simulate_fleet(
     rate: f64,
     base_seed: u64,
 ) -> Result<FleetReport, VmError> {
-    let mut reporters: BTreeMap<RaceKey, u32> = BTreeMap::new();
-    let mut cumulative = Vec::with_capacity(instances as usize);
-    for i in 0..instances {
-        let r = run_trial(
+    let results = try_run_indexed(instances as usize, |i| {
+        run_trial(
             program,
             DetectorKind::Pacer { rate },
             base_seed + 104_729 * i as u64,
-        )?;
+        )
+    })?;
+    let mut reporters: BTreeMap<RaceKey, u32> = BTreeMap::new();
+    let mut cumulative = Vec::with_capacity(instances as usize);
+    for r in &results {
         for key in &r.distinct_races {
             *reporters.entry(*key).or_default() += 1;
         }

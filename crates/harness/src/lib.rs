@@ -18,6 +18,9 @@
 //!   (Table 1), and operation counts (Table 3);
 //! * [`fleet`] — the distributed-debugging deployment simulation from the
 //!   paper's vision (§1): many instances, each sampling at a low rate;
+//! * [`parallel`] — the deterministic trial engine: multi-trial loops fan
+//!   out over a scoped worker pool ([`parallel::set_jobs`]) and merge in
+//!   trial-index order, so results are bit-identical at any job count;
 //! * [`render`] — plain-text tables and data series for every table and
 //!   figure.
 
@@ -29,6 +32,7 @@ pub mod detection;
 pub mod fleet;
 pub mod math;
 pub mod overhead;
+pub mod parallel;
 pub mod render;
 pub mod space;
 pub mod trials;

@@ -1,0 +1,163 @@
+//! Deterministic parallel trial engine.
+//!
+//! Every multi-trial experiment in this crate is embarrassingly parallel:
+//! trial `i` is fully determined by `(program, detector, seed_i)`, and the
+//! per-trial seeds are pure functions of the trial index. This module fans
+//! those trials out over a scoped worker pool (`std::thread::scope`, no
+//! external dependencies) while keeping the *merged* output bit-identical
+//! to a sequential run:
+//!
+//! * workers claim trial indices from a shared atomic counter, so there is
+//!   no static partitioning skew;
+//! * each result is stored in its index's slot, and the caller folds the
+//!   slots **in index order** — aggregation order never depends on thread
+//!   scheduling;
+//! * errors are reported for the lowest failing index, matching what a
+//!   sequential loop would have returned first.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`]) so existing
+//! experiment entry points keep their signatures; the CLI's `--jobs N`
+//! flag writes it once at startup. The default is `1` (fully sequential).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker count for [`run_indexed`]. 0 is treated as 1.
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the number of worker threads used by [`run_indexed`].
+///
+/// `1` (the default) runs every task inline on the calling thread. The
+/// merged results are identical for any value — only wall-clock time
+/// changes.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The currently configured worker count.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed).max(1)
+}
+
+/// Runs `f(0), f(1), …, f(count - 1)` on the configured worker pool and
+/// returns the results **in index order**.
+///
+/// `f` must be a pure function of its index (trial seeds derived from the
+/// index, not from shared mutable state); under that contract the returned
+/// vector is byte-identical for every `jobs` setting.
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs().min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let slots = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                slots.lock().expect("result mutex poisoned")[i] = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`run_indexed`] for fallible tasks: returns all results in index order,
+/// or the error produced by the **lowest** failing index — exactly what a
+/// sequential `for` loop with `?` would have reported first.
+///
+/// # Errors
+///
+/// Returns the lowest-index error when any task fails.
+pub fn try_run_indexed<T, E, F>(count: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(count);
+    for result in run_indexed(count, f) {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_jobs` writes a process-wide global shared across the test
+    /// binary's threads, so every test that changes it runs under this
+    /// lock and restores the default on exit.
+    static JOBS_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = JOBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(jobs);
+        let out = f();
+        set_jobs(1);
+        out
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sequential = with_jobs(1, || run_indexed(100, |i| i * i));
+        let parallel = with_jobs(4, || run_indexed(100, |i| i * i));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = with_jobs(8, || {
+            run_indexed(50, |i| {
+                // Stagger completion so late indices can finish first.
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i
+            })
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_counts_work() {
+        assert!(run_indexed(0, |i| i).is_empty());
+        assert_eq!(run_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let result: Result<Vec<usize>, usize> = with_jobs(4, || {
+            try_run_indexed(64, |i| if i % 10 == 3 { Err(i) } else { Ok(i) })
+        });
+        assert_eq!(result.unwrap_err(), 3, "same error a sequential loop hits");
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_one() {
+        let _guard = JOBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(0);
+        assert_eq!(jobs(), 1);
+        set_jobs(1);
+    }
+}

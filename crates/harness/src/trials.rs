@@ -87,8 +87,7 @@ impl TrialResult {
         wall: Duration,
         outcome: RunOutcome,
     ) -> Self {
-        let dynamic_races: Vec<RaceKey> =
-            reports.iter().map(RaceReport::distinct_key).collect();
+        let dynamic_races: Vec<RaceKey> = reports.iter().map(RaceReport::distinct_key).collect();
         let distinct_races = dynamic_races.iter().copied().collect();
         TrialResult {
             dynamic_races,
@@ -258,8 +257,7 @@ mod tests {
             DetectorKind::Generic,
             DetectorKind::LiteRace { burst: 10 },
         ];
-        let labels: std::collections::HashSet<_> =
-            kinds.iter().map(DetectorKind::label).collect();
+        let labels: std::collections::HashSet<_> = kinds.iter().map(DetectorKind::label).collect();
         assert_eq!(labels.len(), kinds.len());
     }
 

@@ -1,0 +1,47 @@
+//! The parallel trial engine's contract: experiment results are
+//! byte-identical at any job count.
+//!
+//! Everything lives in one test function because the job count is a
+//! process-wide setting; a single body serializes the jobs=1 and jobs=4
+//! phases without depending on test-runner thread scheduling.
+
+use pacer_harness::detection::{measure_detection, RaceCensus};
+use pacer_harness::fleet::simulate_fleet;
+use pacer_harness::parallel::set_jobs;
+use pacer_harness::DetectorKind;
+use pacer_workloads::{hsqldb, Scale};
+
+#[test]
+fn experiments_are_byte_identical_at_any_job_count() {
+    let program = hsqldb(Scale::Test).compiled();
+
+    let run_all = || {
+        let census = RaceCensus::collect(&program, 6, 42).unwrap();
+        let eval = census.evaluation_races();
+        let detection = measure_detection(
+            &program,
+            DetectorKind::Pacer { rate: 0.25 },
+            0.25,
+            &census,
+            &eval,
+            8,
+            42,
+        )
+        .unwrap();
+        let fleet = simulate_fleet(&program, 12, 0.10, 7).unwrap();
+        let rates = pacer_harness::census::effective_rates(&program, 0.25, 6, 9).unwrap();
+        format!("{census:?}\n{detection:?}\n{fleet:?}\n{rates:?}")
+    };
+
+    set_jobs(1);
+    let sequential = run_all();
+
+    set_jobs(4);
+    let parallel = run_all();
+    set_jobs(1);
+
+    assert_eq!(
+        sequential, parallel,
+        "jobs=4 must reproduce the jobs=1 transcript byte for byte"
+    );
+}

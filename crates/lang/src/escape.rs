@@ -391,9 +391,7 @@ mod tests {
     fn escape_before_alias_in_program_order() {
         // `g = p;` textually precedes the aliasing — the two collection
         // passes make order irrelevant.
-        let i = info(
-            "shared g; fn main() { let p = 0; let o = new obj; g = p; p = o; }",
-        );
+        let i = info("shared g; fn main() { let p = 0; let o = new obj; g = p; p = o; }");
         assert!(!i.is_provably_local("o"));
     }
 
@@ -435,9 +433,8 @@ mod tests {
 
     #[test]
     fn escape_inside_control_flow_is_seen() {
-        let i = info(
-            "shared g; fn main() { let o = new obj; while (g < 3) { if (g) { g = o; } } }",
-        );
+        let i =
+            info("shared g; fn main() { let o = new obj; while (g < 3) { if (g) { g = o; } } }");
         assert!(!i.is_provably_local("o"));
     }
 

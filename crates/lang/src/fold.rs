@@ -268,8 +268,7 @@ mod tests {
         assert!(c2.instrumented_sites() <= c1.instrumented_sites());
         assert!(c2.instrumented_sites() >= 2, "x read+write survive");
         assert!(
-            c2.functions[c2.entry as usize].code.len()
-                < c1.functions[c1.entry as usize].code.len(),
+            c2.functions[c2.entry as usize].code.len() < c1.functions[c1.entry as usize].code.len(),
             "folding shrinks code"
         );
     }

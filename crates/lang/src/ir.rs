@@ -200,7 +200,11 @@ impl CompiledProgram {
 
 impl fmt::Display for CompiledFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "fn {} (params={}, locals={})", self.name, self.n_params, self.n_locals)?;
+        writeln!(
+            f,
+            "fn {} (params={}, locals={})",
+            self.name, self.n_params, self.n_locals
+        )?;
         for (i, instr) in self.code.iter().enumerate() {
             writeln!(f, "  {i:4}: {instr:?}")?;
         }
@@ -240,7 +244,12 @@ mod tests {
             name: "main".into(),
             n_params: 0,
             n_locals: 1,
-            code: vec![Instr::Const(3), Instr::StoreLocal(0), Instr::Const(0), Instr::Return],
+            code: vec![
+                Instr::Const(3),
+                Instr::StoreLocal(0),
+                Instr::Const(0),
+                Instr::Return,
+            ],
         };
         let text = f.to_string();
         assert!(text.contains("fn main"));

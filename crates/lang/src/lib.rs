@@ -65,8 +65,8 @@ pub mod ast;
 pub mod escape;
 mod fold;
 pub mod ir;
-pub mod lockset;
 mod lexer;
+pub mod lockset;
 mod lower;
 mod parser;
 mod printer;

@@ -284,9 +284,8 @@ impl FnCtx<'_> {
                                 self.code.push(Instr::StoreGlobal { slot, site });
                             }
                             GlobalRef::Array { .. } => {
-                                return self.err(format!(
-                                    "`{name}` is an array; assign to an element"
-                                ));
+                                return self
+                                    .err(format!("`{name}` is an array; assign to an element"));
                             }
                         }
                     } else {
@@ -313,7 +312,11 @@ impl FnCtx<'_> {
                     self.expr(value)?;
                     let instrumented = !self.escape.is_provably_local(obj);
                     let field_id = self.ctx.field_id(field);
-                    let kind = if instrumented { "write" } else { "write, local: elided" };
+                    let kind = if instrumented {
+                        "write"
+                    } else {
+                        "write, local: elided"
+                    };
                     let site = self.site(&format!("{obj}.{field}"), kind);
                     self.code.push(Instr::StoreField {
                         field: field_id,
@@ -371,9 +374,7 @@ impl FnCtx<'_> {
                     return self.err(format!("undeclared lock `{lock}`"));
                 };
                 if !self.lock_stack.contains(&m) {
-                    return self.err(format!(
-                        "`wait {lock}` outside a `sync {lock}` block"
-                    ));
+                    return self.err(format!("`wait {lock}` outside a `sync {lock}` block"));
                 }
                 self.code.push(Instr::WaitRelease(m));
                 self.code.push(Instr::Acquire(m));
@@ -383,9 +384,7 @@ impl FnCtx<'_> {
                     return self.err(format!("undeclared lock `{lock}`"));
                 };
                 if !self.lock_stack.contains(&m) {
-                    return self.err(format!(
-                        "`notify {lock}` outside a `sync {lock}` block"
-                    ));
+                    return self.err(format!("`notify {lock}` outside a `sync {lock}` block"));
                 }
                 self.code.push(Instr::Notify { lock: m, all: *all });
             }
@@ -454,7 +453,11 @@ impl FnCtx<'_> {
                 self.code.push(Instr::LoadLocal(slot));
                 let instrumented = !self.escape.is_provably_local(obj);
                 let field_id = self.ctx.field_id(field);
-                let kind = if instrumented { "read" } else { "read, local: elided" };
+                let kind = if instrumented {
+                    "read"
+                } else {
+                    "read, local: elided"
+                };
                 let site = self.site(&format!("{obj}.{field}"), kind);
                 self.code.push(Instr::LoadField {
                     field: field_id,
@@ -555,22 +558,24 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Instr::StoreGlobal { slot: 0, .. })));
         assert_eq!(p.sites.len(), 2);
-        assert!(p.describe_site(pacer_trace::SiteId::new(0)).contains("read"));
+        assert!(p
+            .describe_site(pacer_trace::SiteId::new(0))
+            .contains("read"));
     }
 
     #[test]
     fn local_object_accesses_are_elided() {
         let p = compile_src("fn main() { let o = new obj; o.f = 1; let v = o.f; }");
         let main = &p.functions[0];
-        let fields: Vec<bool> = main
-            .code
-            .iter()
-            .filter_map(|i| match i {
-                Instr::LoadField { instrumented, .. }
-                | Instr::StoreField { instrumented, .. } => Some(*instrumented),
-                _ => None,
-            })
-            .collect();
+        let fields: Vec<bool> =
+            main.code
+                .iter()
+                .filter_map(|i| match i {
+                    Instr::LoadField { instrumented, .. }
+                    | Instr::StoreField { instrumented, .. } => Some(*instrumented),
+                    _ => None,
+                })
+                .collect();
         assert_eq!(fields, vec![false, false], "both accesses elided");
     }
 
@@ -578,10 +583,13 @@ mod tests {
     fn escaping_object_accesses_are_instrumented() {
         let p = compile_src("shared g; fn main() { let o = new obj; g = o; o.f = 1; }");
         let main = &p.functions[0];
-        assert!(main
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::StoreField { instrumented: true, .. })));
+        assert!(main.code.iter().any(|i| matches!(
+            i,
+            Instr::StoreField {
+                instrumented: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -637,23 +645,26 @@ mod tests {
     fn spawn_and_call_resolve_arity() {
         let p = compile_src("fn w(a, b) {} fn main() { let t = spawn w(1, 2); join t; w(3, 4); }");
         let code = &p.functions[1].code;
-        assert!(code.iter().any(|i| matches!(i, Instr::Spawn { func: 0, argc: 2 })));
-        assert!(code.iter().any(|i| matches!(i, Instr::Call { func: 0, argc: 2 })));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::Spawn { func: 0, argc: 2 })));
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::Call { func: 0, argc: 2 })));
         assert!(code.contains(&Instr::JoinThread));
     }
 
     #[test]
     fn functions_end_with_return() {
         let p = compile_src("fn main() {}");
-        assert_eq!(
-            p.functions[0].code,
-            vec![Instr::Const(0), Instr::Return]
-        );
+        assert_eq!(p.functions[0].code, vec![Instr::Const(0), Instr::Return]);
     }
 
     #[test]
     fn field_names_are_interned() {
-        let p = compile_src("shared g; fn main() { let o = new obj; g = o; o.a = 1; o.b = 2; o.a = 3; }");
+        let p = compile_src(
+            "shared g; fn main() { let o = new obj; g = o; o.a = 1; o.b = 2; o.a = 3; }",
+        );
         assert_eq!(p.field_names, vec!["a", "b"]);
     }
 
@@ -734,12 +745,13 @@ mod wait_notify_tests {
 
     #[test]
     fn notify_variants_compile() {
-        let p = compile(
-            &parse("lock m; fn main() { sync m { notify m; notifyall m; } }").unwrap(),
-        )
-        .unwrap();
+        let p = compile(&parse("lock m; fn main() { sync m { notify m; notifyall m; } }").unwrap())
+            .unwrap();
         let code = &p.functions[0].code;
-        assert!(code.contains(&Instr::Notify { lock: 0, all: false }));
+        assert!(code.contains(&Instr::Notify {
+            lock: 0,
+            all: false
+        }));
         assert!(code.contains(&Instr::Notify { lock: 0, all: true }));
     }
 

@@ -59,8 +59,23 @@ impl From<crate::lexer::LexError> for ParseError {
 }
 
 const KEYWORDS: &[&str] = &[
-    "fn", "let", "if", "else", "while", "sync", "spawn", "join", "new", "obj", "shared", "lock",
-    "volatile", "return", "wait", "notify", "notifyall",
+    "fn",
+    "let",
+    "if",
+    "else",
+    "while",
+    "sync",
+    "spawn",
+    "join",
+    "new",
+    "obj",
+    "shared",
+    "lock",
+    "volatile",
+    "return",
+    "wait",
+    "notify",
+    "notifyall",
 ];
 
 struct Parser {
@@ -610,7 +625,13 @@ mod tests {
         )
         .unwrap();
         let body = &p.functions[0].body;
-        assert!(matches!(&body[0], Stmt::Let { init: Expr::New, .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Let {
+                init: Expr::New,
+                ..
+            }
+        ));
         assert!(matches!(
             &body[1],
             Stmt::Assign { target: LValue::Field(o, f), .. } if o == "o" && f == "count"
@@ -622,7 +643,10 @@ mod tests {
         let p = parse("shared a[8]; fn main() { a[3] = a[2] + 1; }").unwrap();
         assert!(matches!(
             &p.functions[0].body[0],
-            Stmt::Assign { target: LValue::Index(..), value: Expr::Binary(..) }
+            Stmt::Assign {
+                target: LValue::Index(..),
+                value: Expr::Binary(..)
+            }
         ));
     }
 
@@ -639,7 +663,10 @@ mod tests {
     #[test]
     fn array_read_without_assign_is_expression() {
         let p = parse("shared a[2]; fn f(i) {} fn main() { f(a[1]); a[0]; }").unwrap();
-        assert!(matches!(&p.functions[1].body[1], Stmt::Expr(Expr::Index(..))));
+        assert!(matches!(
+            &p.functions[1].body[1],
+            Stmt::Expr(Expr::Index(..))
+        ));
     }
 
     #[test]

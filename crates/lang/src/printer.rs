@@ -237,9 +237,7 @@ mod tests {
 
     #[test]
     fn round_trips_nested_expressions() {
-        round_trip(
-            "fn main() { let z = !(1 + 2 * 3 < 4) && (5 >= -6 || 7 != 8 / 2); }",
-        );
+        round_trip("fn main() { let z = !(1 + 2 * 3 < 4) && (5 >= -6 || 7 != 8 / 2); }");
     }
 
     #[test]
@@ -252,8 +250,7 @@ mod tests {
     /// Inline copies of small generated-workload shapes (avoiding a dev
     /// dependency cycle with pacer-workloads).
     fn pacer_workloads_sources() -> Vec<String> {
-        vec![
-            "
+        vec!["
             shared sink; lock relay;
             fn flash(id) { sync relay { sink = sink + id; } }
             fn main() {
@@ -265,8 +262,7 @@ mod tests {
                 }
             }
             "
-            .to_string(),
-        ]
+        .to_string()]
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Property tests for the language pipeline: printer round-trips, folding
 //! laws, and lexer/parser robustness over generated ASTs.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_lang::ast::*;
@@ -35,11 +39,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     BinOp::And,
                     BinOp::Or,
                 ];
-                Expr::Binary(
-                    ops[op as usize % ops.len()],
-                    Box::new(l),
-                    Box::new(r),
-                )
+                Expr::Binary(ops[op as usize % ops.len()], Box::new(l), Box::new(r))
             }),
             // Parsed ASTs never contain Neg of a literal (the parser folds
             // it into the literal), so the generator canonicalizes too.
@@ -47,7 +47,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Expr::Int(v) => Expr::Int(v.wrapping_neg()),
                 e => Expr::Unary(UnOp::Neg, Box::new(e)),
             }),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             (arb_name(), inner.clone()).prop_map(|(n, i)| Expr::Index(n, Box::new(i))),
             (arb_name(), arb_name()).prop_map(|(o, f)| Expr::Field(o, f)),
         ]
@@ -74,8 +76,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(2, 12, 3, |inner| {
         prop_oneof![
-            (arb_expr(), prop::collection::vec(inner.clone(), 0..3),
-             prop::collection::vec(inner.clone(), 0..3))
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
                     cond,
                     then_branch,
@@ -95,8 +100,11 @@ fn arb_program() -> impl Strategy<Value = Program> {
         prop::collection::vec(arb_name(), 0..2),
         prop::collection::vec(arb_name(), 0..2),
         prop::collection::vec(
-            (arb_name(), prop::collection::vec(arb_name(), 0..3),
-             prop::collection::vec(arb_stmt(), 0..5)),
+            (
+                arb_name(),
+                prop::collection::vec(arb_name(), 0..3),
+                prop::collection::vec(arb_stmt(), 0..5),
+            ),
             1..3,
         ),
     )

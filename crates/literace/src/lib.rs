@@ -38,10 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pacer_collections::IdMap;
+use pacer_prng::Rng;
 
 use pacer_clock::ThreadId;
 use pacer_fasttrack::FastTrackDetector;
@@ -89,8 +87,10 @@ struct RegionState {
 pub struct LiteRaceDetector {
     config: LiteRaceConfig,
     backend: FastTrackDetector,
-    regions: HashMap<(u32, ThreadId), RegionState>,
-    rng: StdRng,
+    /// Per-region, per-thread bursty sampler state, slab-indexed by the
+    /// dense region id and then by thread.
+    regions: IdMap<u32, IdMap<ThreadId, RegionState>>,
+    rng: Rng,
     analyzed_accesses: u64,
     total_accesses: u64,
 }
@@ -101,8 +101,8 @@ impl LiteRaceDetector {
         LiteRaceDetector {
             config,
             backend: FastTrackDetector::new(),
-            regions: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            regions: IdMap::new(),
+            rng: Rng::seed_from_u64(seed),
             analyzed_accesses: 0,
             total_accesses: 0,
         }
@@ -122,8 +122,9 @@ impl LiteRaceDetector {
     pub fn footprint_words(&self) -> usize {
         // The backend's inflated read maps and sync clocks, plus two words
         // per tracked variable (write epoch + site live forever here) and
-        // per-region sampler state (3 words each).
-        self.backend.footprint_words() + 3 * self.regions.len()
+        // per-(region × thread) sampler state (3 words each).
+        let samplers: usize = self.regions.values().map(IdMap::len).sum();
+        self.backend.footprint_words() + 3 * samplers
     }
 
     /// Decides whether this access is analyzed, advancing the region's
@@ -132,8 +133,8 @@ impl LiteRaceDetector {
         let cfg = self.config;
         let state = self
             .regions
-            .entry((region, t))
-            .or_insert_with(|| RegionState {
+            .get_or_insert_with(region, IdMap::new)
+            .get_or_insert_with(t, || RegionState {
                 rate: 1.0,
                 burst_left: cfg.burst_length,
                 skip_left: 0,
@@ -230,7 +231,7 @@ mod tests {
             rate < 0.05,
             "hot region should be sampled rarely, got {rate}"
         );
-        let region = d.regions.get(&(0, ThreadId::new(0))).unwrap();
+        let region = d.regions.get(0).unwrap().get(ThreadId::new(0)).unwrap();
         assert!(region.rate <= 0.002, "rate decayed to the floor");
     }
 
@@ -337,7 +338,10 @@ mod tests {
             d.footprint_words()
         );
         let tracked = d.backend.tracked_vars();
-        assert!(tracked > 20, "many variables permanently tracked: {tracked}");
+        assert!(
+            tracked > 20,
+            "many variables permanently tracked: {tracked}"
+        );
     }
 
     #[test]

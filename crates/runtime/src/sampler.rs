@@ -1,7 +1,6 @@
 //! The GC-boundary sampling controller with bias correction (§4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pacer_prng::Rng;
 
 /// Decides, at the end of each (nursery) garbage collection, whether the
 /// next inter-collection window is a sampling period.
@@ -34,7 +33,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct GcSampler {
     target: f64,
-    rng: StdRng,
+    rng: Rng,
     sampling: bool,
     /// Sync ops observed in sampled / unsampled windows.
     sampled_sync: u64,
@@ -54,7 +53,7 @@ impl GcSampler {
         assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
         GcSampler {
             target: rate,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             sampling: false,
             sampled_sync: 0,
             unsampled_sync: 0,

@@ -3,8 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pacer_prng::Rng;
 
 use pacer_clock::ThreadId;
 use pacer_lang::ir::{BinOp, CompiledProgram, Instr};
@@ -232,7 +231,7 @@ pub struct Vm<'p, D: Detector> {
     wait_queues: Vec<Vec<u32>>,
     heap: Heap,
     sampler: GcSampler,
-    rng: StdRng,
+    rng: Rng,
     steps: u64,
     stats: ActionStats,
     elided: u64,
@@ -293,7 +292,7 @@ impl<'p, D: Detector> Vm<'p, D> {
             wait_queues: vec![Vec::new(); program.locks as usize],
             heap: Heap::new(program.globals),
             sampler: GcSampler::new(config.sampling_rate, config.seed ^ 0x5a5a_5a5a),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             steps: 0,
             stats: ActionStats::default(),
             elided: 0,
@@ -418,7 +417,8 @@ impl<'p, D: Detector> Vm<'p, D> {
         }
         self.heap.bytes_since_gc = 0;
         self.gc_count += 1;
-        if self.config.full_gc_every > 0 && (self.gc_count).is_multiple_of(self.config.full_gc_every as u64)
+        if self.config.full_gc_every > 0
+            && (self.gc_count).is_multiple_of(self.config.full_gc_every as u64)
         {
             self.full_gc_count += 1;
             let sample = SpaceSample {
@@ -456,11 +456,7 @@ impl<'p, D: Detector> Vm<'p, D> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(
-        &mut self,
-        ti: u32,
-        probe: &mut impl FnMut(&D, &SpaceSample),
-    ) -> Result<(), VmError> {
+    fn step(&mut self, ti: u32, probe: &mut impl FnMut(&D, &SpaceSample)) -> Result<(), VmError> {
         let (func, pc) = {
             let f = self.frame(ti);
             (f.func, f.pc)
@@ -541,9 +537,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                 let obj = match self.pop(ti)? {
                     Value::Ref(o) => o,
                     other => {
-                        return Err(VmError::Type(format!(
-                            "field read on non-object {other:?}"
-                        )))
+                        return Err(VmError::Type(format!("field read on non-object {other:?}")))
                     }
                 };
                 if instrumented {
@@ -634,7 +628,11 @@ impl<'p, D: Detector> Vm<'p, D> {
                 // notify. No happens-before edge beyond the monitor itself,
                 // so no action is emitted.
                 let queue = &mut self.wait_queues[lock as usize];
-                let count = if all { queue.len() } else { usize::from(!queue.is_empty()) };
+                let count = if all {
+                    queue.len()
+                } else {
+                    usize::from(!queue.is_empty())
+                };
                 for _ in 0..count {
                     let waiter = queue.remove(0);
                     debug_assert!(matches!(
@@ -686,16 +684,10 @@ impl<'p, D: Detector> Vm<'p, D> {
                 });
             }
             Instr::JoinThread => {
-                let handle = *self
-                    .frame(ti)
-                    .stack
-                    .last()
-                    .ok_or(VmError::StackUnderflow)?;
+                let handle = *self.frame(ti).stack.last().ok_or(VmError::StackUnderflow)?;
                 let u = match handle {
                     Value::Thread(u) => u,
-                    other => {
-                        return Err(VmError::Type(format!("join of non-thread {other:?}")))
-                    }
+                    other => return Err(VmError::Type(format!("join of non-thread {other:?}"))),
                 };
                 if matches!(self.threads[u as usize].state, ThreadState::Done(_)) {
                     self.pop(ti)?;
@@ -956,8 +948,7 @@ mod tests {
         // Java monitors are reentrant; this simulated runtime's locks are
         // not (trace well-formedness forbids double acquire), so nested
         // sync on the same lock self-deadlocks — documented behavior.
-        let program =
-            pacer_lang::parse("lock m; fn main() { sync m { sync m { } } }").unwrap();
+        let program = pacer_lang::parse("lock m; fn main() { sync m { sync m { } } }").unwrap();
         let compiled = pacer_lang::compile(&program).unwrap();
         let mut det = NullDetector;
         assert_eq!(
@@ -1069,10 +1060,8 @@ mod tests {
 
     #[test]
     fn instrument_off_emits_nothing() {
-        let program = pacer_lang::parse(
-            "shared x; lock m; fn main() { sync m { x = 1; } }",
-        )
-        .unwrap();
+        let program =
+            pacer_lang::parse("shared x; lock m; fn main() { sync m { x = 1; } }").unwrap();
         let compiled = pacer_lang::compile(&program).unwrap();
         struct Panicker;
         impl Detector for Panicker {
@@ -1095,10 +1084,8 @@ mod tests {
 
     #[test]
     fn sync_only_forwards_sync_but_not_accesses() {
-        let program = pacer_lang::parse(
-            "shared x; lock m; fn main() { sync m { x = 1; } }",
-        )
-        .unwrap();
+        let program =
+            pacer_lang::parse("shared x; lock m; fn main() { sync m { x = 1; } }").unwrap();
         let compiled = pacer_lang::compile(&program).unwrap();
         #[derive(Default)]
         struct Counter {
@@ -1187,8 +1174,7 @@ mod tests {
             let oracle = HbOracle::analyze(&rec.trace);
             let mut ft = FastTrackDetector::new();
             ft.run(&rec.trace);
-            let truth: std::collections::HashSet<_> =
-                oracle.distinct_races().into_iter().collect();
+            let truth: std::collections::HashSet<_> = oracle.distinct_races().into_iter().collect();
             for r in ft.races() {
                 assert!(truth.contains(&r.distinct_key()));
             }

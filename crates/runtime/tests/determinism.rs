@@ -1,6 +1,10 @@
 //! Determinism properties of the simulated runtime: the schedule is a pure
 //! function of the seed and is independent of the attached detector.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_core::PacerDetector;

@@ -52,7 +52,10 @@ fn handoff_delivers_and_is_race_free_under_every_detector() {
         let mut ft = FastTrackDetector::new();
         let out = Vm::run(&program, &mut ft, &VmConfig::new(seed)).unwrap();
         assert_eq!(out.main_result, Value::Int(1), "seed {seed}");
-        assert!(ft.races().is_empty(), "seed {seed}: monitor orders accesses");
+        assert!(
+            ft.races().is_empty(),
+            "seed {seed}: monitor orders accesses"
+        );
 
         let mut pacer = PacerDetector::new();
         let cfg = VmConfig::new(seed).with_sampling_rate(1.0);

@@ -55,11 +55,7 @@ impl RaceReport {
 
 impl fmt::Display for RaceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "race on {}: {} vs {}",
-            self.x, self.first, self.second
-        )
+        write!(f, "race on {}: {} vs {}", self.x, self.first, self.second)
     }
 }
 

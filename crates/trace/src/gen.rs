@@ -24,11 +24,8 @@
 //! assert!(HbOracle::analyze(&clean).is_race_free());
 //! ```
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use pacer_clock::ThreadId;
+use pacer_prng::Rng;
 
 use crate::{Action, LockId, SiteId, Trace, VarId, VolatileId};
 
@@ -135,18 +132,16 @@ impl GenConfig {
             "volatile traffic requires volatiles"
         );
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut next_site = 0u32;
-        let mut site_for = |x: VarId, rng: &mut StdRng| -> SiteId {
+        let mut site_for = |x: VarId, rng: &mut Rng| -> SiteId {
             match self.site_mode {
                 SiteMode::UniquePerEvent => {
                     let s = SiteId::new(next_site);
                     next_site += 1;
                     s
                 }
-                SiteMode::PerVar(k) => {
-                    SiteId::new(x.raw() * k + rng.gen_range(0..k.max(1)))
-                }
+                SiteMode::PerVar(k) => SiteId::new(x.raw() * k + rng.gen_range(0..k.max(1))),
             }
         };
 
@@ -203,7 +198,7 @@ impl GenConfig {
             .filter(|&ti| !scripts[ti].is_empty())
             .collect();
         while !live.is_empty() {
-            live.shuffle(&mut rng);
+            rng.shuffle(&mut live);
             let mut progressed = false;
             for pos in 0..live.len() {
                 let ti = live[pos];
@@ -262,7 +257,7 @@ impl GenConfig {
 pub fn insert_sampling_periods(trace: &Trace, rate: f64, avg_period: usize, seed: u64) -> Trace {
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
     assert!(avg_period >= 1, "avg_period must be at least 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Trace::new();
     let mut sampling = false;
     let p_off = 1.0 / avg_period as f64;
@@ -301,9 +296,9 @@ mod tests {
     fn generated_traces_are_well_formed() {
         for seed in 0..20 {
             let trace = GenConfig::small(seed).generate();
-            trace.validate().unwrap_or_else(|e| {
-                panic!("seed {seed}: invalid trace: {e}\n{}", trace.to_text())
-            });
+            trace
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: invalid trace: {e}\n{}", trace.to_text()));
         }
     }
 
@@ -331,9 +326,7 @@ mod tests {
     fn low_discipline_produces_races() {
         let mut any = false;
         for seed in 0..10 {
-            let trace = GenConfig::small(seed)
-                .with_lock_discipline(0.0)
-                .generate();
+            let trace = GenConfig::small(seed).with_lock_discipline(0.0).generate();
             any |= !HbOracle::analyze(&trace).is_race_free();
         }
         assert!(any, "unguarded traces should race");

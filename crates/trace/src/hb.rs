@@ -275,11 +275,7 @@ impl HbOracle {
                     .iter()
                     .map(|&pos| &self.accesses[pos])
                     .filter(|d| d.index < a.index)
-                    .all(|d| {
-                        !(d.tid == b.tid
-                            && d.kind == b.kind
-                            && d.pacer_comp == b.pacer_comp)
-                    });
+                    .all(|d| !(d.tid == b.tid && d.kind == b.kind && d.pacer_comp == b.pacer_comp));
                 no_intervening_racer && no_earlier_epoch_sibling
             })
             .collect()
@@ -421,13 +417,16 @@ mod tests {
             wr t1 x0 s2
         ",
         );
-        assert_eq!(o.all_races(), &[RacePair { first: 1, second: 2 }]);
+        assert_eq!(
+            o.all_races(),
+            &[RacePair {
+                first: 1,
+                second: 2
+            }]
+        );
         assert_eq!(o.shortest_races(), o.all_races());
         assert_eq!(o.racy_vars(), vec![VarId::new(0)]);
-        assert_eq!(
-            o.distinct_races(),
-            vec![(SiteId::new(1), SiteId::new(2))]
-        );
+        assert_eq!(o.distinct_races(), vec![(SiteId::new(1), SiteId::new(2))]);
     }
 
     #[test]
@@ -518,10 +517,19 @@ mod tests {
         );
         assert_eq!(o.all_races().len(), 3, "all three writes pairwise race");
         let shortest: Vec<_> = o.shortest_races().to_vec();
-        assert!(shortest.contains(&RacePair { first: 2, second: 3 }));
-        assert!(shortest.contains(&RacePair { first: 3, second: 4 }));
+        assert!(shortest.contains(&RacePair {
+            first: 2,
+            second: 3
+        }));
+        assert!(shortest.contains(&RacePair {
+            first: 3,
+            second: 4
+        }));
         assert!(
-            !shortest.contains(&RacePair { first: 2, second: 4 }),
+            !shortest.contains(&RacePair {
+                first: 2,
+                second: 4
+            }),
             "w1–w3 has the intervening racer w2"
         );
     }
@@ -547,7 +555,13 @@ mod tests {
         ",
         );
         // rd t2 (index 6) and second wr t1 (index 8) are concurrent: race.
-        assert_eq!(o.all_races(), &[RacePair { first: 6, second: 8 }]);
+        assert_eq!(
+            o.all_races(),
+            &[RacePair {
+                first: 6,
+                second: 8
+            }]
+        );
     }
 
     #[test]

@@ -36,6 +36,16 @@ macro_rules! id_type {
                 $name(raw)
             }
         }
+
+        impl pacer_collections::DenseKey for $name {
+            fn index(&self) -> usize {
+                self.0 as usize
+            }
+
+            fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("index exceeds id space"))
+            }
+        }
     };
 }
 

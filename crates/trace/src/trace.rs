@@ -140,8 +140,7 @@ impl Trace {
     /// malformed content, or the underlying I/O error.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
         let text = std::fs::read_to_string(path)?;
-        Trace::parse(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Trace::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Checks the §A well-formedness conditions:
@@ -521,10 +520,7 @@ mod tests {
             Action::SampleEnd,
             rd(0, 0),
         ]);
-        assert_eq!(
-            trace.sampling_mask(),
-            vec![false, true, true, false, false]
-        );
+        assert_eq!(trace.sampling_mask(), vec![false, true, true, false, false]);
     }
 
     #[test]

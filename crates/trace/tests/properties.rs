@@ -1,6 +1,10 @@
 //! Property tests for traces: format round-trips, generator
 //! well-formedness, and oracle invariants.
 
+// Compiled only with the non-default `proptest` feature (restore the
+// `proptest` dev-dependency first; the workspace is offline by default).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use pacer_clock::ThreadId;

@@ -493,10 +493,9 @@ mod tests {
             .map(|seed| run(&w, seed).1.distinct_races().into_iter().collect())
             .collect();
         let union: std::collections::BTreeSet<_> = sets.iter().flatten().copied().collect();
-        let intersection = sets
-            .iter()
-            .skip(1)
-            .fold(sets[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        let intersection = sets.iter().skip(1).fold(sets[0].clone(), |acc, s| {
+            acc.intersection(s).copied().collect()
+        });
         assert!(
             intersection.len() < union.len(),
             "expected rare races: union {} == intersection {}",

@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             kind.label(),
             r.dynamic_races.len().to_string(),
             r.distinct_races.len().to_string(),
-            r.effective_rate
-                .map_or_else(|| "-".into(), render::pct),
+            r.effective_rate.map_or_else(|| "-".into(), render::pct),
             r.final_metadata_words
                 .map_or_else(|| "-".into(), |w| format!("{w}")),
             format!("{:.1}ms", r.wall.as_secs_f64() * 1000.0),
@@ -45,7 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render::table(
-            &["detector", "dyn races", "distinct", "eff rate", "meta words", "wall"],
+            &[
+                "detector",
+                "dyn races",
+                "distinct",
+                "eff rate",
+                "meta words",
+                "wall"
+            ],
             &rows
         )
     );

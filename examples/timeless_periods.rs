@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --example timeless_periods`
 
+use pacer_clock::ThreadId;
 use pacer_core::PacerDetector;
 use pacer_trace::{Action, Detector, LockId, Trace};
-use pacer_clock::ThreadId;
 
 fn main() {
     // Three threads exchanging two locks, exactly like Figure 2: after the
@@ -20,12 +20,24 @@ fn main() {
     for _round in 0..100 {
         // t3 releases both locks; t1 and t2 acquire them repeatedly.
         for (thread, lock) in [(3, 0), (3, 1)] {
-            trace.push(Action::Acquire { t: t(thread), m: m(lock) });
-            trace.push(Action::Release { t: t(thread), m: m(lock) });
+            trace.push(Action::Acquire {
+                t: t(thread),
+                m: m(lock),
+            });
+            trace.push(Action::Release {
+                t: t(thread),
+                m: m(lock),
+            });
         }
         for (thread, lock) in [(1, 0), (2, 0), (1, 1), (2, 1)] {
-            trace.push(Action::Acquire { t: t(thread), m: m(lock) });
-            trace.push(Action::Release { t: t(thread), m: m(lock) });
+            trace.push(Action::Acquire {
+                t: t(thread),
+                m: m(lock),
+            });
+            trace.push(Action::Release {
+                t: t(thread),
+                m: m(lock),
+            });
         }
     }
 

@@ -108,7 +108,10 @@ fn check_trace(trace: &Trace) {
         })
         .collect();
     for race in oracle.sampled_guaranteed_races(trace) {
-        let key = norm(oracle.epoch_group(race.first), oracle.epoch_group(race.second));
+        let key = norm(
+            oracle.epoch_group(race.first),
+            oracle.epoch_group(race.second),
+        );
         assert!(
             reported.contains(&key),
             "guaranteed race {race:?} unreported in\n{}",
@@ -247,7 +250,10 @@ fn exhaustive_full_sampling_equals_fasttrack() {
     for body in interleavings(&a, &b) {
         let mut with_markers = Trace::new();
         let mut bare = Trace::new();
-        for pre in [Action::Fork { t: t(0), u: t(1) }, Action::Fork { t: t(0), u: t(2) }] {
+        for pre in [
+            Action::Fork { t: t(0), u: t(1) },
+            Action::Fork { t: t(0), u: t(2) },
+        ] {
             with_markers.push(pre);
             bare.push(pre);
         }

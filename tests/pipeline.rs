@@ -68,11 +68,8 @@ fn pacer_guarantee_holds_end_to_end() {
         // the per-event guarantee is property-tested in `pacer-core` on
         // unique-site traces. End to end, check containment at
         // (var, second-site) granularity.
-        let reported: std::collections::HashSet<_> = pacer
-            .races()
-            .iter()
-            .map(|r| (r.x, r.second.site))
-            .collect();
+        let reported: std::collections::HashSet<_> =
+            pacer.races().iter().map(|r| (r.x, r.second.site)).collect();
         for race in oracle.sampled_guaranteed_races(&trace) {
             let (_, s2) = oracle.race_sites(race);
             let x = oracle.race_var(race);

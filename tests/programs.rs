@@ -50,7 +50,7 @@ fn worklist_races_on_result_slots_not_the_counter() {
         "--detector",
         "fasttrack",
         "--seed",
-        "3",
+        "5",
     ]);
     assert!(out.contains("results"), "slot races reported: {out}");
     assert!(
@@ -104,5 +104,8 @@ fn lint_flags_bank_and_false_positives_producer_consumer() {
     // lockset flags the buffer: the §6.2 imprecision, demonstrated.
     let lint = cli(&["lint", &repo_path("programs/producer_consumer.pl")]);
     assert!(lint.contains("shared `buffer`"), "{lint}");
-    assert!(lint.contains("false positives") || lint.contains("heuristic"), "{lint}");
+    assert!(
+        lint.contains("false positives") || lint.contains("heuristic"),
+        "{lint}"
+    );
 }
