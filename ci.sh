@@ -1,7 +1,7 @@
 #!/bin/sh
 # Tier-1 CI entry point. Runs fully offline; no network or external deps.
 #
-#   ./ci.sh          fmt check, release build, tests, bench smoke
+#   ./ci.sh          fmt check, release build, tests, rustdoc, bench smoke
 #   ./ci.sh --quick  skip the bench smoke run
 set -eu
 
@@ -15,6 +15,11 @@ cargo build --release
 
 echo "== cargo test -q"
 cargo test -q
+
+# Doc breakage fails CI; rustdoc warnings (broken intra-doc links,
+# missing docs where a crate opts into #![warn(missing_docs)]) are errors.
+echo "== cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 if [ "${1:-}" = "--quick" ]; then
     echo "== skipping bench smoke (--quick)"

@@ -53,5 +53,21 @@ fn main() {
         black_box(black_box(ve).leq(black_box(&vv)));
     });
 
+    // Companion snapshot: the operation mix a detector actually drives
+    // these primitives with, from an untimed observed replay.
+    let trace = pacer_trace::gen::insert_sampling_periods(
+        &pacer_trace::gen::GenConfig::small(7).generate(),
+        0.03,
+        200,
+        1,
+    );
+    let mut obs = pacer_obs::Observed::new(
+        pacer_core::PacerDetector::new(),
+        pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default()),
+    );
+    pacer_trace::Detector::run(&mut obs, &trace);
+    let (_, registry) = obs.finish();
+    bench.write_metrics_snapshot(&registry.metrics().to_json());
+
     bench.finish();
 }

@@ -68,6 +68,16 @@ fn main() {
         black_box(d.races().len());
     });
 
+    // Untimed observed pass over the 3% workload: the snapshot documents
+    // what the timed replays actually did (operation mix, space).
+    let mut obs = pacer_obs::Observed::new(
+        PacerDetector::new(),
+        pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default()),
+    );
+    obs.run(&sampled_3);
+    let (_, registry) = obs.finish();
+    bench.write_metrics_snapshot(&registry.metrics().to_json());
+
     let baseline = PRE_IDMAP_BASELINE
         .iter()
         .map(|(id, eps)| format!("\"{id}\": {eps}"))

@@ -98,5 +98,16 @@ fn main() {
         }
     }
 
+    // Untimed observed pass over one recorded workload trace: the snapshot
+    // records the join/copy mix the ablation is about.
+    let trace = record(&xalan(Scale::Test), 0.03);
+    let mut obs = pacer_obs::Observed::new(
+        PacerDetector::new(),
+        pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default()),
+    );
+    obs.run(&trace);
+    let (_, registry) = obs.finish();
+    bench.write_metrics_snapshot(&registry.metrics().to_json());
+
     bench.finish();
 }

@@ -36,5 +36,20 @@ fn main() {
         }
     }
 
+    // Untimed observed trials (one per workload, pacer@3%) merged into the
+    // companion snapshot; the timed loops above stay on bare detectors.
+    let mut metrics = pacer_obs::Metrics::default();
+    for w in all(Scale::Test) {
+        let trial = pacer_harness::observed::run_observed_trial(
+            &w.compiled(),
+            pacer_harness::DetectorKind::Pacer { rate: 0.03 },
+            1,
+            65_536,
+        )
+        .expect("workload runs");
+        metrics.merge(&trial.metrics);
+    }
+    bench.write_metrics_snapshot(&metrics.to_json());
+
     bench.finish();
 }

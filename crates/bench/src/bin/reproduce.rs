@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]
+//!           [--metrics-out PATH] [--trace-out PATH]
 //!
 //! EXPERIMENT: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!             fig10 fleet ablation all      (default: all)
@@ -10,6 +11,10 @@
 //! --full  : the §5.1 trial counts (slow)
 //! --jobs N: worker threads for the trial engine (default 1; results are
 //!           bit-identical at any value — overhead timing stays sequential)
+//! --metrics-out PATH: after the experiments, run one observed PACER trial
+//!           per workload at r = 3% and write the merged metrics snapshot
+//!           (JSON; schema in OBSERVABILITY.md)
+//! --trace-out PATH: write those trials' structured event traces (JSONL)
 //! ```
 
 use std::process::ExitCode;
@@ -21,10 +26,32 @@ fn main() -> ExitCode {
     let mut cfg = ExpConfig::small();
     let mut chosen: Vec<Experiment> = Vec::new();
     let mut run_all = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => metrics_out = Some(path.clone()),
+                    None => {
+                        eprintln!("--metrics-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_out = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--quick" => cfg = ExpConfig::quick(),
             "--small" => cfg = ExpConfig::small(),
             "--full" => cfg = ExpConfig::full(),
@@ -87,12 +114,52 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if metrics_out.is_some() || trace_out.is_some() {
+        if let Err(msg) = write_observability(&cfg, metrics_out.as_deref(), trace_out.as_deref()) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// One observed PACER trial per workload at the paper's r = 3%, metrics
+/// merged (and traces concatenated) in workload order — deterministic for
+/// a given seed and scale.
+fn write_observability(
+    cfg: &ExpConfig,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    let mut metrics = pacer_obs::Metrics::default();
+    let mut jsonl = String::new();
+    for w in pacer_workloads::all(cfg.scale) {
+        let trial = pacer_harness::observed::run_observed_trial(
+            &w.compiled(),
+            pacer_harness::DetectorKind::Pacer { rate: 0.03 },
+            cfg.base_seed,
+            65_536,
+        )
+        .map_err(|e| format!("observed trial of {} failed: {e}", w.name))?;
+        metrics.merge(&trial.metrics);
+        jsonl.push_str(&trial.events_jsonl);
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn print_usage() {
     eprintln!(
         "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]\n\
+         \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          experiments: {} all",
         Experiment::ALL
             .iter()

@@ -245,6 +245,25 @@ impl Bench {
         Ok(path)
     }
 
+    /// Writes a companion observability snapshot,
+    /// `BENCH_<name>.metrics.json`, next to the `BENCH_<name>.json` this
+    /// bench produces, and prints where.
+    ///
+    /// `metrics_json` is the serialized `pacer_obs::Metrics::to_json()`
+    /// output of an **untimed** observed pass over the bench workload —
+    /// timed loops stay on bare detectors, so observability costs the
+    /// measured path nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors (bench targets have no caller to
+    /// propagate to).
+    pub fn write_metrics_snapshot(&self, metrics_json: &str) {
+        let path = workspace_root().join(format!("BENCH_{}.metrics.json", self.name));
+        std::fs::write(&path, metrics_json).expect("write BENCH metrics json");
+        println!("wrote {}", path.display());
+    }
+
     /// Writes `BENCH_<name>.json` at the workspace root and prints where.
     ///
     /// # Panics

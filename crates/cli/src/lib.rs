@@ -20,7 +20,14 @@
 //!     Simulate a deployed fleet: N instances each run the program once
 //!     under PACER at rate R, race reports aggregated centrally (§1).
 //!     --jobs parallelizes the instances; output is identical at any
-//!     job count.
+//!     job count. With --metrics-out / --trace-out the instances run
+//!     under the observability layer and the merged artifacts are
+//!     written out (still byte-identical at any job count).
+//! pacer stats <file> [--rate R] [--seed N] [--detector D]
+//!     Run once under the observability layer and print the Table 3-style
+//!     operation breakdown, space accounting, and escape-analysis
+//!     decisions; --metrics-out / --trace-out write the JSON snapshot
+//!     and JSONL event trace (schemas in OBSERVABILITY.md).
 //! ```
 //!
 //! The library form exists so the behavior is unit-testable; `main.rs` is a
@@ -66,6 +73,8 @@ struct Options {
     seed: u64,
     detector: String,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
     instances: u32,
     jobs: usize,
 }
@@ -77,6 +86,8 @@ impl Default for Options {
             seed: 42,
             detector: "pacer".into(),
             trace_out: None,
+            metrics_out: None,
+            events_out: None,
             instances: 20,
             jobs: 1,
         }
@@ -96,9 +107,18 @@ commands:
   lint <file>    static lockset check (may report false positives)
   fleet <file>   simulate a deployed fleet of sampling instances
                  [--instances N] [--rate R] [--seed N] [--jobs N]
+                 [--metrics-out PATH] [--trace-out PATH]
+  stats <file>   run once under the observability layer; print the
+                 Table 3-style operation breakdown and space accounting
+                 [--rate R] [--seed N] [--detector D]
+                 [--metrics-out PATH] [--trace-out PATH]
 
 detectors: pacer (default), pacer-accordion, fasttrack, generic,
            literace, none
+
+--metrics-out writes the unified metrics snapshot as JSON;
+--trace-out writes the structured event trace as JSONL (see
+OBSERVABILITY.md for both schemas).
 ";
 
 /// Entry point: dispatches on `args` (without the program name), returning
@@ -119,6 +139,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fold" => cmd_fmt(&args[1..], true),
         "lint" => cmd_lint(&args[1..]),
         "fleet" => cmd_fleet(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -161,6 +182,22 @@ fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
                     args.get(i)
                         .cloned()
                         .ok_or_else(|| err("--trace requires a path"))?,
+                );
+            }
+            "--metrics-out" => {
+                i += 1;
+                opts.metrics_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--metrics-out requires a path"))?,
+                );
+            }
+            "--trace-out" => {
+                i += 1;
+                opts.events_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--trace-out requires a path"))?,
                 );
             }
             "--instances" => {
@@ -416,13 +453,94 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Default event-ring capacity for observed CLI runs.
+const RING_CAPACITY: usize = 65_536;
+
+fn detector_kind(name: &str, rate: f64) -> Result<pacer_harness::DetectorKind, CliError> {
+    use pacer_harness::DetectorKind as K;
+    Ok(match name {
+        "pacer" => K::Pacer { rate },
+        "pacer-accordion" => K::PacerAccordion { rate },
+        "fasttrack" => K::FastTrack,
+        "generic" => K::Generic,
+        "literace" => K::LiteRace { burst: 1000 },
+        "none" => K::Uninstrumented,
+        other => return Err(err(format!("unknown detector `{other}`"))),
+    })
+}
+
+fn write_artifact(out: &mut String, path: &str, content: &str, what: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(out, "{what} written to {path}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let (file, opts) = parse_options(args)?;
+    let (ast, compiled) = load_program(&file)?;
+    let kind = detector_kind(&opts.detector, opts.rate)?;
+    let trial =
+        pacer_harness::observed::run_observed_trial(&compiled, kind, opts.seed, RING_CAPACITY)
+            .map_err(|e| err(format!("runtime error: {e}")))?;
+
+    // Escape-analysis decisions, as structured events ahead of the
+    // execution's trace (they are compile-time facts, not run events).
+    let mut escape_events = String::new();
+    let mut elisions = 0usize;
+    for f in &ast.functions {
+        let info = pacer_lang::escape::analyze(f);
+        for var in info.provably_local_locals() {
+            elisions += 1;
+            pacer_obs::Event::EscapeElision {
+                func: f.name.clone(),
+                var: var.to_string(),
+            }
+            .write_jsonl(&mut escape_events);
+        }
+    }
+    let events_jsonl = escape_events + &trial.events_jsonl;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} under {}, seed {}", file, kind.label(), opts.seed);
+    if elisions > 0 {
+        let _ = writeln!(
+            out,
+            "escape analysis: {elisions} provably-local variable(s) uninstrumented"
+        );
+    }
+    let _ = writeln!(out, "{}", trial.metrics);
+    let _ = writeln!(out, "distinct races: {}", trial.distinct_races.len());
+    if let Some(path) = &opts.metrics_out {
+        write_artifact(&mut out, path, &trial.metrics.to_json(), "metrics")?;
+    }
+    if let Some(path) = &opts.events_out {
+        write_artifact(&mut out, path, &events_jsonl, "event trace")?;
+    }
+    Ok(out)
+}
+
 fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     let (file, opts) = parse_options(args)?;
     let (_, compiled) = load_program(&file)?;
     pacer_harness::parallel::set_jobs(opts.jobs);
-    let report =
-        pacer_harness::fleet::simulate_fleet(&compiled, opts.instances, opts.rate, opts.seed)
-            .map_err(|e| err(format!("runtime error: {e}")))?;
+    let vm_err = |e: pacer_runtime::VmError| err(format!("runtime error: {e}"));
+    let observe = opts.metrics_out.is_some() || opts.events_out.is_some();
+    let (report, observability) = if observe {
+        let (report, metrics, jsonl) = pacer_harness::observed::simulate_fleet_observed(
+            &compiled,
+            opts.instances,
+            opts.rate,
+            opts.seed,
+            RING_CAPACITY,
+        )
+        .map_err(vm_err)?;
+        (report, Some((metrics, jsonl)))
+    } else {
+        let report =
+            pacer_harness::fleet::simulate_fleet(&compiled, opts.instances, opts.rate, opts.seed)
+                .map_err(vm_err)?;
+        (report, None)
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -445,6 +563,14 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "cumulative distinct races: {:?}", report.cumulative);
+    if let Some((metrics, jsonl)) = observability {
+        if let Some(path) = &opts.metrics_out {
+            write_artifact(&mut out, path, &metrics.to_json(), "metrics")?;
+        }
+        if let Some(path) = &opts.events_out {
+            write_artifact(&mut out, path, &jsonl, "event trace")?;
+        }
+    }
     Ok(out)
 }
 
@@ -584,6 +710,95 @@ mod tests {
         let par = run(&args(&[base, &["--jobs", "4"][..]].concat())).unwrap();
         assert!(seq.contains("fleet: 8 instance(s)"), "{seq}");
         assert_eq!(seq, par, "--jobs must not change fleet output");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_prints_breakdown_and_writes_artifacts() {
+        // Like RACY, plus a provably-local object so escape analysis has
+        // something to elide.
+        let path = write_temp(
+            "pacer_cli_stats.pl",
+            "
+            shared x;
+            fn w() {
+                let o = new obj;
+                o.f = 0;
+                let i = 0;
+                while (i < 50) { x = x + 1; i = i + 1; }
+            }
+            fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+        ",
+        );
+        let mpath = std::env::temp_dir().join("pacer_cli_stats.metrics.json");
+        let tpath = std::env::temp_dir().join("pacer_cli_stats.trace.jsonl");
+        let m = mpath.to_string_lossy().into_owned();
+        let t = tpath.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "stats",
+            &path,
+            "--rate",
+            "1.0",
+            "--seed",
+            "2",
+            "--metrics-out",
+            &m,
+            "--trace-out",
+            &t,
+        ]))
+        .unwrap();
+        assert!(out.contains("operation breakdown (Table 3)"), "{out}");
+        assert!(out.contains("escape analysis:"), "{out}");
+        assert!(out.contains("distinct races:"), "{out}");
+        let json = std::fs::read_to_string(&mpath).unwrap();
+        assert!(json.starts_with('{'), "{json}");
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"races_reported\""), "{json}");
+        let trace = std::fs::read_to_string(&tpath).unwrap();
+        assert!(trace.contains("\"ev\":\"escape_elision\""), "{trace}");
+        assert!(trace.contains("\"ev\":\"period_begin\""), "{trace}");
+        assert!(
+            trace.lines().all(|l| l.starts_with("{\"ev\":\"")),
+            "every line is an event object"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&mpath).ok();
+        std::fs::remove_file(&tpath).ok();
+    }
+
+    #[test]
+    fn fleet_artifacts_are_identical_across_job_counts() {
+        let path = write_temp("pacer_cli_fleet_obs.pl", RACY);
+        let run_at = |jobs: &str, tag: &str| {
+            let m = std::env::temp_dir().join(format!("pacer_cli_fleet_{tag}.json"));
+            let t = std::env::temp_dir().join(format!("pacer_cli_fleet_{tag}.jsonl"));
+            run(&args(&[
+                "fleet",
+                &path,
+                "--instances",
+                "6",
+                "--rate",
+                "0.25",
+                "--seed",
+                "3",
+                "--jobs",
+                jobs,
+                "--metrics-out",
+                &m.to_string_lossy(),
+                "--trace-out",
+                &t.to_string_lossy(),
+            ]))
+            .unwrap();
+            let metrics = std::fs::read_to_string(&m).unwrap();
+            let trace = std::fs::read_to_string(&t).unwrap();
+            std::fs::remove_file(&m).ok();
+            std::fs::remove_file(&t).ok();
+            (metrics, trace)
+        };
+        let (m1, t1) = run_at("1", "j1");
+        let (m4, t4) = run_at("4", "j4");
+        assert_eq!(m1, m4, "metrics must be byte-identical across job counts");
+        assert_eq!(t1, t4, "traces must be byte-identical across job counts");
         std::fs::remove_file(&path).ok();
     }
 

@@ -27,7 +27,7 @@
 //! // Iteration is by ascending key, independent of insertion order.
 //! let keys: Vec<u32> = m.keys().collect();
 //! assert_eq!(keys, vec![1, 3]);
-//! assert_eq!(m.remove(1), Some("a"));
+//! assert_eq!(m.remove(&1), Some("a"));
 //! assert_eq!(m.len(), 1);
 //! ```
 

@@ -19,9 +19,10 @@
 
 use pacer_clock::{ClockValue, ThreadId};
 use pacer_collections::IdMap;
+use pacer_obs::{ObservableDetector, SpaceBreakdown};
 use pacer_trace::{Action, Detector, RaceReport};
 
-use crate::PacerDetector;
+use crate::{PacerDetector, PacerStats};
 
 /// A [`PacerDetector`] with accordion-clock thread-identifier reuse.
 ///
@@ -192,6 +193,16 @@ impl Detector for AccordionPacerDetector {
 
     fn races(&self) -> &[RaceReport] {
         self.inner.races()
+    }
+}
+
+impl ObservableDetector for AccordionPacerDetector {
+    fn space_breakdown(&self) -> SpaceBreakdown {
+        self.inner.space_breakdown()
+    }
+
+    fn pacer_stats(&self) -> Option<PacerStats> {
+        Some(*self.inner.stats())
     }
 }
 

@@ -2,6 +2,7 @@
 //! guarantee.
 
 use pacer_clock::{Epoch, ReadMap, ThreadId};
+use pacer_obs::{ObservableDetector, SpaceBreakdown};
 use pacer_trace::{Access, AccessKind, Action, Detector, RaceReport, SiteId, VarId};
 
 use crate::state::{PacerState, SyncRef, WriteInfo};
@@ -334,6 +335,16 @@ impl Detector for PacerDetector {
 
     fn races(&self) -> &[RaceReport] {
         &self.races
+    }
+}
+
+impl ObservableDetector for PacerDetector {
+    fn space_breakdown(&self) -> SpaceBreakdown {
+        self.state.space_breakdown()
+    }
+
+    fn pacer_stats(&self) -> Option<PacerStats> {
+        Some(self.stats)
     }
 }
 

@@ -59,9 +59,11 @@ mod accordion;
 mod detector;
 mod sampling;
 mod state;
-mod stats;
 
 pub use accordion::AccordionPacerDetector;
 pub use detector::PacerDetector;
 pub use sampling::{PeriodicSampler, RandomSampler, Sampled, SamplingPolicy};
-pub use stats::{CopyCounts, JoinCounts, PacerStats, PathCounts};
+// The operation counters moved to the observability crate (`pacer-obs`),
+// which unifies them behind one `Metrics` snapshot; re-exported here so
+// existing `pacer_core::PacerStats` call sites keep working.
+pub use pacer_obs::{CopyCounts, JoinCounts, PacerStats, PathCounts};

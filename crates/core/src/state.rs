@@ -8,6 +8,7 @@
 
 use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VersionEpoch, VersionVector};
 use pacer_collections::IdMap;
+use pacer_obs::SpaceBreakdown;
 use pacer_trace::{LockId, SiteId, VarId, VolatileId};
 
 use crate::PacerStats;
@@ -319,32 +320,47 @@ impl PacerState {
     /// Live metadata footprint in machine words. Shared clock buffers are
     /// charged once — that is precisely the saving shallow copies buy.
     pub fn footprint_words(&self) -> usize {
+        self.space_breakdown().total_words() as usize
+    }
+
+    /// Splits the live metadata footprint by category (Fig. 7's space
+    /// accounting). The sum of the word fields equals
+    /// [`footprint_words`](Self::footprint_words); clock storage reached by
+    /// more than one owner is charged once, under `clock_words_shared`.
+    pub fn space_breakdown(&self) -> SpaceBreakdown {
         let mut seen = std::collections::HashSet::new();
-        let mut words = 0usize;
-        fn charge(seen: &mut std::collections::HashSet<usize>, c: &CowClock) -> usize {
+        let mut b = SpaceBreakdown::default();
+        let mut charge = |b: &mut SpaceBreakdown, c: &CowClock| {
             if seen.insert(c.storage_id()) {
-                c.clock().width()
-            } else {
-                0
+                let words = c.clock().width() as u64;
+                if c.is_shared() {
+                    b.clock_words_shared += words;
+                } else {
+                    b.clock_words_owned += words;
+                }
             }
-        }
+        };
         for meta in self.threads.iter().flatten() {
-            words += charge(&mut seen, &meta.clock);
-            words += meta.ver.width();
+            charge(&mut b, &meta.clock);
+            b.version_words += meta.ver.width() as u64;
         }
         for meta in self.locks.values() {
-            words += charge(&mut seen, &meta.clock);
-            words += 2; // version epoch
+            charge(&mut b, &meta.clock);
+            b.version_words += 2; // version epoch
         }
         for meta in self.volatiles.values() {
-            words += charge(&mut seen, &meta.clock);
-            words += 2;
+            charge(&mut b, &meta.clock);
+            b.version_words += 2;
         }
         for meta in self.vars.values() {
-            words += 2; // write epoch + site (inline but charged per entry)
-            words += meta.read.as_ref().map_or(0, |r| r.footprint_words() + 1);
+            b.tracked_vars += 1;
+            b.write_words += 2; // write epoch + site (inline but charged per entry)
+            if let Some(r) = &meta.read {
+                b.read_map_words += r.footprint_words() as u64 + 1;
+                b.read_map_entries += r.len() as u64;
+            }
         }
-        words
+        b
     }
 
     /// Checks the well-formedness invariants of Definition 1 plus Lemma 7

@@ -2,6 +2,7 @@
 
 use pacer_clock::{Epoch, ReadMap};
 use pacer_collections::IdMap;
+use pacer_obs::{ObservableDetector, SpaceBreakdown};
 use pacer_trace::{Access, AccessKind, Action, Detector, RaceReport, SiteId, VarId};
 
 use crate::SyncClocks;
@@ -86,12 +87,7 @@ impl FastTrackDetector {
     /// per-field hash-table entry of §4), plus inflated read maps and
     /// synchronization clocks.
     pub fn footprint_words(&self) -> usize {
-        let vars: usize = self
-            .vars
-            .values()
-            .map(|v| 3 + v.reads.footprint_words())
-            .sum();
-        self.sync.footprint_words() + vars
+        self.space_breakdown().total_words() as usize
     }
 
     /// Number of variables currently carrying metadata (never shrinks:
@@ -207,6 +203,23 @@ impl Detector for FastTrackDetector {
 
     fn races(&self) -> &[RaceReport] {
         &self.races
+    }
+}
+
+impl ObservableDetector for FastTrackDetector {
+    fn space_breakdown(&self) -> SpaceBreakdown {
+        let mut b = SpaceBreakdown {
+            // FASTTRACK never shares clock storage; everything is owned.
+            clock_words_owned: self.sync.footprint_words() as u64,
+            ..SpaceBreakdown::default()
+        };
+        for v in self.vars.values() {
+            b.tracked_vars += 1;
+            b.write_words += 2; // write epoch + site
+            b.read_map_words += v.reads.footprint_words() as u64 + 1;
+            b.read_map_entries += v.reads.len() as u64;
+        }
+        b
     }
 }
 

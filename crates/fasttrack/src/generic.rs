@@ -2,6 +2,7 @@
 
 use pacer_clock::{ClockValue, ThreadId, VectorClock};
 use pacer_collections::IdMap;
+use pacer_obs::{ObservableDetector, SpaceBreakdown};
 use pacer_trace::{Access, AccessKind, Action, Detector, RaceReport, SiteId, VarId};
 
 use crate::SyncClocks;
@@ -49,12 +50,7 @@ impl GenericDetector {
 
     /// Approximate live metadata footprint in machine words.
     pub fn footprint_words(&self) -> usize {
-        let vars: usize = self
-            .vars
-            .values()
-            .map(|v| v.reads.width() + v.writes.width())
-            .sum();
-        self.sync.footprint_words() + vars
+        self.space_breakdown().total_words() as usize
     }
 
     fn report_racing_writes(
@@ -154,6 +150,22 @@ impl Detector for GenericDetector {
 
     fn races(&self) -> &[RaceReport] {
         &self.races
+    }
+}
+
+impl ObservableDetector for GenericDetector {
+    fn space_breakdown(&self) -> SpaceBreakdown {
+        let mut b = SpaceBreakdown {
+            clock_words_owned: self.sync.footprint_words() as u64,
+            ..SpaceBreakdown::default()
+        };
+        for v in self.vars.values() {
+            b.tracked_vars += 1;
+            b.write_words += v.writes.width() as u64;
+            b.read_map_words += v.reads.width() as u64;
+            b.read_map_entries += v.reads.width() as u64;
+        }
+        b
     }
 }
 

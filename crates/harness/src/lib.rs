@@ -18,6 +18,9 @@
 //!   (Table 1), and operation counts (Table 3);
 //! * [`fleet`] — the distributed-debugging deployment simulation from the
 //!   paper's vision (§1): many instances, each sampling at a low rate;
+//! * [`observed`] — the same trials wrapped in the observability layer
+//!   ([`pacer_obs`]): each run also yields a unified metrics snapshot and
+//!   a JSONL event trace, byte-identical at any job count;
 //! * [`parallel`] — the deterministic trial engine: multi-trial loops fan
 //!   out over a scoped worker pool ([`parallel::set_jobs`]) and merge in
 //!   trial-index order, so results are bit-identical at any job count;
@@ -31,6 +34,7 @@ pub mod census;
 pub mod detection;
 pub mod fleet;
 pub mod math;
+pub mod observed;
 pub mod overhead;
 pub mod parallel;
 pub mod render;

@@ -7,6 +7,7 @@
 
 use pacer_harness::detection::{measure_detection, RaceCensus};
 use pacer_harness::fleet::simulate_fleet;
+use pacer_harness::observed::simulate_fleet_observed;
 use pacer_harness::parallel::set_jobs;
 use pacer_harness::DetectorKind;
 use pacer_workloads::{hsqldb, Scale};
@@ -30,7 +31,15 @@ fn experiments_are_byte_identical_at_any_job_count() {
         .unwrap();
         let fleet = simulate_fleet(&program, 12, 0.10, 7).unwrap();
         let rates = pacer_harness::census::effective_rates(&program, 0.25, 6, 9).unwrap();
-        format!("{census:?}\n{detection:?}\n{fleet:?}\n{rates:?}")
+        // Observability artifacts are held to the same bar: the merged
+        // metrics JSON and concatenated event trace must not depend on
+        // which worker ran which instance.
+        let (obs_fleet, metrics, trace) =
+            simulate_fleet_observed(&program, 6, 0.10, 7, 4096).unwrap();
+        format!(
+            "{census:?}\n{detection:?}\n{fleet:?}\n{rates:?}\n{obs_fleet:?}\n{}\n{trace}",
+            metrics.to_json()
+        )
     };
 
     set_jobs(1);

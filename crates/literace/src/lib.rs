@@ -43,6 +43,7 @@ use pacer_prng::Rng;
 
 use pacer_clock::ThreadId;
 use pacer_fasttrack::FastTrackDetector;
+use pacer_obs::{ObservableDetector, SpaceBreakdown};
 use pacer_trace::{Action, Detector, RaceReport};
 
 /// Tuning parameters for the adaptive bursty sampler.
@@ -120,11 +121,7 @@ impl LiteRaceDetector {
     /// Live metadata footprint in machine words. LITERACE never discards
     /// metadata, so this grows with the data the program touches.
     pub fn footprint_words(&self) -> usize {
-        // The backend's inflated read maps and sync clocks, plus two words
-        // per tracked variable (write epoch + site live forever here) and
-        // per-(region × thread) sampler state (3 words each).
-        let samplers: usize = self.regions.values().map(IdMap::len).sum();
-        self.backend.footprint_words() + 3 * samplers
+        self.space_breakdown().total_words() as usize
     }
 
     /// Decides whether this access is analyzed, advancing the region's
@@ -188,6 +185,17 @@ impl Detector for LiteRaceDetector {
 
     fn races(&self) -> &[RaceReport] {
         self.backend.races()
+    }
+}
+
+impl ObservableDetector for LiteRaceDetector {
+    fn space_breakdown(&self) -> SpaceBreakdown {
+        let mut b = self.backend.space_breakdown();
+        // Per-(region × thread) bursty sampler state, 3 words each — cost
+        // unique to code sampling, charged as "other".
+        let samplers: usize = self.regions.values().map(IdMap::len).sum();
+        b.other_words += 3 * samplers as u64;
+        b
     }
 }
 

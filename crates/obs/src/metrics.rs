@@ -1,0 +1,365 @@
+//! The unified [`Metrics`] snapshot type.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use crate::hist::{HistKind, Histogram, HIST_COUNT};
+use crate::json;
+use crate::space::SpaceRecord;
+use crate::stats::PacerStats;
+
+/// Counters the simulated runtime contributes to a snapshot.
+///
+/// `trials` makes merged snapshots interpretable: averaging any other
+/// counter over `trials` recovers a per-run figure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Runs merged into this snapshot.
+    pub trials: u64,
+    /// VM instructions executed.
+    pub steps: u64,
+    /// Nursery collections.
+    pub gcs: u64,
+    /// Full-heap collections (one space sample each).
+    pub full_gcs: u64,
+    /// Field accesses elided by escape analysis (never instrumented).
+    pub elided_accesses: u64,
+    /// Bytes allocated (program + charged metadata).
+    pub allocated_bytes: u64,
+    /// Threads ever started (including main).
+    pub threads_started: u64,
+    /// Maximum simultaneously live threads, summed over trials (divide by
+    /// `trials` for the mean).
+    pub max_live_threads: u64,
+}
+
+impl AddAssign for RuntimeCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.trials += rhs.trials;
+        self.steps += rhs.steps;
+        self.gcs += rhs.gcs;
+        self.full_gcs += rhs.full_gcs;
+        self.elided_accesses += rhs.elided_accesses;
+        self.allocated_bytes += rhs.allocated_bytes;
+        self.threads_started += rhs.threads_started;
+        self.max_live_threads += rhs.max_live_threads;
+    }
+}
+
+impl RuntimeCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "trials", self.trials);
+        json::field_u64(out, &mut first, "steps", self.steps);
+        json::field_u64(out, &mut first, "gcs", self.gcs);
+        json::field_u64(out, &mut first, "full_gcs", self.full_gcs);
+        json::field_u64(out, &mut first, "elided_accesses", self.elided_accesses);
+        json::field_u64(out, &mut first, "allocated_bytes", self.allocated_bytes);
+        json::field_u64(out, &mut first, "threads_started", self.threads_started);
+        json::field_u64(out, &mut first, "max_live_threads", self.max_live_threads);
+        out.push('}');
+    }
+}
+
+/// One immutable snapshot of everything the observability layer gathered:
+/// the detector's [`PacerStats`] (Tables 1 and 3), [`RuntimeCounters`],
+/// histograms, the space-over-time curve (Fig. 7), and event-ring totals.
+///
+/// Snapshots [`merge`](Self::merge) associatively — the harness merges
+/// per-instance snapshots in instance-index order, which together with the
+/// integer-only JSON encoding makes output byte-identical at any `--jobs`
+/// level.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// PACER's operation counters (zero for non-PACER detectors).
+    pub detector: PacerStats,
+    /// Dynamic race reports across all merged runs.
+    pub races_reported: u64,
+    /// Runtime counters.
+    pub runtime: RuntimeCounters,
+    /// Histograms, indexed by [`HistKind`].
+    pub hists: [Histogram; HIST_COUNT],
+    /// Space samples in run order (per run, in GC order; merged runs
+    /// concatenate in merge order).
+    pub space: Vec<SpaceRecord>,
+    /// Events pushed into the ring (retained + dropped).
+    pub events_recorded: u64,
+    /// Events the ring evicted.
+    pub events_dropped: u64,
+}
+
+impl Metrics {
+    /// The histogram for `kind`.
+    pub fn hist(&self, kind: HistKind) -> &Histogram {
+        &self.hists[kind.index()]
+    }
+
+    /// Merges `other` into `self`. Order matters only for the
+    /// concatenation order of [`space`](Self::space) samples, so callers
+    /// that need determinism merge in a fixed (index) order.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.detector += other.detector;
+        self.races_reported += other.races_reported;
+        self.runtime += other.runtime;
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+        self.space.extend_from_slice(&other.space);
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Peak metadata footprint across all space samples, in words.
+    pub fn peak_metadata_words(&self) -> u64 {
+        self.space
+            .iter()
+            .map(|s| s.breakdown.total_words())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serializes the snapshot as deterministic JSON: integers only (no
+    /// floats, no wall-clock times, no pointers), keys in a fixed order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"detector\": ");
+        write_stats_json(&self.detector, &mut out);
+        out.push_str(",\n  \"races_reported\": ");
+        out.push_str(&self.races_reported.to_string());
+        out.push_str(",\n  \"runtime\": ");
+        self.runtime.write_json(&mut out);
+        out.push_str(",\n  \"histograms\": {");
+        for (i, kind) in HistKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json::string(&mut out, kind.name());
+            out.push_str(": ");
+            self.hists[kind.index()].write_json(&mut out);
+        }
+        out.push_str("\n  },\n  \"space\": [");
+        for (i, rec) in self.space.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            rec.write_json(&mut out);
+        }
+        if !self.space.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"events\": {\"recorded\": ");
+        out.push_str(&self.events_recorded.to_string());
+        out.push_str(", \"dropped\": ");
+        out.push_str(&self.events_dropped.to_string());
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn write_stats_json(s: &PacerStats, out: &mut String) {
+    let pairs: [(&str, u64); 18] = [
+        ("joins_sampling_slow", s.joins.sampling_slow),
+        ("joins_sampling_fast", s.joins.sampling_fast),
+        ("joins_non_sampling_slow", s.joins.non_sampling_slow),
+        ("joins_non_sampling_fast", s.joins.non_sampling_fast),
+        ("copies_sampling_deep", s.copies.sampling_deep),
+        ("copies_sampling_shallow", s.copies.sampling_shallow),
+        ("copies_non_sampling_deep", s.copies.non_sampling_deep),
+        ("copies_non_sampling_shallow", s.copies.non_sampling_shallow),
+        ("reads_sampling_slow", s.reads.sampling_slow),
+        ("reads_non_sampling_slow", s.reads.non_sampling_slow),
+        ("reads_non_sampling_fast", s.reads.non_sampling_fast),
+        ("writes_sampling_slow", s.writes.sampling_slow),
+        ("writes_non_sampling_slow", s.writes.non_sampling_slow),
+        ("writes_non_sampling_fast", s.writes.non_sampling_fast),
+        ("cow_clones", s.cow_clones),
+        ("sample_periods", s.sample_periods),
+        ("sampled_sync_ops", s.sampled_sync_ops),
+        ("unsampled_sync_ops", s.unsampled_sync_ops),
+    ];
+    out.push('{');
+    let mut first = true;
+    for (k, v) in pairs {
+        json::field_u64(out, &mut first, k, v);
+    }
+    out.push('}');
+}
+
+impl fmt::Display for Metrics {
+    /// Renders the Table 3-style operation breakdown followed by runtime
+    /// and space summaries — the output of `pacer stats`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = &self.detector;
+        writeln!(
+            f,
+            "operation breakdown (Table 3){}",
+            if self.runtime.trials > 1 {
+                format!(" — totals over {} trials", self.runtime.trials)
+            } else {
+                String::new()
+            }
+        )?;
+        writeln!(f, "  {:<22} {:>14} {:>14}", "", "sampling", "non-sampling")?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "joins (fast)", d.joins.sampling_fast, d.joins.non_sampling_fast
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "joins (slow)", d.joins.sampling_slow, d.joins.non_sampling_slow
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "copies (shallow)", d.copies.sampling_shallow, d.copies.non_sampling_shallow
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "copies (deep)", d.copies.sampling_deep, d.copies.non_sampling_deep
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "reads (slow)", d.reads.sampling_slow, d.reads.non_sampling_slow
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "reads (fast)", "-", d.reads.non_sampling_fast
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "writes (slow)", d.writes.sampling_slow, d.writes.non_sampling_slow
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>14} {:>14}",
+            "writes (fast)", "-", d.writes.non_sampling_fast
+        )?;
+        writeln!(f, "  cow clone promotions: {}", d.cow_clones)?;
+        writeln!(
+            f,
+            "  sampling periods: {}  sync ops: {} sampled / {} unsampled",
+            d.sample_periods, d.sampled_sync_ops, d.unsampled_sync_ops
+        )?;
+        match d.effective_rate() {
+            Some(r) => writeln!(f, "  effective sampling rate: {:.2}%", r * 100.0)?,
+            None => writeln!(f, "  effective sampling rate: n/a (no accesses)")?,
+        }
+        writeln!(f, "  races reported: {}", self.races_reported)?;
+        let rt = &self.runtime;
+        writeln!(
+            f,
+            "runtime: trials={} steps={} gcs={} (full={}) elided={} \
+             allocated={}B threads={} (max live {})",
+            rt.trials,
+            rt.steps,
+            rt.gcs,
+            rt.full_gcs,
+            rt.elided_accesses,
+            rt.allocated_bytes,
+            rt.threads_started,
+            rt.max_live_threads
+        )?;
+        write!(
+            f,
+            "space: {} samples, peak metadata {} words",
+            self.space.len(),
+            self.peak_metadata_words()
+        )?;
+        if let Some(last) = self.space.last() {
+            let b = last.breakdown;
+            write!(
+                f,
+                " (final: {} shared / {} owned clock words, {} read-map entries, \
+                 {} tracked vars)",
+                b.clock_words_shared, b.clock_words_owned, b.read_map_entries, b.tracked_vars
+            )?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "events: {} recorded, {} dropped",
+            self.events_recorded, self.events_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceBreakdown;
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics {
+            races_reported: 2,
+            ..Metrics::default()
+        };
+        m.detector.joins.sampling_fast = 3;
+        m.detector.reads.non_sampling_fast = 4;
+        m.runtime.trials = 1;
+        m.runtime.steps = 100;
+        m.hists[HistKind::PeriodSyncOps.index()].record(8);
+        m.space.push(SpaceRecord {
+            steps: 50,
+            heap_bytes: 96,
+            breakdown: SpaceBreakdown {
+                clock_words_owned: 6,
+                ..SpaceBreakdown::default()
+            },
+        });
+        m.events_recorded = 5;
+        m
+    }
+
+    #[test]
+    fn merge_sums_everything_and_concatenates_space() {
+        let mut a = sample_metrics();
+        let b = sample_metrics();
+        a.merge(&b);
+        assert_eq!(a.detector.joins.sampling_fast, 6);
+        assert_eq!(a.races_reported, 4);
+        assert_eq!(a.runtime.trials, 2);
+        assert_eq!(a.hist(HistKind::PeriodSyncOps).count, 2);
+        assert_eq!(a.space.len(), 2);
+        assert_eq!(a.events_recorded, 10);
+        assert_eq!(a.peak_metadata_words(), 6);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_integer_only() {
+        let m = sample_metrics();
+        let j1 = m.to_json();
+        let j2 = m.clone().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema\": 1"));
+        assert!(j1.contains("\"joins_sampling_fast\":3"));
+        assert!(j1.contains("\"period_sync_ops\""));
+        assert!(j1.contains("\"total_words\":6"));
+        assert!(!j1.contains('.'), "no floats in metrics JSON: {j1}");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let j = Metrics::default().to_json();
+        assert!(j.contains("\"space\": []"));
+        assert!(j.contains("\"trials\":0"));
+    }
+
+    #[test]
+    fn display_shows_table3_sections() {
+        let text = sample_metrics().to_string();
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("joins (fast)"));
+        assert!(text.contains("copies (shallow)"));
+        assert!(text.contains("effective sampling rate"));
+        assert!(text.contains("races reported: 2"));
+        assert!(text.contains("peak metadata 6 words"));
+    }
+}

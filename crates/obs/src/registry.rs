@@ -1,0 +1,223 @@
+//! The metrics registry: the one sink everything reports into.
+
+use crate::event::{Event, EventRing};
+use crate::hist::{HistKind, Histogram, HIST_COUNT};
+use crate::metrics::{Metrics, RuntimeCounters};
+use crate::space::SpaceRecord;
+use crate::stats::PacerStats;
+
+/// Configuration for an enabled [`Registry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Maximum events retained by the trace ring; older events are evicted
+    /// (and counted) once full.
+    pub ring_capacity: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+/// The sink counters, histograms, events, and space samples flow into.
+///
+/// A registry is either *enabled* or *disabled* for its whole lifetime.
+/// Every recording method begins with a single branch on that flag; a
+/// disabled registry records nothing and **allocates nothing** (enforced
+/// by the `no_alloc` integration test). This is what lets the harness
+/// thread an `Observed` wrapper everywhere without perturbing benchmarks
+/// that run with observability off.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_obs::{Event, HistKind, Registry, RegistryConfig};
+///
+/// let mut reg = Registry::enabled(RegistryConfig::default());
+/// reg.event(|| Event::PeriodBegin { index: 0 });
+/// reg.record_hist(HistKind::PeriodSyncOps, 12);
+/// assert_eq!(reg.metrics().events_recorded, 1);
+/// assert!(reg.events_jsonl().starts_with("{\"ev\":\"period_begin\""));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Registry {
+    enabled: bool,
+    ring: EventRing,
+    hists: [Histogram; HIST_COUNT],
+    space: Vec<SpaceRecord>,
+    detector: PacerStats,
+    races_reported: u64,
+    runtime: RuntimeCounters,
+}
+
+impl Default for Registry {
+    /// The default registry is disabled.
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry.
+    pub fn enabled(config: RegistryConfig) -> Self {
+        Registry {
+            enabled: true,
+            ring: EventRing::new(config.ring_capacity),
+            ..Registry::disabled()
+        }
+    }
+
+    /// Creates a disabled registry. Construction performs no heap
+    /// allocation, and neither does any later recording call.
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            ring: EventRing::new(0),
+            hists: [Histogram::new(), Histogram::new(), Histogram::new()],
+            space: Vec::new(),
+            detector: PacerStats::default(),
+            races_reported: 0,
+            runtime: RuntimeCounters::default(),
+        }
+    }
+
+    /// Whether this registry records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. The closure is only invoked when enabled, so
+    /// callers can build events (including ones carrying `String`s)
+    /// without any disabled-path cost beyond the branch.
+    #[inline]
+    pub fn event(&mut self, make: impl FnOnce() -> Event) {
+        if self.enabled {
+            self.ring.push(make());
+        }
+    }
+
+    /// Records a value into the histogram for `kind`.
+    #[inline]
+    pub fn record_hist(&mut self, kind: HistKind, value: u64) {
+        if self.enabled {
+            self.hists[kind.index()].record(value);
+        }
+    }
+
+    /// Records a space sample, emitting the matching [`Event::Gc`] and
+    /// updating the GC histograms.
+    pub fn record_space(&mut self, rec: SpaceRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.push(Event::from_space(&rec));
+        self.hists[HistKind::GcMetadataWords.index()].record(rec.breakdown.total_words());
+        self.hists[HistKind::GcHeapBytes.index()].record(rec.heap_bytes);
+        self.space.push(rec);
+    }
+
+    /// Accumulates a detector's final operation counters.
+    pub fn add_detector_stats(&mut self, stats: PacerStats) {
+        if self.enabled {
+            self.detector += stats;
+        }
+    }
+
+    /// Accumulates dynamic race reports.
+    pub fn add_races(&mut self, count: u64) {
+        if self.enabled {
+            self.races_reported += count;
+        }
+    }
+
+    /// Accumulates a run's runtime counters.
+    pub fn add_runtime(&mut self, counters: RuntimeCounters) {
+        if self.enabled {
+            self.runtime += counters;
+        }
+    }
+
+    /// Takes an immutable [`Metrics`] snapshot of everything recorded.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            detector: self.detector,
+            races_reported: self.races_reported,
+            runtime: self.runtime,
+            hists: self.hists.clone(),
+            space: self.space.clone(),
+            events_recorded: self.ring.recorded(),
+            events_dropped: self.ring.dropped(),
+        }
+    }
+
+    /// The retained events as JSONL, one event per line, oldest first.
+    pub fn events_jsonl(&self) -> String {
+        self.ring.to_jsonl()
+    }
+
+    /// The event ring (for inspection in tests).
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceBreakdown;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = Registry::disabled();
+        reg.event(|| Event::PeriodBegin { index: 0 });
+        reg.record_hist(HistKind::PeriodSyncOps, 9);
+        reg.record_space(SpaceRecord::default());
+        reg.add_detector_stats(PacerStats {
+            cow_clones: 5,
+            ..PacerStats::default()
+        });
+        reg.add_races(3);
+        reg.add_runtime(RuntimeCounters {
+            trials: 1,
+            ..RuntimeCounters::default()
+        });
+        let m = reg.metrics();
+        assert_eq!(m, Metrics::default());
+        assert_eq!(reg.events_jsonl(), "");
+    }
+
+    #[test]
+    fn disabled_event_closure_is_never_called() {
+        let mut reg = Registry::disabled();
+        reg.event(|| panic!("must not be constructed when disabled"));
+        assert_eq!(reg.ring().recorded(), 0);
+    }
+
+    #[test]
+    fn enabled_registry_snapshots_everything() {
+        let mut reg = Registry::enabled(RegistryConfig { ring_capacity: 8 });
+        reg.event(|| Event::PeriodBegin { index: 0 });
+        reg.record_space(SpaceRecord {
+            steps: 10,
+            heap_bytes: 48,
+            breakdown: SpaceBreakdown {
+                clock_words_owned: 4,
+                ..SpaceBreakdown::default()
+            },
+        });
+        reg.add_races(1);
+        let m = reg.metrics();
+        assert_eq!(m.events_recorded, 2, "period + gc event");
+        assert_eq!(m.space.len(), 1);
+        assert_eq!(m.hist(HistKind::GcMetadataWords).count, 1);
+        assert_eq!(m.hist(HistKind::GcHeapBytes).sum, 48);
+        assert_eq!(m.races_reported, 1);
+        let jsonl = reg.events_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"ev\":\"gc\""));
+    }
+}

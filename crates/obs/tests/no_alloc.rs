@@ -1,0 +1,80 @@
+//! Proves the disabled registry performs no allocation on the hot path.
+//!
+//! A counting global allocator wraps the system allocator; the test drives
+//! every hot-path recording method of a disabled [`Registry`] and asserts
+//! the allocation count never moves.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pacer_obs::{Event, HistKind, Registry, SpaceRecord};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_registry_hot_path_never_allocates() {
+    // Construction of a disabled registry itself must not allocate.
+    let before_new = allocations();
+    let mut reg = Registry::disabled();
+    assert_eq!(
+        allocations(),
+        before_new,
+        "Registry::disabled() must not allocate"
+    );
+
+    let before = allocations();
+    for i in 0..10_000 {
+        reg.event(|| Event::PeriodBegin { index: i });
+        reg.record_hist(HistKind::PeriodSyncOps, i);
+        reg.record_space(SpaceRecord {
+            steps: i,
+            heap_bytes: i,
+            breakdown: Default::default(),
+        });
+        reg.add_races(1);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "disabled hot-path recording must not allocate"
+    );
+    // And nothing was recorded.
+    assert_eq!(reg.metrics().events_recorded, 0);
+    assert_eq!(reg.metrics().hist(HistKind::PeriodSyncOps).count, 0);
+}
+
+#[test]
+fn enabled_registry_does_record() {
+    // Sanity check that the same calls *do* record when enabled, so the
+    // test above is meaningful.
+    let mut reg = Registry::enabled(Default::default());
+    reg.event(|| Event::PeriodBegin { index: 0 });
+    reg.record_hist(HistKind::PeriodSyncOps, 3);
+    assert_eq!(reg.metrics().events_recorded, 1);
+    assert_eq!(reg.metrics().hist(HistKind::PeriodSyncOps).sum, 3);
+}

@@ -192,6 +192,22 @@ pub struct RunOutcome {
     pub max_live_threads: usize,
 }
 
+impl RunOutcome {
+    /// This run's contribution to an observability snapshot (one trial).
+    pub fn runtime_counters(&self) -> pacer_obs::RuntimeCounters {
+        pacer_obs::RuntimeCounters {
+            trials: 1,
+            steps: self.steps,
+            gcs: self.gc_count,
+            full_gcs: self.full_gc_count,
+            elided_accesses: self.elided_accesses,
+            allocated_bytes: self.total_allocated,
+            threads_started: self.threads_started as u64,
+            max_live_threads: self.max_live_threads as u64,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum ThreadState {
     Runnable,
@@ -268,7 +284,7 @@ impl<'p, D: Detector> Vm<'p, D> {
         program: &CompiledProgram,
         detector: &mut D,
         config: &VmConfig,
-        mut probe: impl FnMut(&D, &SpaceSample),
+        mut probe: impl FnMut(&mut D, &SpaceSample),
     ) -> Result<RunOutcome, VmError> {
         let entry = program.entry;
         let main_fn = &program.functions[entry as usize];
@@ -330,7 +346,7 @@ impl<'p, D: Detector> Vm<'p, D> {
         })
     }
 
-    fn schedule(&mut self, probe: &mut impl FnMut(&D, &SpaceSample)) -> Result<(), VmError> {
+    fn schedule(&mut self, probe: &mut impl FnMut(&mut D, &SpaceSample)) -> Result<(), VmError> {
         loop {
             // A thread is enabled if runnable, or blocked on a condition
             // that now holds.
@@ -411,7 +427,7 @@ impl<'p, D: Detector> Vm<'p, D> {
         }
     }
 
-    fn maybe_gc(&mut self, probe: &mut impl FnMut(&D, &SpaceSample)) {
+    fn maybe_gc(&mut self, probe: &mut impl FnMut(&mut D, &SpaceSample)) {
         if self.heap.bytes_since_gc < self.config.nursery_bytes {
             return;
         }
@@ -456,7 +472,11 @@ impl<'p, D: Detector> Vm<'p, D> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, ti: u32, probe: &mut impl FnMut(&D, &SpaceSample)) -> Result<(), VmError> {
+    fn step(
+        &mut self,
+        ti: u32,
+        probe: &mut impl FnMut(&mut D, &SpaceSample),
+    ) -> Result<(), VmError> {
         let (func, pc) = {
             let f = self.frame(ti);
             (f.func, f.pc)
