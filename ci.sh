@@ -16,10 +16,30 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+# Property tests are feature-gated so the default build stays lean. This
+# stage compiles and runs them — including replay of the committed
+# *.proptest-regressions entries — against the in-tree pacer-proptest shim.
+echo "== cargo test --workspace --features proptest"
+cargo test --workspace --features proptest -q
+
 # Doc breakage fails CI; rustdoc warnings (broken intra-doc links,
 # missing docs where a crate opts into #![warn(missing_docs)]) are errors.
 echo "== cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# Differential fuzzing smoke (FUZZING.md): a short campaign must finish
+# with zero oracle violations, and a second identical invocation must be
+# byte-identical — the determinism contract the whole fuzzer rests on.
+# The committed reproducers in tests/corpus/ already replayed under
+# `cargo test` above (tests/corpus.rs).
+echo "== pacer fuzz smoke"
+FUZZ_A=$(./target/release/pacer fuzz --iters 200 --seed 1 --jobs 4)
+FUZZ_B=$(./target/release/pacer fuzz --iters 200 --seed 1 --jobs 4)
+if [ "$FUZZ_A" != "$FUZZ_B" ]; then
+    echo "pacer fuzz is nondeterministic across identical invocations" >&2
+    exit 1
+fi
+echo "$FUZZ_A" | head -n 1
 
 if [ "${1:-}" = "--quick" ]; then
     echo "== skipping bench smoke (--quick)"

@@ -28,6 +28,12 @@
 //!     operation breakdown, space accounting, and escape-analysis
 //!     decisions; --metrics-out / --trace-out write the JSON snapshot
 //!     and JSONL event trace (schemas in OBSERVABILITY.md).
+//! pacer fuzz [--seed N] [--iters N] [--jobs N] [--rate-ladder R,R,..]
+//!     Differential race-oracle fuzzing campaign: generate seeded
+//!     programs, cross-check every detector against the HB oracle, and
+//!     shrink any failure to a minimal reproducer (see FUZZING.md).
+//!     Output is byte-identical at any --jobs count; a campaign with
+//!     violations exits nonzero with the full report on stderr.
 //! ```
 //!
 //! The library form exists so the behavior is unit-testable; `main.rs` is a
@@ -77,6 +83,9 @@ struct Options {
     events_out: Option<String>,
     instances: u32,
     jobs: usize,
+    iters: u64,
+    schedule_seeds: u32,
+    rate_ladder: Option<Vec<f64>>,
 }
 
 impl Default for Options {
@@ -90,6 +99,9 @@ impl Default for Options {
             events_out: None,
             instances: 20,
             jobs: 1,
+            iters: 100,
+            schedule_seeds: 3,
+            rate_ladder: None,
         }
     }
 }
@@ -112,6 +124,10 @@ commands:
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
                  [--metrics-out PATH] [--trace-out PATH]
+  fuzz           differential race-oracle fuzzing campaign (FUZZING.md)
+                 [--seed N] [--iters N] [--jobs N]
+                 [--rate-ladder R,R,...] [--schedule-seeds N]
+                 [--metrics-out PATH]
 
 detectors: pacer (default), pacer-accordion, fasttrack, generic,
            literace, none
@@ -140,12 +156,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "lint" => cmd_lint(&args[1..]),
         "fleet" => cmd_fleet(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
+    let (file, opts) = parse_flags(args)?;
+    let file = file.ok_or_else(|| err("missing input file"))?;
+    Ok((file, opts))
+}
+
+fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
     let mut file = None;
     let mut opts = Options::default();
     let mut i = 0;
@@ -216,6 +239,44 @@ fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| err("--jobs requires a positive integer"))?;
             }
+            "--iters" => {
+                i += 1;
+                opts.iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--iters requires a positive integer"))?;
+            }
+            "--schedule-seeds" => {
+                i += 1;
+                opts.schedule_seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--schedule-seeds requires a positive integer"))?;
+            }
+            "--rate-ladder" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| err("--rate-ladder requires a comma-separated list"))?;
+                let ladder: Vec<f64> = spec
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| (0.0..=1.0).contains(r))
+                            .ok_or_else(|| {
+                                err(format!("--rate-ladder entry `{part}` is not in [0, 1]"))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if ladder.is_empty() {
+                    return Err(err("--rate-ladder requires at least one rate"));
+                }
+                opts.rate_ladder = Some(ladder);
+            }
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`")));
             }
@@ -227,7 +288,6 @@ fn parse_options(args: &[String]) -> Result<(String, Options), CliError> {
         }
         i += 1;
     }
-    let file = file.ok_or_else(|| err("missing input file"))?;
     Ok((file, opts))
 }
 
@@ -574,6 +634,33 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
+    let (file, opts) = parse_flags(args)?;
+    if let Some(file) = file {
+        return Err(err(format!(
+            "fuzz generates its own programs; unexpected argument `{file}`"
+        )));
+    }
+    pacer_harness::parallel::set_jobs(opts.jobs);
+    let mut cfg = pacer_fuzz::FuzzConfig::new(opts.seed, opts.iters);
+    cfg.oracle.schedule_seeds = opts.schedule_seeds;
+    if let Some(ladder) = &opts.rate_ladder {
+        cfg.oracle.rate_ladder = ladder.clone();
+    }
+    let report = pacer_fuzz::run_fuzz(&cfg);
+    let mut out = report.summary();
+    if let Some(path) = &opts.metrics_out {
+        let mut reg = pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default());
+        reg.add_fuzz(report.fuzz_counters());
+        write_artifact(&mut out, path, &reg.metrics().to_json(), "metrics")?;
+    }
+    if report.violation_count() > 0 {
+        // Violations are a failing exit, with the full report as message.
+        return Err(err(out));
+    }
+    Ok(out)
+}
+
 fn cmd_fmt(args: &[String], fold: bool) -> Result<String, CliError> {
     let (file, _) = parse_options(args)?;
     let source =
@@ -800,6 +887,59 @@ mod tests {
         assert_eq!(m1, m4, "metrics must be byte-identical across job counts");
         assert_eq!(t1, t4, "traces must be byte-identical across job counts");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fuzz_output_is_identical_across_job_counts() {
+        let base = &[
+            "fuzz",
+            "--iters",
+            "8",
+            "--seed",
+            "42",
+            "--schedule-seeds",
+            "1",
+        ];
+        let seq = run(&args(&[base, &["--jobs", "1"][..]].concat())).unwrap();
+        let par = run(&args(&[base, &["--jobs", "4"][..]].concat())).unwrap();
+        assert!(seq.contains("pacer-fuzz: 8 programs"), "{seq}");
+        assert!(seq.contains("violations: 0"), "{seq}");
+        assert_eq!(seq, par, "--jobs must not change fuzz output");
+    }
+
+    #[test]
+    fn fuzz_writes_metrics_and_honors_the_rate_ladder() {
+        let mpath = std::env::temp_dir().join("pacer_cli_fuzz.metrics.json");
+        let m = mpath.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "fuzz",
+            "--iters",
+            "4",
+            "--seed",
+            "7",
+            "--schedule-seeds",
+            "1",
+            "--rate-ladder",
+            "1.0,0.25",
+            "--metrics-out",
+            &m,
+        ]))
+        .unwrap();
+        assert!(out.contains("rate 0.2500:"), "{out}");
+        assert!(!out.contains("rate 0.5000:"), "{out}");
+        let json = std::fs::read_to_string(&mpath).unwrap();
+        assert!(json.contains("\"fuzz\""), "{json}");
+        assert!(json.contains("\"programs\":4"), "{json}");
+        std::fs::remove_file(&mpath).ok();
+    }
+
+    #[test]
+    fn fuzz_flag_errors_are_reported() {
+        assert!(run(&args(&["fuzz", "stray.pl"])).is_err(), "no file arg");
+        assert!(run(&args(&["fuzz", "--iters", "0"])).is_err());
+        assert!(run(&args(&["fuzz", "--rate-ladder", "1.5"])).is_err());
+        assert!(run(&args(&["fuzz", "--rate-ladder", "nope"])).is_err());
+        assert!(run(&args(&["fuzz", "--schedule-seeds", "0"])).is_err());
     }
 
     #[test]

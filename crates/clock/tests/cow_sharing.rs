@@ -1,0 +1,66 @@
+//! The copy-on-write sharing protocol, observed from outside the crate:
+//! shallow copies share storage until the first write promotes (clones)
+//! the writer, and space accounting charges a shared buffer exactly once
+//! however many owners point at it (the rule `pacer-core`'s
+//! `space_breakdown` applies via [`CowClock::storage_id`]).
+
+use std::collections::HashSet;
+
+use pacer_clock::{CowClock, ThreadId, VectorClock};
+
+/// The space-accounting rule: each distinct storage buffer is charged its
+/// width once, no matter how many handles reach it.
+fn charged_words(handles: &[&CowClock]) -> usize {
+    let mut seen = HashSet::new();
+    handles
+        .iter()
+        .filter(|c| seen.insert(c.storage_id()))
+        .map(|c| c.clock().width())
+        .sum()
+}
+
+#[test]
+fn shallow_copy_promotes_on_first_write() {
+    let t0 = ThreadId::new(0);
+    let mut a = CowClock::new(VectorClock::from_slice(&[5, 3]));
+    let b = a.shallow_copy();
+    let c = b.shallow_copy();
+    assert!(a.is_shared() && b.is_shared() && c.is_shared());
+    assert_eq!(a.storage_id(), c.storage_id(), "one buffer, three owners");
+
+    // First write through `a` promotes it to a private copy; the other
+    // owners keep sharing the untouched snapshot.
+    a.make_mut().increment(t0);
+    assert_ne!(a.storage_id(), b.storage_id(), "writer got fresh storage");
+    assert_eq!(b.storage_id(), c.storage_id(), "readers still share");
+    assert_eq!(a.clock().get(t0), 6);
+    assert_eq!(b.clock().get(t0), 5, "the shared snapshot is unchanged");
+
+    // Later writes mutate the now-private buffer in place.
+    let promoted = a.storage_id();
+    a.make_mut().increment(t0);
+    assert_eq!(a.storage_id(), promoted, "promotion happens once");
+    assert_eq!(a.clock().get(t0), 7);
+}
+
+#[test]
+fn shared_words_are_charged_once() {
+    let t1 = ThreadId::new(1);
+    let mut a = CowClock::new(VectorClock::from_slice(&[1, 2, 3, 4]));
+    let b = a.shallow_copy();
+    let c = a.shallow_copy();
+    assert_eq!(
+        charged_words(&[&a, &b, &c]),
+        4,
+        "three owners of one 4-word buffer cost 4 words"
+    );
+
+    // Promoting one owner materializes a second buffer: 8 words total.
+    a.make_mut().increment(t1);
+    assert_eq!(charged_words(&[&a, &b, &c]), 8);
+
+    // A deep copy never shares, so it is charged separately up front.
+    let d = b.deep_copy();
+    assert_eq!(charged_words(&[&a, &b, &c, &d]), 12);
+    assert_eq!(b.clock(), d.clock(), "equal by value, distinct storage");
+}

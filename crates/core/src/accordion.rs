@@ -84,6 +84,37 @@ impl AccordionPacerDetector {
         &self.inner
     }
 
+    /// Checks the wrapped detector's invariants plus the slot-table ones:
+    /// retired slots are pairwise distinct, never live-mapped, and every
+    /// slot (live or retired) is below `next_slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_invariants(&self) {
+        self.inner.assert_invariants();
+        for (i, &(s, _)) in self.retired.iter().enumerate() {
+            assert!(
+                (s.index() as u32) < self.next_slot,
+                "retired slot {s:?} was never allocated"
+            );
+            assert!(
+                self.retired[i + 1..].iter().all(|&(o, _)| o != s),
+                "slot {s:?} retired twice"
+            );
+            assert!(
+                self.map.values().all(|&live| live != s),
+                "slot {s:?} both retired and live-mapped"
+            );
+        }
+        for &live in self.map.values() {
+            assert!(
+                (live.index() as u32) < self.next_slot,
+                "live slot {live:?} was never allocated"
+            );
+        }
+    }
+
     fn slot(&mut self, external: ThreadId) -> ThreadId {
         if let Some(&s) = self.map.get(external) {
             return s;

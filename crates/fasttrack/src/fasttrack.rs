@@ -95,6 +95,40 @@ impl FastTrackDetector {
     pub fn tracked_vars(&self) -> usize {
         self.vars.len()
     }
+
+    /// Checks the analysis-state invariants the algorithms maintain: every
+    /// recorded access epoch is bounded by its thread's current clock
+    /// (clocks only grow, and an access records the clock it ran at).
+    /// Intended for tests and differential-oracle runs; `O(vars × threads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_invariants(&self) {
+        for (x, state) in self.vars.iter() {
+            if !state.write.is_min() {
+                let t = state.write.tid();
+                let ct = self
+                    .sync
+                    .thread_clock(t)
+                    .unwrap_or_else(|| panic!("{x:?}: write epoch from unseen thread {t:?}"));
+                assert!(
+                    state.write.leq_clock(ct),
+                    "{x:?}: write epoch {:?} above thread {t:?}'s clock",
+                    state.write
+                );
+            }
+            for entry in state.reads.iter() {
+                let ct = self.sync.thread_clock(entry.tid).unwrap_or_else(|| {
+                    panic!("{x:?}: read entry from unseen thread {:?}", entry.tid)
+                });
+                assert!(
+                    entry.clock <= ct.get(entry.tid),
+                    "{x:?}: read entry {entry:?} above its thread's clock"
+                );
+            }
+        }
+    }
 }
 
 impl Detector for FastTrackDetector {

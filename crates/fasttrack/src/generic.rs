@@ -75,6 +75,29 @@ impl GenericDetector {
         }
     }
 
+    /// Checks the analysis-state invariants: every component of every
+    /// read/write vector is bounded by the owning thread's current clock.
+    /// Intended for tests and differential-oracle runs; `O(vars × threads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_invariants(&self) {
+        for (x, state) in self.vars.iter() {
+            for (vec, what) in [(&state.reads, "read"), (&state.writes, "write")] {
+                for (tid, value) in vec.iter() {
+                    let ct = self.sync.thread_clock(tid).unwrap_or_else(|| {
+                        panic!("{x:?}: {what} vector entry for unseen thread {tid:?}")
+                    });
+                    assert!(
+                        value <= ct.get(tid),
+                        "{x:?}: {what} vector entry {value}@{tid:?} above its thread's clock"
+                    );
+                }
+            }
+        }
+    }
+
     fn report_racing_reads(
         races: &mut Vec<RaceReport>,
         state: &VarState,

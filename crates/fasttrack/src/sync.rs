@@ -49,6 +49,13 @@ impl SyncClocks {
         self.ensure(t)
     }
 
+    /// Read-only view of thread `t`'s clock, or `None` if `t` has not
+    /// been materialized yet. Unlike [`clock`](Self::clock) this never
+    /// mutates, so invariant checks can walk the state as-is.
+    pub fn thread_clock(&self, t: ThreadId) -> Option<&VectorClock> {
+        self.threads.get(t.index()).and_then(Option::as_ref)
+    }
+
     fn ensure(&mut self, t: ThreadId) -> &mut VectorClock {
         Self::ensure_slot(&mut self.threads, t)
     }

@@ -1,0 +1,74 @@
+//! The regression-corpus file format: one minimized reproducer per file.
+//!
+//! A corpus entry is a plain `pacer-lang` source file whose leading `//`
+//! comments carry the replay metadata — the seed that reproduces the
+//! schedule and, for the record, the violations the program originally
+//! triggered. Because the lexer skips comments, the whole file parses
+//! directly as a program; [`parse`] just also extracts the seed header.
+//!
+//! Entries live in `tests/corpus/*.pacer` at the workspace root and are
+//! replayed by `tests/corpus.rs` on every CI run (see FUZZING.md for the
+//! workflow, including how to regenerate them).
+
+use std::fmt::Write as _;
+
+use pacer_lang::ast::Program;
+
+/// Serializes one reproducer: metadata headers plus the canonical program.
+pub fn render(seed: u64, violations: &[String], program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("// pacer-fuzz reproducer — replayed by tests/corpus.rs\n");
+    let _ = writeln!(out, "// seed: {seed}");
+    for v in violations {
+        // Violation strings are single-line by construction (oracle.rs).
+        let _ = writeln!(out, "// violation: {}", v.replace('\n', " "));
+    }
+    out.push('\n');
+    out.push_str(&pacer_lang::print(program));
+    out
+}
+
+/// Parses a corpus entry back into its seed and program.
+///
+/// # Errors
+///
+/// Returns a message if the `// seed: N` header is missing or malformed,
+/// or if the program body does not parse.
+pub fn parse(source: &str) -> Result<(u64, Program), String> {
+    let seed = source
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("// seed:"))
+        .ok_or("missing `// seed: N` header")?
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("malformed seed header: {e}"))?;
+    let program = pacer_lang::parse(source).map_err(|e| format!("program does not parse: {e}"))?;
+    Ok((seed, program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn render_parse_round_trips() {
+        let program = generate(11, &GenConfig::default());
+        let text = render(
+            11,
+            &["seed 1 rate 0.5: something went wrong".to_string()],
+            &program,
+        );
+        assert!(text.starts_with("// pacer-fuzz reproducer"));
+        let (seed, back) = parse(&text).unwrap();
+        assert_eq!(seed, 11);
+        assert_eq!(pacer_lang::print(&back), pacer_lang::print(&program));
+    }
+
+    #[test]
+    fn parse_rejects_missing_or_bad_headers() {
+        assert!(parse("fn main() { }").is_err(), "no seed header");
+        assert!(parse("// seed: banana\nfn main() { }").is_err());
+        assert!(parse("// seed: 3\nfn main() { oops").is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Differential race-oracle fuzzer for the PACER detector family.
+//!
+//! Pipeline: [`gen`] draws a random well-formed `pacer-lang` program from a
+//! seed; [`oracle`] executes it under every detector and cross-checks the
+//! results; [`mod@shrink`] minimizes failing cases into committed
+//! reproducers.
+//!
+//! [`run_fuzz`] drives the whole thing over
+//! [`pacer_harness::parallel`]: program `i` uses seed
+//! `derive_seed(base, i)`, per-program reports merge in index order, and
+//! failures shrink sequentially after the merge — so the report (and its
+//! [`summary`](FuzzReport::summary) text) is byte-identical at any
+//! `--jobs` setting.
+
+use pacer_harness::parallel;
+use pacer_lang::ast::Program;
+use pacer_prng::derive_seed;
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use gen::{generate, GenConfig};
+pub use oracle::{check_program, CheckReport, Fault, OracleConfig, RateTally};
+pub use shrink::{shrink, shrink_failure, stmt_count, ShrinkStats};
+
+/// A whole fuzzing campaign's configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; program `i` is generated from `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Generator shape knobs.
+    pub gen: GenConfig,
+    /// Oracle rate ladder, schedule seeds, and fault injection.
+    pub oracle: OracleConfig,
+    /// Minimize failing programs before reporting them.
+    pub shrink_failures: bool,
+}
+
+impl FuzzConfig {
+    /// A campaign of `iters` programs from `seed` with default knobs.
+    pub fn new(seed: u64, iters: u64) -> Self {
+        FuzzConfig {
+            seed,
+            iters,
+            gen: GenConfig::default(),
+            oracle: OracleConfig::default(),
+            shrink_failures: true,
+        }
+    }
+}
+
+/// One failing program, minimized when shrinking is enabled.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The program's generation seed (also the oracle's schedule base).
+    pub program_seed: u64,
+    /// The failing program — the shrunk reproducer if shrinking ran.
+    pub program: Program,
+    /// The oracle's violation descriptions for the *original* program.
+    pub violations: Vec<String>,
+    /// Shrinking effort spent on this failure.
+    pub shrink: ShrinkStats,
+}
+
+/// Everything a campaign produced.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Programs generated and checked.
+    pub programs: u64,
+    /// All per-program oracle reports, merged in index order.
+    pub aggregate: CheckReport,
+    /// Failing programs, in generation order.
+    pub failures: Vec<Failure>,
+    /// Proportionality-bound violations found in the aggregated tallies.
+    pub proportionality_violations: Vec<String>,
+}
+
+impl FuzzReport {
+    /// Total shrinking effort across all failures.
+    pub fn shrink_totals(&self) -> ShrinkStats {
+        let mut total = ShrinkStats::default();
+        for f in &self.failures {
+            total.attempts += f.shrink.attempts;
+            total.successes += f.shrink.successes;
+        }
+        total
+    }
+
+    /// Number of violations of any kind (oracle + proportionality).
+    pub fn violation_count(&self) -> u64 {
+        self.failures
+            .iter()
+            .map(|f| f.violations.len() as u64)
+            .sum::<u64>()
+            + self.proportionality_violations.len() as u64
+    }
+
+    /// This campaign's contribution to an observability snapshot.
+    pub fn fuzz_counters(&self) -> pacer_obs::FuzzCounters {
+        let shrink = self.shrink_totals();
+        pacer_obs::FuzzCounters {
+            programs: self.programs,
+            vm_runs: self.aggregate.vm_runs,
+            vm_errors: self.aggregate.vm_errors,
+            truth_races: self.aggregate.truth_races,
+            violations: self.violation_count(),
+            shrink_attempts: shrink.attempts,
+            shrink_successes: shrink.successes,
+        }
+    }
+
+    /// Deterministic human-readable campaign summary: counters, the
+    /// per-rate detection table, and every failure with its reproducer.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let agg = &self.aggregate;
+        let _ = writeln!(
+            out,
+            "pacer-fuzz: {} programs, {} vm runs ({} vm errors), {} truth races",
+            self.programs, agg.vm_runs, agg.vm_errors, agg.truth_races
+        );
+        for t in &agg.tallies {
+            if t.opportunities == 0 {
+                let _ = writeln!(out, "rate {:.4}: no race opportunities", t.rate);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "rate {:.4}: {}/{} detectable races found ({:.4}) over {} racy runs",
+                    t.rate,
+                    t.detected,
+                    t.opportunities,
+                    t.detected as f64 / t.opportunities as f64,
+                    t.racy_runs
+                );
+            }
+        }
+        let shrink = self.shrink_totals();
+        let _ = writeln!(
+            out,
+            "violations: {} ({} failing programs, shrink accepted {}/{} edits)",
+            self.violation_count(),
+            self.failures.len(),
+            shrink.successes,
+            shrink.attempts
+        );
+        for v in &self.proportionality_violations {
+            let _ = writeln!(out, "proportionality: {v}");
+        }
+        for f in &self.failures {
+            let _ = writeln!(out, "\nfailure: program seed {}", f.program_seed);
+            for v in &f.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+            let _ = writeln!(out, "  reproducer ({} statements):", stmt_count(&f.program));
+            for line in pacer_lang::print(&f.program).lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+}
+
+/// Runs a fuzzing campaign. See the module docs for the determinism
+/// contract; configure parallelism via [`parallel::set_jobs`].
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let results: Vec<(u64, Program, CheckReport)> =
+        parallel::run_indexed(cfg.iters as usize, |i| {
+            let seed = derive_seed(cfg.seed, i as u64);
+            let program = generate(seed, &cfg.gen);
+            let report = check_program(&program, seed, &cfg.oracle);
+            (seed, program, report)
+        });
+
+    let mut report = FuzzReport {
+        programs: cfg.iters,
+        ..FuzzReport::default()
+    };
+    for (seed, program, check) in results {
+        report.aggregate.merge(&check);
+        if !check.violations.is_empty() {
+            // Shrinking runs sequentially after the parallel sweep, in
+            // index order, so its stats are jobs-independent too.
+            let (program, shrink) = if cfg.shrink_failures {
+                shrink_failure(&program, seed, &cfg.oracle)
+            } else {
+                (program, ShrinkStats::default())
+            };
+            report.failures.push(Failure {
+                program_seed: seed,
+                program,
+                violations: check.violations,
+                shrink,
+            });
+        }
+    }
+    report.proportionality_violations = check_proportionality(&report.aggregate.tallies);
+    report
+}
+
+/// The paper's proportionality claim, as a one-sided binomial bound: the
+/// observed detection rate must not fall below the sampling rate `r` by
+/// more than a fixed slack plus four standard errors. The independent
+/// trial is the *run*, not the race — generated programs usually fit in
+/// one sampling window, so all of a run's races are detected or missed
+/// together (see [`RateTally::racy_runs`]). Only rungs with enough runs
+/// for the bound to mean anything are checked.
+fn check_proportionality(tallies: &[RateTally]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in tallies {
+        if t.racy_runs < 200 {
+            continue;
+        }
+        let observed = t.detected as f64 / t.opportunities as f64;
+        let sigma = (t.rate * (1.0 - t.rate) / t.racy_runs as f64).sqrt();
+        let floor = t.rate - (0.10 + 4.0 * sigma);
+        if observed < floor {
+            out.push(format!(
+                "rate {:.4}: detected {}/{} = {:.4} over {} runs, below floor {:.4}",
+                t.rate, t.detected, t.opportunities, observed, t.racy_runs, floor
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `set_jobs` mutates process-wide state shared with other tests in
+    /// this binary, so every test that touches it holds this lock.
+    static JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn campaign_is_clean_and_jobs_independent() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let mut cfg = FuzzConfig::new(42, 20);
+        cfg.oracle.schedule_seeds = 2;
+
+        parallel::set_jobs(1);
+        let serial = run_fuzz(&cfg);
+        parallel::set_jobs(4);
+        let threaded = run_fuzz(&cfg);
+        parallel::set_jobs(1);
+
+        assert_eq!(serial.summary(), threaded.summary());
+        assert_eq!(serial.violation_count(), 0, "{}", serial.summary());
+        assert!(serial.aggregate.vm_runs > 0);
+        assert_eq!(serial.fuzz_counters().programs, 20);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_shrunk_failures() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let mut cfg = FuzzConfig::new(1, 10);
+        cfg.oracle.schedule_seeds = 1;
+        cfg.oracle.fault = Some(Fault::PhantomRace);
+        let report = run_fuzz(&cfg);
+        assert!(
+            !report.failures.is_empty(),
+            "10 programs should include a racy one"
+        );
+        for f in &report.failures {
+            assert!(stmt_count(&f.program) <= 12, "{}", report.summary());
+            assert!(f.shrink.successes > 0);
+        }
+        let counters = report.fuzz_counters();
+        assert_eq!(counters.programs, 10);
+        assert!(counters.violations > 0);
+        assert!(counters.shrink_successes > 0);
+    }
+
+    #[test]
+    fn proportionality_floor_trips_on_fabricated_tallies() {
+        let tallies = [
+            RateTally {
+                rate: 0.5,
+                detected: 10,
+                opportunities: 1000,
+                racy_runs: 500,
+            },
+            RateTally {
+                rate: 0.5,
+                detected: 490,
+                opportunities: 1000,
+                racy_runs: 500,
+            },
+            RateTally {
+                rate: 0.5,
+                detected: 0,
+                opportunities: 10,
+                racy_runs: 10,
+            },
+        ];
+        let v = check_proportionality(&tallies);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("0.0100"), "{v:?}");
+    }
+}

@@ -62,6 +62,52 @@ impl RuntimeCounters {
     }
 }
 
+/// Counters the differential fuzzer contributes to a snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuzzCounters {
+    /// Programs generated and oracle-checked.
+    pub programs: u64,
+    /// VM executions across all oracle runs.
+    pub vm_runs: u64,
+    /// Schedule seeds abandoned because the VM returned an error.
+    pub vm_errors: u64,
+    /// Ground-truth races summed over programs and schedule seeds.
+    pub truth_races: u64,
+    /// Oracle violations recorded.
+    pub violations: u64,
+    /// Shrink candidate programs tested against the failure predicate.
+    pub shrink_attempts: u64,
+    /// Shrink candidates accepted (each one a strictly smaller program).
+    pub shrink_successes: u64,
+}
+
+impl AddAssign for FuzzCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.programs += rhs.programs;
+        self.vm_runs += rhs.vm_runs;
+        self.vm_errors += rhs.vm_errors;
+        self.truth_races += rhs.truth_races;
+        self.violations += rhs.violations;
+        self.shrink_attempts += rhs.shrink_attempts;
+        self.shrink_successes += rhs.shrink_successes;
+    }
+}
+
+impl FuzzCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "programs", self.programs);
+        json::field_u64(out, &mut first, "vm_runs", self.vm_runs);
+        json::field_u64(out, &mut first, "vm_errors", self.vm_errors);
+        json::field_u64(out, &mut first, "truth_races", self.truth_races);
+        json::field_u64(out, &mut first, "violations", self.violations);
+        json::field_u64(out, &mut first, "shrink_attempts", self.shrink_attempts);
+        json::field_u64(out, &mut first, "shrink_successes", self.shrink_successes);
+        out.push('}');
+    }
+}
+
 /// One immutable snapshot of everything the observability layer gathered:
 /// the detector's [`PacerStats`] (Tables 1 and 3), [`RuntimeCounters`],
 /// histograms, the space-over-time curve (Fig. 7), and event-ring totals.
@@ -78,6 +124,8 @@ pub struct Metrics {
     pub races_reported: u64,
     /// Runtime counters.
     pub runtime: RuntimeCounters,
+    /// Differential-fuzzer counters (zero outside `pacer fuzz`).
+    pub fuzz: FuzzCounters,
     /// Histograms, indexed by [`HistKind`].
     pub hists: [Histogram; HIST_COUNT],
     /// Space samples in run order (per run, in GC order; merged runs
@@ -102,6 +150,7 @@ impl Metrics {
         self.detector += other.detector;
         self.races_reported += other.races_reported;
         self.runtime += other.runtime;
+        self.fuzz += other.fuzz;
         for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
             h.merge(o);
         }
@@ -128,6 +177,8 @@ impl Metrics {
         out.push_str(&self.races_reported.to_string());
         out.push_str(",\n  \"runtime\": ");
         self.runtime.write_json(&mut out);
+        out.push_str(",\n  \"fuzz\": ");
+        self.fuzz.write_json(&mut out);
         out.push_str(",\n  \"histograms\": {");
         for (i, kind) in HistKind::ALL.iter().enumerate() {
             if i > 0 {
@@ -267,6 +318,21 @@ impl fmt::Display for Metrics {
             rt.threads_started,
             rt.max_live_threads
         )?;
+        if self.fuzz.programs > 0 {
+            let fz = &self.fuzz;
+            writeln!(
+                f,
+                "fuzz: programs={} vm_runs={} (errors={}) truth_races={} \
+                 violations={} shrink={}/{} accepted",
+                fz.programs,
+                fz.vm_runs,
+                fz.vm_errors,
+                fz.truth_races,
+                fz.violations,
+                fz.shrink_successes,
+                fz.shrink_attempts
+            )?;
+        }
         write!(
             f,
             "space: {} samples, peak metadata {} words",
@@ -315,7 +381,25 @@ mod tests {
             },
         });
         m.events_recorded = 5;
+        m.fuzz.programs = 2;
+        m.fuzz.vm_runs = 9;
+        m.fuzz.violations = 1;
         m
+    }
+
+    #[test]
+    fn fuzz_counters_merge_and_serialize() {
+        let mut a = sample_metrics();
+        a.merge(&sample_metrics());
+        assert_eq!(a.fuzz.programs, 4);
+        assert_eq!(a.fuzz.vm_runs, 18);
+        let j = a.to_json();
+        assert!(j.contains("\"fuzz\": {\"programs\":4"), "{j}");
+        assert!(a.to_string().contains("fuzz: programs=4"));
+        assert!(
+            !Metrics::default().to_string().contains("fuzz:"),
+            "non-fuzz snapshots stay quiet"
+        );
     }
 
     #[test]

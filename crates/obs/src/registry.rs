@@ -2,7 +2,7 @@
 
 use crate::event::{Event, EventRing};
 use crate::hist::{HistKind, Histogram, HIST_COUNT};
-use crate::metrics::{Metrics, RuntimeCounters};
+use crate::metrics::{FuzzCounters, Metrics, RuntimeCounters};
 use crate::space::SpaceRecord;
 use crate::stats::PacerStats;
 
@@ -51,6 +51,7 @@ pub struct Registry {
     detector: PacerStats,
     races_reported: u64,
     runtime: RuntimeCounters,
+    fuzz: FuzzCounters,
 }
 
 impl Default for Registry {
@@ -81,6 +82,7 @@ impl Registry {
             detector: PacerStats::default(),
             races_reported: 0,
             runtime: RuntimeCounters::default(),
+            fuzz: FuzzCounters::default(),
         }
     }
 
@@ -141,12 +143,20 @@ impl Registry {
         }
     }
 
+    /// Accumulates a fuzzing campaign's counters.
+    pub fn add_fuzz(&mut self, counters: FuzzCounters) {
+        if self.enabled {
+            self.fuzz += counters;
+        }
+    }
+
     /// Takes an immutable [`Metrics`] snapshot of everything recorded.
     pub fn metrics(&self) -> Metrics {
         Metrics {
             detector: self.detector,
             races_reported: self.races_reported,
             runtime: self.runtime,
+            fuzz: self.fuzz,
             hists: self.hists.clone(),
             space: self.space.clone(),
             events_recorded: self.ring.recorded(),

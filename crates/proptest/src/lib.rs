@@ -1,0 +1,709 @@
+//! An in-tree, fully offline property-testing shim exposing the subset of
+//! the `proptest` crate's API that this workspace's property tests use.
+//!
+//! The workspace builds with zero external dependencies, so the real
+//! `proptest` crate cannot be a dev-dependency. Rather than leave the
+//! `#[cfg(feature = "proptest")]`-gated property tests dead code, this
+//! crate re-implements the API surface they consume — [`Strategy`] with
+//! `prop_map`/`prop_recursive`, [`BoxedStrategy`], [`prop_oneof!`],
+//! [`Just`], range and tuple strategies, `prop::collection::vec`,
+//! `prop::option::of`, `prop::bool::ANY`, [`any`], regex-literal string
+//! strategies, [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] macros — on top of the workspace's own
+//! [`pacer_prng`] generator. The consumer crates depend on it under the
+//! alias `proptest`, so their test sources read exactly as they would
+//! against the real crate.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated values, the
+//!   case seed, and a ready-to-paste regression line instead.
+//! * **Deterministic runs.** Case seeds derive from the test name and
+//!   case index, never from the clock, so CI failures always reproduce.
+//! * **Regression replay by seed.** Each `cc` entry in a sibling
+//!   `*.proptest-regressions` file is replayed before any novel cases:
+//!   entries written by this shim (16 hex digits) replay their exact
+//!   seed, while entries inherited from the real proptest (64-digit
+//!   tokens) are hashed into a deterministic seed so the committed file
+//!   still drives executed cases.
+//! * `ProptestConfig::default()` runs 64 cases (the real crate runs 256);
+//!   individual tests override it with `with_cases` as usual.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // Under `#[cfg(test)]` this would carry `#[test]`.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub use pacer_prng::Rng as TestRng;
+
+mod pattern;
+mod runner;
+
+pub use runner::{run_property_test, ProptestConfig};
+
+// ---------------------------------------------------------------------------
+// The Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type from a seeded RNG.
+///
+/// The mirror of proptest's `Strategy`, minus shrinking: `generate` draws
+/// one value. Strategies are cheap `Clone`s so they can be reused across
+/// branches of [`prop_oneof!`] and levels of [`prop_recursive`].
+///
+/// [`prop_recursive`]: Strategy::prop_recursive
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Debug,
+        F: Fn(Self::Value) -> T + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `f` wraps
+    /// an inner strategy into one more level of structure, applied up to
+    /// `depth` times. The `_desired_size` and `_expected_branch_size`
+    /// hints exist for signature compatibility and are ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mixing the leaf back in at every level keeps expected
+            // depth well below the bound, like the real crate.
+            current = Union::new(vec![leaf.clone(), f(current).boxed()]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy behind a cheap reference-counted handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted [`Strategy`] handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Debug,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between several strategies producing the same type —
+/// the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.bounded_u64(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy");
+                // Mild edge bias: boundary values find off-by-one bugs.
+                match rng.bounded_u64(16) {
+                    0 => self.start,
+                    1 => (hi - 1) as $ty,
+                    _ => (lo + rng.bounded_u64((hi - lo) as u64) as i128) as $ty,
+                }
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                match rng.bounded_u64(16) {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ if span == u64::MAX => rng.next_u64() as $ty,
+                    _ => (lo + rng.bounded_u64(span + 1) as i128) as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if rng.bounded_u64(16) == 0 {
+            self.start
+        } else {
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        match rng.bounded_u64(16) {
+            0 => lo,
+            1 => hi,
+            _ => lo + (hi - lo) * rng.next_f64(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Collections, options, booleans
+// ---------------------------------------------------------------------------
+
+/// Strategies over collections (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec()`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.bounded_u64(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option` (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` half the time, `Some(value)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The result of [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.bounded_u64(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Strategies over `bool` (`prop::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Either boolean, uniformly.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bounded_u64(2) == 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any` / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy over the whole domain of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full domain).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = std::ops::RangeInclusive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                <$ty>::MIN..=<$ty>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    type Strategy = bool::BoolAny;
+    fn arbitrary() -> Self::Strategy {
+        bool::ANY
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-like literals
+// ---------------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assertion macros
+// ---------------------------------------------------------------------------
+
+/// Like `assert!`, but fails the current property case with a message
+/// instead of panicking, so the harness can report the generated values.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Like `assert_eq!`, for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right),
+                    ::std::format!($($fmt)+), l, r
+                );
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l != r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The proptest! macro
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that replays the sibling `*.proptest-regressions`
+/// entries and then runs `ProptestConfig::cases` seeded novel cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property_test(
+                    config,
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    |__rng: &mut $crate::TestRng| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                        let __case = ::std::format!(
+                            concat!($(stringify!($arg), " = {:?}, "),+),
+                            $(&$arg),+
+                        );
+                        let __outcome: ::std::result::Result<(), ::std::string::String> =
+                            (move || {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (__case, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Everything the property tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`,
+    /// `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let a = (3u32..17).generate(&mut r);
+            assert!((3..17).contains(&a));
+            let b = (-100i64..100).generate(&mut r);
+            assert!((-100..100).contains(&b));
+            let c = (0.0f64..=1.0).generate(&mut r);
+            assert!((0.0..=1.0).contains(&c));
+            let d = (2usize..6).generate(&mut r);
+            assert!((2..6).contains(&d));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_endpoints() {
+        let mut r = rng();
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..500 {
+            match (0u32..=3).generate(&mut r) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi, "edge bias should surface both endpoints");
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(strat.generate(&mut r) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn map_recursive_and_collections_compose() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 10, "leaf payload out of range");
+                    1
+                }
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut r)));
+        }
+        assert!(max_depth > 1, "recursion should nest");
+        assert!(max_depth <= 4, "depth bound respected, saw {max_depth}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (
+            crate::collection::vec(0u64..50, 0..12),
+            crate::option::of("[a-z]{1,5}"),
+            crate::bool::ANY,
+        );
+        let a: Vec<_> = {
+            let mut r = TestRng::seed_from_u64(99);
+            (0..50).map(|_| strat.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = TestRng::seed_from_u64(99);
+            (0..50).map(|_| strat.generate(&mut r)).collect()
+        };
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn any_spans_the_domain() {
+        let mut r = rng();
+        let mut seen_high = false;
+        for _ in 0..200 {
+            if any::<u8>().generate(&mut r) > 200 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+
+    // The macro itself, self-hosted.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn tuples_and_options_generate(
+            pair in (0u32..10, prop::option::of(0u32..10)),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(pair.0 < 10);
+            if let Some(v) = pair.1 {
+                prop_assert!(v < 10, "flag was {flag}");
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_values() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property_test(
+                ProptestConfig::with_cases(8),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                "always_fails",
+                |rng: &mut TestRng| {
+                    let v = (0u32..100).generate(rng);
+                    (format!("v = {v:?}, "), Err("boom".to_string()))
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("cc "), "replay line present: {msg}");
+    }
+}

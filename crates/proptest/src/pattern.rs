@@ -1,0 +1,266 @@
+//! Generation of strings from the regex-like literals the property tests
+//! use as strategies (`"[a-z][a-z0-9_]{0,6}x"`, `"\\PC*"`).
+//!
+//! This is a generator, not a matcher: it parses the tiny regex subset
+//! below and draws a random member of the language.
+//!
+//! * literal characters
+//! * character classes `[...]` with single chars and `a-z` ranges
+//! * `\PC` — any printable character (everything outside Unicode
+//!   category C, approximated as printable ASCII plus a few multibyte
+//!   code points to keep UTF-8 handling honest)
+//! * `\d`, `\w`, `\s` shorthand classes; `\\` and other escapes literal
+//! * quantifiers `*` (0..=16), `+` (1..=16), `?`, `{m}`, `{m,n}`
+
+use crate::TestRng;
+
+/// One parsed atom: a set of candidate characters to draw from.
+enum Atom {
+    Literal(char),
+    Choice(Vec<CharRange>),
+    Printable,
+}
+
+/// An inclusive character range within a class.
+struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+/// Draws one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax this subset does not cover — a property test with an
+/// unsupported pattern should fail loudly, not silently generate garbage.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(pattern, &mut chars),
+            '\\' => parse_escape(pattern, &mut chars),
+            '(' | ')' | '|' => {
+                panic!("unsupported regex construct {c:?} in strategy pattern {pattern:?}")
+            }
+            '.' => Atom::Printable,
+            _ => Atom::Literal(c),
+        };
+        let (min, max) = parse_quantifier(pattern, &mut chars);
+        let span = (max - min + 1) as u64;
+        let count = min + rng.bounded_u64(span) as usize;
+        for _ in 0..count {
+            out.push(draw(&atom, rng));
+        }
+    }
+    out
+}
+
+fn parse_class(pattern: &str, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in strategy pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                ranges.push(CharRange { lo: esc, hi: esc });
+            }
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                    assert!(hi != ']', "dangling range in strategy pattern {pattern:?}");
+                    assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
+                    ranges.push(CharRange { lo: c, hi });
+                } else {
+                    ranges.push(CharRange { lo: c, hi: c });
+                }
+            }
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty class in strategy pattern {pattern:?}"
+    );
+    Atom::Choice(ranges)
+}
+
+fn parse_escape(pattern: &str, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let c = chars
+        .next()
+        .unwrap_or_else(|| panic!("dangling escape in strategy pattern {pattern:?}"));
+    match c {
+        'P' | 'p' => {
+            // `\PC` (or `\p{C}` in long form, unused here): proptest's
+            // idiom for "any printable char".
+            let class = chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling \\P in {pattern:?}"));
+            assert!(
+                class == 'C',
+                "only \\PC is supported, got \\P{class} in {pattern:?}"
+            );
+            Atom::Printable
+        }
+        'd' => Atom::Choice(vec![CharRange { lo: '0', hi: '9' }]),
+        'w' => Atom::Choice(vec![
+            CharRange { lo: 'a', hi: 'z' },
+            CharRange { lo: 'A', hi: 'Z' },
+            CharRange { lo: '0', hi: '9' },
+            CharRange { lo: '_', hi: '_' },
+        ]),
+        's' => Atom::Choice(vec![
+            CharRange { lo: ' ', hi: ' ' },
+            CharRange { lo: '\t', hi: '\t' },
+        ]),
+        _ => Atom::Literal(c),
+    }
+}
+
+/// Parses an optional quantifier after an atom, returning the inclusive
+/// repetition bounds (1..=1 when absent).
+fn parse_quantifier(
+    pattern: &str,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 16)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 16)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated quantifier in strategy pattern {pattern:?}"),
+                }
+            }
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                Some((m, n)) => {
+                    let (m, n) = (parse(m), parse(n));
+                    assert!(m <= n, "inverted quantifier {{{spec}}} in {pattern:?}");
+                    (m, n)
+                }
+                None => {
+                    let m = parse(&spec);
+                    (m, m)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn draw(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Choice(ranges) => {
+            // Weight by range width so `[a-z0]` is not half zeros.
+            let total: u64 = ranges.iter().map(range_width).sum();
+            let mut pick = rng.bounded_u64(total);
+            for r in ranges {
+                let w = range_width(r);
+                if pick < w {
+                    return char::from_u32(r.lo as u32 + pick as u32)
+                        .expect("class ranges stay within valid scalar values");
+                }
+                pick -= w;
+            }
+            unreachable!("pick is bounded by the total width")
+        }
+        Atom::Printable => {
+            // Mostly printable ASCII, with occasional multibyte code
+            // points so consumers exercise real UTF-8 boundaries.
+            const EXOTIC: [char; 8] = ['é', 'λ', 'ß', '∀', '中', '🦀', 'Ω', 'ñ'];
+            if rng.bounded_u64(8) == 0 {
+                EXOTIC[rng.bounded_u64(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.bounded_u64(0x5F) as u32).expect("printable ASCII range")
+            }
+        }
+    }
+}
+
+fn range_width(r: &CharRange) -> u64 {
+    (r.hi as u32 - r.lo as u32 + 1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let s = generate("[a-z][a-z0-9_]{0,6}x", &mut rng);
+            let chars: Vec<char> = s.chars().collect();
+            assert!((2..=8).contains(&chars.len()), "{s:?}");
+            assert!(chars[0].is_ascii_lowercase(), "{s:?}");
+            assert_eq!(*chars.last().unwrap(), 'x', "{s:?}");
+            for c in &chars[1..chars.len() - 1] {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_',
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_star_is_printable_and_varies() {
+        let mut rng = TestRng::seed_from_u64(12);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            lens.insert(s.chars().count());
+        }
+        assert!(lens.len() > 4, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn exact_and_bounded_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert_eq!(generate("a{3}", &mut rng), "aaa");
+            let s = generate("[01]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes_pass_through() {
+        let mut rng = TestRng::seed_from_u64(14);
+        assert_eq!(generate("abc_1", &mut rng), "abc_1");
+        assert_eq!(generate("\\\\", &mut rng), "\\");
+        let d = generate("\\d", &mut rng);
+        assert!(d.chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,201 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro:
+//! deterministic seeding, `*.proptest-regressions` replay, and failure
+//! reporting with a ready-to-paste regression line.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::TestRng;
+
+/// Per-block configuration: `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run (regression replays run in addition).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` novel cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs one property test: replays any committed regression entries for
+/// `source_file`, then `config.cases` novel cases seeded from the test
+/// name. `case` draws values from the RNG and returns a description of
+/// the drawn values plus the case outcome.
+///
+/// Called by the [`proptest!`](crate::proptest) macro expansion;
+/// `manifest_dir` and `source_file` are the consumer crate's
+/// `env!("CARGO_MANIFEST_DIR")` and `file!()`, used to locate the
+/// sibling `*.proptest-regressions` file.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) on the first failing case,
+/// with the seed, the generated values, and a `cc` line to commit.
+pub fn run_property_test<F>(
+    config: ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    case: F,
+) where
+    F: Fn(&mut TestRng) -> (String, Result<(), String>),
+{
+    let regressions = regressions_path(manifest_dir, source_file);
+    let replay_seeds = regressions
+        .as_deref()
+        .map(load_regression_seeds)
+        .unwrap_or_default();
+
+    let base = fnv1a64(test_name.as_bytes());
+    let replays = replay_seeds
+        .into_iter()
+        .map(|seed| (seed, "regression replay"));
+    let novel =
+        (0..config.cases).map(|i| (pacer_prng::derive_seed(base, u64::from(i)), "novel case"));
+
+    for (seed, kind) in replays.chain(novel) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        let (values, error) = match outcome {
+            Ok((_, Ok(()))) => continue,
+            Ok((values, Err(msg))) => (values, msg),
+            Err(panic) => ("<lost to panic>".to_string(), panic_message(&panic)),
+        };
+        let file = regressions
+            .as_deref()
+            .map_or_else(|| infer_regressions_name(source_file), display_path);
+        panic!(
+            "property test `{test_name}` failed ({kind})\n  \
+             seed: 0x{seed:016x}\n  \
+             values: {values}\n  \
+             error: {error}\n\
+             To replay this case first on future runs, add this line to {file}:\n\
+             cc {seed:016x}\n"
+        );
+    }
+}
+
+/// Finds the `*.proptest-regressions` sibling of `source_file`.
+///
+/// `file!()` paths are relative to the workspace root when crates build
+/// as workspace members, and to the crate root when built standalone, so
+/// try the manifest dir and each of its ancestors.
+fn regressions_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    let mut dir = Some(Path::new(manifest_dir));
+    while let Some(d) = dir {
+        let candidate = d.join(&rel);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Parses `cc <token>` lines into replay seeds. Tokens this shim wrote
+/// are exactly 16 hex digits and replay their literal seed; longer
+/// tokens (the real proptest's 64-digit persistence format) hash to a
+/// deterministic seed so inherited files still drive executed cases.
+fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            Some(parse_seed_token(token))
+        })
+        .collect()
+}
+
+fn parse_seed_token(token: &str) -> u64 {
+    if token.len() == 16 && token.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u64::from_str_radix(token, 16).expect("16 hex digits fit in u64")
+    } else {
+        fnv1a64(token.as_bytes())
+    }
+}
+
+fn infer_regressions_name(source_file: &str) -> String {
+    display_path(&Path::new(source_file).with_extension("proptest-regressions"))
+}
+
+fn display_path(p: &Path) -> String {
+    p.display().to_string()
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// FNV-1a, the usual 64-bit offset basis and prime. Used only to derive
+/// stable seeds from test names and foreign regression tokens.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_tokens_round_trip_and_foreign_tokens_hash() {
+        assert_eq!(parse_seed_token("00000000000000ff"), 0xff);
+        assert_eq!(parse_seed_token("deadbeefdeadbeef"), 0xdead_beef_dead_beef);
+        let foreign = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12";
+        assert_eq!(parse_seed_token(foreign), fnv1a64(foreign.as_bytes()));
+        // FNV-1a known-answer vector, so an accidental constant change is noticed.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn regression_file_parsing_skips_comments() {
+        let dir = std::env::temp_dir().join("pacer-proptest-runner-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# Seeds for failure cases proptest has generated.\n\
+             # shrinks to input = ...\n\
+             cc 0000000000000001 # shrinks to x = 3\n\
+             cc 000000000000000a\n",
+        )
+        .unwrap();
+        assert_eq!(load_regression_seeds(&path), vec![1, 10]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn regressions_path_walks_ancestors() {
+        // This crate has no regressions file, so lookup must return None
+        // rather than erroring.
+        assert_eq!(
+            regressions_path(env!("CARGO_MANIFEST_DIR"), "crates/nonexistent/tests/x.rs"),
+            None
+        );
+    }
+}

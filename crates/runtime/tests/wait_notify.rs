@@ -179,6 +179,85 @@ fn notify_one_wakes_exactly_one() {
 }
 
 #[test]
+fn handoff_straddles_sampling_period_boundaries() {
+    // The producer churns the nursery before handing off, so GCs — and
+    // with them sampling-period boundaries — fall between the consumer
+    // parking and the notify that releases it. The wait/notify HB edge
+    // must survive the detector switching sampling on and off mid-wait.
+    let src = "
+        shared slot; shared full; lock m;
+        fn producer() {
+            let i = 0;
+            while (i < 40) {
+                let o = new obj;
+                o.f = i;
+                i = i + 1;
+            }
+            sync m { slot = 7; full = 1; notify m; }
+        }
+        fn consumer() {
+            let got = 0;
+            sync m {
+                while (full == 0) { wait m; }
+                got = slot;
+            }
+            return got;
+        }
+        fn main() {
+            let c = spawn consumer();
+            let p = spawn producer();
+            join p;
+            join c;
+            return full;
+        }
+    ";
+    let program = compiled(src);
+    let mut toggled = 0;
+    for seed in 0..8 {
+        let full = VmConfig::new(seed)
+            .with_sampling_rate(1.0)
+            .with_nursery_bytes(256);
+        let mut pacer = PacerDetector::new();
+        let out = Vm::run(&program, &mut pacer, &full).unwrap();
+        assert!(out.gc_count >= 2, "seed {seed}: only {} GCs", out.gc_count);
+        assert!(
+            pacer.stats().sample_periods >= 1,
+            "seed {seed}: r = 1.0 always samples"
+        );
+        assert_eq!(out.main_result, Value::Int(1), "seed {seed}");
+        assert!(
+            pacer.races().is_empty(),
+            "seed {seed}: monitor + wait/notify order every access"
+        );
+
+        // At r = 0.5 some periods sample and some don't; the schedule must
+        // not move and the (empty) race set must not grow.
+        let half = VmConfig::new(seed)
+            .with_sampling_rate(0.5)
+            .with_nursery_bytes(256);
+        let mut sampled = PacerDetector::new();
+        let out_half = Vm::run(&program, &mut sampled, &half).unwrap();
+        assert_eq!(
+            out_half.steps, out.steps,
+            "seed {seed}: sampling must not perturb the schedule"
+        );
+        assert!(
+            sampled.races().is_empty(),
+            "seed {seed}: no false positives across period boundaries"
+        );
+        // Each `sample_begin` at r < 1 is sampling switching back ON at a
+        // GC — two or more means the handoff straddled an off period.
+        if sampled.stats().sample_periods >= 2 {
+            toggled += 1;
+        }
+    }
+    assert!(
+        toggled >= 1,
+        "no seed straddled an unsampled period; shrink the nursery"
+    );
+}
+
+#[test]
 fn wait_emits_release_acquire_pairs() {
     use pacer_trace::RecordingDetector;
     let program = compiled(HANDOFF);

@@ -1,0 +1,116 @@
+//! Replays the committed fuzzer reproducers in `tests/corpus/`.
+//!
+//! Each `*.pacer` entry is a program the shrinker minimized from a failing
+//! fuzz case (see FUZZING.md). Two properties are checked on every run:
+//!
+//! * the entry replays **clean** under the real oracle — the bug class it
+//!   was minimized for stays fixed; and
+//! * the entry still **triggers** the fault it was minimized under when
+//!   that fault is re-injected — the corpus keeps exercising the oracle
+//!   check that caught it, so the entries cannot silently rot.
+//!
+//! Regenerate the corpus after changing the generator or shrinker with
+//! `cargo test --test corpus -- --ignored regenerate_corpus`.
+
+use std::path::PathBuf;
+
+use pacer_fuzz::{check_program, corpus, Fault, FuzzConfig, OracleConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Every committed entry, sorted by file name for deterministic order.
+fn entries() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pacer") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_is_committed_and_parses() {
+    let entries = entries();
+    assert!(!entries.is_empty(), "tests/corpus/ must hold reproducers");
+    for (name, text) in &entries {
+        let (seed, program) = corpus::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Entries are stored in canonical form so diffs stay reviewable.
+        let canonical = corpus::render(seed, &violations_of(text), &program);
+        assert_eq!(text, &canonical, "{name}: not in canonical corpus form");
+    }
+}
+
+/// The `// violation:` header lines, as recorded in the entry.
+fn violations_of(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("// violation: "))
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn corpus_replays_clean_under_the_real_oracle() {
+    for (name, text) in entries() {
+        let (seed, program) = corpus::parse(&text).unwrap();
+        let report = check_program(&program, seed, &OracleConfig::default());
+        assert_eq!(
+            report.violations,
+            Vec::<String>::new(),
+            "{name}: committed reproducer regressed"
+        );
+        assert!(report.vm_runs > 0, "{name}: never executed");
+    }
+}
+
+#[test]
+fn corpus_still_triggers_the_fault_it_was_minimized_under() {
+    let cfg = OracleConfig {
+        fault: Some(Fault::PhantomRace),
+        ..OracleConfig::default()
+    };
+    for (name, text) in entries() {
+        let (seed, program) = corpus::parse(&text).unwrap();
+        let report = check_program(&program, seed, &cfg);
+        assert!(
+            !report.violations.is_empty(),
+            "{name}: no longer exercises the oracle check that caught it"
+        );
+    }
+}
+
+/// Rewrites `tests/corpus/` from a fixed injected-fault campaign. Run
+/// explicitly (`-- --ignored regenerate_corpus`) after generator or
+/// shrinker changes; the output is deterministic, so a clean regeneration
+/// produces no diff.
+#[test]
+#[ignore]
+fn regenerate_corpus() {
+    let mut cfg = FuzzConfig::new(1, 10);
+    cfg.oracle.schedule_seeds = 1;
+    cfg.oracle.fault = Some(Fault::PhantomRace);
+    let report = pacer_fuzz::run_fuzz(&cfg);
+    assert!(
+        !report.failures.is_empty(),
+        "campaign found nothing to save"
+    );
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for old in std::fs::read_dir(&dir).unwrap() {
+        let path = old.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pacer") {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+    for (i, f) in report.failures.iter().enumerate() {
+        let text = corpus::render(f.program_seed, &f.violations, &f.program);
+        let path = dir.join(format!("{i:02}-seed-{}.pacer", f.program_seed));
+        std::fs::write(path, text).unwrap();
+    }
+}
