@@ -10,8 +10,12 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo build --release"
-cargo build --release
+# --workspace matters: the root manifest is both a [workspace] and the
+# pacer-suite [package], so a bare `cargo build` builds only pacer-suite
+# and its dependency *libs* — the pacer / reproduce bin targets the smoke
+# stages below drive would stay stale.
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo test -q"
 cargo test -q
@@ -40,6 +44,70 @@ if [ "$FUZZ_A" != "$FUZZ_B" ]; then
     exit 1
 fi
 echo "$FUZZ_A" | head -n 1
+
+# Resilience smoke (RESILIENCE.md): a fault-injection campaign must
+# complete without aborting, quarantine deterministically at any --jobs,
+# and exit 2 (completed-with-quarantines).
+echo "== pacer fleet fault-injection smoke"
+RESDIR=$(mktemp -d)
+trap 'rm -rf "$RESDIR"' EXIT
+cat > "$RESDIR/racy.pl" <<'PROGRAM'
+shared x;
+fn w() {
+    let i = 0;
+    while (i < 50) { let o = new obj; o.f = i; x = x + 1; i = i + 1; }
+}
+fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+PROGRAM
+printf 'detector-panic every=3\nheap-oom budget=64 every=4\n' > "$RESDIR/campaign.plan"
+campaign() {
+    ./target/release/pacer fleet "$RESDIR/racy.pl" --instances 8 --rate 0.25 \
+        --seed 3 --fault-plan "$RESDIR/campaign.plan" --max-retries 1 --jobs "$1"
+}
+rc=0; FLEET_A=$(campaign 1) || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "fault campaign: expected exit 2 (completed with quarantines), got $rc" >&2
+    exit 1
+fi
+rc=0; FLEET_B=$(campaign 4) || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "fault campaign: expected exit 2 at --jobs 4, got $rc" >&2
+    exit 1
+fi
+if [ "$FLEET_A" != "$FLEET_B" ]; then
+    echo "fault campaign output differs across --jobs" >&2
+    exit 1
+fi
+echo "$FLEET_A" | grep -q "quarantined=4" || {
+    echo "fault campaign: expected 4 quarantined trials" >&2
+    exit 1
+}
+
+# Checkpoint/resume byte-identity (RESILIENCE.md): chop the journal
+# mid-entry — as a kill -9 during an append would — and the resumed
+# run's artifacts must be byte-identical to an uninterrupted run's.
+echo "== pacer fleet truncate-journal-and-resume byte-identity"
+observed_fleet() {
+    tag=$1
+    shift
+    ./target/release/pacer fleet "$RESDIR/racy.pl" --instances 6 --rate 0.25 \
+        --seed 7 --metrics-out "$RESDIR/$tag.json" --trace-out "$RESDIR/$tag.jsonl" \
+        "$@" > /dev/null
+}
+observed_fleet full
+observed_fleet tmp --checkpoint "$RESDIR/fleet.journal"
+JSIZE=$(wc -c < "$RESDIR/fleet.journal")
+head -c $((JSIZE - 300)) "$RESDIR/fleet.journal" > "$RESDIR/cut.journal"
+mv "$RESDIR/cut.journal" "$RESDIR/fleet.journal"
+observed_fleet res --resume "$RESDIR/fleet.journal"
+cmp -s "$RESDIR/full.json" "$RESDIR/res.json" || {
+    echo "resumed metrics differ from the uninterrupted run" >&2
+    exit 1
+}
+cmp -s "$RESDIR/full.jsonl" "$RESDIR/res.jsonl" || {
+    echo "resumed event trace differs from the uninterrupted run" >&2
+    exit 1
+}
 
 if [ "${1:-}" = "--quick" ]; then
     echo "== skipping bench smoke (--quick)"

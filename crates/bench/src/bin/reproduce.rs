@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]
 //!           [--metrics-out PATH] [--trace-out PATH]
+//!           [--checkpoint JOURNAL] [--resume JOURNAL]
 //!
 //! EXPERIMENT: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!             fig10 fleet ablation all      (default: all)
@@ -15,11 +16,20 @@
 //!           per workload at r = 3% and write the merged metrics snapshot
 //!           (JSON; schema in OBSERVABILITY.md)
 //! --trace-out PATH: write those trials' structured event traces (JSONL)
+//! --checkpoint JOURNAL: append each finished experiment's output to a
+//!           crash-safe journal as it completes (RESILIENCE.md)
+//! --resume JOURNAL: reprint finished experiments from the journal and
+//!           run only the missing ones; keeps checkpointing to the same
+//!           journal unless --checkpoint names another path
 //! ```
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 use pacer_bench::{ExpConfig, Experiment};
+use pacer_collections::JsonValue;
+use pacer_harness::journal::{read_journal, rewrite_valid_prefix, JournalWriter};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +38,8 @@ fn main() -> ExitCode {
     let mut run_all = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +60,26 @@ fn main() -> ExitCode {
                     Some(path) => trace_out = Some(path.clone()),
                     None => {
                         eprintln!("--trace-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--checkpoint" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => checkpoint = Some(path.clone()),
+                    None => {
+                        eprintln!("--checkpoint requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--resume" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => resume = Some(path.clone()),
+                    None => {
+                        eprintln!("--resume requires a path");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -95,7 +127,37 @@ fn main() -> ExitCode {
         chosen = Experiment::ALL.to_vec();
     }
 
+    // --resume keeps checkpointing to the same journal unless --checkpoint
+    // names another path (same contract as `pacer fleet`).
+    let journal_path = checkpoint.or_else(|| resume.clone());
+    let mut cached: BTreeMap<String, String> = BTreeMap::new();
+    if let Some(path) = &resume {
+        match load_experiment_journal(path, &cfg) {
+            Ok(entries) => cached = entries,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut writer = match &journal_path {
+        None => None,
+        Some(path) => match open_experiment_journal(path, &cfg, &cached) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("cannot open checkpoint journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     for e in chosen {
+        if let Some(text) = cached.get(e.name()) {
+            eprintln!("== {} resumed from the journal", e.name());
+            println!("================ {} ================", e.name());
+            println!("{text}");
+            continue;
+        }
         let started = std::time::Instant::now();
         eprintln!("== running {} ...", e.name());
         match e.run(&cfg) {
@@ -107,6 +169,12 @@ fn main() -> ExitCode {
                     e.name(),
                     started.elapsed().as_secs_f64()
                 );
+                if let Some(w) = writer.as_mut() {
+                    if let Err(io) = w.write_line(&encode_entry(e.name(), &cfg, &text)) {
+                        eprintln!("cannot checkpoint {}: {io}", e.name());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             Err(msg) => {
                 eprintln!("experiment {} failed: {msg}", e.name());
@@ -122,6 +190,104 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The configuration fingerprint recorded with every journal entry; an
+/// entry only resumes under the exact configuration that produced it.
+fn config_tag(cfg: &ExpConfig) -> String {
+    format!(
+        "scale={:?} divisor={} seed={}",
+        cfg.scale, cfg.trial_divisor, cfg.base_seed
+    )
+}
+
+fn encode_entry(name: &str, cfg: &ExpConfig, text: &str) -> String {
+    format!(
+        "{{\"experiment\":{},\"config\":{},\"text\":{}}}",
+        json_string(name),
+        json_string(&config_tag(cfg)),
+        json_string(text)
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Reads a resume journal into `experiment name → output text`, dropping
+/// only an unterminated partial tail (a crash mid-append). Corrupt
+/// entries mid-file and configuration mismatches are hard errors.
+fn load_experiment_journal(
+    path: &str,
+    cfg: &ExpConfig,
+) -> Result<BTreeMap<String, String>, String> {
+    let mut cached = BTreeMap::new();
+    if !Path::new(path).exists() {
+        return Ok(cached); // a missing journal is a fresh start
+    }
+    let contents =
+        read_journal(Path::new(path)).map_err(|e| format!("cannot resume from {path}: {e}"))?;
+    for (i, line) in contents.lines.iter().enumerate() {
+        let v =
+            JsonValue::parse(line).map_err(|e| format!("{path}: journal entry {}: {e}", i + 1))?;
+        let name = v
+            .get("experiment")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: journal entry {}: missing experiment", i + 1))?;
+        let tag = v
+            .get("config")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: journal entry {}: missing config", i + 1))?;
+        if tag != config_tag(cfg) {
+            return Err(format!(
+                "{path}: journal entry for {name} was recorded with `{tag}` but this run is \
+                 `{}`; wrong journal for this configuration",
+                config_tag(cfg)
+            ));
+        }
+        let text = v
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: journal entry {}: missing text", i + 1))?;
+        cached.insert(name.to_string(), text.to_string());
+    }
+    Ok(cached)
+}
+
+/// Opens the checkpoint journal for appending. When resuming, the file is
+/// first rewritten to exactly the valid entries — appending after a
+/// partial tail left by a crash would corrupt the next line.
+fn open_experiment_journal(
+    path: &str,
+    cfg: &ExpConfig,
+    cached: &BTreeMap<String, String>,
+) -> std::io::Result<JournalWriter> {
+    if cached.is_empty() {
+        JournalWriter::create(Path::new(path))
+    } else {
+        let lines: Vec<String> = cached
+            .iter()
+            .map(|(name, text)| encode_entry(name, cfg, text))
+            .collect();
+        rewrite_valid_prefix(Path::new(path), &lines)?;
+        JournalWriter::append(Path::new(path))
+    }
 }
 
 /// One observed PACER trial per workload at the paper's r = 3%, metrics
@@ -146,11 +312,13 @@ fn write_observability(
         jsonl.push_str(&trial.events_jsonl);
     }
     if let Some(path) = metrics_out {
-        std::fs::write(path, metrics.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        pacer_collections::atomic_write(path, metrics.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = trace_out {
-        std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        pacer_collections::atomic_write(path, &jsonl)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -160,6 +328,7 @@ fn print_usage() {
     eprintln!(
         "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]\n\
          \x20                [--metrics-out PATH] [--trace-out PATH]\n\
+         \x20                [--checkpoint JOURNAL] [--resume JOURNAL]\n\
          experiments: {} all",
         Experiment::ALL
             .iter()

@@ -241,7 +241,7 @@ impl Bench {
     /// Propagates filesystem errors.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
         let path = dir.join(format!("BENCH_{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
+        pacer_collections::atomic_write(&path, self.to_json())?;
         Ok(path)
     }
 
@@ -260,7 +260,7 @@ impl Bench {
     /// propagate to).
     pub fn write_metrics_snapshot(&self, metrics_json: &str) {
         let path = workspace_root().join(format!("BENCH_{}.metrics.json", self.name));
-        std::fs::write(&path, metrics_json).expect("write BENCH metrics json");
+        pacer_collections::atomic_write(&path, metrics_json).expect("write BENCH metrics json");
         println!("wrote {}", path.display());
     }
 

@@ -23,6 +23,13 @@
 //!     job count. With --metrics-out / --trace-out the instances run
 //!     under the observability layer and the merged artifacts are
 //!     written out (still byte-identical at any job count).
+//!     The fleet runs on the crash-resilient engine (RESILIENCE.md):
+//!     --max-retries N bounds per-trial retries, --fault-plan FILE arms
+//!     a deterministic fault-injection campaign, --checkpoint JOURNAL
+//!     appends each completed trial to a journal, and --resume JOURNAL
+//!     restores completed trials from one (an interrupted-then-resumed
+//!     run is byte-identical to an uninterrupted one). Exit code 0 is a
+//!     clean campaign, 2 is completed-with-quarantines, 1 a hard error.
 //! pacer stats <file> [--rate R] [--seed N] [--detector D]
 //!     Run once under the observability layer and print the Table 3-style
 //!     operation breakdown, space accounting, and escape-analysis
@@ -43,9 +50,11 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use pacer_core::{AccordionPacerDetector, PacerDetector};
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_faults::{FaultPlan, INJECTED_PREFIX};
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
 use pacer_runtime::{InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig};
@@ -72,6 +81,39 @@ fn err(message: impl Into<String>) -> CliError {
     }
 }
 
+/// A command's successful output: the text to print plus the process
+/// exit code the wrapper should use.
+///
+/// Exit codes: `0` is a clean run; `2` means the command completed but
+/// quarantined trials along the way (`pacer fleet` under faults); hard
+/// failures surface as [`CliError`] and exit `1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// The text to print to stdout.
+    pub text: String,
+    /// Suggested process exit code.
+    pub code: u8,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        CmdOutput { text, code: 0 }
+    }
+}
+
+impl std::ops::Deref for CmdOutput {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CmdOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
 struct Options {
@@ -86,6 +128,10 @@ struct Options {
     iters: u64,
     schedule_seeds: u32,
     rate_ladder: Option<Vec<f64>>,
+    fault_plan: Option<String>,
+    max_retries: u32,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 impl Default for Options {
@@ -102,6 +148,10 @@ impl Default for Options {
             iters: 100,
             schedule_seeds: 3,
             rate_ladder: None,
+            fault_plan: None,
+            max_retries: 1,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -120,6 +170,8 @@ commands:
   fleet <file>   simulate a deployed fleet of sampling instances
                  [--instances N] [--rate R] [--seed N] [--jobs N]
                  [--metrics-out PATH] [--trace-out PATH]
+                 [--fault-plan FILE] [--max-retries N]
+                 [--checkpoint JOURNAL] [--resume JOURNAL]
   stats <file>   run once under the observability layer; print the
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
@@ -135,29 +187,37 @@ detectors: pacer (default), pacer-accordion, fasttrack, generic,
 --metrics-out writes the unified metrics snapshot as JSON;
 --trace-out writes the structured event trace as JSONL (see
 OBSERVABILITY.md for both schemas).
+
+fleet runs on the crash-resilient engine (RESILIENCE.md):
+--fault-plan arms a deterministic fault-injection campaign,
+--max-retries bounds per-trial retries (default 1),
+--checkpoint journals each completed trial, --resume restores
+completed trials from a journal (and keeps checkpointing to it
+unless --checkpoint names another path). Exit codes: 0 clean,
+2 completed with quarantined trials, 1 hard failure.
 ";
 
 /// Entry point: dispatches on `args` (without the program name), returning
-/// the text to print.
+/// the text to print plus the exit code to use.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] with a user-facing message on any failure.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     let Some(command) = args.first() else {
         return Err(err(USAGE));
     };
     match command.as_str() {
-        "run" => cmd_run(&args[1..]),
-        "replay" => cmd_replay(&args[1..]),
-        "check" => cmd_check(&args[1..]),
-        "fmt" => cmd_fmt(&args[1..], false),
-        "fold" => cmd_fmt(&args[1..], true),
-        "lint" => cmd_lint(&args[1..]),
+        "run" => cmd_run(&args[1..]).map(CmdOutput::from),
+        "replay" => cmd_replay(&args[1..]).map(CmdOutput::from),
+        "check" => cmd_check(&args[1..]).map(CmdOutput::from),
+        "fmt" => cmd_fmt(&args[1..], false).map(CmdOutput::from),
+        "fold" => cmd_fmt(&args[1..], true).map(CmdOutput::from),
+        "lint" => cmd_lint(&args[1..]).map(CmdOutput::from),
         "fleet" => cmd_fleet(&args[1..]),
-        "stats" => cmd_stats(&args[1..]),
-        "fuzz" => cmd_fuzz(&args[1..]),
-        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        "stats" => cmd_stats(&args[1..]).map(CmdOutput::from),
+        "fuzz" => cmd_fuzz(&args[1..]).map(CmdOutput::from),
+        "--help" | "-h" | "help" => Ok(CmdOutput::from(USAGE.to_string())),
         other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
@@ -276,6 +336,37 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                     return Err(err("--rate-ladder requires at least one rate"));
                 }
                 opts.rate_ladder = Some(ladder);
+            }
+            "--fault-plan" => {
+                i += 1;
+                opts.fault_plan = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--fault-plan requires a path"))?,
+                );
+            }
+            "--max-retries" => {
+                i += 1;
+                opts.max_retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--max-retries requires a non-negative integer"))?;
+            }
+            "--checkpoint" => {
+                i += 1;
+                opts.checkpoint = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--checkpoint requires a path"))?,
+                );
+            }
+            "--resume" => {
+                i += 1;
+                opts.resume = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--resume requires a path"))?,
+                );
             }
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`")));
@@ -530,9 +621,71 @@ fn detector_kind(name: &str, rate: f64) -> Result<pacer_harness::DetectorKind, C
 }
 
 fn write_artifact(out: &mut String, path: &str, content: &str, what: &str) -> Result<(), CliError> {
-    std::fs::write(path, content).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    // Atomic replace: readers never see a half-written artifact, and a
+    // crash mid-write leaves any previous version intact.
+    pacer_collections::atomic_write(path, content)
+        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
     let _ = writeln!(out, "{what} written to {path}");
     Ok(())
+}
+
+/// Artifact writer for the fleet path: atomic like [`write_artifact`],
+/// plus deterministic `artifact-io` fault injection with bounded retries
+/// when a [`FaultPlan`] arms that site.
+struct ArtifactSink<'a> {
+    plan: Option<&'a FaultPlan>,
+    max_retries: u32,
+    writes: u64,
+    injected: u64,
+    retried: u64,
+}
+
+impl<'a> ArtifactSink<'a> {
+    fn new(plan: Option<&'a FaultPlan>, max_retries: u32) -> Self {
+        ArtifactSink {
+            plan,
+            max_retries,
+            writes: 0,
+            injected: 0,
+            retried: 0,
+        }
+    }
+
+    fn write(
+        &mut self,
+        out: &mut String,
+        path: &str,
+        content: &str,
+        what: &str,
+    ) -> Result<(), CliError> {
+        let index = self.writes;
+        self.writes += 1;
+        let mut attempt = 0u32;
+        loop {
+            let result = if self
+                .plan
+                .is_some_and(|p| p.artifact_io_fails(index, attempt))
+            {
+                self.injected += 1;
+                Err(format!(
+                    "{INJECTED_PREFIX}artifact IO error (write {index}, attempt {attempt})"
+                ))
+            } else {
+                pacer_collections::atomic_write(path, content).map_err(|e| e.to_string())
+            };
+            match result {
+                Ok(()) => {
+                    let _ = writeln!(out, "{what} written to {path}");
+                    return Ok(());
+                }
+                Err(_) if attempt < self.max_retries => {
+                    self.retried += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(err(format!("cannot write {path}: {e}"))),
+            }
+        }
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, CliError> {
@@ -579,28 +732,40 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
+fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
     let (file, opts) = parse_options(args)?;
     let (_, compiled) = load_program(&file)?;
     pacer_harness::parallel::set_jobs(opts.jobs);
-    let vm_err = |e: pacer_runtime::VmError| err(format!("runtime error: {e}"));
-    let observe = opts.metrics_out.is_some() || opts.events_out.is_some();
-    let (report, observability) = if observe {
-        let (report, metrics, jsonl) = pacer_harness::observed::simulate_fleet_observed(
-            &compiled,
-            opts.instances,
-            opts.rate,
-            opts.seed,
-            RING_CAPACITY,
-        )
-        .map_err(vm_err)?;
-        (report, Some((metrics, jsonl)))
-    } else {
-        let report =
-            pacer_harness::fleet::simulate_fleet(&compiled, opts.instances, opts.rate, opts.seed)
-                .map_err(vm_err)?;
-        (report, None)
+
+    let plan = match &opts.fault_plan {
+        None => None,
+        Some(path) => {
+            let spec = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
+            Some(FaultPlan::parse(&spec).map_err(|e| err(format!("{path}: {e}")))?)
+        }
     };
+    let observe = opts.metrics_out.is_some() || opts.events_out.is_some();
+    // --resume keeps checkpointing to the same journal unless --checkpoint
+    // names another path, so an interrupted resume can itself be resumed.
+    let checkpoint = opts.checkpoint.as_deref().or(opts.resume.as_deref());
+
+    let fleet = pacer_harness::run_resilient_fleet(&pacer_harness::FleetEngineConfig {
+        program: &compiled,
+        instances: opts.instances,
+        rate: opts.rate,
+        base_seed: opts.seed,
+        policy: pacer_harness::RetryPolicy {
+            max_retries: opts.max_retries,
+        },
+        plan: plan.as_ref(),
+        ring_capacity: observe.then_some(RING_CAPACITY),
+        checkpoint: checkpoint.map(Path::new),
+        resume: opts.resume.as_deref().map(Path::new),
+    })
+    .map_err(|e| err(e.to_string()))?;
+
+    let report = &fleet.report;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -609,6 +774,13 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
         report.rate * 100.0,
         opts.seed
     );
+    if fleet.resumed > 0 {
+        let _ = writeln!(
+            out,
+            "resumed {} completed trial(s) from the journal",
+            fleet.resumed
+        );
+    }
     let found = report.found();
     let _ = writeln!(out, "distinct races found by the fleet: {}", found.len());
     if let Some(mean) = report.mean_reporters() {
@@ -623,15 +795,33 @@ fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "cumulative distinct races: {:?}", report.cumulative);
-    if let Some((metrics, jsonl)) = observability {
-        if let Some(path) = &opts.metrics_out {
-            write_artifact(&mut out, path, &metrics.to_json(), "metrics")?;
-        }
-        if let Some(path) = &opts.events_out {
-            write_artifact(&mut out, path, &jsonl, "event trace")?;
-        }
+    if plan.is_some() || !fleet.quarantine.is_clean() {
+        let _ = write!(out, "{}", fleet.quarantine);
     }
-    Ok(out)
+
+    let mut sink = ArtifactSink::new(plan.as_ref(), opts.max_retries);
+    if let Some(path) = &opts.metrics_out {
+        let json = fleet
+            .metrics
+            .as_ref()
+            .map(pacer_obs::Metrics::to_json)
+            .unwrap_or_default();
+        sink.write(&mut out, path, &json, "metrics")?;
+    }
+    if let Some(path) = &opts.events_out {
+        let jsonl = fleet.events_jsonl.as_deref().unwrap_or_default();
+        sink.write(&mut out, path, jsonl, "event trace")?;
+    }
+    if sink.injected > 0 {
+        let _ = writeln!(
+            out,
+            "artifact IO: {} injected failure(s), {} retried",
+            sink.injected, sink.retried
+        );
+    }
+
+    let code = if fleet.quarantine.is_clean() { 0 } else { 2 };
+    Ok(CmdOutput { text: out, code })
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
@@ -940,6 +1130,199 @@ mod tests {
         assert!(run(&args(&["fuzz", "--rate-ladder", "1.5"])).is_err());
         assert!(run(&args(&["fuzz", "--rate-ladder", "nope"])).is_err());
         assert!(run(&args(&["fuzz", "--schedule-seeds", "0"])).is_err());
+    }
+
+    #[test]
+    fn fleet_fault_campaign_quarantines_and_exits_2() {
+        let path = write_temp("pacer_cli_faults.pl", RACY);
+        let plan = write_temp("pacer_cli_faults.plan", "detector-panic every=3\n");
+        let base = &[
+            "fleet",
+            &path,
+            "--instances",
+            "6",
+            "--rate",
+            "0.25",
+            "--seed",
+            "3",
+            "--fault-plan",
+            &plan,
+            "--max-retries",
+            "1",
+        ];
+        let seq = run(&args(&[base, &["--jobs", "1"][..]].concat())).unwrap();
+        let par = run(&args(&[base, &["--jobs", "4"][..]].concat())).unwrap();
+        assert_eq!(seq.code, 2, "quarantines exit 2: {seq}");
+        assert!(seq.contains("faults: injected="), "{seq}");
+        assert!(seq.contains("quarantined trial"), "{seq}");
+        assert_eq!(seq, par, "fault campaigns are deterministic across --jobs");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan).ok();
+    }
+
+    #[test]
+    fn fleet_clean_run_exits_0_and_matches_pre_resilience_output() {
+        let path = write_temp("pacer_cli_clean.pl", RACY);
+        let out = run(&args(&[
+            "fleet",
+            &path,
+            "--instances",
+            "4",
+            "--rate",
+            "0.25",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0);
+        assert!(!out.contains("faults:"), "clean runs stay quiet: {out}");
+        assert!(!out.contains("resumed"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_resume_after_truncation_reproduces_artifacts() {
+        let path = write_temp("pacer_cli_resume.pl", RACY);
+        let dir = std::env::temp_dir().join(format!("pacer-cli-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("fleet.journal").to_string_lossy().into_owned();
+        let m_full = dir.join("full.json").to_string_lossy().into_owned();
+        let t_full = dir.join("full.jsonl").to_string_lossy().into_owned();
+        let m_res = dir.join("res.json").to_string_lossy().into_owned();
+        let t_res = dir.join("res.jsonl").to_string_lossy().into_owned();
+        let base = |extra: &[&str]| {
+            let head = [
+                "fleet",
+                &path,
+                "--instances",
+                "6",
+                "--rate",
+                "0.25",
+                "--seed",
+                "3",
+            ];
+            args(&[&head[..], extra].concat())
+        };
+
+        // Reference: uninterrupted run.
+        run(&base(&["--metrics-out", &m_full, "--trace-out", &t_full])).unwrap();
+
+        // Interrupted run: checkpoint (observed, so the journal carries
+        // metrics), then truncate the journal to simulate a crash
+        // mid-campaign. Its own artifacts are throwaways.
+        let m_tmp = dir.join("tmp.json").to_string_lossy().into_owned();
+        let t_tmp = dir.join("tmp.jsonl").to_string_lossy().into_owned();
+        run(&base(&[
+            "--checkpoint",
+            &journal,
+            "--metrics-out",
+            &m_tmp,
+            "--trace-out",
+            &t_tmp,
+        ]))
+        .unwrap();
+        // Cut into the final entry (entries vary a lot in size, so a
+        // midpoint cut could land inside the first, huge line and leave
+        // nothing resumable).
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - 200]).unwrap();
+
+        let resumed = run(&base(&[
+            "--resume",
+            &journal,
+            "--metrics-out",
+            &m_res,
+            "--trace-out",
+            &t_res,
+        ]))
+        .unwrap();
+        assert_eq!(resumed.code, 0);
+        assert!(resumed.contains("resumed"), "{resumed}");
+        assert_eq!(
+            std::fs::read_to_string(&m_full).unwrap(),
+            std::fs::read_to_string(&m_res).unwrap(),
+            "resumed metrics artifact is byte-identical"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&t_full).unwrap(),
+            std::fs::read_to_string(&t_res).unwrap(),
+            "resumed event-trace artifact is byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_artifact_io_faults_are_retried() {
+        let path = write_temp("pacer_cli_artio.pl", RACY);
+        // Every artifact write fails once; one retry makes each succeed.
+        let plan = write_temp("pacer_cli_artio.plan", "artifact-io every=1 limit=1\n");
+        let m = std::env::temp_dir().join("pacer_cli_artio.json");
+        let out = run(&args(&[
+            "fleet",
+            &path,
+            "--instances",
+            "2",
+            "--rate",
+            "0.25",
+            "--seed",
+            "3",
+            "--fault-plan",
+            &plan,
+            "--metrics-out",
+            &m.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert_eq!(out.code, 0, "retries absorb the injected IO faults: {out}");
+        assert!(
+            out.contains("artifact IO: 1 injected failure(s), 1 retried"),
+            "{out}"
+        );
+        assert!(std::fs::read_to_string(&m).unwrap().starts_with('{'));
+        std::fs::remove_file(&m).ok();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan).ok();
+
+        // With no retry budget the injected IO error is a hard failure.
+        let path2 = write_temp("pacer_cli_artio2.pl", RACY);
+        let plan2 = write_temp("pacer_cli_artio2.plan", "artifact-io every=1\n");
+        let e = run(&args(&[
+            "fleet",
+            &path2,
+            "--instances",
+            "2",
+            "--seed",
+            "3",
+            "--fault-plan",
+            &plan2,
+            "--max-retries",
+            "0",
+            "--metrics-out",
+            &m.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("injected: artifact IO error"), "{e}");
+        std::fs::remove_file(&path2).ok();
+        std::fs::remove_file(&plan2).ok();
+    }
+
+    #[test]
+    fn fleet_rejects_bad_fault_plans_and_flags() {
+        let path = write_temp("pacer_cli_badplan.pl", RACY);
+        let plan = write_temp("pacer_cli_badplan.plan", "frobnicate\n");
+        let e = run(&args(&["fleet", &path, "--fault-plan", &plan])).unwrap_err();
+        assert!(e.message.contains("unknown directive"), "{e}");
+        assert!(run(&args(&["fleet", &path, "--fault-plan"])).is_err());
+        assert!(run(&args(&["fleet", &path, "--max-retries", "x"])).is_err());
+        assert!(run(&args(&[
+            "fleet",
+            &path,
+            "--fault-plan",
+            "/nonexistent.plan"
+        ]))
+        .is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan).ok();
     }
 
     #[test]

@@ -7,7 +7,8 @@ fn main() -> ExitCode {
     match pacer_cli::run(&args) {
         Ok(output) => {
             print!("{output}");
-            ExitCode::SUCCESS
+            // 0 = clean, 2 = completed with quarantined trials.
+            ExitCode::from(output.code)
         }
         Err(e) => {
             eprintln!("pacer: {e}");

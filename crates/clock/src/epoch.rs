@@ -104,6 +104,24 @@ mod tests {
     }
 
     #[test]
+    fn epoch_at_clock_boundary_orders_correctly() {
+        // Drive a thread's component to the u64 boundary and form its
+        // epoch: ordering must stay consistent right at the edge.
+        let mut c = VectorClock::new();
+        c.set(t(1), ClockValue::MAX - 1);
+        assert_eq!(c.try_increment(t(1)), Ok(ClockValue::MAX));
+        let e = Epoch::of_thread(t(1), &c);
+        assert_eq!(e.clock(), ClockValue::MAX);
+        assert!(e.leq_clock(&c), "an epoch read from a clock precedes it");
+        let behind = VectorClock::from_slice(&[0, ClockValue::MAX - 1]);
+        assert!(!e.leq_clock(&behind), "a saturated epoch is ahead of MAX-1");
+        // Further increments overflow rather than wrapping the epoch back
+        // to zero (which would order it before everything).
+        assert!(c.try_increment(t(1)).is_err());
+        assert_eq!(Epoch::of_thread(t(1), &c).clock(), ClockValue::MAX);
+    }
+
+    #[test]
     fn min_precedes_everything() {
         assert!(Epoch::MIN.leq_clock(&VectorClock::new()));
         assert!(Epoch::new(0, t(7)).is_min());

@@ -62,5 +62,32 @@ pub use version::{VersionEpoch, VersionVector};
 /// The integer type used for clock values and version numbers.
 ///
 /// Clock values only increase, one step per release/fork/join/volatile-write
-/// in a sampling period, so 64 bits cannot realistically overflow.
+/// in a sampling period. 64 bits is far more than any realistic execution
+/// consumes, but increments are still *checked*: hitting the boundary is a
+/// [`ClockOverflow`] from [`VectorClock::try_increment`], a debug assertion
+/// (and saturation in release) from [`VectorClock::increment`] — never a
+/// silent wrap that would corrupt the happens-before order.
 pub type ClockValue = u64;
+
+/// A thread's logical clock reached [`ClockValue::MAX`] and cannot advance.
+///
+/// Wrapping back to zero would reorder every previously recorded access
+/// after the current one — silently unsound — so the overflow is surfaced
+/// as a typed error instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockOverflow {
+    /// The thread whose component saturated.
+    pub thread: ThreadId,
+}
+
+impl std::fmt::Display for ClockOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clock overflow: thread {} reached the maximum clock value",
+            self.thread
+        )
+    }
+}
+
+impl std::error::Error for ClockOverflow {}

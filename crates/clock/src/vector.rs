@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{ClockValue, ThreadId};
+use crate::{ClockOverflow, ClockValue, ThreadId};
 
 /// A vector clock `C : Tid → Nat` (§A.1).
 ///
@@ -84,13 +84,42 @@ impl VectorClock {
 
     /// Increments thread `t`'s component: `inc_t(C)` (§A.1, eq. 2).
     ///
-    /// This is the mechanism by which logical time passes.
+    /// This is the mechanism by which logical time passes. At the
+    /// [`ClockValue::MAX`] boundary it debug-asserts (wrapping would
+    /// silently reorder history) and saturates in release builds; use
+    /// [`try_increment`](Self::try_increment) to observe the overflow as
+    /// a typed error instead.
     pub fn increment(&mut self, t: ThreadId) {
+        if let Err(overflow) = self.try_increment(t) {
+            debug_assert!(false, "{overflow}");
+            // Release builds saturate: time stops advancing for this
+            // thread, which is conservative (may miss races) but never
+            // unsound (never reorders recorded history).
+        }
+    }
+
+    /// Increments thread `t`'s component, reporting [`ClockOverflow`]
+    /// instead of advancing when the component is at [`ClockValue::MAX`].
+    ///
+    /// On success returns the new component value. On overflow the clock
+    /// is left unchanged (saturated at the maximum).
+    ///
+    /// # Errors
+    ///
+    /// [`ClockOverflow`] when thread `t`'s component is already at the
+    /// maximum representable clock value.
+    pub fn try_increment(&mut self, t: ThreadId) -> Result<ClockValue, ClockOverflow> {
         let i = t.index();
         if i >= self.slots.len() {
             self.slots.resize(i + 1, 0);
         }
-        self.slots[i] += 1;
+        match self.slots[i].checked_add(1) {
+            Some(next) => {
+                self.slots[i] = next;
+                Ok(next)
+            }
+            None => Err(ClockOverflow { thread: t }),
+        }
     }
 
     /// Joins `other` into `self`: `C ← C ⊔ other`, the pointwise maximum
@@ -271,6 +300,30 @@ mod tests {
         c.clear_slot(t(1));
         assert_eq!(c.get(t(1)), 0);
         c.clear_slot(t(9)); // out of range: no-op
+    }
+
+    #[test]
+    fn try_increment_reports_overflow_without_mutating() {
+        let mut c = VectorClock::from_slice(&[ClockValue::MAX, 7]);
+        assert_eq!(
+            c.try_increment(t(0)),
+            Err(ClockOverflow { thread: t(0) }),
+            "saturated component overflows"
+        );
+        assert_eq!(c.get(t(0)), ClockValue::MAX, "clock left saturated");
+        assert_eq!(c.try_increment(t(1)), Ok(8), "other threads still advance");
+        // One step shy of the boundary succeeds, the next fails.
+        c.set(t(1), ClockValue::MAX - 1);
+        assert_eq!(c.try_increment(t(1)), Ok(ClockValue::MAX));
+        assert!(c.try_increment(t(1)).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "clock overflow")]
+    fn increment_at_boundary_debug_asserts() {
+        let mut c = VectorClock::from_slice(&[ClockValue::MAX]);
+        c.increment(t(0));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Crash-safe artifact writes: temp file + fsync + rename.
+//!
+//! Every artifact this workspace emits (BENCH json, metrics snapshots,
+//! trace JSONL, corpus reproducers, checkpoint journals) must never be
+//! observable in a torn state: a reader either sees the complete old
+//! contents or the complete new contents. [`atomic_write`] gets that
+//! guarantee the standard way — write to a uniquely named temporary file
+//! *in the same directory* (so the rename cannot cross filesystems),
+//! flush it to stable storage, then `rename(2)` over the destination,
+//! which POSIX guarantees is atomic with respect to concurrent readers.
+//!
+//! # Examples
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("pacer-atomic-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("artifact.json");
+//! pacer_collections::atomic_write(&path, "{\"ok\":true}\n").unwrap();
+//! assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter so concurrent writers in the same directory never
+/// collide on a temp-file name (tests run multi-threaded).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replaces the file at `path` with `contents`.
+///
+/// The contents are written to a sibling temporary file, fsynced, and
+/// renamed over `path`; a crash at any point leaves either the old file
+/// intact or the new file complete — never a truncated hybrid. On error
+/// the temporary file is removed on a best-effort basis.
+///
+/// # Errors
+///
+/// Propagates any IO error from create, write, sync, or rename.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic_write target has no file name: {}", path.display()),
+        )
+    })?;
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    );
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => tmp_name.clone().into(),
+    };
+
+    let result = (|| {
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(contents.as_ref())?;
+        // Push the bytes to stable storage before the rename makes them
+        // visible under the final name.
+        file.sync_all()?;
+        fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pacer-atomic-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("a.txt");
+        atomic_write(&path, "one").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "one");
+        atomic_write(&path, "two").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "two");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch_dir("clean");
+        let path = dir.join("b.txt");
+        for i in 0..4 {
+            atomic_write(&path, format!("round {i}")).unwrap();
+        }
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["b.txt".to_string()],
+            "only the artifact remains"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_and_cleans_up() {
+        let dir = scratch_dir("missing");
+        let path = dir.join("no-such-subdir").join("c.txt");
+        let err = atomic_write(&path, "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bare_file_name_without_directory_errors_only_on_empty() {
+        let err = atomic_write(std::path::Path::new(""), "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_collide() {
+        let dir = scratch_dir("concurrent");
+        let path = dir.join("d.txt");
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        atomic_write(&path, format!("writer {t}")).unwrap();
+                    }
+                });
+            }
+        });
+        let final_text = fs::read_to_string(&path).unwrap();
+        assert!(
+            final_text.starts_with("writer "),
+            "never torn: {final_text}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,6 +14,10 @@
 //! metadata discard (`remove`), and footprint accounting keep their
 //! `HashMap` semantics exactly.
 //!
+//! The crate also hosts the workspace's dependency-free durability
+//! primitives: [`atomic_write`] (crash-safe artifact replacement) and
+//! [`json`] (a structured-error JSON reader for artifact round-trips).
+//!
 //! # Examples
 //!
 //! ```
@@ -30,6 +34,15 @@
 //! assert_eq!(m.remove(&1), Some("a"));
 //! assert_eq!(m.len(), 1);
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic_io;
+pub mod json;
+
+pub use atomic_io::atomic_write;
+pub use json::{JsonError, JsonValue};
 
 use std::fmt;
 use std::marker::PhantomData;

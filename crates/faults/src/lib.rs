@@ -1,0 +1,478 @@
+//! Deterministic fault-injection plans for resilience testing.
+//!
+//! PACER's statistical claim only holds if every scheduled trial is
+//! counted, so the harness must survive the failures a real detection
+//! service sees: allocator exhaustion, scheduler preemption storms,
+//! detector bugs that panic mid-callback, and IO errors while artifacts
+//! are being written. This crate defines the *plan* for injecting those
+//! failures on purpose — deterministically, so a fault campaign produces
+//! byte-identical reports at any `--jobs N` and any retry schedule.
+//!
+//! A [`FaultPlan`] is parsed from a small line-oriented text spec
+//! ([`FaultPlan::parse`]) and names which [`FaultSite`]s are armed. The
+//! plan is *pure data*: consumers ask [`FaultPlan::for_trial`] which
+//! faults apply to a given `(trial_index, attempt)` pair and wire the
+//! answer into their own code. Nothing here keeps clocks or global
+//! state, and every decision is a function of the plan text plus the
+//! trial coordinates — no wall-clock, no process entropy.
+//!
+//! Injected failures identify themselves with the [`INJECTED_PREFIX`]
+//! (`"injected: "`) in their message so the harness can classify a
+//! quarantined trial's fault site from its panic payload alone.
+//!
+//! # Spec format
+//!
+//! One directive per line; `#` starts a comment; blank lines ignored.
+//!
+//! ```text
+//! # fail the 0th, 3rd, 6th… trial's detector on its 100th action,
+//! # twice, then let the retry succeed
+//! seed 0
+//! detector-panic every=3 limit=2 after=100
+//! heap-oom budget=4096 every=1
+//! sched-storm every=5 len=16
+//! artifact-io every=2 limit=1
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_faults::FaultPlan;
+//!
+//! let plan = FaultPlan::parse("detector-panic every=2 limit=1\n").unwrap();
+//! // Trial 0 is targeted and fails on its first attempt…
+//! assert!(plan.for_trial(0, 0).detector_panic_after.is_some());
+//! // …but its retry (attempt 1) is past the limit and succeeds.
+//! assert!(plan.for_trial(0, 1).detector_panic_after.is_none());
+//! // Trial 1 is never targeted.
+//! assert!(plan.for_trial(1, 0).is_clear());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Prefix carried by every injected failure message; the harness uses it
+/// to tell injected faults from organic bugs when classifying quarantines.
+pub const INJECTED_PREFIX: &str = "injected: ";
+
+/// A named place in the stack where the plan can inject a failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Simulated allocator exhaustion once the VM heap's cumulative
+    /// allocation exceeds a byte budget.
+    HeapOom,
+    /// Scheduler preemption storm: windows of forced quantum-1
+    /// scheduling in the VM.
+    SchedStorm,
+    /// Forced panic inside a detector callback.
+    DetectorPanic,
+    /// IO error injected on an artifact write.
+    ArtifactIo,
+}
+
+impl FaultSite {
+    /// The site's stable spec/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::HeapOom => "heap_oom",
+            FaultSite::SchedStorm => "sched_storm",
+            FaultSite::DetectorPanic => "detector_panic",
+            FaultSite::ArtifactIo => "artifact_io",
+        }
+    }
+
+    /// Classifies a failure message produced by an injected fault, by
+    /// its [`INJECTED_PREFIX`] marker; `None` for organic failures.
+    pub fn classify(message: &str) -> Option<FaultSite> {
+        let rest = message.strip_prefix(INJECTED_PREFIX)?;
+        if rest.starts_with("heap OOM") {
+            Some(FaultSite::HeapOom)
+        } else if rest.starts_with("detector panic") {
+            Some(FaultSite::DetectorPanic)
+        } else if rest.starts_with("artifact IO") {
+            Some(FaultSite::ArtifactIo)
+        } else if rest.starts_with("sched storm") {
+            Some(FaultSite::SchedStorm)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which trials a site rule targets and for how many attempts it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Targeting {
+    /// Target every `every`-th trial (phase-shifted by the plan seed).
+    every: u64,
+    /// Fire on attempts `< limit`; `u32::MAX` means every attempt, which
+    /// exhausts retries and quarantines the trial.
+    limit: u32,
+}
+
+impl Targeting {
+    fn applies(&self, seed: u64, trial_index: u64, attempt: u32) -> bool {
+        trial_index.wrapping_add(seed) % self.every == 0 && attempt < self.limit
+    }
+}
+
+/// A parsed, armed fault plan. See the [crate docs](crate) for the spec
+/// format and determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Phase shift applied to every `every=` rule: trial `i` is targeted
+    /// when `(i + seed) % every == 0`. Changing the seed moves which
+    /// trials fault without changing how many.
+    seed: u64,
+    heap_oom: Option<(Targeting, u64)>,
+    sched_storm: Option<(Targeting, u64, u64)>,
+    detector_panic: Option<(Targeting, u64)>,
+    artifact_io: Option<Targeting>,
+}
+
+impl FaultPlan {
+    /// Parses a plan from its text spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] naming the offending line for any
+    /// unknown directive, unknown or duplicate parameter, malformed
+    /// number, or zero `every=`/`len=`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan {
+            seed: 0,
+            heap_oom: None,
+            sched_storm: None,
+            detector_panic: None,
+            artifact_io: None,
+        };
+        for (i, raw_line) in spec.lines().enumerate() {
+            let line_no = i + 1;
+            let line = match raw_line.find('#') {
+                Some(hash) => &raw_line[..hash],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().expect("non-empty line has a first word");
+            let err = |message: String| FaultPlanError {
+                line: line_no,
+                message,
+            };
+            match directive {
+                "seed" => {
+                    let value = words
+                        .next()
+                        .ok_or_else(|| err("seed needs a value".into()))?;
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| err(format!("bad seed value '{value}'")))?;
+                    if let Some(extra) = words.next() {
+                        return Err(err(format!("unexpected trailing '{extra}'")));
+                    }
+                }
+                "heap-oom" => {
+                    let params = Params::parse(line_no, words, &["budget", "every", "limit"])?;
+                    let budget = params.require("budget")?;
+                    plan.heap_oom = Some((params.targeting()?, budget));
+                }
+                "sched-storm" => {
+                    let params =
+                        Params::parse(line_no, words, &["every", "len", "period", "limit"])?;
+                    let len = params.get("len")?.unwrap_or(8).max(1);
+                    let period = params.get("period")?.unwrap_or(64).max(1);
+                    plan.sched_storm = Some((params.targeting()?, period, len));
+                }
+                "detector-panic" => {
+                    let params = Params::parse(line_no, words, &["every", "limit", "after"])?;
+                    let after = params.get("after")?.unwrap_or(0);
+                    plan.detector_panic = Some((params.targeting()?, after));
+                }
+                "artifact-io" => {
+                    let params = Params::parse(line_no, words, &["every", "limit"])?;
+                    plan.artifact_io = Some(params.targeting()?);
+                }
+                other => {
+                    return Err(err(format!("unknown directive '{other}'")));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// `true` when no site is armed; consumers can skip all checks.
+    pub fn is_empty(&self) -> bool {
+        self.heap_oom.is_none()
+            && self.sched_storm.is_none()
+            && self.detector_panic.is_none()
+            && self.artifact_io.is_none()
+    }
+
+    /// The plan's phase-shift seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolves which in-VM faults apply to attempt `attempt` of trial
+    /// `trial_index`. Purely a function of its arguments and the plan.
+    pub fn for_trial(&self, trial_index: u64, attempt: u32) -> TrialFaults {
+        let mut faults = TrialFaults::default();
+        if let Some((t, budget)) = self.heap_oom {
+            if t.applies(self.seed, trial_index, attempt) {
+                faults.heap_oom_budget = Some(budget);
+            }
+        }
+        if let Some((t, period, len)) = self.sched_storm {
+            if t.applies(self.seed, trial_index, attempt) {
+                faults.sched_storm = Some(StormShape { period, len });
+            }
+        }
+        if let Some((t, after)) = self.detector_panic {
+            if t.applies(self.seed, trial_index, attempt) {
+                faults.detector_panic_after = Some(after);
+            }
+        }
+        faults
+    }
+
+    /// Whether attempt `attempt` of the `write_index`-th artifact write
+    /// should fail with an injected IO error.
+    pub fn artifact_io_fails(&self, write_index: u64, attempt: u32) -> bool {
+        self.artifact_io
+            .is_some_and(|t| t.applies(self.seed, write_index, attempt))
+    }
+}
+
+/// Key=value parameter bag for one spec directive.
+struct Params {
+    line: usize,
+    pairs: Vec<(String, u64)>,
+}
+
+impl Params {
+    fn parse<'a>(
+        line: usize,
+        words: impl Iterator<Item = &'a str>,
+        allowed: &[&str],
+    ) -> Result<Params, FaultPlanError> {
+        let err = |message: String| FaultPlanError { line, message };
+        let mut pairs: Vec<(String, u64)> = Vec::new();
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got '{word}'")))?;
+            if !allowed.contains(&key) {
+                return Err(err(format!("unknown parameter '{key}'")));
+            }
+            if pairs.iter().any(|(k, _)| k == key) {
+                return Err(err(format!("duplicate parameter '{key}'")));
+            }
+            let value: u64 = value
+                .parse()
+                .map_err(|_| err(format!("bad value for '{key}': '{value}'")))?;
+            pairs.push((key.to_string(), value));
+        }
+        Ok(Params { line, pairs })
+    }
+
+    fn get(&self, key: &str) -> Result<Option<u64>, FaultPlanError> {
+        Ok(self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
+    }
+
+    fn require(&self, key: &str) -> Result<u64, FaultPlanError> {
+        self.get(key)?.ok_or_else(|| FaultPlanError {
+            line: self.line,
+            message: format!("missing required parameter '{key}'"),
+        })
+    }
+
+    /// The directive's `every=`/`limit=` pair, defaulting to "every
+    /// trial, every attempt" (i.e. targeted trials always quarantine).
+    fn targeting(&self) -> Result<Targeting, FaultPlanError> {
+        let every = self.get("every")?.unwrap_or(1);
+        if every == 0 {
+            return Err(FaultPlanError {
+                line: self.line,
+                message: "every=0 would target no trial; use every=1 for all".into(),
+            });
+        }
+        let limit = match self.get("limit")? {
+            Some(v) => u32::try_from(v).unwrap_or(u32::MAX),
+            None => u32::MAX,
+        };
+        Ok(Targeting { every, limit })
+    }
+}
+
+/// The shape of a scheduler preemption storm: within every `period`
+/// scheduling turns, the first `len` run with a forced quantum of 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StormShape {
+    /// Scheduling turns between storm onsets.
+    pub period: u64,
+    /// Storm length in scheduling turns.
+    pub len: u64,
+}
+
+impl StormShape {
+    /// Whether scheduling turn `turn` falls inside a storm window.
+    pub fn in_storm(&self, turn: u64) -> bool {
+        turn % self.period < self.len
+    }
+}
+
+/// The in-VM faults resolved for one `(trial, attempt)` pair — what the
+/// runtime actually checks. `Default` is "nothing armed", which every
+/// injection site guards with a single `Option` branch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialFaults {
+    /// Fail with an injected OOM once cumulative allocation exceeds
+    /// this many bytes.
+    pub heap_oom_budget: Option<u64>,
+    /// Panic in the detector callback after this many forwarded actions.
+    pub detector_panic_after: Option<u64>,
+    /// Force preemption storms of this shape.
+    pub sched_storm: Option<StormShape>,
+}
+
+impl TrialFaults {
+    /// `true` when no fault is armed for this trial attempt.
+    pub fn is_clear(&self) -> bool {
+        *self == TrialFaults::default()
+    }
+}
+
+/// A structured plan-spec parse error: the offending line and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// 1-based spec line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for FaultPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_only_specs_are_clear() {
+        for spec in ["", "\n\n", "# all quiet\n  # indented comment\n"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert!(plan.is_empty());
+            assert!(plan.for_trial(0, 0).is_clear());
+            assert!(!plan.artifact_io_fails(0, 0));
+        }
+    }
+
+    #[test]
+    fn full_spec_round_trip() {
+        let plan = FaultPlan::parse(
+            "# campaign\nseed 7\nheap-oom budget=4096 every=2\n\
+             sched-storm every=3 len=16 period=32\n\
+             detector-panic every=1 limit=2 after=100\nartifact-io every=4 limit=1\n",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert!(!plan.is_empty());
+        // seed 7, every=2: trials with (i + 7) % 2 == 0 → odd i.
+        assert_eq!(plan.for_trial(1, 0).heap_oom_budget, Some(4096));
+        assert_eq!(plan.for_trial(2, 0).heap_oom_budget, None);
+        // detector-panic every=1 hits all trials, attempts 0 and 1 only.
+        assert_eq!(plan.for_trial(2, 1).detector_panic_after, Some(100));
+        assert_eq!(plan.for_trial(2, 2).detector_panic_after, None);
+        // storm: (i + 7) % 3 == 0 → i = 2, 5, 8…
+        let storm = plan.for_trial(2, 0).sched_storm.unwrap();
+        assert_eq!(
+            storm,
+            StormShape {
+                period: 32,
+                len: 16
+            }
+        );
+        assert!(storm.in_storm(0) && storm.in_storm(15));
+        assert!(!storm.in_storm(16) && storm.in_storm(32));
+        // artifact-io: (k + 7) % 4 == 0 → k = 1, 5, …; attempt 0 only.
+        assert!(plan.artifact_io_fails(1, 0));
+        assert!(!plan.artifact_io_fails(1, 1));
+        assert!(!plan.artifact_io_fails(2, 0));
+    }
+
+    #[test]
+    fn for_trial_is_deterministic() {
+        let spec = "detector-panic every=3 limit=1\nheap-oom budget=100\n";
+        let a = FaultPlan::parse(spec).unwrap();
+        let b = FaultPlan::parse(spec).unwrap();
+        for trial in 0..50 {
+            for attempt in 0..3 {
+                assert_eq!(a.for_trial(trial, attempt), b.for_trial(trial, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("frobnicate\n", 1, "unknown directive"),
+            ("seed\n", 1, "seed needs a value"),
+            ("seed banana\n", 1, "bad seed value"),
+            ("seed 1 2\n", 1, "unexpected trailing"),
+            ("# ok\nheap-oom\n", 2, "missing required parameter 'budget'"),
+            ("heap-oom budget=x\n", 1, "bad value"),
+            ("heap-oom budget=1 budget=2\n", 1, "duplicate parameter"),
+            ("detector-panic nonsense\n", 1, "expected key=value"),
+            ("detector-panic color=red\n", 1, "unknown parameter"),
+            ("\ndetector-panic every=0\n", 2, "every=0"),
+        ];
+        for (spec, line, needle) in cases {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert_eq!(err.line, *line, "{spec:?}");
+            assert!(err.message.contains(needle), "{spec:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn classify_recognizes_injected_messages_only() {
+        assert_eq!(
+            FaultSite::classify("injected: heap OOM budget of 64 bytes exceeded"),
+            Some(FaultSite::HeapOom)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: detector panic (trial-armed, action 3)"),
+            Some(FaultSite::DetectorPanic)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: artifact IO error (write 0, attempt 0)"),
+            Some(FaultSite::ArtifactIo)
+        );
+        assert_eq!(FaultSite::classify("index out of bounds"), None);
+        assert_eq!(FaultSite::classify("injected: something else"), None);
+    }
+
+    #[test]
+    fn site_names_are_stable() {
+        assert_eq!(FaultSite::HeapOom.name(), "heap_oom");
+        assert_eq!(FaultSite::SchedStorm.name(), "sched_storm");
+        assert_eq!(FaultSite::DetectorPanic.name(), "detector_panic");
+        assert_eq!(FaultSite::ArtifactIo.name(), "artifact_io");
+    }
+}

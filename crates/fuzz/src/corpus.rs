@@ -71,4 +71,26 @@ mod tests {
         assert!(parse("// seed: banana\nfn main() { }").is_err());
         assert!(parse("// seed: 3\nfn main() { oops").is_err());
     }
+
+    #[test]
+    fn parse_survives_truncated_and_bit_flipped_entries() {
+        // A corpus file that arrives damaged (partial download, disk
+        // corruption) must produce a structured error, never a panic.
+        let program = generate(11, &GenConfig::default());
+        let good = render(11, &["seed 1 rate 0.5: boom".to_string()], &program);
+        for cut in 0..good.len() {
+            if !good.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse(&good[..cut]); // Ok or Err, never a panic
+        }
+        let bytes = good.as_bytes();
+        for i in (0..bytes.len()).step_by(7) {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0x20;
+            if let Ok(text) = String::from_utf8(flipped) {
+                let _ = parse(&text);
+            }
+        }
+    }
 }

@@ -54,6 +54,14 @@ impl FleetReport {
     }
 }
 
+/// The scheduler seed fleet instance `index` runs with: a fixed prime
+/// stride from the base seed, shared by every fleet engine (plain,
+/// observed, and resilient) so their trials — and checkpoint journals —
+/// are interchangeable.
+pub fn fleet_trial_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed.wrapping_add(104_729u64.wrapping_mul(index))
+}
+
 /// Simulates `instances` deployed runs at sampling rate `rate`, each with
 /// its own schedule, aggregating race reports.
 ///
@@ -70,7 +78,7 @@ pub fn simulate_fleet(
         run_trial(
             program,
             DetectorKind::Pacer { rate },
-            base_seed + 104_729 * i as u64,
+            fleet_trial_seed(base_seed, i as u64),
         )
     })?;
     let mut reporters: BTreeMap<RaceKey, u32> = BTreeMap::new();

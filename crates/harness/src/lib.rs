@@ -24,6 +24,14 @@
 //! * [`parallel`] — the deterministic trial engine: multi-trial loops fan
 //!   out over a scoped worker pool ([`parallel::set_jobs`]) and merge in
 //!   trial-index order, so results are bit-identical at any job count;
+//! * [`resilient`] — the crash-resilient layer over [`parallel`]: every
+//!   trial attempt runs under `catch_unwind` with deterministic capped
+//!   retries, persistent failures are *quarantined* instead of aborting
+//!   the campaign, and [`resilient::run_resilient_fleet`] checkpoints
+//!   each completed trial to a journal it can later resume from
+//!   byte-identically (see `RESILIENCE.md`);
+//! * [`journal`] — the append-only, checksummed checkpoint journal
+//!   backing that resume path;
 //! * [`render`] — plain-text tables and data series for every table and
 //!   figure.
 
@@ -33,13 +41,19 @@
 pub mod census;
 pub mod detection;
 pub mod fleet;
+pub mod journal;
 pub mod math;
 pub mod observed;
 pub mod overhead;
 pub mod parallel;
 pub mod render;
+pub mod resilient;
 pub mod space;
 pub mod trials;
 
 pub use detection::{DetectionResult, RaceCensus};
+pub use resilient::{
+    run_resilient_fleet, EngineError, FleetEngineConfig, QuarantineReport, QuarantinedTrial,
+    ResilientFleet, RetryPolicy,
+};
 pub use trials::{num_trials, DetectorKind, RaceKey, TrialResult};

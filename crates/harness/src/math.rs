@@ -23,7 +23,10 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    // total_cmp gives NaN a defined order instead of panicking on it;
+    // wall-clock samples should never be NaN, but a robustness harness
+    // must not fall over if one is.
+    v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
     if v.len() % 2 == 1 {
         v[mid]

@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 
 use pacer_core::{AccordionPacerDetector, PacerDetector};
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_faults::TrialFaults;
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
 use pacer_obs::{Metrics, ObservableDetector, Observed, Registry, RegistryConfig};
@@ -77,10 +78,29 @@ pub fn run_observed_trial(
     seed: u64,
     ring_capacity: usize,
 ) -> Result<ObservedTrial, VmError> {
+    run_observed_trial_with(program, kind, seed, ring_capacity, TrialFaults::default())
+}
+
+/// [`run_observed_trial`] with fault injections armed for this attempt
+/// (the resilient engine's entry point). `TrialFaults::default()` is
+/// exactly `run_observed_trial`.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s, including injected ones.
+pub fn run_observed_trial_with(
+    program: &CompiledProgram,
+    kind: DetectorKind,
+    seed: u64,
+    ring_capacity: usize,
+    faults: TrialFaults,
+) -> Result<ObservedTrial, VmError> {
     match kind {
         DetectorKind::Uninstrumented => {
             // No observable detector: record run-level counters only.
-            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::Off);
+            let cfg = VmConfig::new(seed)
+                .with_instrument(InstrumentMode::Off)
+                .with_faults(faults);
             let mut det = NullDetector;
             let outcome = Vm::run(program, &mut det, &cfg)?;
             let mut registry = Registry::enabled(RegistryConfig { ring_capacity });
@@ -93,27 +113,33 @@ pub fn run_observed_trial(
             })
         }
         DetectorKind::SyncOnly => {
-            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::SyncOnly);
+            let cfg = VmConfig::new(seed)
+                .with_instrument(InstrumentMode::SyncOnly)
+                .with_faults(faults);
             observe(program, &cfg, FastTrackDetector::new(), ring_capacity)
         }
         DetectorKind::Pacer { rate } => {
-            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let cfg = VmConfig::new(seed)
+                .with_sampling_rate(rate)
+                .with_faults(faults);
             observe(program, &cfg, PacerDetector::new(), ring_capacity)
         }
         DetectorKind::PacerAccordion { rate } => {
-            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let cfg = VmConfig::new(seed)
+                .with_sampling_rate(rate)
+                .with_faults(faults);
             observe(program, &cfg, AccordionPacerDetector::new(), ring_capacity)
         }
         DetectorKind::FastTrack => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             observe(program, &cfg, FastTrackDetector::new(), ring_capacity)
         }
         DetectorKind::Generic => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             observe(program, &cfg, GenericDetector::new(), ring_capacity)
         }
         DetectorKind::LiteRace { burst } => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             let lr_cfg = LiteRaceConfig {
                 burst_length: burst,
                 ..LiteRaceConfig::default()
@@ -142,7 +168,7 @@ pub fn simulate_fleet_observed(
         run_observed_trial(
             program,
             DetectorKind::Pacer { rate },
-            base_seed + 104_729 * i as u64,
+            crate::fleet::fleet_trial_seed(base_seed, i as u64),
             ring_capacity,
         )
     })?;

@@ -18,6 +18,12 @@
 //! The worker count is a process-wide setting ([`set_jobs`]) so existing
 //! experiment entry points keep their signatures; the CLI's `--jobs N`
 //! flag writes it once at startup. The default is `1` (fully sequential).
+//!
+//! A panic inside `f` propagates out of `run_indexed` (via
+//! `std::thread::scope`) and takes the whole campaign with it; callers
+//! that need to survive per-trial failures should wrap their closures
+//! with the [`resilient`](crate::resilient) layer, which catches unwinds
+//! per attempt and quarantines persistent failures instead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -68,15 +74,22 @@ where
                     break;
                 }
                 let value = f(i);
-                slots.lock().expect("result mutex poisoned")[i] = Some(value);
+                // The lock only guards a slot assignment, which cannot
+                // panic, so poisoning is recoverable by construction:
+                // the data is always consistent.
+                slots
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())[i] = Some(value);
             });
         }
     });
 
     slots
         .into_inner()
-        .expect("result mutex poisoned")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
+        // Unreachable when a worker dies early: a panic in `f` propagates
+        // out of `thread::scope` above before the slots are read.
         .map(|slot| slot.expect("worker filled every slot"))
         .collect()
 }

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use pacer_core::{PacerDetector, PacerStats};
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_faults::TrialFaults;
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
 use pacer_runtime::{InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig, VmError};
@@ -123,10 +124,28 @@ pub fn run_trial(
     kind: DetectorKind,
     seed: u64,
 ) -> Result<TrialResult, VmError> {
+    run_trial_with(program, kind, seed, TrialFaults::default())
+}
+
+/// [`run_trial`] with fault injections armed for this attempt (the
+/// resilient engine's entry point). `TrialFaults::default()` is exactly
+/// `run_trial`.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s, including injected ones.
+pub fn run_trial_with(
+    program: &CompiledProgram,
+    kind: DetectorKind,
+    seed: u64,
+    faults: TrialFaults,
+) -> Result<TrialResult, VmError> {
     let start = Instant::now();
     match kind {
         DetectorKind::Uninstrumented => {
-            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::Off);
+            let cfg = VmConfig::new(seed)
+                .with_instrument(InstrumentMode::Off)
+                .with_faults(faults);
             let mut det = NullDetector;
             let outcome = Vm::run(program, &mut det, &cfg)?;
             Ok(TrialResult::from_reports(
@@ -139,7 +158,9 @@ pub fn run_trial(
             ))
         }
         DetectorKind::SyncOnly => {
-            let cfg = VmConfig::new(seed).with_instrument(InstrumentMode::SyncOnly);
+            let cfg = VmConfig::new(seed)
+                .with_instrument(InstrumentMode::SyncOnly)
+                .with_faults(faults);
             let mut det = FastTrackDetector::new();
             let outcome = Vm::run(program, &mut det, &cfg)?;
             Ok(TrialResult::from_reports(
@@ -152,7 +173,9 @@ pub fn run_trial(
             ))
         }
         DetectorKind::Pacer { rate } => {
-            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let cfg = VmConfig::new(seed)
+                .with_sampling_rate(rate)
+                .with_faults(faults);
             let mut det = PacerDetector::new();
             let outcome = Vm::run(program, &mut det, &cfg)?;
             Ok(TrialResult::from_reports(
@@ -165,7 +188,9 @@ pub fn run_trial(
             ))
         }
         DetectorKind::PacerAccordion { rate } => {
-            let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+            let cfg = VmConfig::new(seed)
+                .with_sampling_rate(rate)
+                .with_faults(faults);
             let mut det = pacer_core::AccordionPacerDetector::new();
             let outcome = Vm::run(program, &mut det, &cfg)?;
             Ok(TrialResult::from_reports(
@@ -178,7 +203,7 @@ pub fn run_trial(
             ))
         }
         DetectorKind::FastTrack => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             let mut det = FastTrackDetector::new();
             let outcome = Vm::run(program, &mut det, &cfg)?;
             let words = det.footprint_words();
@@ -192,7 +217,7 @@ pub fn run_trial(
             ))
         }
         DetectorKind::Generic => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             let mut det = GenericDetector::new();
             let outcome = Vm::run(program, &mut det, &cfg)?;
             let words = det.footprint_words();
@@ -206,7 +231,7 @@ pub fn run_trial(
             ))
         }
         DetectorKind::LiteRace { burst } => {
-            let cfg = VmConfig::new(seed);
+            let cfg = VmConfig::new(seed).with_faults(faults);
             let lr_cfg = LiteRaceConfig {
                 burst_length: burst,
                 ..LiteRaceConfig::default()

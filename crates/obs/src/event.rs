@@ -64,6 +64,24 @@ pub enum Event {
         /// Live detector metadata in machine words.
         metadata_words: u64,
     },
+    /// An armed fault plan injected a failure into a trial attempt.
+    FaultInjected {
+        /// Fault site name (`pacer_faults::FaultSite::name`).
+        site: String,
+        /// Trial index the fault targeted.
+        trial: u64,
+        /// Zero-based attempt the fault fired on.
+        attempt: u64,
+    },
+    /// A trial exhausted its retry budget and was quarantined.
+    TrialQuarantined {
+        /// Quarantined trial index.
+        trial: u64,
+        /// Attempts consumed (1 + retries).
+        attempts: u64,
+        /// Classified fault site, when the failure was injected.
+        site: Option<String>,
+    },
 }
 
 impl Event {
@@ -76,6 +94,8 @@ impl Event {
             Event::CopyPromotion { .. } => "copy_promotion",
             Event::EscapeElision { .. } => "escape_elision",
             Event::Gc { .. } => "gc",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::TrialQuarantined { .. } => "trial_quarantined",
         }
     }
 
@@ -129,6 +149,30 @@ impl Event {
                 json::field_u64(out, &mut first, "steps", *steps);
                 json::field_u64(out, &mut first, "heap_bytes", *heap_bytes);
                 json::field_u64(out, &mut first, "metadata_words", *metadata_words);
+            }
+            Event::FaultInjected {
+                site,
+                trial,
+                attempt,
+            } => {
+                json::field_str(out, &mut first, "site", site);
+                json::field_u64(out, &mut first, "trial", *trial);
+                json::field_u64(out, &mut first, "attempt", *attempt);
+            }
+            Event::TrialQuarantined {
+                trial,
+                attempts,
+                site,
+            } => {
+                json::field_u64(out, &mut first, "trial", *trial);
+                json::field_u64(out, &mut first, "attempts", *attempts);
+                match site {
+                    Some(s) => json::field_str(out, &mut first, "site", s),
+                    None => {
+                        json::key(out, &mut first, "site");
+                        out.push_str("null");
+                    }
+                }
             }
         }
         out.push_str("}\n");

@@ -149,6 +149,31 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from its serialized parts (the inverse of
+    /// [`write_json`](Self::write_json), used by `Metrics::from_json`).
+    /// `min` is the serialized value, which is 0 for an empty histogram;
+    /// the internal empty sentinel is restored from `count == 0`.
+    pub(crate) fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        bucket_pairs: &[(usize, u64)],
+    ) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        h.min = if count == 0 { u64::MAX } else { min };
+        for &(i, c) in bucket_pairs {
+            if i >= HIST_BUCKETS {
+                return None;
+            }
+            h.buckets[i] = c;
+        }
+        Some(h)
+    }
+
     /// Serializes as a JSON object; only non-empty buckets are listed, as
     /// `[index, count]` pairs in index order.
     pub fn write_json(&self, out: &mut String) {

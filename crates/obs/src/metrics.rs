@@ -3,6 +3,8 @@
 use std::fmt;
 use std::ops::AddAssign;
 
+use pacer_collections::JsonValue;
+
 use crate::hist::{HistKind, Histogram, HIST_COUNT};
 use crate::json;
 use crate::space::SpaceRecord;
@@ -108,6 +110,48 @@ impl FuzzCounters {
     }
 }
 
+/// Counters a fault-injection campaign contributes to a snapshot.
+///
+/// Recorded by the harness's resilient trial engine, not the VM: the
+/// engine sees every attempt's outcome and can classify injected
+/// failures by their `injected:` message prefix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Injected failures that actually fired (across all attempts).
+    pub injected: u64,
+    /// Trials that experienced at least one injected failure.
+    pub hit: u64,
+    /// Retry attempts consumed recovering from failures.
+    pub retried: u64,
+    /// Trials that exhausted retries and were quarantined.
+    pub quarantined: u64,
+}
+
+impl AddAssign for FaultCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.injected += rhs.injected;
+        self.hit += rhs.hit;
+        self.retried += rhs.retried;
+        self.quarantined += rhs.quarantined;
+    }
+}
+
+impl FaultCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "injected", self.injected);
+        json::field_u64(out, &mut first, "hit", self.hit);
+        json::field_u64(out, &mut first, "retried", self.retried);
+        json::field_u64(out, &mut first, "quarantined", self.quarantined);
+        out.push('}');
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
 /// One immutable snapshot of everything the observability layer gathered:
 /// the detector's [`PacerStats`] (Tables 1 and 3), [`RuntimeCounters`],
 /// histograms, the space-over-time curve (Fig. 7), and event-ring totals.
@@ -126,6 +170,8 @@ pub struct Metrics {
     pub runtime: RuntimeCounters,
     /// Differential-fuzzer counters (zero outside `pacer fuzz`).
     pub fuzz: FuzzCounters,
+    /// Fault-injection counters (zero unless a fault plan was armed).
+    pub faults: FaultCounters,
     /// Histograms, indexed by [`HistKind`].
     pub hists: [Histogram; HIST_COUNT],
     /// Space samples in run order (per run, in GC order; merged runs
@@ -151,6 +197,7 @@ impl Metrics {
         self.races_reported += other.races_reported;
         self.runtime += other.runtime;
         self.fuzz += other.fuzz;
+        self.faults += other.faults;
         for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
             h.merge(o);
         }
@@ -179,6 +226,8 @@ impl Metrics {
         self.runtime.write_json(&mut out);
         out.push_str(",\n  \"fuzz\": ");
         self.fuzz.write_json(&mut out);
+        out.push_str(",\n  \"faults\": ");
+        self.faults.write_json(&mut out);
         out.push_str(",\n  \"histograms\": {");
         for (i, kind) in HistKind::ALL.iter().enumerate() {
             if i > 0 {
@@ -207,7 +256,185 @@ impl Metrics {
         out.push_str("}\n}\n");
         out
     }
+
+    /// Parses a snapshot previously serialized by [`to_json`](Self::to_json).
+    ///
+    /// The round-trip is exact — `Metrics::from_json(&m.to_json()) == m` —
+    /// which is what lets a resumed fleet run re-merge checkpointed
+    /// per-instance snapshots into artifacts byte-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MetricsParseError`] (never panics) on truncated,
+    /// garbage, or schema-mismatched input.
+    pub fn from_json(text: &str) -> Result<Metrics, MetricsParseError> {
+        let root = JsonValue::parse(text).map_err(|e| MetricsParseError {
+            message: e.to_string(),
+        })?;
+        let schema = require_u64(&root, "schema")?;
+        if schema != 1 {
+            return Err(MetricsParseError {
+                message: format!("unsupported metrics schema {schema}"),
+            });
+        }
+        let mut m = Metrics {
+            races_reported: require_u64(&root, "races_reported")?,
+            events_recorded: 0,
+            events_dropped: 0,
+            ..Metrics::default()
+        };
+
+        let det = require(&root, "detector")?;
+        m.detector = PacerStats {
+            joins: crate::stats::JoinCounts {
+                sampling_slow: require_u64(det, "joins_sampling_slow")?,
+                sampling_fast: require_u64(det, "joins_sampling_fast")?,
+                non_sampling_slow: require_u64(det, "joins_non_sampling_slow")?,
+                non_sampling_fast: require_u64(det, "joins_non_sampling_fast")?,
+            },
+            copies: crate::stats::CopyCounts {
+                sampling_deep: require_u64(det, "copies_sampling_deep")?,
+                sampling_shallow: require_u64(det, "copies_sampling_shallow")?,
+                non_sampling_deep: require_u64(det, "copies_non_sampling_deep")?,
+                non_sampling_shallow: require_u64(det, "copies_non_sampling_shallow")?,
+            },
+            reads: crate::stats::PathCounts {
+                sampling_slow: require_u64(det, "reads_sampling_slow")?,
+                non_sampling_slow: require_u64(det, "reads_non_sampling_slow")?,
+                non_sampling_fast: require_u64(det, "reads_non_sampling_fast")?,
+            },
+            writes: crate::stats::PathCounts {
+                sampling_slow: require_u64(det, "writes_sampling_slow")?,
+                non_sampling_slow: require_u64(det, "writes_non_sampling_slow")?,
+                non_sampling_fast: require_u64(det, "writes_non_sampling_fast")?,
+            },
+            cow_clones: require_u64(det, "cow_clones")?,
+            sample_periods: require_u64(det, "sample_periods")?,
+            sampled_sync_ops: require_u64(det, "sampled_sync_ops")?,
+            unsampled_sync_ops: require_u64(det, "unsampled_sync_ops")?,
+        };
+
+        let rt = require(&root, "runtime")?;
+        m.runtime = RuntimeCounters {
+            trials: require_u64(rt, "trials")?,
+            steps: require_u64(rt, "steps")?,
+            gcs: require_u64(rt, "gcs")?,
+            full_gcs: require_u64(rt, "full_gcs")?,
+            elided_accesses: require_u64(rt, "elided_accesses")?,
+            allocated_bytes: require_u64(rt, "allocated_bytes")?,
+            threads_started: require_u64(rt, "threads_started")?,
+            max_live_threads: require_u64(rt, "max_live_threads")?,
+        };
+
+        let fz = require(&root, "fuzz")?;
+        m.fuzz = FuzzCounters {
+            programs: require_u64(fz, "programs")?,
+            vm_runs: require_u64(fz, "vm_runs")?,
+            vm_errors: require_u64(fz, "vm_errors")?,
+            truth_races: require_u64(fz, "truth_races")?,
+            violations: require_u64(fz, "violations")?,
+            shrink_attempts: require_u64(fz, "shrink_attempts")?,
+            shrink_successes: require_u64(fz, "shrink_successes")?,
+        };
+
+        // `faults` is absent from pre-resilience snapshots; default it.
+        if let Some(ft) = root.get("faults") {
+            m.faults = FaultCounters {
+                injected: require_u64(ft, "injected")?,
+                hit: require_u64(ft, "hit")?,
+                retried: require_u64(ft, "retried")?,
+                quarantined: require_u64(ft, "quarantined")?,
+            };
+        }
+
+        let hists = require(&root, "histograms")?;
+        for kind in HistKind::ALL {
+            let h = require(hists, kind.name())?;
+            let mut pairs = Vec::new();
+            for pair in require(h, "buckets")?
+                .as_array()
+                .ok_or_else(|| bad("buckets"))?
+            {
+                let pair = pair.as_array().ok_or_else(|| bad("bucket pair"))?;
+                if pair.len() != 2 {
+                    return Err(bad("bucket pair arity"));
+                }
+                let i = pair[0].as_u64().ok_or_else(|| bad("bucket index"))?;
+                let c = pair[1].as_u64().ok_or_else(|| bad("bucket count"))?;
+                pairs.push((i as usize, c));
+            }
+            m.hists[kind.index()] = Histogram::from_parts(
+                require_u64(h, "count")?,
+                require_u64(h, "sum")?,
+                require_u64(h, "min")?,
+                require_u64(h, "max")?,
+                &pairs,
+            )
+            .ok_or_else(|| bad("bucket index out of range"))?;
+        }
+
+        for rec in require(&root, "space")?
+            .as_array()
+            .ok_or_else(|| bad("space"))?
+        {
+            m.space.push(SpaceRecord {
+                steps: require_u64(rec, "steps")?,
+                heap_bytes: require_u64(rec, "heap_bytes")?,
+                breakdown: crate::space::SpaceBreakdown {
+                    clock_words_shared: require_u64(rec, "clock_words_shared")?,
+                    clock_words_owned: require_u64(rec, "clock_words_owned")?,
+                    version_words: require_u64(rec, "version_words")?,
+                    write_words: require_u64(rec, "write_words")?,
+                    read_map_words: require_u64(rec, "read_map_words")?,
+                    other_words: require_u64(rec, "other_words")?,
+                    read_map_entries: require_u64(rec, "read_map_entries")?,
+                    tracked_vars: require_u64(rec, "tracked_vars")?,
+                },
+            });
+        }
+
+        let ev = require(&root, "events")?;
+        m.events_recorded = require_u64(ev, "recorded")?;
+        m.events_dropped = require_u64(ev, "dropped")?;
+        Ok(m)
+    }
 }
+
+fn bad(what: &str) -> MetricsParseError {
+    MetricsParseError {
+        message: format!("malformed metrics field: {what}"),
+    }
+}
+
+fn require<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, MetricsParseError> {
+    obj.get(key).ok_or_else(|| MetricsParseError {
+        message: format!("missing metrics key '{key}'"),
+    })
+}
+
+fn require_u64(obj: &JsonValue, key: &str) -> Result<u64, MetricsParseError> {
+    require(obj, key)?
+        .as_u64()
+        .ok_or_else(|| MetricsParseError {
+            message: format!("metrics key '{key}' is not an unsigned integer"),
+        })
+}
+
+/// A structured error from [`Metrics::from_json`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsParseError {
+    /// What was missing or malformed.
+    pub message: String,
+}
+
+impl fmt::Display for MetricsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metrics parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MetricsParseError {}
 
 fn write_stats_json(s: &PacerStats, out: &mut String) {
     let pairs: [(&str, u64); 18] = [
@@ -333,6 +560,14 @@ impl fmt::Display for Metrics {
                 fz.shrink_attempts
             )?;
         }
+        if !self.faults.is_zero() {
+            let ft = &self.faults;
+            writeln!(
+                f,
+                "faults: injected={} hit={} retried={} quarantined={}",
+                ft.injected, ft.hit, ft.retried, ft.quarantined
+            )?;
+        }
         write!(
             f,
             "space: {} samples, peak metadata {} words",
@@ -400,6 +635,77 @@ mod tests {
             !Metrics::default().to_string().contains("fuzz:"),
             "non-fuzz snapshots stay quiet"
         );
+    }
+
+    #[test]
+    fn fault_counters_merge_serialize_and_gate_display() {
+        let mut m = sample_metrics();
+        m.faults = FaultCounters {
+            injected: 4,
+            hit: 3,
+            retried: 2,
+            quarantined: 1,
+        };
+        let mut merged = m.clone();
+        merged.merge(&m);
+        assert_eq!(merged.faults.injected, 8);
+        assert_eq!(merged.faults.quarantined, 2);
+        assert!(m
+            .to_json()
+            .contains("\"faults\": {\"injected\":4,\"hit\":3"));
+        assert!(m
+            .to_string()
+            .contains("faults: injected=4 hit=3 retried=2 quarantined=1"));
+        assert!(
+            !Metrics::default().to_string().contains("faults:"),
+            "fault-free snapshots stay quiet"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut m = sample_metrics();
+        m.faults.injected = 7;
+        m.faults.quarantined = 2;
+        m.hists[HistKind::GcHeapBytes.index()].record(0);
+        m.hists[HistKind::GcHeapBytes.index()].record(u64::MAX);
+        let parsed = Metrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(
+            parsed.to_json(),
+            m.to_json(),
+            "re-emission is byte-identical"
+        );
+        // Empty snapshots round-trip too (empty-histogram min sentinel).
+        let empty = Metrics::default();
+        assert_eq!(Metrics::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_input_without_panicking() {
+        let good = sample_metrics().to_json();
+        // Truncations at every prefix length (the serialized form ends
+        // "}\n", so every prefix short of the final "}" is incomplete).
+        for cut in 0..good.len() - 1 {
+            assert!(
+                Metrics::from_json(&good[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        // Bit flips anywhere must never panic (they may still parse when
+        // the flip lands in a digit).
+        for i in (0..good.len()).step_by(7) {
+            let mut bytes = good.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            if let Ok(text) = std::str::from_utf8(&bytes) {
+                let _ = Metrics::from_json(text);
+            }
+        }
+        // Structured failures carry messages.
+        let err = Metrics::from_json("{\"schema\": 2}").unwrap_err();
+        assert!(err.to_string().contains("unsupported metrics schema 2"));
+        let err = Metrics::from_json("not json at all").unwrap_err();
+        assert!(err.to_string().contains("json error"));
     }
 
     #[test]

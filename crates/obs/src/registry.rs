@@ -2,7 +2,7 @@
 
 use crate::event::{Event, EventRing};
 use crate::hist::{HistKind, Histogram, HIST_COUNT};
-use crate::metrics::{FuzzCounters, Metrics, RuntimeCounters};
+use crate::metrics::{FaultCounters, FuzzCounters, Metrics, RuntimeCounters};
 use crate::space::SpaceRecord;
 use crate::stats::PacerStats;
 
@@ -52,6 +52,7 @@ pub struct Registry {
     races_reported: u64,
     runtime: RuntimeCounters,
     fuzz: FuzzCounters,
+    faults: FaultCounters,
 }
 
 impl Default for Registry {
@@ -83,6 +84,7 @@ impl Registry {
             races_reported: 0,
             runtime: RuntimeCounters::default(),
             fuzz: FuzzCounters::default(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -150,6 +152,13 @@ impl Registry {
         }
     }
 
+    /// Accumulates a fault-injection campaign's counters.
+    pub fn add_faults(&mut self, counters: FaultCounters) {
+        if self.enabled {
+            self.faults += counters;
+        }
+    }
+
     /// Takes an immutable [`Metrics`] snapshot of everything recorded.
     pub fn metrics(&self) -> Metrics {
         Metrics {
@@ -157,6 +166,7 @@ impl Registry {
             races_reported: self.races_reported,
             runtime: self.runtime,
             fuzz: self.fuzz,
+            faults: self.faults,
             hists: self.hists.clone(),
             space: self.space.clone(),
             events_recorded: self.ring.recorded(),

@@ -6,6 +6,7 @@ use std::fmt;
 use pacer_prng::Rng;
 
 use pacer_clock::ThreadId;
+use pacer_faults::{StormShape, TrialFaults, INJECTED_PREFIX};
 use pacer_lang::ir::{BinOp, CompiledProgram, Instr};
 use pacer_trace::{Action, ActionStats, Detector, LockId, RaceReport, VolatileId};
 
@@ -74,6 +75,9 @@ pub struct VmConfig {
     pub max_steps: u64,
     /// Instrumentation level.
     pub instrument: InstrumentMode,
+    /// Armed fault injections for this run (resilience testing). `None`
+    /// costs a single branch per check site — the zero-cost default.
+    pub faults: Option<TrialFaults>,
 }
 
 impl VmConfig {
@@ -89,6 +93,7 @@ impl VmConfig {
             metadata_bytes_per_sampled_access: 8,
             max_steps: 200_000_000,
             instrument: InstrumentMode::Full,
+            faults: None,
         }
     }
 
@@ -115,6 +120,16 @@ impl VmConfig {
         self.nursery_bytes = bytes;
         self
     }
+
+    /// Arms fault injections for this run.
+    pub fn with_faults(mut self, faults: TrialFaults) -> Self {
+        self.faults = if faults.is_clear() {
+            None
+        } else {
+            Some(faults)
+        };
+        self
+    }
 }
 
 /// A runtime error.
@@ -130,6 +145,9 @@ pub enum VmError {
     StepLimit(u64),
     /// Internal stack underflow (a compiler bug if it ever fires).
     StackUnderflow,
+    /// Simulated allocator exhaustion from an armed fault plan: the
+    /// heap's cumulative allocation exceeded the injected byte budget.
+    InjectedOom(u64),
 }
 
 impl fmt::Display for VmError {
@@ -140,6 +158,12 @@ impl fmt::Display for VmError {
             VmError::Deadlock => write!(f, "deadlock: all live threads blocked"),
             VmError::StepLimit(n) => write!(f, "step limit exceeded after {n} instructions"),
             VmError::StackUnderflow => write!(f, "operand stack underflow"),
+            VmError::InjectedOom(budget) => {
+                write!(
+                    f,
+                    "{INJECTED_PREFIX}heap OOM budget of {budget} bytes exceeded"
+                )
+            }
         }
     }
 }
@@ -190,6 +214,9 @@ pub struct RunOutcome {
     pub threads_started: usize,
     /// Maximum simultaneously live threads.
     pub max_live_threads: usize,
+    /// Scheduling turns run with a storm-forced quantum of 1 (zero when
+    /// no `sched-storm` fault was armed).
+    pub fault_storm_turns: u64,
 }
 
 impl RunOutcome {
@@ -255,6 +282,14 @@ pub struct Vm<'p, D: Detector> {
     full_gc_count: u64,
     space_samples: Vec<SpaceSample>,
     max_live: usize,
+    /// Armed faults, copied out of the config; `None` on every normal run.
+    faults: Option<TrialFaults>,
+    /// Detector actions forwarded so far (detector-panic fault trigger).
+    detector_actions: u64,
+    /// Scheduling turns taken (sched-storm window position).
+    sched_turns: u64,
+    /// Scheduling turns whose quantum was storm-forced to 1.
+    storm_turns: u64,
 }
 
 impl<'p, D: Detector> Vm<'p, D> {
@@ -316,6 +351,10 @@ impl<'p, D: Detector> Vm<'p, D> {
             full_gc_count: 0,
             space_samples: Vec::new(),
             max_live: 1,
+            faults: config.faults,
+            detector_actions: 0,
+            sched_turns: 0,
+            storm_turns: 0,
         };
 
         // Treat run start as a collection boundary so the first window is
@@ -343,6 +382,7 @@ impl<'p, D: Detector> Vm<'p, D> {
             total_allocated: vm.heap.total_allocated(),
             threads_started: vm.threads.len(),
             max_live_threads: vm.max_live,
+            fault_storm_turns: vm.storm_turns,
         })
     }
 
@@ -386,12 +426,22 @@ impl<'p, D: Detector> Vm<'p, D> {
             }
             let ti = enabled[self.rng.gen_range(0..enabled.len())];
             self.threads[ti].state = ThreadState::Runnable;
-            let quantum = self.rng.gen_range(1..=self.config.max_quantum);
+            let mut quantum = self.rng.gen_range(1..=self.config.max_quantum);
+            if let Some(faults) = self.faults {
+                quantum = self.storm_quantum(faults.sched_storm, quantum);
+            }
             for _ in 0..quantum {
                 if !matches!(self.threads[ti].state, ThreadState::Runnable) {
                     break;
                 }
                 self.step(ti as u32, probe)?;
+                if let Some(faults) = self.faults {
+                    if let Some(budget) = faults.heap_oom_budget {
+                        if self.heap.total_allocated() > budget {
+                            return Err(VmError::InjectedOom(budget));
+                        }
+                    }
+                }
                 if self.steps > self.config.max_steps {
                     return Err(VmError::StepLimit(self.steps));
                 }
@@ -399,10 +449,39 @@ impl<'p, D: Detector> Vm<'p, D> {
         }
     }
 
+    /// Applies an armed preemption storm: within each storm window the
+    /// quantum is forced to 1, maximizing interleaving pressure.
+    fn storm_quantum(&mut self, storm: Option<StormShape>, quantum: u32) -> u32 {
+        let turn = self.sched_turns;
+        self.sched_turns += 1;
+        match storm {
+            Some(shape) if shape.in_storm(turn) => {
+                self.storm_turns += 1;
+                1
+            }
+            _ => quantum,
+        }
+    }
+
+    /// Forwards one action to the detector, firing an armed
+    /// detector-panic fault first. The panic unwinds out of the VM and
+    /// is caught by the harness's resilient trial engine.
+    fn forward_to_detector(&mut self, action: &Action) {
+        if let Some(faults) = self.faults {
+            if let Some(after) = faults.detector_panic_after {
+                if self.detector_actions >= after {
+                    panic!("{INJECTED_PREFIX}detector panic (trial-armed, action {after})");
+                }
+            }
+        }
+        self.detector_actions += 1;
+        self.detector.on_action(action);
+    }
+
     fn emit_marker(&mut self, action: Action) {
         self.stats.count(&action);
         if matches!(self.config.instrument, InstrumentMode::Full) {
-            self.detector.on_action(&action);
+            self.forward_to_detector(&action);
         }
     }
 
@@ -410,7 +489,7 @@ impl<'p, D: Detector> Vm<'p, D> {
         self.stats.count(&action);
         self.sampler.count_sync();
         if !matches!(self.config.instrument, InstrumentMode::Off) {
-            self.detector.on_action(&action);
+            self.forward_to_detector(&action);
         }
     }
 
@@ -423,7 +502,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                 self.heap
                     .charge(self.config.metadata_bytes_per_sampled_access, false);
             }
-            self.detector.on_action(&action);
+            self.forward_to_detector(&action);
         }
     }
 
@@ -809,6 +888,107 @@ mod tests {
         let cfg = VmConfig::new(seed);
         let outcome = Vm::run(&compiled, &mut det, &cfg).unwrap();
         (outcome, det)
+    }
+
+    const SPAWNY: &str = "
+        shared x; lock m;
+        fn worker() {
+            let i = 0;
+            while (i < 20) {
+                sync m { x = x + 1; }
+                i = i + 1;
+            }
+        }
+        fn main() {
+            let a = spawn worker();
+            let b = spawn worker();
+            join a; join b;
+            return x;
+        }
+    ";
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        pacer_lang::compile(&pacer_lang::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn injected_heap_oom_fires_on_budget() {
+        // Allocates ~10 objects (~480 bytes), comfortably past the budget.
+        let compiled = compile_src(
+            "
+            fn main() {
+                let i = 0;
+                while (i < 10) {
+                    let o = new obj;
+                    o.a = i;
+                    i = i + 1;
+                }
+                return i;
+            }
+        ",
+        );
+        let faults = TrialFaults {
+            heap_oom_budget: Some(64),
+            ..TrialFaults::default()
+        };
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(3).with_faults(faults);
+        let err = Vm::run(&compiled, &mut det, &cfg).unwrap_err();
+        assert_eq!(err, VmError::InjectedOom(64));
+        assert!(err.to_string().starts_with(INJECTED_PREFIX));
+    }
+
+    #[test]
+    fn injected_detector_panic_unwinds_with_marked_payload() {
+        let compiled = compile_src(SPAWNY);
+        let faults = TrialFaults {
+            detector_panic_after: Some(5),
+            ..TrialFaults::default()
+        };
+        let result = std::panic::catch_unwind(|| {
+            let mut det = FastTrackDetector::new();
+            let cfg = VmConfig::new(3).with_faults(faults);
+            Vm::run(&compiled, &mut det, &cfg)
+        });
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a formatted String");
+        assert!(
+            message.starts_with(INJECTED_PREFIX) && message.contains("detector panic"),
+            "payload self-identifies: {message}"
+        );
+    }
+
+    #[test]
+    fn sched_storm_forces_short_quanta_and_is_counted() {
+        let compiled = compile_src(SPAWNY);
+        let faults = TrialFaults {
+            sched_storm: Some(StormShape { period: 4, len: 2 }),
+            ..TrialFaults::default()
+        };
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(3).with_faults(faults);
+        let out = Vm::run(&compiled, &mut det, &cfg).unwrap();
+        assert_eq!(
+            out.main_result,
+            Value::Int(40),
+            "storms change timing, not results"
+        );
+        assert!(out.fault_storm_turns > 0, "storm windows were entered");
+    }
+
+    #[test]
+    fn unarmed_faults_change_nothing() {
+        let compiled = compile_src(SPAWNY);
+        let mut det = FastTrackDetector::new();
+        let base = Vm::run(&compiled, &mut det, &VmConfig::new(9)).unwrap();
+        let mut det2 = FastTrackDetector::new();
+        let cfg = VmConfig::new(9).with_faults(TrialFaults::default());
+        let armed = Vm::run(&compiled, &mut det2, &cfg).unwrap();
+        assert_eq!(base.steps, armed.steps);
+        assert_eq!(base.main_result, armed.main_result);
+        assert_eq!(armed.fault_storm_turns, 0);
     }
 
     #[test]

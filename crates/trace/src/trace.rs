@@ -123,13 +123,15 @@ impl Trace {
         out
     }
 
-    /// Writes the trace to a file in the text fixture format.
+    /// Writes the trace to a file in the text fixture format. The write
+    /// is atomic (write-temp-then-rename): a crash mid-save never leaves
+    /// a truncated trace behind.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from creating or writing the file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        pacer_collections::atomic_write(path, self.to_text())
     }
 
     /// Reads a trace from a file in the text fixture format.
@@ -580,5 +582,35 @@ mod tests {
     fn load_missing_file_is_not_found() {
         let err = Trace::load("/nonexistent/pacer.trace").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn parse_survives_truncated_and_bit_flipped_traces() {
+        // A trace file that arrives damaged must produce a structured
+        // parse error, never a panic.
+        let trace = Trace::from_actions(vec![
+            Action::Fork { t: t(0), u: t(1) },
+            Action::SampleBegin,
+            rd(1, 2),
+            Action::Write {
+                t: t(1),
+                x: VarId::new(2),
+                site: SiteId::new(1),
+            },
+            Action::SampleEnd,
+            Action::Join { t: t(0), u: t(1) },
+        ]);
+        let good = trace.to_text();
+        for cut in 0..good.len() {
+            let _ = Trace::parse(&good[..cut]); // Ok or Err, never a panic
+        }
+        let bytes = good.as_bytes();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0x04;
+            if let Ok(text) = String::from_utf8(flipped) {
+                let _ = Trace::parse(&text);
+            }
+        }
     }
 }

@@ -5,7 +5,9 @@ use pacer_cli::run;
 
 fn cli(list: &[&str]) -> String {
     let args: Vec<String> = list.iter().map(|s| s.to_string()).collect();
-    run(&args).unwrap_or_else(|e| panic!("pacer {list:?} failed: {e}"))
+    run(&args)
+        .unwrap_or_else(|e| panic!("pacer {list:?} failed: {e}"))
+        .text
 }
 
 fn repo_path(rel: &str) -> String {

@@ -1,0 +1,177 @@
+//! End-to-end resilience acceptance tests, via the `pacer` CLI: a fault
+//! campaign completes deterministically with quarantines (exit code 2),
+//! and a killed-then-resumed fleet reproduces its artifacts byte for
+//! byte (see RESILIENCE.md).
+
+use pacer_cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// A racy workload that also allocates, so `heap-oom` budgets trigger.
+const RACY_ALLOCATING: &str = "
+    shared x;
+    fn w() {
+        let i = 0;
+        while (i < 50) {
+            let o = new obj;
+            o.f = i;
+            x = x + 1;
+            i = i + 1;
+        }
+    }
+    fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+";
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pacer-resilience-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn fault_campaign_completes_with_deterministic_quarantines() {
+    let dir = temp_dir("campaign");
+    let program = write(&dir, "racy.pl", RACY_ALLOCATING);
+    // detector-panic targets trials 0, 3, 6; heap-oom targets 0 and 4.
+    // Both fire on every attempt, so the targeted trials exhaust their
+    // retries and quarantine: {0, 3, 4, 6}.
+    let plan = write(
+        &dir,
+        "campaign.plan",
+        "detector-panic every=3\nheap-oom budget=64 every=4\n",
+    );
+    let base = &[
+        "fleet",
+        &program,
+        "--instances",
+        "8",
+        "--rate",
+        "0.25",
+        "--seed",
+        "3",
+        "--fault-plan",
+        &plan,
+        "--max-retries",
+        "1",
+    ];
+
+    let seq = run(&args(&[base, &["--jobs", "1"][..]].concat())).unwrap();
+    let par = run(&args(&[base, &["--jobs", "4"][..]].concat())).unwrap();
+
+    assert_eq!(seq.code, 2, "completed-with-quarantines exits 2: {seq}");
+    assert!(
+        seq.contains("quarantined=4"),
+        "trials 0, 3, 4, 6 quarantine: {seq}"
+    );
+    for trial in ["trial 0 ", "trial 3 ", "trial 4 ", "trial 6 "] {
+        assert!(seq.contains(trial), "missing {trial}: {seq}");
+    }
+    assert!(
+        seq.contains("injected: "),
+        "failures carry the marker: {seq}"
+    );
+    assert_eq!(seq, par, "fault campaigns are byte-identical at any --jobs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_fleet_resumes_byte_identically() {
+    let dir = temp_dir("resume");
+    let program = write(&dir, "racy.pl", RACY_ALLOCATING);
+    let journal = dir.join("fleet.journal").to_string_lossy().into_owned();
+    let fleet = |extra: &[&str]| {
+        let head = [
+            "fleet",
+            program.as_str(),
+            "--instances",
+            "6",
+            "--rate",
+            "0.25",
+            "--seed",
+            "7",
+        ];
+        run(&args(&[&head[..], extra].concat())).unwrap()
+    };
+    let artifacts = |tag: &str| {
+        let m = dir
+            .join(format!("{tag}.json"))
+            .to_string_lossy()
+            .into_owned();
+        let t = dir
+            .join(format!("{tag}.jsonl"))
+            .to_string_lossy()
+            .into_owned();
+        (m, t)
+    };
+
+    // Reference: one uninterrupted observed run.
+    let (m_full, t_full) = artifacts("full");
+    fleet(&["--metrics-out", &m_full, "--trace-out", &t_full]);
+
+    // "Crash": checkpoint a run, then chop the journal mid-entry, as a
+    // kill -9 during an append would.
+    let (m_tmp, t_tmp) = artifacts("tmp");
+    fleet(&[
+        "--checkpoint",
+        &journal,
+        "--metrics-out",
+        &m_tmp,
+        "--trace-out",
+        &t_tmp,
+    ]);
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 300, "journal has content");
+    std::fs::write(&journal, &bytes[..bytes.len() - 300]).unwrap();
+
+    // Resume: only the missing trials re-run, and the merged artifacts
+    // are byte-identical to the uninterrupted run's.
+    let (m_res, t_res) = artifacts("res");
+    let resumed = fleet(&[
+        "--resume",
+        &journal,
+        "--metrics-out",
+        &m_res,
+        "--trace-out",
+        &t_res,
+    ]);
+    assert_eq!(resumed.code, 0);
+    assert!(resumed.contains("resumed"), "{resumed}");
+    assert_eq!(
+        std::fs::read_to_string(&m_full).unwrap(),
+        std::fs::read_to_string(&m_res).unwrap(),
+        "metrics snapshot is byte-identical after kill + resume"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&t_full).unwrap(),
+        std::fs::read_to_string(&t_res).unwrap(),
+        "event trace is byte-identical after kill + resume"
+    );
+
+    // A second resume finds the journal complete and re-runs nothing,
+    // still reproducing the same artifacts.
+    let (m_again, t_again) = artifacts("again");
+    let again = fleet(&[
+        "--resume",
+        &journal,
+        "--metrics-out",
+        &m_again,
+        "--trace-out",
+        &t_again,
+    ]);
+    assert!(again.contains("resumed 6 completed trial(s)"), "{again}");
+    assert_eq!(
+        std::fs::read_to_string(&m_full).unwrap(),
+        std::fs::read_to_string(&m_again).unwrap()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
