@@ -109,6 +109,42 @@ cmp -s "$RESDIR/full.jsonl" "$RESDIR/res.jsonl" || {
     exit 1
 }
 
+# Graceful-degradation smoke (RESILIENCE.md "Graceful degradation"): a
+# heavy workload under a heap-oom plan with an armed governor must finish
+# the campaign (exit 0 or 2 — degraded/cancelled, never a hard failure)
+# with nonzero governor counters in the metrics snapshot.
+echo "== pacer fleet governor smoke"
+cat > "$RESDIR/heavy.pl" <<'PROGRAM'
+shared x;
+fn w() {
+    let i = 0;
+    while (i < 800) { let o = new obj; o.f = i; x = x + 1; i = i + 1; }
+}
+fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+PROGRAM
+printf 'heap-oom budget=6000 every=1\n' > "$RESDIR/oom.plan"
+rc=0
+./target/release/pacer fleet "$RESDIR/heavy.pl" --instances 4 --rate 0.25 \
+    --seed 11 --fault-plan "$RESDIR/oom.plan" --max-retries 1 \
+    --mem-budget 100000000 --metrics-out "$RESDIR/gov.json" \
+    --jobs 4 > "$RESDIR/gov.out" || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+    echo "governed campaign: expected exit 0 or 2, got $rc" >&2
+    exit 1
+fi
+grep -q "quarantined=0" "$RESDIR/gov.out" || {
+    echo "governed campaign: expected zero quarantines (degradation instead)" >&2
+    exit 1
+}
+grep -q '"governor": {"steps_down":0,' "$RESDIR/gov.json" && {
+    echo "governed campaign: expected nonzero governor counters in metrics" >&2
+    exit 1
+}
+grep -q '"governor": {"steps_down":' "$RESDIR/gov.json" || {
+    echo "governed campaign: metrics snapshot is missing the governor block" >&2
+    exit 1
+}
+
 if [ "${1:-}" = "--quick" ]; then
     echo "== skipping bench smoke (--quick)"
     exit 0

@@ -4,6 +4,8 @@
 //! reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]
 //!           [--metrics-out PATH] [--trace-out PATH]
 //!           [--checkpoint JOURNAL] [--resume JOURNAL]
+//!           [--mem-budget BYTES] [--deadline-events N]
+//!           [--rate-ladder-governor R,R,...]
 //!
 //! EXPERIMENT: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!             fig10 fleet ablation all      (default: all)
@@ -21,6 +23,12 @@
 //! --resume JOURNAL: reprint finished experiments from the journal and
 //!           run only the missing ones; keeps checkpointing to the same
 //!           journal unless --checkpoint names another path
+//! --mem-budget / --deadline-events: arm the resource governor for the
+//!           observability pass (RESILIENCE.md, 'Graceful degradation'):
+//!           hard budgets on detector metadata bytes / executed steps,
+//!           enforced by stepping the sampling rate down a ladder at GC
+//!           boundaries (--rate-ladder-governor overrides the default
+//!           halving ladder)
 //! ```
 
 use std::collections::BTreeMap;
@@ -40,6 +48,9 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut mem_budget: Option<u64> = None;
+    let mut deadline_events: Option<u64> = None;
+    let mut governor_ladder: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -80,6 +91,36 @@ fn main() -> ExitCode {
                     Some(path) => resume = Some(path.clone()),
                     None => {
                         eprintln!("--resume requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--mem-budget" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(bytes) if bytes > 0 => mem_budget = Some(bytes),
+                    _ => {
+                        eprintln!("--mem-budget requires a positive byte count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--deadline-events" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(steps) if steps > 0 => deadline_events = Some(steps),
+                    _ => {
+                        eprintln!("--deadline-events requires a positive step count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--rate-ladder-governor" => {
+                i += 1;
+                match args.get(i) {
+                    Some(spec) => governor_ladder = Some(spec.clone()),
+                    None => {
+                        eprintln!("--rate-ladder-governor requires a comma-separated list");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -183,8 +224,41 @@ fn main() -> ExitCode {
         }
     }
 
+    // The governor arms the observability pass: budgets only make sense
+    // where a detector is running under the metrics layer.
+    let governor = if mem_budget.is_some() || deadline_events.is_some() {
+        let mut g = pacer_governor::GovernorConfig::for_rate(0.03);
+        g.mem_budget_bytes = mem_budget;
+        g.deadline_events = deadline_events;
+        if let Some(spec) = &governor_ladder {
+            match pacer_governor::parse_ladder(spec) {
+                Ok(ladder) => g.ladder = ladder,
+                Err(e) => {
+                    eprintln!("--rate-ladder-governor: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = g.validate() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        Some(g)
+    } else {
+        if governor_ladder.is_some() {
+            eprintln!("--rate-ladder-governor requires --mem-budget or --deadline-events");
+            return ExitCode::FAILURE;
+        }
+        None
+    };
+
     if metrics_out.is_some() || trace_out.is_some() {
-        if let Err(msg) = write_observability(&cfg, metrics_out.as_deref(), trace_out.as_deref()) {
+        if let Err(msg) = write_observability(
+            &cfg,
+            metrics_out.as_deref(),
+            trace_out.as_deref(),
+            governor.as_ref(),
+        ) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
@@ -297,20 +371,42 @@ fn write_observability(
     cfg: &ExpConfig,
     metrics_out: Option<&str>,
     trace_out: Option<&str>,
+    governor: Option<&pacer_governor::GovernorConfig>,
 ) -> Result<(), String> {
     let mut metrics = pacer_obs::Metrics::default();
     let mut jsonl = String::new();
+    let mut counters = pacer_obs::GovernorCounters::default();
     for w in pacer_workloads::all(cfg.scale) {
-        let trial = pacer_harness::observed::run_observed_trial(
+        let trial = pacer_harness::observed::run_observed_trial_governed(
             &w.compiled(),
             pacer_harness::DetectorKind::Pacer { rate: 0.03 },
             cfg.base_seed,
             65_536,
+            pacer_faults::TrialFaults::default(),
+            governor,
         )
         .map_err(|e| format!("observed trial of {} failed: {e}", w.name))?;
         metrics.merge(&trial.metrics);
         jsonl.push_str(&trial.events_jsonl);
+        if let Some(g) = &trial.governor {
+            counters.steps_down += g.steps_down;
+            counters.steps_up += g.steps_up;
+            counters.breaches += g.breaches;
+            if g.degraded() {
+                counters.degraded += 1;
+            }
+            if g.cancelled.is_some() {
+                counters.cancelled += 1;
+                eprintln!(
+                    "governor cancelled the {} trial at floor rate {} millionths",
+                    w.name, g.final_rate_millionths
+                );
+            }
+        }
     }
+    // Governor activity is a campaign-level roll-up, mirroring the fleet
+    // engine's merge.
+    metrics.governor = counters;
     if let Some(path) = metrics_out {
         pacer_collections::atomic_write(path, metrics.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -329,6 +425,8 @@ fn print_usage() {
         "usage: reproduce [EXPERIMENT..] [--quick|--small|--full] [--seed N] [--jobs N]\n\
          \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          \x20                [--checkpoint JOURNAL] [--resume JOURNAL]\n\
+         \x20                [--mem-budget BYTES] [--deadline-events N]\n\
+         \x20                [--rate-ladder-governor R,R,...]\n\
          experiments: {} all",
         Experiment::ALL
             .iter()

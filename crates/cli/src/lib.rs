@@ -28,8 +28,14 @@
 //!     a deterministic fault-injection campaign, --checkpoint JOURNAL
 //!     appends each completed trial to a journal, and --resume JOURNAL
 //!     restores completed trials from one (an interrupted-then-resumed
-//!     run is byte-identical to an uninterrupted one). Exit code 0 is a
-//!     clean campaign, 2 is completed-with-quarantines, 1 a hard error.
+//!     run is byte-identical to an uninterrupted one). --mem-budget /
+//!     --deadline-events arm the resource governor: hard budgets on
+//!     detector metadata bytes and executed steps, enforced at GC
+//!     boundaries by stepping the sampling rate down a ladder
+//!     (--rate-ladder-governor overrides the default halving ladder),
+//!     with cooperative cancellation only at the floor. Exit code 0 is
+//!     a clean campaign (including rate-degraded trials), 2 is
+//!     completed-with-quarantines-or-cancellations, 1 a hard error.
 //! pacer stats <file> [--rate R] [--seed N] [--detector D]
 //!     Run once under the observability layer and print the Table 3-style
 //!     operation breakdown, space accounting, and escape-analysis
@@ -132,6 +138,9 @@ struct Options {
     max_retries: u32,
     checkpoint: Option<String>,
     resume: Option<String>,
+    mem_budget: Option<u64>,
+    deadline_events: Option<u64>,
+    governor_ladder: Option<String>,
 }
 
 impl Default for Options {
@@ -152,6 +161,9 @@ impl Default for Options {
             max_retries: 1,
             checkpoint: None,
             resume: None,
+            mem_budget: None,
+            deadline_events: None,
+            governor_ladder: None,
         }
     }
 }
@@ -172,6 +184,8 @@ commands:
                  [--metrics-out PATH] [--trace-out PATH]
                  [--fault-plan FILE] [--max-retries N]
                  [--checkpoint JOURNAL] [--resume JOURNAL]
+                 [--mem-budget BYTES] [--deadline-events N]
+                 [--rate-ladder-governor R,R,...]
   stats <file>   run once under the observability layer; print the
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
@@ -193,8 +207,17 @@ fleet runs on the crash-resilient engine (RESILIENCE.md):
 --max-retries bounds per-trial retries (default 1),
 --checkpoint journals each completed trial, --resume restores
 completed trials from a journal (and keeps checkpointing to it
-unless --checkpoint names another path). Exit codes: 0 clean,
-2 completed with quarantined trials, 1 hard failure.
+unless --checkpoint names another path).
+
+--mem-budget / --deadline-events arm the resource governor
+(RESILIENCE.md, 'Graceful degradation'): when detector metadata
+bytes or executed steps breach a budget at a GC boundary, the
+sampling rate steps down a ladder (default: the starting rate
+halved per rung; override with --rate-ladder-governor), steps
+back up once pressure clears, and cancels the trial cleanly only
+when the floor rate still breaches. Exit codes: 0 clean (rate-
+degraded trials included), 2 completed with quarantined or
+cancelled trials, 1 hard failure.
 ";
 
 /// Entry point: dispatches on `args` (without the program name), returning
@@ -351,6 +374,30 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("--max-retries requires a non-negative integer"))?;
+            }
+            "--mem-budget" => {
+                i += 1;
+                opts.mem_budget = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| err("--mem-budget requires a positive byte count"))?,
+                );
+            }
+            "--deadline-events" => {
+                i += 1;
+                opts.deadline_events = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| err("--deadline-events requires a positive step count"))?,
+                );
+            }
+            "--rate-ladder-governor" => {
+                i += 1;
+                opts.governor_ladder = Some(args.get(i).cloned().ok_or_else(|| {
+                    err("--rate-ladder-governor requires a comma-separated list")
+                })?);
             }
             "--checkpoint" => {
                 i += 1;
@@ -660,29 +707,40 @@ impl<'a> ArtifactSink<'a> {
     ) -> Result<(), CliError> {
         let index = self.writes;
         self.writes += 1;
-        let mut attempt = 0u32;
-        loop {
-            let result = if self
-                .plan
-                .is_some_and(|p| p.artifact_io_fails(index, attempt))
-            {
-                self.injected += 1;
-                Err(format!(
-                    "{INJECTED_PREFIX}artifact IO error (write {index}, attempt {attempt})"
-                ))
-            } else {
-                pacer_collections::atomic_write(path, content).map_err(|e| e.to_string())
-            };
-            match result {
-                Ok(()) => {
-                    let _ = writeln!(out, "{what} written to {path}");
-                    return Ok(());
+        let plan = self.plan;
+        let mut injected = 0u64;
+        // Retries run on the engine's deterministic backoff schedule —
+        // derived from (write index, attempt), never wall-clock — so a
+        // faulted campaign's output stays byte-identical at any --jobs N.
+        let result = pacer_harness::retry_artifact_io(
+            pacer_harness::RetryPolicy {
+                max_retries: self.max_retries,
+            },
+            index,
+            |attempt| {
+                if plan.is_some_and(|p| p.artifact_io_fails(index, attempt)) {
+                    injected += 1;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        format!(
+                            "{INJECTED_PREFIX}artifact IO error (write {index}, attempt {attempt})"
+                        ),
+                    ));
                 }
-                Err(_) if attempt < self.max_retries => {
-                    self.retried += 1;
-                    attempt += 1;
-                }
-                Err(e) => return Err(err(format!("cannot write {path}: {e}"))),
+                pacer_collections::atomic_write(path, content)
+            },
+        );
+        self.injected += injected;
+        match result {
+            Ok(((), attempts)) => {
+                self.retried += u64::from(attempts - 1);
+                let _ = writeln!(out, "{what} written to {path}");
+                Ok(())
+            }
+            Err(reasons) => {
+                self.retried += u64::from(self.max_retries);
+                let last = reasons.last().cloned().unwrap_or_default();
+                Err(err(format!("cannot write {path}: {last}")))
             }
         }
     }
@@ -732,10 +790,35 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds the resource-governor configuration from the budget flags, or
+/// `None` when no budget is armed. The ladder defaults to the starting
+/// rate halved per rung ([`pacer_governor::GovernorConfig::for_rate`]);
+/// `--rate-ladder-governor` overrides it.
+fn build_governor(opts: &Options) -> Result<Option<pacer_governor::GovernorConfig>, CliError> {
+    if opts.mem_budget.is_none() && opts.deadline_events.is_none() {
+        if opts.governor_ladder.is_some() {
+            return Err(err(
+                "--rate-ladder-governor requires --mem-budget or --deadline-events",
+            ));
+        }
+        return Ok(None);
+    }
+    let mut g = pacer_governor::GovernorConfig::for_rate(opts.rate);
+    g.mem_budget_bytes = opts.mem_budget;
+    g.deadline_events = opts.deadline_events;
+    if let Some(spec) = &opts.governor_ladder {
+        g.ladder = pacer_governor::parse_ladder(spec)
+            .map_err(|e| err(format!("--rate-ladder-governor: {e}")))?;
+    }
+    g.validate().map_err(err)?;
+    Ok(Some(g))
+}
+
 fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
     let (file, opts) = parse_options(args)?;
     let (_, compiled) = load_program(&file)?;
     pacer_harness::parallel::set_jobs(opts.jobs);
+    let governor = build_governor(&opts)?;
 
     let plan = match &opts.fault_plan {
         None => None,
@@ -762,6 +845,7 @@ fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
         ring_capacity: observe.then_some(RING_CAPACITY),
         checkpoint: checkpoint.map(Path::new),
         resume: opts.resume.as_deref().map(Path::new),
+        governor: governor.as_ref(),
     })
     .map_err(|e| err(e.to_string()))?;
 
@@ -798,6 +882,9 @@ fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
     if plan.is_some() || !fleet.quarantine.is_clean() {
         let _ = write!(out, "{}", fleet.quarantine);
     }
+    if governor.is_some() || !fleet.governor.is_clean() {
+        let _ = write!(out, "{}", fleet.governor);
+    }
 
     let mut sink = ArtifactSink::new(plan.as_ref(), opts.max_retries);
     if let Some(path) = &opts.metrics_out {
@@ -820,7 +907,14 @@ fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
         );
     }
 
-    let code = if fleet.quarantine.is_clean() { 0 } else { 2 };
+    // Trials that merely finished at a reduced rate are a *successful*
+    // degradation (exit 0); cancellation at the ladder floor means the
+    // campaign lost coverage, reported like quarantines (exit 2).
+    let code = if fleet.quarantine.is_clean() && !fleet.governor.any_cancelled() {
+        0
+    } else {
+        2
+    };
     Ok(CmdOutput { text: out, code })
 }
 

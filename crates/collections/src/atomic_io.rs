@@ -66,7 +66,19 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::R
         // Push the bytes to stable storage before the rename makes them
         // visible under the final name.
         file.sync_all()?;
-        fs::rename(&tmp_path, path)
+        fs::rename(&tmp_path, path)?;
+        // Durability of the *rename itself*: the directory entry lives in
+        // the parent directory's data, so until that is synced a crash can
+        // roll the rename back and lose the artifact (the file's own
+        // sync_all does not cover it). Matches the journal's sync_data
+        // discipline. Best-effort: some platforms/filesystems reject
+        // directory fsync, and the write has already succeeded.
+        if let Some(d) = dir {
+            if let Ok(dirf) = File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
     })();
     if result.is_err() {
         // Best-effort cleanup; the original error is what matters.

@@ -214,8 +214,11 @@ impl Detector for AccordionPacerDetector {
                 if meta.clock.is_shared() {
                     self.inner.stats.cow_clones += 1;
                 }
-                meta.clock.make_mut().increment(u);
+                let overflowed = meta.clock.make_mut().try_increment(u).is_err();
                 meta.ver.increment(u);
+                if overflowed {
+                    self.inner.state.overflow.get_or_insert(u);
+                }
                 self.fork_reused_slot = false;
             }
             _ => {}
@@ -234,6 +237,10 @@ impl ObservableDetector for AccordionPacerDetector {
 
     fn pacer_stats(&self) -> Option<PacerStats> {
         Some(*self.inner.stats())
+    }
+
+    fn clock_overflow(&self) -> Option<ThreadId> {
+        self.inner.state.overflow
     }
 }
 

@@ -346,6 +346,10 @@ impl ObservableDetector for PacerDetector {
     fn pacer_stats(&self) -> Option<PacerStats> {
         Some(self.stats)
     }
+
+    fn clock_overflow(&self) -> Option<pacer_clock::ThreadId> {
+        self.state.overflow
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,12 @@ pub(crate) struct PacerState {
     /// and every join pays the `O(n)` comparison (benchmarked by the
     /// `version_ablation` bench).
     pub use_versions: bool,
+    /// First thread whose vector-clock component overflowed, if any.
+    /// Clocks saturate instead of panicking (conservative: time stops
+    /// advancing, races may be missed but history is never reordered);
+    /// the harness converts a post-run `Some` into a quarantinable trial
+    /// error.
+    pub overflow: Option<ThreadId>,
 }
 
 impl Default for PacerState {
@@ -109,6 +115,7 @@ impl Default for PacerState {
             vars: IdMap::new(),
             sampling: false,
             use_versions: true,
+            overflow: None,
         }
     }
 }
@@ -155,8 +162,11 @@ impl PacerState {
         if meta.clock.is_shared() {
             stats.cow_clones += 1;
         }
-        meta.clock.make_mut().increment(t);
+        let overflowed = meta.clock.make_mut().try_increment(t).is_err();
         meta.ver.increment(t);
+        if overflowed {
+            self.overflow.get_or_insert(t);
+        }
     }
 
     /// Vector-clock join with a thread target (Algorithm 11 / Table 7,
@@ -305,7 +315,9 @@ impl PacerState {
                 if meta.clock.is_shared() {
                     stats.cow_clones += 1;
                 }
-                meta.clock.make_mut().increment(t);
+                if meta.clock.make_mut().try_increment(t).is_err() {
+                    self.overflow.get_or_insert(t);
+                }
                 meta.ver.increment(t);
             }
         }

@@ -255,6 +255,10 @@ impl ObservableDetector for FastTrackDetector {
         }
         b
     }
+
+    fn clock_overflow(&self) -> Option<pacer_clock::ThreadId> {
+        self.sync.clock_overflow()
+    }
 }
 
 #[cfg(test)]

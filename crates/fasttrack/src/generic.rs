@@ -190,6 +190,10 @@ impl ObservableDetector for GenericDetector {
         }
         b
     }
+
+    fn clock_overflow(&self) -> Option<pacer_clock::ThreadId> {
+        self.sync.clock_overflow()
+    }
 }
 
 #[cfg(test)]

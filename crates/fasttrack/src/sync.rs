@@ -35,6 +35,10 @@ pub struct SyncClocks {
     threads: Vec<Option<VectorClock>>,
     locks: IdMap<LockId, VectorClock>,
     volatiles: IdMap<VolatileId, VectorClock>,
+    /// First thread whose clock component overflowed, if any. Clocks
+    /// saturate rather than panic; the harness turns a post-run `Some`
+    /// into a quarantinable trial error.
+    overflow: Option<ThreadId>,
 }
 
 impl SyncClocks {
@@ -58,6 +62,20 @@ impl SyncClocks {
 
     fn ensure(&mut self, t: ThreadId) -> &mut VectorClock {
         Self::ensure_slot(&mut self.threads, t)
+    }
+
+    /// Increments `clock[t]`, recording the first overflow stickily. The
+    /// clock itself saturates (see [`VectorClock::try_increment`]), so the
+    /// analysis stays sound — it just stops advancing `t`'s time.
+    fn bump(overflow: &mut Option<ThreadId>, clock: &mut VectorClock, t: ThreadId) {
+        if let Err(e) = clock.try_increment(t) {
+            overflow.get_or_insert(e.thread);
+        }
+    }
+
+    /// The thread whose clock first overflowed during this run, if any.
+    pub fn clock_overflow(&self) -> Option<ThreadId> {
+        self.overflow
     }
 
     /// Free-standing slot materialization so `apply` can borrow a thread
@@ -97,21 +115,24 @@ impl SyncClocks {
                         self.locks.insert(m, ct.clone());
                     }
                 }
-                Self::ensure_slot(&mut self.threads, t).increment(t);
+                let slot = Self::ensure_slot(&mut self.threads, t);
+                Self::bump(&mut self.overflow, slot, t);
             }
             Action::Fork { t, u } => {
                 // C_u ← C_t ; C_u[u]++ ; C_t[t]++
                 let ct = self.ensure(t).clone();
-                let cu = self.ensure(u);
+                let cu = Self::ensure_slot(&mut self.threads, u);
                 *cu = ct;
-                cu.increment(u);
-                self.ensure(t).increment(t);
+                Self::bump(&mut self.overflow, cu, u);
+                let slot = Self::ensure_slot(&mut self.threads, t);
+                Self::bump(&mut self.overflow, slot, t);
             }
             Action::Join { t, u } => {
                 // C_t ← C_u ⊔ C_t ; C_u[u]++
                 let cu = self.ensure(u).clone();
                 self.ensure(t).join(&cu);
-                self.ensure(u).increment(u);
+                let slot = Self::ensure_slot(&mut self.threads, u);
+                Self::bump(&mut self.overflow, slot, u);
             }
             Action::VolRead { t, v } => {
                 // C_t ← C_t ⊔ C_v
@@ -127,7 +148,8 @@ impl SyncClocks {
                 self.volatiles
                     .get_or_insert_with(v, Default::default)
                     .join(ct);
-                Self::ensure_slot(&mut self.threads, t).increment(t);
+                let slot = Self::ensure_slot(&mut self.threads, t);
+                Self::bump(&mut self.overflow, slot, t);
             }
             _ => return false,
         }
@@ -233,6 +255,25 @@ mod tests {
             x: pacer_trace::VarId::new(0),
             site: pacer_trace::SiteId::new(0),
         }));
+    }
+
+    #[test]
+    fn overflow_is_recorded_stickily_and_clock_saturates() {
+        let mut s = SyncClocks::new();
+        let mut c = VectorClock::new();
+        c.set(t(0), pacer_clock::ClockValue::MAX);
+        s.threads = vec![Some(c)];
+        assert_eq!(s.clock_overflow(), None);
+        let m = LockId::new(0);
+        s.apply(&Action::Release { t: t(0), m });
+        assert_eq!(s.clock_overflow(), Some(t(0)));
+        assert_eq!(s.clock(t(0)).get(t(0)), pacer_clock::ClockValue::MAX);
+        // A later overflow on another thread does not displace the first.
+        let mut c1 = VectorClock::new();
+        c1.set(t(1), pacer_clock::ClockValue::MAX);
+        s.threads.push(Some(c1));
+        s.apply(&Action::Release { t: t(1), m });
+        assert_eq!(s.clock_overflow(), Some(t(0)));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use pacer_collections::JsonValue;
+use pacer_governor::{BudgetKind, GovernorSummary};
 
 /// FNV-1a 64-bit hash of `bytes` — the journal's line checksum.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -292,6 +293,12 @@ pub struct JournalEntry {
     pub metrics_json: Option<String>,
     /// The trial's event trace JSONL (observed runs only).
     pub events_jsonl: Option<String>,
+    /// End-of-run governor summary (governed runs only). The decision
+    /// `notes` are *not* journaled — the trial's event trace already
+    /// carries them as `rate_stepped`/`budget_breach` lines — so a decoded
+    /// summary always has empty `notes`. Absent in journals written before
+    /// governing existed, which decode as `None`.
+    pub governor: Option<GovernorSummary>,
 }
 
 impl JournalEntry {
@@ -326,6 +333,27 @@ impl JournalEntry {
         out.push_str(&format!("],\"quarantined\":{}", self.quarantined));
         field_opt_str(&mut out, "metrics", self.metrics_json.as_deref());
         field_opt_str(&mut out, "events", self.events_jsonl.as_deref());
+        match &self.governor {
+            None => out.push_str(",\"governor\":null"),
+            Some(g) => {
+                out.push_str(&format!(
+                    ",\"governor\":{{\"steps_down\":{},\"steps_up\":{},\"breaches\":{},\"cancelled\":",
+                    g.steps_down, g.steps_up, g.breaches
+                ));
+                match g.cancelled {
+                    None => out.push_str("null"),
+                    Some(kind) => {
+                        out.push('"');
+                        out.push_str(kind.name());
+                        out.push('"');
+                    }
+                }
+                out.push_str(&format!(
+                    ",\"final_rate_millionths\":{}}}",
+                    g.final_rate_millionths
+                ));
+            }
+        }
         out.push('}');
         out
     }
@@ -385,6 +413,28 @@ impl JournalEntry {
             .get("quarantined")
             .and_then(JsonValue::as_bool)
             .ok_or("missing 'quarantined'")?;
+        let governor = match v.get("governor") {
+            None | Some(JsonValue::Null) => None,
+            Some(g) => {
+                let cancelled = match g.get("cancelled") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(s) => Some(budget_kind_from_name(
+                        s.as_str()
+                            .ok_or("governor 'cancelled' must be a string or null")?,
+                    )?),
+                };
+                let final_rate = u32::try_from(req_u64(g, "final_rate_millionths")?)
+                    .map_err(|_| "governor rate out of range".to_string())?;
+                Some(GovernorSummary {
+                    steps_down: req_u64(g, "steps_down")?,
+                    steps_up: req_u64(g, "steps_up")?,
+                    breaches: req_u64(g, "breaches")?,
+                    cancelled,
+                    final_rate_millionths: final_rate,
+                    notes: Vec::new(),
+                })
+            }
+        };
         Ok(JournalEntry {
             index,
             seed,
@@ -394,7 +444,16 @@ impl JournalEntry {
             quarantined,
             metrics_json: opt_str(&v, "metrics")?,
             events_jsonl: opt_str(&v, "events")?,
+            governor,
         })
+    }
+}
+
+fn budget_kind_from_name(name: &str) -> Result<BudgetKind, String> {
+    match name {
+        "mem" => Ok(BudgetKind::Mem),
+        "deadline" => Ok(BudgetKind::Deadline),
+        other => Err(format!("unknown budget kind {other:?}")),
     }
 }
 
@@ -538,6 +597,14 @@ mod tests {
             quarantined: false,
             metrics_json: Some("{\n  \"schema\": 1\n}\n".into()),
             events_jsonl: Some("{\"ev\":\"race\"}\n".into()),
+            governor: Some(GovernorSummary {
+                steps_down: 2,
+                steps_up: 1,
+                breaches: 1,
+                cancelled: Some(BudgetKind::Mem),
+                final_rate_millionths: 62_500,
+                notes: Vec::new(),
+            }),
         };
         let line = entry.encode();
         assert!(!line.contains('\n'), "entries must be single-line");
@@ -560,6 +627,8 @@ mod tests {
             "{\"index\":0,\"seed\":1,\"races\":[[1]],\"attempts\":1,\"failures\":[],\"quarantined\":false}",
             "{\"index\":0,\"seed\":1,\"races\":[],\"attempts\":1,\"failures\":[{}],\"quarantined\":false}",
             "{\"index\":0,\"seed\":1,\"races\":[],\"attempts\":1,\"failures\":[],\"quarantined\":\"yes\"}",
+            "{\"index\":0,\"seed\":1,\"races\":[],\"attempts\":1,\"failures\":[],\"quarantined\":false,\"governor\":{\"steps_down\":1}}",
+            "{\"index\":0,\"seed\":1,\"races\":[],\"attempts\":1,\"failures\":[],\"quarantined\":false,\"governor\":{\"steps_down\":1,\"steps_up\":0,\"breaches\":0,\"cancelled\":\"disk\",\"final_rate_millionths\":1}}",
         ] {
             assert!(JournalEntry::decode(bad).is_err(), "{bad:?} must fail");
         }

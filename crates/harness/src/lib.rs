@@ -29,7 +29,10 @@
 //!   retries, persistent failures are *quarantined* instead of aborting
 //!   the campaign, and [`resilient::run_resilient_fleet`] checkpoints
 //!   each completed trial to a journal it can later resume from
-//!   byte-identically (see `RESILIENCE.md`);
+//!   byte-identically, and — when a [`pacer_governor`] budget is armed —
+//!   merges per-trial degradation outcomes (rate steps, cooperative
+//!   cancellations) into a [`resilient::GovernorReport`] next to the
+//!   quarantine report (see `RESILIENCE.md`);
 //! * [`journal`] — the append-only, checksummed checkpoint journal
 //!   backing that resume path;
 //! * [`render`] — plain-text tables and data series for every table and
@@ -53,7 +56,8 @@ pub mod trials;
 
 pub use detection::{DetectionResult, RaceCensus};
 pub use resilient::{
-    run_resilient_fleet, EngineError, FleetEngineConfig, QuarantineReport, QuarantinedTrial,
-    ResilientFleet, RetryPolicy,
+    artifact_io_backoff, retry_artifact_io, run_resilient_fleet, DegradedTrial, EngineError,
+    FleetEngineConfig, GovernorReport, QuarantineReport, QuarantinedTrial, ResilientFleet,
+    RetryPolicy,
 };
 pub use trials::{num_trials, DetectorKind, RaceKey, TrialResult};

@@ -13,15 +13,16 @@ use std::collections::BTreeSet;
 use pacer_core::{AccordionPacerDetector, PacerDetector};
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
 use pacer_faults::TrialFaults;
+use pacer_governor::{GovernorConfig, GovernorNote, GovernorSummary};
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
-use pacer_obs::{Metrics, ObservableDetector, Observed, Registry, RegistryConfig};
-use pacer_runtime::{InstrumentMode, NullDetector, Vm, VmConfig, VmError};
+use pacer_obs::{Event, Metrics, ObservableDetector, Observed, Registry, RegistryConfig};
+use pacer_runtime::{GovernorSignal, InstrumentMode, NullDetector, Vm, VmConfig, VmError};
 use pacer_trace::RaceReport;
 
 use crate::fleet::FleetReport;
 use crate::parallel::try_run_indexed;
-use crate::trials::{DetectorKind, RaceKey};
+use crate::trials::{governed_cfg, DetectorKind, RaceKey};
 
 /// One observed trial: race keys plus the observability artifacts.
 #[derive(Clone, Debug)]
@@ -34,6 +35,43 @@ pub struct ObservedTrial {
     pub metrics: Metrics,
     /// The structured event trace, one JSON object per line.
     pub events_jsonl: String,
+    /// Governor decisions for this trial; `None` when no budget was armed
+    /// or the governor never acted.
+    pub governor: Option<GovernorSummary>,
+}
+
+/// Replays a trial's governor decision log into the registry as trace
+/// events, in boundary order. Cancellation is deliberately *not* emitted
+/// here: the campaign-level [`Event::TrialDegraded`] carries it, with the
+/// trial index only the merge loop knows.
+pub(crate) fn replay_governor(registry: &mut Registry, summary: &GovernorSummary) {
+    for note in &summary.notes {
+        match *note {
+            GovernorNote::RateStepped {
+                steps,
+                from,
+                to,
+                up,
+            } => registry.event(|| Event::RateStepped {
+                steps,
+                from_millionths: u64::from(from),
+                to_millionths: u64::from(to),
+                up,
+            }),
+            GovernorNote::BudgetBreach {
+                steps,
+                kind,
+                usage,
+                limit,
+            } => registry.event(|| Event::BudgetBreach {
+                steps,
+                budget: kind.name().to_string(),
+                usage,
+                limit,
+            }),
+            GovernorNote::Cancelled { .. } => {}
+        }
+    }
 }
 
 fn observe<D: ObservableDetector>(
@@ -44,11 +82,29 @@ fn observe<D: ObservableDetector>(
 ) -> Result<ObservedTrial, VmError> {
     let registry = Registry::enabled(RegistryConfig { ring_capacity });
     let mut obs = Observed::new(detector, registry);
-    let outcome = Vm::run_with_probe(program, &mut obs, cfg, |d, s| {
-        d.record_space(s.steps, s.heap_bytes);
-    })?;
+    let outcome = Vm::run_governed(
+        program,
+        &mut obs,
+        cfg,
+        |d, s| {
+            d.record_space(s.steps, s.heap_bytes);
+        },
+        |d, sig| match sig {
+            GovernorSignal::PollMemBytes => d.space_breakdown().total_words() * 8,
+            GovernorSignal::RateChanged(r) => {
+                d.on_rate_change(r);
+                0
+            }
+        },
+    )?;
     obs.registry_mut().add_runtime(outcome.runtime_counters());
+    if let Some(summary) = &outcome.governor {
+        replay_governor(obs.registry_mut(), summary);
+    }
     let (detector, registry) = obs.finish();
+    if let Some(t) = detector.clock_overflow() {
+        return Err(VmError::ClockOverflow(t));
+    }
     let dynamic_races: Vec<RaceKey> = detector
         .races()
         .iter()
@@ -59,6 +115,7 @@ fn observe<D: ObservableDetector>(
         dynamic_races,
         events_jsonl: registry.events_jsonl(),
         metrics: registry.metrics(),
+        governor: outcome.governor,
     })
 }
 
@@ -95,51 +152,90 @@ pub fn run_observed_trial_with(
     ring_capacity: usize,
     faults: TrialFaults,
 ) -> Result<ObservedTrial, VmError> {
+    run_observed_trial_governed(program, kind, seed, ring_capacity, faults, None)
+}
+
+/// [`run_observed_trial_with`] with an optional resource governor armed.
+/// `None` is exactly `run_observed_trial_with`; with a config, budget
+/// checks run at GC boundaries, rate steps reach the detector, and the
+/// trial's [`GovernorSummary`] (plus `rate_stepped` / `budget_breach`
+/// trace events) lands in the result.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s, including injected ones. Cooperative
+/// cancellation at the ladder floor is *not* an error: the run returns
+/// `Ok` with `governor.cancelled` set.
+pub fn run_observed_trial_governed(
+    program: &CompiledProgram,
+    kind: DetectorKind,
+    seed: u64,
+    ring_capacity: usize,
+    faults: TrialFaults,
+    governor: Option<&GovernorConfig>,
+) -> Result<ObservedTrial, VmError> {
     match kind {
         DetectorKind::Uninstrumented => {
-            // No observable detector: record run-level counters only.
-            let cfg = VmConfig::new(seed)
-                .with_instrument(InstrumentMode::Off)
-                .with_faults(faults);
+            // No observable detector: record run-level counters only. The
+            // governor still sees step deadlines (memory polls report 0).
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_instrument(InstrumentMode::Off)
+                    .with_faults(faults),
+                governor,
+            );
             let mut det = NullDetector;
             let outcome = Vm::run(program, &mut det, &cfg)?;
             let mut registry = Registry::enabled(RegistryConfig { ring_capacity });
             registry.add_runtime(outcome.runtime_counters());
+            if let Some(summary) = &outcome.governor {
+                replay_governor(&mut registry, summary);
+            }
             Ok(ObservedTrial {
                 dynamic_races: Vec::new(),
                 distinct_races: BTreeSet::new(),
                 events_jsonl: registry.events_jsonl(),
                 metrics: registry.metrics(),
+                governor: outcome.governor,
             })
         }
         DetectorKind::SyncOnly => {
-            let cfg = VmConfig::new(seed)
-                .with_instrument(InstrumentMode::SyncOnly)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_instrument(InstrumentMode::SyncOnly)
+                    .with_faults(faults),
+                governor,
+            );
             observe(program, &cfg, FastTrackDetector::new(), ring_capacity)
         }
         DetectorKind::Pacer { rate } => {
-            let cfg = VmConfig::new(seed)
-                .with_sampling_rate(rate)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_sampling_rate(rate)
+                    .with_faults(faults),
+                governor,
+            );
             observe(program, &cfg, PacerDetector::new(), ring_capacity)
         }
         DetectorKind::PacerAccordion { rate } => {
-            let cfg = VmConfig::new(seed)
-                .with_sampling_rate(rate)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_sampling_rate(rate)
+                    .with_faults(faults),
+                governor,
+            );
             observe(program, &cfg, AccordionPacerDetector::new(), ring_capacity)
         }
         DetectorKind::FastTrack => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             observe(program, &cfg, FastTrackDetector::new(), ring_capacity)
         }
         DetectorKind::Generic => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             observe(program, &cfg, GenericDetector::new(), ring_capacity)
         }
         DetectorKind::LiteRace { burst } => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             let lr_cfg = LiteRaceConfig {
                 burst_length: burst,
                 ..LiteRaceConfig::default()

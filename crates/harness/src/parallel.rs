@@ -24,6 +24,12 @@
 //! that need to survive per-trial failures should wrap their closures
 //! with the [`resilient`](crate::resilient) layer, which catches unwinds
 //! per attempt and quarantines persistent failures instead.
+//!
+//! Resource-governed trials keep the contract: the governor
+//! (`pacer-governor`) is a pure function of the per-trial event stream,
+//! so its rate steps, breaches, and cancellations land in the trial's own
+//! result slot and merge in index order like every other outcome —
+//! governed campaigns stay byte-identical at any `--jobs N`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -28,17 +28,18 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use pacer_faults::{FaultPlan, FaultSite};
+use pacer_governor::{BudgetKind, GovernorConfig, GovernorSummary};
 use pacer_lang::ir::CompiledProgram;
-use pacer_obs::{Event, EventRing, FaultCounters, Metrics};
+use pacer_obs::{Event, EventRing, FaultCounters, GovernorCounters, Metrics};
 use pacer_trace::SiteId;
 
 use crate::fleet::{fleet_trial_seed, FleetReport};
 use crate::journal::{
     read_journal, rewrite_valid_prefix, EntryFailure, JournalEntry, JournalError, JournalWriter,
 };
-use crate::observed::run_observed_trial_with;
+use crate::observed::run_observed_trial_governed;
 use crate::parallel::run_indexed;
-use crate::trials::{run_trial_with, DetectorKind, RaceKey};
+use crate::trials::{run_trial_governed, DetectorKind, RaceKey};
 
 /// How many times a failed trial is re-attempted before quarantine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -235,6 +236,117 @@ impl fmt::Display for QuarantineReport {
     }
 }
 
+/// One trial the resource governor degraded, for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradedTrial {
+    /// The trial's instance index.
+    pub index: u64,
+    /// The scheduler seed it ran with (for reproduction).
+    pub seed: u64,
+    /// Sampling rate in effect when the trial ended, in millionths.
+    pub final_rate_millionths: u32,
+    /// Set when the trial was cancelled cooperatively at the ladder
+    /// floor (by which budget); `None` means it finished at a reduced
+    /// rate.
+    pub cancelled: Option<BudgetKind>,
+}
+
+/// Every degraded trial plus the campaign's governor counters, merged in
+/// trial-index order — the governed counterpart of [`QuarantineReport`].
+#[derive(Clone, Debug, Default)]
+pub struct GovernorReport {
+    /// Degraded trials, ascending by index.
+    pub trials: Vec<DegradedTrial>,
+    /// Aggregate governor accounting for the whole campaign.
+    pub counters: GovernorCounters,
+}
+
+impl GovernorReport {
+    /// Whether the governor never had to degrade anything.
+    pub fn is_clean(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Whether any trial was cancelled at the ladder floor (as opposed
+    /// to merely finishing at a reduced rate).
+    pub fn any_cancelled(&self) -> bool {
+        self.counters.cancelled > 0
+    }
+}
+
+impl fmt::Display for GovernorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        writeln!(
+            f,
+            "governor: steps_down={} steps_up={} breaches={} degraded={} cancelled={}",
+            c.steps_down, c.steps_up, c.breaches, c.degraded, c.cancelled
+        )?;
+        for t in &self.trials {
+            match t.cancelled {
+                Some(kind) => writeln!(
+                    f,
+                    "degraded trial {} (seed {}): cancelled at floor rate {} by {} budget",
+                    t.index,
+                    t.seed,
+                    t.final_rate_millionths,
+                    kind.name()
+                )?,
+                None => writeln!(
+                    f,
+                    "degraded trial {} (seed {}): finished at reduced rate {} millionths",
+                    t.index, t.seed, t.final_rate_millionths
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic backoff schedule for artifact-IO retries: how many
+/// cooperative yields to spin before attempt `attempt` of trial
+/// `trial_index`'s artifact write. The schedule depends only on
+/// `(trial_index, attempt)` — never on wall-clock or worker identity —
+/// so retried campaigns stay byte-identical at any `--jobs N`. The base
+/// delay doubles per attempt; the trial index staggers neighbours so
+/// simultaneous retries don't re-collide on a shared sink.
+pub fn artifact_io_backoff(trial_index: u64, attempt: u32) -> u32 {
+    if attempt == 0 {
+        return 0;
+    }
+    let base = 1u32 << attempt.min(10);
+    base + (trial_index % 7) as u32
+}
+
+/// Runs `write` (an artifact-IO action for trial `trial_index`) up to
+/// `policy.max_retries + 1` times under the deterministic
+/// [`artifact_io_backoff`] schedule, yielding the scheduled number of
+/// times before each retry. Returns the first success, or every
+/// failure's description — the caller quarantines the artifact exactly
+/// like a trial that exhausted its budget.
+///
+/// # Errors
+///
+/// The failure reason of every attempt, in attempt order, when all
+/// attempts fail.
+pub fn retry_artifact_io<T>(
+    policy: RetryPolicy,
+    trial_index: u64,
+    mut write: impl FnMut(u32) -> io::Result<T>,
+) -> Result<(T, u32), Vec<String>> {
+    let mut reasons = Vec::new();
+    for attempt in 0..=policy.max_retries {
+        for _ in 0..artifact_io_backoff(trial_index, attempt) {
+            std::thread::yield_now();
+        }
+        match write(attempt) {
+            Ok(value) => return Ok((value, attempt + 1)),
+            Err(e) => reasons.push(e.to_string()),
+        }
+    }
+    Err(reasons)
+}
+
 /// A hard engine failure (journal IO/corruption, configuration
 /// mismatch) — distinct from quarantines, which are recoverable.
 #[derive(Debug)]
@@ -295,6 +407,9 @@ pub struct FleetEngineConfig<'a> {
     /// Journal to resume completed trials from. A missing file is a
     /// fresh start, not an error.
     pub resume: Option<&'a Path>,
+    /// The armed resource governor, if any: budgets checked at GC
+    /// boundaries, sampling rate stepped down a ladder under pressure.
+    pub governor: Option<&'a GovernorConfig>,
 }
 
 /// What a resilient fleet run produced.
@@ -309,6 +424,8 @@ pub struct ResilientFleet {
     pub events_jsonl: Option<String>,
     /// Quarantines and fault accounting.
     pub quarantine: QuarantineReport,
+    /// Degraded trials and governor accounting.
+    pub governor: GovernorReport,
     /// How many instances were restored from the resume journal.
     pub resumed: u32,
 }
@@ -322,6 +439,7 @@ struct CompletedTrial {
     attempts: u32,
     failures: Vec<EntryFailure>,
     quarantined: bool,
+    governor: Option<GovernorSummary>,
 }
 
 /// The crash-resilient, checkpointing fleet engine: [`simulate_fleet`]
@@ -414,17 +532,20 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
                 .unwrap_or_default();
             let kind = DetectorKind::Pacer { rate: cfg.rate };
             match cfg.ring_capacity {
-                Some(ring) => run_observed_trial_with(cfg.program, kind, seed, ring, faults)
-                    .map(|t| CompletedTrial {
-                        races: t.distinct_races.iter().copied().collect(),
-                        metrics: Some(t.metrics),
-                        events_jsonl: Some(t.events_jsonl),
-                        attempts: 0,
-                        failures: Vec::new(),
-                        quarantined: false,
-                    })
-                    .map_err(|e| e.to_string()),
-                None => run_trial_with(cfg.program, kind, seed, faults)
+                Some(ring) => {
+                    run_observed_trial_governed(cfg.program, kind, seed, ring, faults, cfg.governor)
+                        .map(|t| CompletedTrial {
+                            races: t.distinct_races.iter().copied().collect(),
+                            metrics: Some(t.metrics),
+                            events_jsonl: Some(t.events_jsonl),
+                            attempts: 0,
+                            failures: Vec::new(),
+                            quarantined: false,
+                            governor: t.governor,
+                        })
+                        .map_err(|e| e.to_string())
+                }
+                None => run_trial_governed(cfg.program, kind, seed, faults, cfg.governor)
                     .map(|t| CompletedTrial {
                         races: t.distinct_races.iter().copied().collect(),
                         metrics: None,
@@ -432,6 +553,7 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
                         attempts: 0,
                         failures: Vec::new(),
                         quarantined: false,
+                        governor: t.outcome.governor,
                     })
                     .map_err(|e| e.to_string()),
             }
@@ -468,6 +590,7 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
     let mut metrics = cfg.ring_capacity.map(|_| Metrics::default());
     let mut events_jsonl = cfg.ring_capacity.map(|_| String::new());
     let mut quarantine = QuarantineReport::default();
+    let mut governor = GovernorReport::default();
 
     for index in 0..total {
         let seed = fleet_trial_seed(cfg.base_seed, index);
@@ -500,6 +623,25 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
             });
         }
 
+        let degraded = trial.governor.as_ref().filter(|g| g.degraded());
+        if let Some(g) = trial.governor.as_ref() {
+            governor.counters.steps_down += g.steps_down;
+            governor.counters.steps_up += g.steps_up;
+            governor.counters.breaches += g.breaches;
+        }
+        if let Some(g) = degraded {
+            governor.counters.degraded += 1;
+            if g.cancelled.is_some() {
+                governor.counters.cancelled += 1;
+            }
+            governor.trials.push(DegradedTrial {
+                index,
+                seed,
+                final_rate_millionths: g.final_rate_millionths,
+                cancelled: g.cancelled,
+            });
+        }
+
         for key in &trial.races {
             *reporters.entry(*key).or_default() += 1;
         }
@@ -512,8 +654,8 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
             if let Some(ev) = trial.events_jsonl.as_ref() {
                 out.push_str(ev);
             }
-            if !trial.failures.is_empty() {
-                let mut ring = EventRing::new(trial.failures.len() + 1);
+            if !trial.failures.is_empty() || degraded.is_some() {
+                let mut ring = EventRing::new(trial.failures.len() + 2);
                 for f in &trial.failures {
                     if let Some(site) = &f.site {
                         ring.push(Event::FaultInjected {
@@ -530,16 +672,24 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
                         site: trial.failures.last().and_then(|f| f.site.clone()),
                     });
                 }
+                if let Some(g) = degraded {
+                    ring.push(Event::TrialDegraded {
+                        trial: index,
+                        final_rate_millionths: u64::from(g.final_rate_millionths),
+                        cancelled: g.cancelled.map(|k| k.name().to_string()),
+                    });
+                }
                 out.push_str(&ring.to_jsonl());
             }
         }
     }
 
-    // Per-trial snapshots never carry fault counters (faults are a
-    // campaign-level concept), so the merged snapshot takes the
+    // Per-trial snapshots never carry fault or governor counters (both
+    // are campaign-level concepts), so the merged snapshot takes the
     // deterministic campaign totals.
     if let Some(m) = metrics.as_mut() {
         m.faults = quarantine.counters;
+        m.governor = governor.counters;
     }
 
     Ok(ResilientFleet {
@@ -552,6 +702,7 @@ pub fn run_resilient_fleet(cfg: &FleetEngineConfig<'_>) -> Result<ResilientFleet
         metrics,
         events_jsonl,
         quarantine,
+        governor,
         resumed: resumed_count,
     })
 }
@@ -560,11 +711,19 @@ fn entry_for(attempted: &Attempted<CompletedTrial>, index: u64, seed: u64) -> Jo
     let mut races: Vec<(u32, u32)> = Vec::new();
     let mut metrics_json = None;
     let mut events_jsonl = None;
+    let mut governor = None;
     if let Some(trial) = &attempted.result {
         let keys: BTreeSet<RaceKey> = trial.races.iter().copied().collect();
         races = keys.iter().map(|(a, b)| (a.raw(), b.raw())).collect();
         metrics_json = trial.metrics.as_ref().map(Metrics::to_json);
         events_jsonl = trial.events_jsonl.clone();
+        // Notes stay out of the journal: the trial's event trace above
+        // already carries them as replayed rate_stepped/budget_breach
+        // lines.
+        governor = trial.governor.as_ref().map(|g| GovernorSummary {
+            notes: Vec::new(),
+            ..g.clone()
+        });
     }
     JournalEntry {
         index,
@@ -575,6 +734,7 @@ fn entry_for(attempted: &Attempted<CompletedTrial>, index: u64, seed: u64) -> Jo
         quarantined: attempted.quarantined(),
         metrics_json,
         events_jsonl,
+        governor,
     }
 }
 
@@ -587,6 +747,7 @@ fn completed_from_attempted(attempted: Attempted<CompletedTrial>) -> CompletedTr
         attempts: 0,
         failures: Vec::new(),
         quarantined: true,
+        governor: None,
     });
     trial.attempts = attempted.attempts;
     trial.failures = attempted.failures;
@@ -615,6 +776,7 @@ fn completed_from_entry(entry: JournalEntry) -> Result<CompletedTrial, EngineErr
         attempts: entry.attempts,
         failures: entry.failures,
         quarantined: entry.quarantined,
+        governor: entry.governor,
     })
 }
 
@@ -702,6 +864,7 @@ mod tests {
             ring_capacity: None,
             checkpoint: None,
             resume: None,
+            governor: None,
         };
         let plain_res = run_resilient_fleet(&cfg).unwrap();
         assert_eq!(plain_res.report.reporters, plain.reporters);
@@ -738,6 +901,7 @@ mod tests {
             ring_capacity: Some(1024),
             checkpoint: None,
             resume: None,
+            governor: None,
         };
         let r = run_resilient_fleet(&cfg).unwrap();
         assert_eq!(r.quarantine.counters.quarantined, 3, "trials 0, 3, 6");
@@ -777,6 +941,7 @@ mod tests {
             ring_capacity: Some(1024),
             checkpoint: None,
             resume: None,
+            governor: None,
         };
 
         // Uninterrupted run: the reference output.
@@ -828,6 +993,118 @@ mod tests {
     }
 
     #[test]
+    fn artifact_io_backoff_depends_only_on_inputs() {
+        // First attempt never waits; retries double and stagger by trial.
+        assert_eq!(artifact_io_backoff(0, 0), 0);
+        assert_eq!(artifact_io_backoff(5, 0), 0);
+        assert_eq!(artifact_io_backoff(0, 1), 2);
+        assert_eq!(artifact_io_backoff(0, 2), 4);
+        assert_eq!(artifact_io_backoff(3, 1), 2 + 3);
+        assert_eq!(artifact_io_backoff(7, 1), 2, "stagger wraps mod 7");
+        // The exponential base caps at 2^10 for absurd attempt counts.
+        assert_eq!(artifact_io_backoff(0, 30), 1 << 10);
+        // Pure function of (trial, attempt): repeat calls agree.
+        assert_eq!(artifact_io_backoff(11, 4), artifact_io_backoff(11, 4));
+    }
+
+    #[test]
+    fn retry_artifact_io_returns_first_success_or_all_reasons() {
+        let policy = RetryPolicy { max_retries: 2 };
+        let ok = retry_artifact_io(policy, 4, |attempt| {
+            if attempt < 2 {
+                Err(io::Error::other(format!("transient (attempt {attempt})")))
+            } else {
+                Ok(attempt * 10)
+            }
+        });
+        assert_eq!(ok.unwrap(), (20, 3), "succeeded on the third attempt");
+
+        let err: Result<((), u32), _> = retry_artifact_io(policy, 4, |attempt| {
+            Err(io::Error::other(format!("disk full (attempt {attempt})")))
+        });
+        let reasons = err.unwrap_err();
+        assert_eq!(reasons.len(), 3, "every attempt's reason is kept");
+        assert!(reasons[2].contains("attempt 2"));
+    }
+
+    #[test]
+    fn governed_checkpoint_resume_is_byte_identical() {
+        // Heavy enough to cross several full-GC boundaries (one per
+        // ~16 KiB allocated), so a tight metadata budget actually walks
+        // the rate ladder and the journaled trials carry governor
+        // summaries and replayed rate_stepped events.
+        let src = "
+            shared x;
+            fn w() {
+                let i = 0;
+                while (i < 800) {
+                    let o = new obj;
+                    o.f = i;
+                    x = x + 1;
+                    i = i + 1;
+                }
+            }
+            fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+        ";
+        let program = pacer_lang::compile(&pacer_lang::parse(src).unwrap()).unwrap();
+        let mut governor = GovernorConfig::for_rate(0.25);
+        governor.mem_budget_bytes = Some(128);
+        let base = FleetEngineConfig {
+            program: &program,
+            instances: 6,
+            rate: 0.25,
+            base_seed: 5,
+            policy: RetryPolicy::default(),
+            plan: None,
+            ring_capacity: Some(1024),
+            checkpoint: None,
+            resume: None,
+            governor: Some(&governor),
+        };
+
+        let full = run_resilient_fleet(&base).unwrap();
+        assert!(full.quarantine.is_clean());
+        assert!(
+            full.governor.counters.steps_down > 0,
+            "metadata pressure stepped the rate: {:?}",
+            full.governor.counters
+        );
+        assert!(!full.governor.trials.is_empty());
+
+        let path = temp_journal("governed-resume");
+        let _ = std::fs::remove_file(&path);
+        let interrupted = FleetEngineConfig {
+            checkpoint: Some(&path),
+            ..base
+        };
+        run_resilient_fleet(&interrupted).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let resumed_cfg = FleetEngineConfig {
+            checkpoint: Some(&path),
+            resume: Some(&path),
+            ..base
+        };
+        let resumed = run_resilient_fleet(&resumed_cfg).unwrap();
+        assert!(resumed.resumed > 0);
+        assert_eq!(
+            resumed.governor.trials, full.governor.trials,
+            "degraded-trial report survives resume"
+        );
+        assert_eq!(resumed.governor.counters, full.governor.counters);
+        assert_eq!(
+            resumed.metrics.as_ref().unwrap().to_json(),
+            full.metrics.as_ref().unwrap().to_json(),
+            "governed metrics snapshot is byte-identical after resume"
+        );
+        assert_eq!(
+            resumed.events_jsonl, full.events_jsonl,
+            "replayed governor events are byte-identical after resume"
+        );
+    }
+
+    #[test]
     fn mismatched_journal_is_a_hard_error() {
         let program = hsqldb(Scale::Test).compiled();
         let path = temp_journal("mismatch");
@@ -842,6 +1119,7 @@ mod tests {
             ring_capacity: None,
             checkpoint: Some(&path),
             resume: None,
+            governor: None,
         };
         run_resilient_fleet(&cfg).unwrap();
 

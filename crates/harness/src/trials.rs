@@ -6,9 +6,13 @@ use std::time::{Duration, Instant};
 use pacer_core::{PacerDetector, PacerStats};
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
 use pacer_faults::TrialFaults;
+use pacer_governor::GovernorConfig;
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
-use pacer_runtime::{InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig, VmError};
+use pacer_obs::ObservableDetector;
+use pacer_runtime::{
+    GovernorSignal, InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig, VmError,
+};
 use pacer_trace::{Detector, RaceReport, SiteId};
 
 /// The normalized site pair identifying a *distinct* (static) race.
@@ -127,6 +131,42 @@ pub fn run_trial(
     run_trial_with(program, kind, seed, TrialFaults::default())
 }
 
+/// Applies an optional governor configuration to a [`VmConfig`].
+pub(crate) fn governed_cfg(cfg: VmConfig, governor: Option<&GovernorConfig>) -> VmConfig {
+    match governor {
+        Some(g) => cfg.with_governor(g.clone()),
+        None => cfg,
+    }
+}
+
+/// Runs the VM with the standard detector-side governor hook (metadata
+/// polling + rate-change delivery), then converts a sticky vector-clock
+/// overflow into the typed [`VmError::ClockOverflow`] — an *organic*
+/// (non-injected) trial error the resilient engine can quarantine.
+pub(crate) fn run_vm<D: ObservableDetector>(
+    program: &CompiledProgram,
+    cfg: &VmConfig,
+    det: &mut D,
+) -> Result<RunOutcome, VmError> {
+    let outcome = Vm::run_governed(
+        program,
+        det,
+        cfg,
+        |_, _| {},
+        |d, sig| match sig {
+            GovernorSignal::PollMemBytes => d.space_breakdown().total_words() * 8,
+            GovernorSignal::RateChanged(r) => {
+                d.on_rate_change(r);
+                0
+            }
+        },
+    )?;
+    match det.clock_overflow() {
+        Some(t) => Err(VmError::ClockOverflow(t)),
+        None => Ok(outcome),
+    }
+}
+
 /// [`run_trial`] with fault injections armed for this attempt (the
 /// resilient engine's entry point). `TrialFaults::default()` is exactly
 /// `run_trial`.
@@ -140,12 +180,32 @@ pub fn run_trial_with(
     seed: u64,
     faults: TrialFaults,
 ) -> Result<TrialResult, VmError> {
+    run_trial_governed(program, kind, seed, faults, None)
+}
+
+/// [`run_trial_with`] under an optional resource governor: budgets are
+/// enforced at GC boundaries and the trial's [`RunOutcome::governor`]
+/// carries the decision summary. `None` is exactly `run_trial_with`.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s, including injected ones.
+pub fn run_trial_governed(
+    program: &CompiledProgram,
+    kind: DetectorKind,
+    seed: u64,
+    faults: TrialFaults,
+    governor: Option<&GovernorConfig>,
+) -> Result<TrialResult, VmError> {
     let start = Instant::now();
     match kind {
         DetectorKind::Uninstrumented => {
-            let cfg = VmConfig::new(seed)
-                .with_instrument(InstrumentMode::Off)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_instrument(InstrumentMode::Off)
+                    .with_faults(faults),
+                governor,
+            );
             let mut det = NullDetector;
             let outcome = Vm::run(program, &mut det, &cfg)?;
             Ok(TrialResult::from_reports(
@@ -158,11 +218,14 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::SyncOnly => {
-            let cfg = VmConfig::new(seed)
-                .with_instrument(InstrumentMode::SyncOnly)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_instrument(InstrumentMode::SyncOnly)
+                    .with_faults(faults),
+                governor,
+            );
             let mut det = FastTrackDetector::new();
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             Ok(TrialResult::from_reports(
                 &[],
                 None,
@@ -173,11 +236,14 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::Pacer { rate } => {
-            let cfg = VmConfig::new(seed)
-                .with_sampling_rate(rate)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_sampling_rate(rate)
+                    .with_faults(faults),
+                governor,
+            );
             let mut det = PacerDetector::new();
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             Ok(TrialResult::from_reports(
                 det.races(),
                 det.stats().effective_rate(),
@@ -188,11 +254,14 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::PacerAccordion { rate } => {
-            let cfg = VmConfig::new(seed)
-                .with_sampling_rate(rate)
-                .with_faults(faults);
+            let cfg = governed_cfg(
+                VmConfig::new(seed)
+                    .with_sampling_rate(rate)
+                    .with_faults(faults),
+                governor,
+            );
             let mut det = pacer_core::AccordionPacerDetector::new();
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             Ok(TrialResult::from_reports(
                 det.races(),
                 det.inner().stats().effective_rate(),
@@ -203,9 +272,9 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::FastTrack => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             let mut det = FastTrackDetector::new();
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             let words = det.footprint_words();
             Ok(TrialResult::from_reports(
                 det.races(),
@@ -217,9 +286,9 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::Generic => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             let mut det = GenericDetector::new();
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             let words = det.footprint_words();
             Ok(TrialResult::from_reports(
                 det.races(),
@@ -231,13 +300,13 @@ pub fn run_trial_with(
             ))
         }
         DetectorKind::LiteRace { burst } => {
-            let cfg = VmConfig::new(seed).with_faults(faults);
+            let cfg = governed_cfg(VmConfig::new(seed).with_faults(faults), governor);
             let lr_cfg = LiteRaceConfig {
                 burst_length: burst,
                 ..LiteRaceConfig::default()
             };
             let mut det = LiteRaceDetector::new(lr_cfg, seed ^ 0x117e);
-            let outcome = Vm::run(program, &mut det, &cfg)?;
+            let outcome = run_vm(program, &cfg, &mut det)?;
             let words = det.footprint_words();
             Ok(TrialResult::from_reports(
                 det.races(),

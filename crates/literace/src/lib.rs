@@ -94,7 +94,17 @@ pub struct LiteRaceDetector {
     rng: Rng,
     analyzed_accesses: u64,
     total_accesses: u64,
+    /// Governor cap on the admission fraction, in millionths. LITERACE
+    /// samples internally (the runtime's GC sampler cannot throttle it), so
+    /// the resource governor delivers rate steps here; `MILLION` = no cap.
+    throttle_millionths: u32,
+    /// Bresenham-style accumulator implementing the cap without RNG, so
+    /// governed runs stay deterministic for a given action sequence.
+    admit_acc: u64,
 }
+
+/// One million — the fixed-point scale for governed admission caps.
+const MILLION: u64 = 1_000_000;
 
 impl LiteRaceDetector {
     /// Creates a detector; `seed` randomizes burst resets across trials.
@@ -106,6 +116,8 @@ impl LiteRaceDetector {
             rng: Rng::seed_from_u64(seed),
             analyzed_accesses: 0,
             total_accesses: 0,
+            throttle_millionths: MILLION as u32,
+            admit_acc: 0,
         }
     }
 
@@ -159,6 +171,22 @@ impl LiteRaceDetector {
             true
         }
     }
+
+    /// Applies the governor's admission cap to an access the bursty
+    /// sampler already admitted: admit `throttle_millionths / MILLION` of
+    /// them, evenly spaced by an error accumulator.
+    fn admit_throttled(&mut self) -> bool {
+        if u64::from(self.throttle_millionths) >= MILLION {
+            return true;
+        }
+        self.admit_acc += u64::from(self.throttle_millionths);
+        if self.admit_acc >= MILLION {
+            self.admit_acc -= MILLION;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Detector for LiteRaceDetector {
@@ -171,7 +199,7 @@ impl Detector for LiteRaceDetector {
             Action::Read { t, site, .. } | Action::Write { t, site, .. } => {
                 self.total_accesses += 1;
                 let region = site.raw() / self.config.sites_per_region.max(1);
-                if self.sample(region, t) {
+                if self.sample(region, t) && self.admit_throttled() {
                     self.analyzed_accesses += 1;
                     self.backend.on_action(action);
                 }
@@ -196,6 +224,14 @@ impl ObservableDetector for LiteRaceDetector {
         let samplers: usize = self.regions.values().map(IdMap::len).sum();
         b.other_words += 3 * samplers as u64;
         b
+    }
+
+    fn on_rate_change(&mut self, rate_millionths: u32) {
+        self.throttle_millionths = rate_millionths.min(MILLION as u32);
+    }
+
+    fn clock_overflow(&self) -> Option<ThreadId> {
+        self.backend.clock_overflow()
     }
 }
 
@@ -357,6 +393,45 @@ mod tests {
         let d = LiteRaceDetector::new(LiteRaceConfig::default(), 0);
         assert_eq!(d.effective_rate(), None);
         assert!(d.name().contains("literace"));
+    }
+
+    #[test]
+    fn governor_throttle_decimates_admissions_deterministically() {
+        let mk = || {
+            let mut d = LiteRaceDetector::new(LiteRaceConfig::default(), 7);
+            // Cold region: the bursty sampler admits everything, so the
+            // throttle alone controls the admitted fraction.
+            for i in 0..1000u32 {
+                d.on_action(&wr(0, i, 1));
+            }
+            d
+        };
+        let full = mk();
+        assert_eq!(full.analyzed_accesses, 1000);
+
+        let mut quarter = LiteRaceDetector::new(LiteRaceConfig::default(), 7);
+        quarter.on_rate_change(250_000);
+        for i in 0..1000u32 {
+            quarter.on_action(&wr(0, i, 1));
+        }
+        assert_eq!(quarter.analyzed_accesses, 250, "evenly spaced 25% cap");
+        assert_eq!(quarter.total_accesses, 1000);
+        assert_eq!(quarter.effective_rate(), Some(0.25));
+
+        // Stepping back up to the full rate removes the cap.
+        let mut restored = LiteRaceDetector::new(LiteRaceConfig::default(), 7);
+        restored.on_rate_change(250_000);
+        restored.on_rate_change(1_000_000);
+        for i in 0..1000u32 {
+            restored.on_action(&wr(0, i, 1));
+        }
+        assert_eq!(restored.analyzed_accesses, 1000);
+    }
+
+    #[test]
+    fn clock_overflow_delegates_to_backend() {
+        let d = LiteRaceDetector::new(LiteRaceConfig::default(), 0);
+        assert_eq!(d.clock_overflow(), None);
     }
 
     #[test]

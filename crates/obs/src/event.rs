@@ -82,6 +82,39 @@ pub enum Event {
         /// Classified fault site, when the failure was injected.
         site: Option<String>,
     },
+    /// The resource governor moved the sampling rate one ladder rung at a
+    /// GC boundary.
+    RateStepped {
+        /// VM steps executed when the rate changed.
+        steps: u64,
+        /// Rate before the step, in millionths.
+        from_millionths: u64,
+        /// Rate after the step, in millionths.
+        to_millionths: u64,
+        /// True when stepping back up after pressure cleared.
+        up: bool,
+    },
+    /// Usage exceeded a hard governor budget at a GC boundary.
+    BudgetBreach {
+        /// VM steps executed at the breaching boundary.
+        steps: u64,
+        /// Budget kind name (`"mem"` or `"deadline"`).
+        budget: String,
+        /// Observed usage at the boundary.
+        usage: u64,
+        /// The hard limit that was exceeded.
+        limit: u64,
+    },
+    /// A governed trial ran degraded: its rate was stepped down, and it
+    /// either finished at a reduced rate or was cancelled at the floor.
+    TrialDegraded {
+        /// Degraded trial index.
+        trial: u64,
+        /// Rate in effect when the trial ended, in millionths.
+        final_rate_millionths: u64,
+        /// Budget kind name when the trial was cancelled at the floor.
+        cancelled: Option<String>,
+    },
 }
 
 impl Event {
@@ -96,6 +129,9 @@ impl Event {
             Event::Gc { .. } => "gc",
             Event::FaultInjected { .. } => "fault_injected",
             Event::TrialQuarantined { .. } => "trial_quarantined",
+            Event::RateStepped { .. } => "rate_stepped",
+            Event::BudgetBreach { .. } => "budget_breach",
+            Event::TrialDegraded { .. } => "trial_degraded",
         }
     }
 
@@ -170,6 +206,48 @@ impl Event {
                     Some(s) => json::field_str(out, &mut first, "site", s),
                     None => {
                         json::key(out, &mut first, "site");
+                        out.push_str("null");
+                    }
+                }
+            }
+            Event::RateStepped {
+                steps,
+                from_millionths,
+                to_millionths,
+                up,
+            } => {
+                json::field_u64(out, &mut first, "steps", *steps);
+                json::field_u64(out, &mut first, "from_millionths", *from_millionths);
+                json::field_u64(out, &mut first, "to_millionths", *to_millionths);
+                json::field_str(out, &mut first, "dir", if *up { "up" } else { "down" });
+            }
+            Event::BudgetBreach {
+                steps,
+                budget,
+                usage,
+                limit,
+            } => {
+                json::field_u64(out, &mut first, "steps", *steps);
+                json::field_str(out, &mut first, "budget", budget);
+                json::field_u64(out, &mut first, "usage", *usage);
+                json::field_u64(out, &mut first, "limit", *limit);
+            }
+            Event::TrialDegraded {
+                trial,
+                final_rate_millionths,
+                cancelled,
+            } => {
+                json::field_u64(out, &mut first, "trial", *trial);
+                json::field_u64(
+                    out,
+                    &mut first,
+                    "final_rate_millionths",
+                    *final_rate_millionths,
+                );
+                match cancelled {
+                    Some(b) => json::field_str(out, &mut first, "cancelled", b),
+                    None => {
+                        json::key(out, &mut first, "cancelled");
                         out.push_str("null");
                     }
                 }
@@ -310,6 +388,60 @@ mod tests {
         assert_eq!(
             out,
             "{\"ev\":\"escape_elision\",\"func\":\"work\\\"er\",\"var\":\"o\"}\n"
+        );
+
+        out.clear();
+        Event::RateStepped {
+            steps: 500,
+            from_millionths: 30_000,
+            to_millionths: 15_000,
+            up: false,
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"rate_stepped\",\"steps\":500,\"from_millionths\":30000,\
+             \"to_millionths\":15000,\"dir\":\"down\"}\n"
+        );
+
+        out.clear();
+        Event::BudgetBreach {
+            steps: 900,
+            budget: "mem".into(),
+            usage: 2048,
+            limit: 1024,
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"budget_breach\",\"steps\":900,\"budget\":\"mem\",\
+             \"usage\":2048,\"limit\":1024}\n"
+        );
+
+        out.clear();
+        Event::TrialDegraded {
+            trial: 3,
+            final_rate_millionths: 3_750,
+            cancelled: Some("mem".into()),
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"trial_degraded\",\"trial\":3,\
+             \"final_rate_millionths\":3750,\"cancelled\":\"mem\"}\n"
+        );
+
+        out.clear();
+        Event::TrialDegraded {
+            trial: 4,
+            final_rate_millionths: 7_500,
+            cancelled: None,
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"trial_degraded\",\"trial\":4,\
+             \"final_rate_millionths\":7500,\"cancelled\":null}\n"
         );
     }
 

@@ -66,7 +66,9 @@ mod stats;
 
 pub use event::{Event, EventRing};
 pub use hist::{HistKind, Histogram, HIST_BUCKETS, HIST_COUNT};
-pub use metrics::{FaultCounters, FuzzCounters, Metrics, MetricsParseError, RuntimeCounters};
+pub use metrics::{
+    FaultCounters, FuzzCounters, GovernorCounters, Metrics, MetricsParseError, RuntimeCounters,
+};
 pub use observe::{ObservableDetector, Observed};
 pub use registry::{Registry, RegistryConfig};
 pub use space::{SpaceBreakdown, SpaceRecord};

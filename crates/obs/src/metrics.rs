@@ -152,6 +152,54 @@ impl FaultCounters {
     }
 }
 
+/// Counters a resource-governed campaign contributes to a snapshot.
+///
+/// Filled at merge time by the harness's resilient engine from per-trial
+/// governor summaries, mirroring how [`FaultCounters`] are gathered: the
+/// engine sees every trial's outcome in index order, so the roll-up stays
+/// byte-identical at any `--jobs N`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GovernorCounters {
+    /// Sampling-rate steps taken down the ladder (all trials).
+    pub steps_down: u64,
+    /// Sampling-rate steps taken back up after pressure cleared.
+    pub steps_up: u64,
+    /// Hard budget breaches observed (including cancelling ones).
+    pub breaches: u64,
+    /// Trials that finished at a rate below their configured start.
+    pub degraded: u64,
+    /// Trials cancelled cooperatively at the ladder floor.
+    pub cancelled: u64,
+}
+
+impl AddAssign for GovernorCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.steps_down += rhs.steps_down;
+        self.steps_up += rhs.steps_up;
+        self.breaches += rhs.breaches;
+        self.degraded += rhs.degraded;
+        self.cancelled += rhs.cancelled;
+    }
+}
+
+impl GovernorCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "steps_down", self.steps_down);
+        json::field_u64(out, &mut first, "steps_up", self.steps_up);
+        json::field_u64(out, &mut first, "breaches", self.breaches);
+        json::field_u64(out, &mut first, "degraded", self.degraded);
+        json::field_u64(out, &mut first, "cancelled", self.cancelled);
+        out.push('}');
+    }
+
+    /// True when no governor activity was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == GovernorCounters::default()
+    }
+}
+
 /// One immutable snapshot of everything the observability layer gathered:
 /// the detector's [`PacerStats`] (Tables 1 and 3), [`RuntimeCounters`],
 /// histograms, the space-over-time curve (Fig. 7), and event-ring totals.
@@ -172,6 +220,8 @@ pub struct Metrics {
     pub fuzz: FuzzCounters,
     /// Fault-injection counters (zero unless a fault plan was armed).
     pub faults: FaultCounters,
+    /// Resource-governor counters (zero unless a budget was armed).
+    pub governor: GovernorCounters,
     /// Histograms, indexed by [`HistKind`].
     pub hists: [Histogram; HIST_COUNT],
     /// Space samples in run order (per run, in GC order; merged runs
@@ -198,6 +248,7 @@ impl Metrics {
         self.runtime += other.runtime;
         self.fuzz += other.fuzz;
         self.faults += other.faults;
+        self.governor += other.governor;
         for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
             h.merge(o);
         }
@@ -228,6 +279,8 @@ impl Metrics {
         self.fuzz.write_json(&mut out);
         out.push_str(",\n  \"faults\": ");
         self.faults.write_json(&mut out);
+        out.push_str(",\n  \"governor\": ");
+        self.governor.write_json(&mut out);
         out.push_str(",\n  \"histograms\": {");
         for (i, kind) in HistKind::ALL.iter().enumerate() {
             if i > 0 {
@@ -345,6 +398,17 @@ impl Metrics {
                 hit: require_u64(ft, "hit")?,
                 retried: require_u64(ft, "retried")?,
                 quarantined: require_u64(ft, "quarantined")?,
+            };
+        }
+
+        // `governor` is absent from pre-governor snapshots; default it.
+        if let Some(gv) = root.get("governor") {
+            m.governor = GovernorCounters {
+                steps_down: require_u64(gv, "steps_down")?,
+                steps_up: require_u64(gv, "steps_up")?,
+                breaches: require_u64(gv, "breaches")?,
+                degraded: require_u64(gv, "degraded")?,
+                cancelled: require_u64(gv, "cancelled")?,
             };
         }
 
@@ -568,6 +632,14 @@ impl fmt::Display for Metrics {
                 ft.injected, ft.hit, ft.retried, ft.quarantined
             )?;
         }
+        if !self.governor.is_zero() {
+            let gv = &self.governor;
+            writeln!(
+                f,
+                "governor: steps_down={} steps_up={} breaches={} degraded={} cancelled={}",
+                gv.steps_down, gv.steps_up, gv.breaches, gv.degraded, gv.cancelled
+            )?;
+        }
         write!(
             f,
             "space: {} samples, peak metadata {} words",
@@ -663,10 +735,45 @@ mod tests {
     }
 
     #[test]
+    fn governor_counters_merge_serialize_and_gate_display() {
+        let mut m = sample_metrics();
+        m.governor = GovernorCounters {
+            steps_down: 5,
+            steps_up: 1,
+            breaches: 2,
+            degraded: 3,
+            cancelled: 1,
+        };
+        let mut merged = m.clone();
+        merged.merge(&m);
+        assert_eq!(merged.governor.steps_down, 10);
+        assert_eq!(merged.governor.cancelled, 2);
+        assert!(m
+            .to_json()
+            .contains("\"governor\": {\"steps_down\":5,\"steps_up\":1"));
+        assert!(m
+            .to_string()
+            .contains("governor: steps_down=5 steps_up=1 breaches=2 degraded=3 cancelled=1"));
+        assert!(
+            !Metrics::default().to_string().contains("governor:"),
+            "ungoverned snapshots stay quiet"
+        );
+        // Pre-governor snapshots (no `governor` key) still parse.
+        let legacy = Metrics::default().to_json().replace(
+            ",\n  \"governor\": {\"steps_down\":0,\"steps_up\":0,\"breaches\":0,\"degraded\":0,\"cancelled\":0}",
+            "",
+        );
+        assert!(!legacy.contains("governor"));
+        assert_eq!(Metrics::from_json(&legacy).unwrap(), Metrics::default());
+    }
+
+    #[test]
     fn json_round_trip_is_exact() {
         let mut m = sample_metrics();
         m.faults.injected = 7;
         m.faults.quarantined = 2;
+        m.governor.steps_down = 3;
+        m.governor.degraded = 1;
         m.hists[HistKind::GcHeapBytes.index()].record(0);
         m.hists[HistKind::GcHeapBytes.index()].record(u64::MAX);
         let parsed = Metrics::from_json(&m.to_json()).unwrap();

@@ -24,6 +24,22 @@ pub trait ObservableDetector: Detector {
     fn pacer_stats(&self) -> Option<PacerStats> {
         None
     }
+
+    /// The resource governor changed the effective sampling rate (in
+    /// millionths) at a GC boundary. Detectors whose sampling is driven by
+    /// the runtime's GC sampler (PACER variants) need no action — the
+    /// runtime retargets the sampler for them — so the default is a no-op.
+    /// Detectors that sample internally (LITERACE) scale their own
+    /// admission decisions here.
+    fn on_rate_change(&mut self, _rate_millionths: u32) {}
+
+    /// The thread whose vector-clock entry overflowed during this run, if
+    /// any. Detectors record the first overflow stickily (clocks saturate
+    /// instead of panicking); the harness converts a post-run `Some` into a
+    /// quarantinable trial error.
+    fn clock_overflow(&self) -> Option<pacer_clock::ThreadId> {
+        None
+    }
 }
 
 /// Wraps an [`ObservableDetector`], reporting into a [`Registry`] by
@@ -86,6 +102,11 @@ impl<D: ObservableDetector> Observed<D> {
     /// The wrapped detector.
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+
+    /// The wrapped detector, mutably (e.g. to deliver governor signals).
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
     }
 
     /// The registry (e.g. to record run-level counters).
@@ -197,6 +218,14 @@ impl<D: ObservableDetector> ObservableDetector for Observed<D> {
 
     fn pacer_stats(&self) -> Option<PacerStats> {
         self.inner.pacer_stats()
+    }
+
+    fn on_rate_change(&mut self, rate_millionths: u32) {
+        self.inner.on_rate_change(rate_millionths);
+    }
+
+    fn clock_overflow(&self) -> Option<pacer_clock::ThreadId> {
+        self.inner.clock_overflow()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::event::{Event, EventRing};
 use crate::hist::{HistKind, Histogram, HIST_COUNT};
-use crate::metrics::{FaultCounters, FuzzCounters, Metrics, RuntimeCounters};
+use crate::metrics::{FaultCounters, FuzzCounters, GovernorCounters, Metrics, RuntimeCounters};
 use crate::space::SpaceRecord;
 use crate::stats::PacerStats;
 
@@ -53,6 +53,7 @@ pub struct Registry {
     runtime: RuntimeCounters,
     fuzz: FuzzCounters,
     faults: FaultCounters,
+    governor: GovernorCounters,
 }
 
 impl Default for Registry {
@@ -85,6 +86,7 @@ impl Registry {
             runtime: RuntimeCounters::default(),
             fuzz: FuzzCounters::default(),
             faults: FaultCounters::default(),
+            governor: GovernorCounters::default(),
         }
     }
 
@@ -159,6 +161,13 @@ impl Registry {
         }
     }
 
+    /// Accumulates a governed campaign's counters.
+    pub fn add_governor(&mut self, counters: GovernorCounters) {
+        if self.enabled {
+            self.governor += counters;
+        }
+    }
+
     /// Takes an immutable [`Metrics`] snapshot of everything recorded.
     pub fn metrics(&self) -> Metrics {
         Metrics {
@@ -167,6 +176,7 @@ impl Registry {
             runtime: self.runtime,
             fuzz: self.fuzz,
             faults: self.faults,
+            governor: self.governor,
             hists: self.hists.clone(),
             space: self.space.clone(),
             events_recorded: self.ring.recorded(),

@@ -57,4 +57,6 @@ mod vm;
 
 pub use heap::{Heap, ObjId, SpaceSample, FIELD_BYTES, OBJECT_BYTES};
 pub use sampler::GcSampler;
-pub use vm::{InstrumentMode, NullDetector, RunOutcome, Value, Vm, VmConfig, VmError};
+pub use vm::{
+    GovernorSignal, InstrumentMode, NullDetector, RunOutcome, Value, Vm, VmConfig, VmError,
+};

@@ -67,6 +67,19 @@ impl GcSampler {
         self.target
     }
 
+    /// Retargets the controller to a new rate `rate ∈ [0, 1]` — the
+    /// resource governor calls this at GC boundaries when stepping the
+    /// rate along its ladder. Window statistics are kept: the bias
+    /// correction keeps converging on the (new) work-weighted target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_target(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.target = rate;
+    }
+
     /// Whether the current window is a sampling period.
     pub fn is_sampling(&self) -> bool {
         self.sampling
@@ -187,6 +200,23 @@ mod tests {
             (0.08..0.13).contains(&observed),
             "work-weighted rate {observed} should converge to 0.10"
         );
+    }
+
+    #[test]
+    fn set_target_retargets_future_windows() {
+        let mut s = GcSampler::new(1.0, 9);
+        assert!(s.on_gc());
+        s.set_target(0.0);
+        assert_eq!(s.target(), 0.0);
+        assert!((0..100).all(|_| !s.on_gc()));
+        s.set_target(1.0);
+        assert!((0..100).all(|_| s.on_gc()));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn set_target_rejects_out_of_range() {
+        GcSampler::new(0.5, 0).set_target(1.5);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use pacer_prng::Rng;
 
 use pacer_clock::ThreadId;
 use pacer_faults::{StormShape, TrialFaults, INJECTED_PREFIX};
+use pacer_governor::{rate_from_millionths, Directive, Governor, GovernorConfig, GovernorSummary};
 use pacer_lang::ir::{BinOp, CompiledProgram, Instr};
 use pacer_trace::{Action, ActionStats, Detector, LockId, RaceReport, VolatileId};
 
@@ -78,6 +79,11 @@ pub struct VmConfig {
     /// Armed fault injections for this run (resilience testing). `None`
     /// costs a single branch per check site — the zero-cost default.
     pub faults: Option<TrialFaults>,
+    /// Armed resource governor: budgets evaluated at every nursery GC
+    /// boundary, reacting by stepping the sampling rate along a ladder.
+    /// `None` costs a single branch per check site — the zero-cost
+    /// default.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl VmConfig {
@@ -94,6 +100,7 @@ impl VmConfig {
             max_steps: 200_000_000,
             instrument: InstrumentMode::Full,
             faults: None,
+            governor: None,
         }
     }
 
@@ -118,6 +125,18 @@ impl VmConfig {
     /// Sets the nursery size (allocation between sampling decisions).
     pub fn with_nursery_bytes(mut self, bytes: u64) -> Self {
         self.nursery_bytes = bytes;
+        self
+    }
+
+    /// Arms the resource governor for this run. An unarmed configuration
+    /// (no budgets set) is normalized to `None`, keeping the hot path at a
+    /// single branch.
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = if governor.armed() {
+            Some(governor)
+        } else {
+            None
+        };
         self
     }
 
@@ -148,6 +167,10 @@ pub enum VmError {
     /// Simulated allocator exhaustion from an armed fault plan: the
     /// heap's cumulative allocation exceeded the injected byte budget.
     InjectedOom(u64),
+    /// A detector's vector clock overflowed for this thread during the
+    /// run. Clocks saturate and record the overflow stickily; the harness
+    /// converts the post-run flag into this quarantinable error.
+    ClockOverflow(ThreadId),
 }
 
 impl fmt::Display for VmError {
@@ -163,6 +186,9 @@ impl fmt::Display for VmError {
                     f,
                     "{INJECTED_PREFIX}heap OOM budget of {budget} bytes exceeded"
                 )
+            }
+            VmError::ClockOverflow(t) => {
+                write!(f, "vector clock overflow on thread {}", t.raw())
             }
         }
     }
@@ -184,6 +210,29 @@ impl Detector for NullDetector {
     fn races(&self) -> &[RaceReport] {
         &[]
     }
+}
+
+/// A resource-governor request delivered to the embedding layer through
+/// the hook passed to [`Vm::run_governed`].
+///
+/// The VM itself is detector-agnostic (it only knows `D: Detector`), so
+/// governor interactions that need detector knowledge — metadata
+/// accounting, internal-sampler rescaling — are delegated to the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GovernorSignal {
+    /// Return the detector's current metadata footprint in **bytes**
+    /// (callers typically report `space_breakdown().total_words() * 8`).
+    PollMemBytes,
+    /// The sampling rate changed to this many millionths; detectors that
+    /// sample internally rescale here. The return value is ignored.
+    RateChanged(u32),
+}
+
+/// The per-run hook bundle: the full-GC space probe plus the governor
+/// hook. Bundled so the scheduler threads one parameter through `step`.
+struct Hooks<P, G> {
+    probe: P,
+    gov: G,
 }
 
 /// What a run produced.
@@ -217,6 +266,10 @@ pub struct RunOutcome {
     /// Scheduling turns run with a storm-forced quantum of 1 (zero when
     /// no `sched-storm` fault was armed).
     pub fault_storm_turns: u64,
+    /// Resource-governor activity (`None` when no governor was armed).
+    /// A `Some` with [`GovernorSummary::degraded`] true means the run
+    /// finished at a reduced rate or was cancelled cooperatively.
+    pub governor: Option<GovernorSummary>,
 }
 
 impl RunOutcome {
@@ -290,6 +343,8 @@ pub struct Vm<'p, D: Detector> {
     sched_turns: u64,
     /// Scheduling turns whose quantum was storm-forced to 1.
     storm_turns: u64,
+    /// Armed resource governor; `None` on every ungoverned run.
+    governor: Option<Governor>,
 }
 
 impl<'p, D: Detector> Vm<'p, D> {
@@ -319,8 +374,32 @@ impl<'p, D: Detector> Vm<'p, D> {
         program: &CompiledProgram,
         detector: &mut D,
         config: &VmConfig,
-        mut probe: impl FnMut(&mut D, &SpaceSample),
+        probe: impl FnMut(&mut D, &SpaceSample),
     ) -> Result<RunOutcome, VmError> {
+        Self::run_governed(program, detector, config, probe, |_, _| 0)
+    }
+
+    /// Like [`Vm::run_with_probe`], with a second hook for resource-governor
+    /// interactions that need detector knowledge (see [`GovernorSignal`]).
+    /// The hook is only invoked when `config.governor` is armed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on type errors, deadlock, or step-limit
+    /// exhaustion. A governed run that is *cancelled* at the ladder floor
+    /// is **not** an error: it returns `Ok` with
+    /// [`RunOutcome::governor`]`.cancelled` set.
+    pub fn run_governed(
+        program: &CompiledProgram,
+        detector: &mut D,
+        config: &VmConfig,
+        probe: impl FnMut(&mut D, &SpaceSample),
+        gov_hook: impl FnMut(&mut D, GovernorSignal) -> u64,
+    ) -> Result<RunOutcome, VmError> {
+        let mut hooks = Hooks {
+            probe,
+            gov: gov_hook,
+        };
         let entry = program.entry;
         let main_fn = &program.functions[entry as usize];
         let main = SimThread {
@@ -355,7 +434,14 @@ impl<'p, D: Detector> Vm<'p, D> {
             detector_actions: 0,
             sched_turns: 0,
             storm_turns: 0,
+            governor: config.governor.clone().map(Governor::new),
         };
+        if let Some(gov) = &vm.governor {
+            // A governed run starts at the ladder's top rung, which may
+            // differ from (and overrides) the configured sampling rate.
+            vm.sampler
+                .set_target(rate_from_millionths(gov.rate_millionths()));
+        }
 
         // Treat run start as a collection boundary so the first window is
         // drawn like every other (and r = 100% samples from step 0).
@@ -364,7 +450,7 @@ impl<'p, D: Detector> Vm<'p, D> {
             vm.emit_marker(Action::SampleBegin);
         }
 
-        vm.schedule(&mut probe)?;
+        vm.schedule(&mut hooks)?;
 
         let main_result = match &vm.threads[0].state {
             ThreadState::Done(v) => *v,
@@ -383,10 +469,15 @@ impl<'p, D: Detector> Vm<'p, D> {
             threads_started: vm.threads.len(),
             max_live_threads: vm.max_live,
             fault_storm_turns: vm.storm_turns,
+            governor: vm.governor.map(Governor::into_summary),
         })
     }
 
-    fn schedule(&mut self, probe: &mut impl FnMut(&mut D, &SpaceSample)) -> Result<(), VmError> {
+    fn schedule<P, G>(&mut self, hooks: &mut Hooks<P, G>) -> Result<(), VmError>
+    where
+        P: FnMut(&mut D, &SpaceSample),
+        G: FnMut(&mut D, GovernorSignal) -> u64,
+    {
         loop {
             // A thread is enabled if runnable, or blocked on a condition
             // that now holds.
@@ -434,10 +525,20 @@ impl<'p, D: Detector> Vm<'p, D> {
                 if !matches!(self.threads[ti].state, ThreadState::Runnable) {
                     break;
                 }
-                self.step(ti as u32, probe)?;
+                self.step(ti as u32, hooks)?;
+                if let Some(gov) = &self.governor {
+                    if gov.is_cancelled() {
+                        // Cooperative cancellation at the ladder floor: a
+                        // clean (degraded) outcome, not an error.
+                        return Ok(());
+                    }
+                }
                 if let Some(faults) = self.faults {
                     if let Some(budget) = faults.heap_oom_budget {
-                        if self.heap.total_allocated() > budget {
+                        // With a governor armed the injected budget is
+                        // governor-managed at GC boundaries instead of
+                        // being a hard per-step failure.
+                        if self.governor.is_none() && self.heap.total_allocated() > budget {
                             return Err(VmError::InjectedOom(budget));
                         }
                     }
@@ -506,7 +607,11 @@ impl<'p, D: Detector> Vm<'p, D> {
         }
     }
 
-    fn maybe_gc(&mut self, probe: &mut impl FnMut(&mut D, &SpaceSample)) {
+    fn maybe_gc<P, G>(&mut self, hooks: &mut Hooks<P, G>)
+    where
+        P: FnMut(&mut D, &SpaceSample),
+        G: FnMut(&mut D, GovernorSignal) -> u64,
+    {
         if self.heap.bytes_since_gc < self.config.nursery_bytes {
             return;
         }
@@ -522,7 +627,10 @@ impl<'p, D: Detector> Vm<'p, D> {
                 allocated_bytes: self.heap.total_allocated(),
             };
             self.space_samples.push(sample);
-            probe(self.detector, &sample);
+            (hooks.probe)(self.detector, &sample);
+        }
+        if self.governor.is_some() {
+            self.govern_boundary(hooks);
         }
         let was = self.sampler.is_sampling();
         let now = self.sampler.on_gc();
@@ -532,6 +640,51 @@ impl<'p, D: Detector> Vm<'p, D> {
             } else {
                 Action::SampleEnd
             });
+        }
+    }
+
+    /// Evaluates the armed governor's budgets at this GC boundary and
+    /// applies its directive (retarget the sampler, notify the detector,
+    /// or mark the run cancelled).
+    fn govern_boundary<P, G>(&mut self, hooks: &mut Hooks<P, G>)
+    where
+        P: FnMut(&mut D, &SpaceSample),
+        G: FnMut(&mut D, GovernorSignal) -> u64,
+    {
+        let Some(gov) = self.governor.as_mut() else {
+            return;
+        };
+        if gov.is_cancelled() {
+            return;
+        }
+        let mem_budget = gov.config().mem_budget_bytes;
+        let deadline_budget = gov.config().deadline_events;
+        // Memory pressure is the worse of two ratios: detector metadata
+        // bytes against the configured budget, and (when a fault plan arms
+        // an injected heap budget) simulated heap allocation against that
+        // budget — the governor then manages the injected OOM instead of
+        // the per-step hard failure.
+        let mut mem: Option<(u64, u64)> = None;
+        if let Some(limit) = mem_budget {
+            let usage = (hooks.gov)(self.detector, GovernorSignal::PollMemBytes);
+            mem = Some((usage, limit));
+        }
+        if let Some(faults) = self.faults {
+            if let Some(limit) = faults.heap_oom_budget {
+                let candidate = (self.heap.total_allocated(), limit);
+                mem = Some(match mem {
+                    Some(existing) if ratio_ge(existing, candidate) => existing,
+                    _ => candidate,
+                });
+            }
+        }
+        let deadline = deadline_budget.map(|limit| (self.steps, limit));
+        match gov.on_boundary(self.steps, mem, deadline) {
+            Directive::None | Directive::Cancel { .. } => {}
+            Directive::StepDown { to } | Directive::StepUp { to } => {
+                self.sampler.set_target(rate_from_millionths(to));
+                (hooks.gov)(self.detector, GovernorSignal::RateChanged(to));
+            }
         }
     }
 
@@ -551,11 +704,11 @@ impl<'p, D: Detector> Vm<'p, D> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(
-        &mut self,
-        ti: u32,
-        probe: &mut impl FnMut(&mut D, &SpaceSample),
-    ) -> Result<(), VmError> {
+    fn step<P, G>(&mut self, ti: u32, hooks: &mut Hooks<P, G>) -> Result<(), VmError>
+    where
+        P: FnMut(&mut D, &SpaceSample),
+        G: FnMut(&mut D, GovernorSignal) -> u64,
+    {
         let (func, pc) = {
             let f = self.frame(ti);
             (f.func, f.pc)
@@ -585,7 +738,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                     x: pacer_trace::VarId::new(slot),
                     site,
                 });
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
                 let v = self.globals[slot as usize];
                 self.push(ti, v);
             }
@@ -596,7 +749,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                     x: pacer_trace::VarId::new(slot),
                     site,
                 });
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
                 self.globals[slot as usize] = v;
             }
             Instr::LoadElem { base, len, site } => {
@@ -607,7 +760,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                     x: pacer_trace::VarId::new(slot),
                     site,
                 });
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
                 let v = self.globals[slot as usize];
                 self.push(ti, v);
             }
@@ -620,12 +773,12 @@ impl<'p, D: Detector> Vm<'p, D> {
                     x: pacer_trace::VarId::new(slot),
                     site,
                 });
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
                 self.globals[slot as usize] = v;
             }
             Instr::NewObject => {
                 let obj = self.heap.alloc();
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
                 self.push(ti, Value::Ref(obj));
             }
             Instr::LoadField {
@@ -642,7 +795,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                 if instrumented {
                     let x = self.heap.field_var(obj, field);
                     self.emit_access(Action::Read { t: tid, x, site });
-                    self.maybe_gc(probe);
+                    self.maybe_gc(hooks);
                 } else {
                     self.elided += 1;
                 }
@@ -670,7 +823,7 @@ impl<'p, D: Detector> Vm<'p, D> {
                     self.elided += 1;
                 }
                 self.heap.store_field(obj, field, v);
-                self.maybe_gc(probe);
+                self.maybe_gc(hooks);
             }
             Instr::LoadVolatile(v) => {
                 self.emit_sync(Action::VolRead {
@@ -875,6 +1028,11 @@ impl<'p, D: Detector> Vm<'p, D> {
     }
 }
 
+/// `a.0/a.1 >= b.0/b.1` in exact integer arithmetic (u128-widened).
+fn ratio_ge(a: (u64, u64), b: (u64, u64)) -> bool {
+    u128::from(a.0) * u128::from(b.1) >= u128::from(b.0) * u128::from(a.1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -989,6 +1147,140 @@ mod tests {
         assert_eq!(base.steps, armed.steps);
         assert_eq!(base.main_result, armed.main_result);
         assert_eq!(armed.fault_storm_turns, 0);
+    }
+
+    /// Allocation-heavy source: drives many nursery GCs (governor
+    /// boundaries) while racing on a shared counter.
+    const ALLOCY: &str = "
+        shared x;
+        fn main() {
+            let i = 0;
+            while (i < 4000) { let o = new obj; x = x + 1; i = i + 1; }
+            return x;
+        }
+    ";
+
+    #[test]
+    fn governed_heap_budget_degrades_instead_of_injected_oom() {
+        let compiled = compile_src(ALLOCY);
+        let faults = TrialFaults {
+            heap_oom_budget: Some(16 * 1024),
+            ..TrialFaults::default()
+        };
+        // Ungoverned: the injected budget is a hard per-step failure.
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(11)
+            .with_sampling_rate(0.5)
+            .with_faults(faults);
+        assert_eq!(
+            Vm::run(&compiled, &mut det, &cfg).unwrap_err(),
+            VmError::InjectedOom(16 * 1024)
+        );
+        // Governed (deadline-armed so the governor is constructed): the
+        // budget becomes governor-managed. Total allocation only grows, so
+        // the ladder walks to the floor and the run cancels cleanly.
+        let mut gov_cfg = GovernorConfig::for_rate(0.5);
+        gov_cfg.deadline_events = Some(u64::MAX);
+        let mut det2 = FastTrackDetector::new();
+        let cfg2 = VmConfig::new(11)
+            .with_sampling_rate(0.5)
+            .with_faults(faults)
+            .with_governor(gov_cfg);
+        let out = Vm::run(&compiled, &mut det2, &cfg2).unwrap();
+        let summary = out.governor.expect("governor was armed");
+        assert!(summary.degraded());
+        assert_eq!(summary.cancelled, Some(pacer_governor::BudgetKind::Mem));
+        assert!(summary.steps_down > 0, "walked the ladder before the floor");
+        assert!(summary.breaches >= 1);
+    }
+
+    #[test]
+    fn deadline_budget_cancels_cleanly() {
+        let compiled = compile_src(ALLOCY);
+        let mut gov_cfg = GovernorConfig::for_rate(0.5);
+        gov_cfg.deadline_events = Some(5_000);
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(7)
+            .with_sampling_rate(0.5)
+            .with_governor(gov_cfg);
+        let out = Vm::run(&compiled, &mut det, &cfg).unwrap();
+        let summary = out.governor.expect("governor was armed");
+        assert_eq!(
+            summary.cancelled,
+            Some(pacer_governor::BudgetKind::Deadline)
+        );
+        assert!(out.steps < 40_000, "cancelled well before the full run");
+    }
+
+    #[test]
+    fn unarmed_governor_config_is_normalized_away() {
+        let compiled = compile_src(ALLOCY);
+        let mut det = FastTrackDetector::new();
+        let base_cfg = VmConfig::new(5).with_sampling_rate(0.3);
+        let base = Vm::run(&compiled, &mut det, &base_cfg).unwrap();
+        // No budgets set: with_governor() stores None and nothing changes.
+        let mut det2 = FastTrackDetector::new();
+        let cfg = VmConfig::new(5)
+            .with_sampling_rate(0.3)
+            .with_governor(GovernorConfig::for_rate(0.3));
+        let governed = Vm::run(&compiled, &mut det2, &cfg).unwrap();
+        assert!(governed.governor.is_none());
+        assert_eq!(base.steps, governed.steps);
+        assert_eq!(base.main_result, governed.main_result);
+        assert_eq!(base.gc_count, governed.gc_count);
+    }
+
+    #[test]
+    fn governed_runs_are_deterministic() {
+        let compiled = compile_src(ALLOCY);
+        let run = || {
+            let mut gov_cfg = GovernorConfig::for_rate(0.5);
+            gov_cfg.deadline_events = Some(20_000);
+            let mut det = FastTrackDetector::new();
+            let cfg = VmConfig::new(13)
+                .with_sampling_rate(0.5)
+                .with_governor(gov_cfg);
+            let out = Vm::run(&compiled, &mut det, &cfg).unwrap();
+            (out.steps, out.gc_count, out.governor.unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn governor_signals_reach_the_hook() {
+        let compiled = compile_src(ALLOCY);
+        let mut gov_cfg = GovernorConfig::for_rate(0.5);
+        // A tiny metadata budget: PollMemBytes drives immediate pressure.
+        gov_cfg.mem_budget_bytes = Some(64);
+        let mut det = FastTrackDetector::new();
+        let cfg = VmConfig::new(3)
+            .with_sampling_rate(0.5)
+            .with_governor(gov_cfg);
+        let mut polls = 0u64;
+        let mut rate_changes = Vec::new();
+        let out = Vm::run_governed(
+            &compiled,
+            &mut det,
+            &cfg,
+            |_, _| {},
+            |_, sig| match sig {
+                GovernorSignal::PollMemBytes => {
+                    polls += 1;
+                    1_000 // always over the 64-byte budget
+                }
+                GovernorSignal::RateChanged(m) => {
+                    rate_changes.push(m);
+                    0
+                }
+            },
+        )
+        .unwrap();
+        assert!(polls > 0, "mem budget was polled at boundaries");
+        let expected: Vec<u32> = vec![250_000, 125_000, 62_500];
+        assert_eq!(rate_changes, expected, "walked the default ladder down");
+        let summary = out.governor.unwrap();
+        assert_eq!(summary.cancelled, Some(pacer_governor::BudgetKind::Mem));
+        assert_eq!(summary.final_rate_millionths, 62_500);
     }
 
     #[test]

@@ -24,6 +24,24 @@ const RACY_ALLOCATING: &str = "
     fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
 ";
 
+/// A racy workload heavy enough to cross several full-GC boundaries
+/// (nursery 2 KiB, full GC every 8 collections → one governed boundary
+/// per ~16 KiB allocated), so an armed governor gets to walk its rate
+/// ladder: two threads × 800 objects × 64 bytes ≈ 100 KiB.
+const RACY_HEAVY: &str = "
+    shared x;
+    fn w() {
+        let i = 0;
+        while (i < 800) {
+            let o = new obj;
+            o.f = i;
+            x = x + 1;
+            i = i + 1;
+        }
+    }
+    fn main() { let a = spawn w(); let b = spawn w(); join a; join b; }
+";
+
 fn temp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("pacer-resilience-{}-{name}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -79,6 +97,148 @@ fn fault_campaign_completes_with_deterministic_quarantines() {
         "failures carry the marker: {seq}"
     );
     assert_eq!(seq, par, "fault campaigns are byte-identical at any --jobs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn governed_fleet_is_byte_identical_at_any_job_count() {
+    let dir = temp_dir("governed-jobs");
+    let program = write(&dir, "heavy.pl", RACY_HEAVY);
+    // Both runs write the same artifact paths, so the printed output is
+    // comparable verbatim; the first run's artifact bytes are captured
+    // before the second run overwrites them.
+    let metrics = dir.join("gov.json").to_string_lossy().into_owned();
+    let trace = dir.join("gov.jsonl").to_string_lossy().into_owned();
+    let governed = |jobs: &str| {
+        run(&args(&[
+            "fleet",
+            &program,
+            "--instances",
+            "6",
+            "--rate",
+            "0.25",
+            "--seed",
+            "5",
+            "--mem-budget",
+            "128",
+            "--metrics-out",
+            &metrics,
+            "--trace-out",
+            &trace,
+            "--jobs",
+            jobs,
+        ]))
+        .unwrap()
+    };
+
+    let seq = governed("1");
+    let m_seq = std::fs::read_to_string(&metrics).unwrap();
+    let t_seq = std::fs::read_to_string(&trace).unwrap();
+    let par = governed("4");
+
+    assert!(seq.contains("governor:"), "armed governor reports: {seq}");
+    assert!(
+        !seq.contains("steps_down=0"),
+        "metadata pressure walks the rate ladder: {seq}"
+    );
+    assert!(
+        seq.contains("finished at reduced rate"),
+        "degraded trials finish instead of quarantining: {seq}"
+    );
+    assert_eq!(seq.code, 0, "rate-degraded-but-finished is success: {seq}");
+    assert_eq!(seq, par, "governed fleets are byte-identical at any --jobs");
+    assert_eq!(
+        m_seq,
+        std::fs::read_to_string(&metrics).unwrap(),
+        "governed metrics snapshot is byte-identical at any --jobs"
+    );
+    assert_eq!(
+        t_seq,
+        std::fs::read_to_string(&trace).unwrap(),
+        "governed event trace is byte-identical at any --jobs"
+    );
+    assert!(
+        m_seq.contains("\"governor\""),
+        "metrics carry the governor counter block"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn armed_governor_degrades_heap_oom_plan_instead_of_quarantining() {
+    let dir = temp_dir("governed-oom");
+    let program = write(&dir, "heavy.pl", RACY_HEAVY);
+    // Every trial gets a 6 KiB injected heap budget; the workload
+    // allocates ~100 KiB, so ungoverned trials hit a hard InjectedOom.
+    let plan = write(&dir, "oom.plan", "heap-oom budget=6000 every=1\n");
+    let base = &[
+        "fleet",
+        &program,
+        "--instances",
+        "4",
+        "--rate",
+        "0.25",
+        "--seed",
+        "11",
+        "--fault-plan",
+        &plan,
+        "--max-retries",
+        "1",
+    ];
+
+    // Ungoverned: the OOM fires on every attempt and all trials quarantine.
+    let plain = run(&args(base)).unwrap();
+    assert_eq!(plain.code, 2, "{plain}");
+    assert!(plain.contains("quarantined=4"), "{plain}");
+
+    // Armed governor: the injected heap budget becomes governor-managed
+    // memory pressure at GC boundaries. The rate walks down the ladder and
+    // the trials end in a clean cooperative cancellation at the floor —
+    // degraded coverage (still exit 2), but zero quarantines.
+    let metrics = dir.join("gov.json").to_string_lossy().into_owned();
+    let trace = dir.join("gov.jsonl").to_string_lossy().into_owned();
+    let governed = run(&args(
+        &[
+            base,
+            &[
+                "--mem-budget",
+                "100000000",
+                "--metrics-out",
+                &metrics,
+                "--trace-out",
+                &trace,
+            ][..],
+        ]
+        .concat(),
+    ))
+    .unwrap();
+
+    assert_eq!(governed.code, 2, "cancelled trials exit 2: {governed}");
+    assert!(governed.contains("quarantined=0"), "{governed}");
+    assert!(
+        governed.contains("cancelled at floor rate"),
+        "trials cancel cleanly at the ladder floor: {governed}"
+    );
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        m.contains("\"governor\": {\"steps_down\":"),
+        "metrics carry governor counters: {m}"
+    );
+    assert!(
+        !m.contains("\"cancelled\":0}"),
+        "cancelled counter is nonzero: {m}"
+    );
+    let t = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        t.contains("trial_degraded"),
+        "trace records degradations instead of quarantines"
+    );
+    assert!(
+        t.contains("rate_stepped") && t.contains("budget_breach"),
+        "per-boundary governor decisions are traced"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
