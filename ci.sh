@@ -152,9 +152,37 @@ fi
 
 # Smoke-run every bench target in quick mode; each writes BENCH_<name>.json
 # at the workspace root.
-for bench in clock_ops detector_throughput workload_overhead version_ablation; do
+for bench in clock_ops detector_throughput workload_overhead version_ablation clock_ablation; do
     echo "== cargo bench $bench --quick"
     cargo bench -p pacer-bench --bench "$bench" -- --quick
 done
+
+# Clock-layer regression gate: on the full-rate replay, each stacked
+# storage layer (+arena, +join-cache) must keep at least 90% of the
+# in-run baseline's throughput. The µs-scale fasttrack rows are
+# informational only — too noisy to gate at --quick sampling.
+echo "== clock_ablation layer gate"
+python3 - <<'EOF'
+import json, sys
+
+results = {
+    r["id"]: r["events_per_sec"]
+    for r in json.load(open("BENCH_clock_ablation.json"))["results"]
+    if r.get("events_per_sec")
+}
+floor = 0.9 * results["pacer@100%/baseline"]
+bad = [
+    (layer, results[f"pacer@100%/{layer}"])
+    for layer in ("+arena", "+join-cache")
+    if results[f"pacer@100%/{layer}"] < floor
+]
+for layer, eps in bad:
+    print(
+        f"clock layer `{layer}` regresses the full-rate replay: "
+        f"{eps:.0f} events/s < 90% of baseline {results['pacer@100%/baseline']:.0f}",
+        file=sys.stderr,
+    )
+sys.exit(1 if bad else 0)
+EOF
 
 echo "== ci.sh OK"

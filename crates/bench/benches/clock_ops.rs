@@ -42,6 +42,28 @@ fn main() {
         bench.measure(&format!("join_copy/deep_copy/{n}"), None, || {
             black_box(cow.deep_copy());
         });
+
+        // Clone-on-write then join: the rule-6 slow path on a shared clock
+        // (a lock acquire joining into a thread clock some sync object
+        // still snapshots). Dominated by the clone; the snapshot handle is
+        // rebuilt each iteration so every make_mut pays it.
+        let src = clock_of_width(n);
+        let mut shared = CowClock::new(clock_of_width(n));
+        bench.measure(&format!("join_copy/make_mut_join_shared/{n}"), None, || {
+            let snapshot = shared.shallow_copy();
+            shared.make_mut().join(black_box(&src));
+            black_box(snapshot);
+        });
+
+        // Re-joining a clock that is already subsumed: the redundant-join
+        // cost the monotone-join stamp cache exists to avoid. An O(n) scan
+        // that discovers there is nothing to do.
+        let unchanged = clock_of_width(n);
+        let mut dst = clock_of_width(n);
+        dst.join(&unchanged);
+        bench.measure(&format!("join_copy/rejoin_unchanged/{n}"), None, || {
+            dst.join(black_box(&unchanged));
+        });
     }
 
     // The fast path PACER buys with versions: a single slot compare,

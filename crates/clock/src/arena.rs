@@ -1,0 +1,134 @@
+//! Per-trial arenas that recycle vector-clock storage.
+
+use std::fmt;
+use std::rc::Rc;
+
+use pacer_collections::{PoolStats, SlabPool};
+
+use crate::{CowClock, VectorClock};
+
+impl pacer_collections::PoolItem for VectorClock {
+    fn reset(&mut self) {
+        self.reset_storage();
+    }
+}
+
+/// A slab arena for [`VectorClock`] storage, shared by a detector trial's
+/// clock-heavy operations.
+///
+/// PACER's full-rate path deep-copies a thread clock at every lock release
+/// inside a sampling period and clones shared storage at every
+/// copy-on-write (Algorithms 9–11). Without an arena each of those is a
+/// heap allocation plus, a few events later, a free. The arena parks
+/// retired clock buffers — `Rc` box and `Vec` capacity intact — and hands
+/// them back to the next copy, so steady-state allocator traffic on the
+/// hot path is zero and per-trial teardown is one arena drop (or
+/// [`reset`](ClockArena::reset)).
+///
+/// Recycling is explicit: copies drawn via
+/// [`CowClock::deep_copy_in`]/[`CowClock::make_mut_in`] come from the
+/// arena, and the detector parks displaced storage with
+/// [`reclaim`](ClockArena::reclaim) where it overwrites a clock (shared
+/// storage is left alive for its other owners). Keeping recycling out of
+/// `CowClock` itself keeps shallow copies — the only clock operation
+/// non-sampling periods pay — a bare refcount bump.
+///
+/// Handles are cheap `Rc` clones; each detector owns one so a trial's
+/// clocks all recycle through the same pool. An arena is plumbing, not
+/// analysis state: two detectors differing only in arena wiring produce
+/// byte-identical results.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_clock::{ClockArena, CowClock, ThreadId, VectorClock};
+///
+/// let arena = ClockArena::new();
+/// let a = CowClock::new(VectorClock::from_slice(&[1, 2]));
+/// let b = a.deep_copy_in(Some(&arena));
+/// arena.reclaim(b); // storage parks in the arena...
+/// let c = a.deep_copy_in(Some(&arena)); // ...and is reused here
+/// assert_eq!(c.clock().get(ThreadId::new(1)), 2);
+/// assert!(arena.stats().reused >= 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct ClockArena {
+    pool: SlabPool<VectorClock>,
+}
+
+impl ClockArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ClockArena {
+            pool: SlabPool::new(),
+        }
+    }
+
+    /// Allocates clock storage initialized to a copy of `src` — recycled
+    /// storage if available (reusing its `Vec` capacity), fresh otherwise.
+    /// The result is uniquely owned.
+    pub(crate) fn alloc_copy(&self, src: &VectorClock) -> Rc<VectorClock> {
+        self.pool.alloc_with(|c| c.clone_from(src))
+    }
+
+    /// Parks a retired clock handle's storage for reuse if this was its
+    /// sole owner; shared storage is simply released (its other owners
+    /// keep it alive).
+    pub fn reclaim(&self, clock: CowClock) {
+        self.pool.recycle(clock.into_rc());
+    }
+
+    /// Whether `other` is a handle to this same arena.
+    pub fn ptr_eq(&self, other: &ClockArena) -> bool {
+        self.pool.ptr_eq(&other.pool)
+    }
+
+    /// Releases all parked storage back to the allocator (per-trial
+    /// teardown). Counters survive, describing lifetime traffic.
+    pub fn reset(&self) {
+        self.pool.reset();
+    }
+
+    /// Recycling counters: fresh vs. reused allocations and the current
+    /// free-list length.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+impl fmt::Debug for ClockArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClockArena({:?})", self.pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    #[test]
+    fn alloc_copy_copies_and_reuses_storage() {
+        let arena = ClockArena::new();
+        let src = VectorClock::from_slice(&[3, 1]);
+        let a = arena.alloc_copy(&src);
+        assert_eq!(*a, src);
+        let ptr = Rc::as_ptr(&a);
+        arena.reclaim(CowClock::from_rc(a));
+        let b = arena.alloc_copy(&VectorClock::from_slice(&[9]));
+        assert_eq!(Rc::as_ptr(&b), ptr, "storage recycled");
+        assert_eq!(b.get(ThreadId::new(0)), 9);
+        assert_eq!(b.get(ThreadId::new(1)), 0, "old contents fully cleared");
+    }
+
+    #[test]
+    fn handles_share_one_pool() {
+        let arena = ClockArena::new();
+        let other = arena.clone();
+        assert!(arena.ptr_eq(&other));
+        other.reclaim(CowClock::from_rc(arena.alloc_copy(&VectorClock::new())));
+        assert_eq!(arena.stats().free, 1);
+        arena.reset();
+        assert_eq!(arena.stats().free, 0);
+    }
+}

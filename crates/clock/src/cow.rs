@@ -3,7 +3,7 @@
 use std::fmt;
 use std::rc::Rc;
 
-use crate::VectorClock;
+use crate::{ClockArena, VectorClock};
 
 /// A reference-counted, copy-on-write vector clock.
 ///
@@ -16,6 +16,15 @@ use crate::VectorClock;
 /// `strong_count > 1` is exactly `isShared`, and [`CowClock::make_mut`]
 /// clones on demand ("Whenever PACER creates a shallow copy, it marks the
 /// object shared", §A.4).
+///
+/// A `CowClock` is exactly one pointer wide and has no drop glue, so the
+/// shallow-copy path — the only clock operation non-sampling periods pay —
+/// is a single refcount bump. Arena recycling is *opt-in per operation*:
+/// [`deep_copy_in`](CowClock::deep_copy_in) and
+/// [`make_mut_in`](CowClock::make_mut_in) draw recycled storage from a
+/// [`ClockArena`], and [`ClockArena::reclaim`] parks a retired handle's
+/// storage for reuse. Arena wiring is plumbing, not analysis state: results
+/// are identical with or without it.
 ///
 /// The caller is responsible for counting deep vs. shallow copies (Table 3);
 /// [`CowClock::is_shared`] lets it observe whether a `make_mut` will clone.
@@ -36,13 +45,16 @@ use crate::VectorClock;
 /// assert_eq!(a.clock().get(t0), 2);
 /// assert_eq!(b.clock().get(t0), 1, "the shared snapshot is unchanged");
 /// ```
-#[derive(Clone)]
-pub struct CowClock(Rc<VectorClock>);
+pub struct CowClock {
+    inner: Rc<VectorClock>,
+}
 
 impl CowClock {
     /// Wraps a vector clock in an unshared copy-on-write cell.
     pub fn new(clock: VectorClock) -> Self {
-        CowClock(Rc::new(clock))
+        CowClock {
+            inner: Rc::new(clock),
+        }
     }
 
     /// Creates an unshared minimal clock `⊥_c`.
@@ -50,46 +62,90 @@ impl CowClock {
         CowClock::new(VectorClock::new())
     }
 
+    /// Wraps already-counted storage (arena allocations).
+    pub(crate) fn from_rc(inner: Rc<VectorClock>) -> Self {
+        CowClock { inner }
+    }
+
+    /// Surrenders the storage handle (for [`ClockArena::reclaim`]).
+    pub(crate) fn into_rc(self) -> Rc<VectorClock> {
+        self.inner
+    }
+
     /// Borrows the underlying clock for reading.
     pub fn clock(&self) -> &VectorClock {
-        &self.0
+        &self.inner
     }
 
     /// `isShared`: whether another synchronization object currently holds
     /// this same clock storage.
     pub fn is_shared(&self) -> bool {
-        Rc::strong_count(&self.0) > 1
+        Rc::strong_count(&self.inner) > 1
     }
 
     /// Shallow copy: shares the underlying storage (`clock_m ←shallow
-    /// clock_t` plus `setShared(..., true)`, Algorithm 9). `O(1)`.
+    /// clock_t` plus `setShared(..., true)`, Algorithm 9). `O(1)` — one
+    /// refcount bump.
     pub fn shallow_copy(&self) -> CowClock {
-        CowClock(Rc::clone(&self.0))
+        CowClock {
+            inner: Rc::clone(&self.inner),
+        }
     }
 
     /// Deep copy: element-by-element copy into fresh, unshared storage.
     /// `O(n)`.
     pub fn deep_copy(&self) -> CowClock {
-        CowClock(Rc::new((*self.0).clone()))
+        CowClock::new((*self.inner).clone())
+    }
+
+    /// Deep copy drawing recycled storage from `arena` when one is given
+    /// (the steady-state cost is then the element copy alone), falling
+    /// back to [`deep_copy`](Self::deep_copy) otherwise.
+    pub fn deep_copy_in(&self, arena: Option<&ClockArena>) -> CowClock {
+        match arena {
+            Some(arena) => CowClock::from_rc(arena.alloc_copy(&self.inner)),
+            None => self.deep_copy(),
+        }
     }
 
     /// Mutable access, cloning first if the storage is shared (`clone()` in
     /// Algorithms 10, 11, and 16). Check [`is_shared`](Self::is_shared)
     /// beforehand to account for the clone.
     pub fn make_mut(&mut self) -> &mut VectorClock {
-        Rc::make_mut(&mut self.0)
+        Rc::make_mut(&mut self.inner)
+    }
+
+    /// Like [`make_mut`](Self::make_mut), but a clone-on-write draws
+    /// recycled storage from `arena` when one is given.
+    pub fn make_mut_in(&mut self, arena: Option<&ClockArena>) -> &mut VectorClock {
+        if Rc::strong_count(&self.inner) > 1 {
+            if let Some(arena) = arena {
+                self.inner = arena.alloc_copy(&self.inner);
+            }
+        }
+        // Unshared after the arena path; clones on the fallback path.
+        Rc::make_mut(&mut self.inner)
     }
 
     /// Returns `true` if both handles point at the same storage.
     pub fn ptr_eq(a: &CowClock, b: &CowClock) -> bool {
-        Rc::ptr_eq(&a.0, &b.0)
+        Rc::ptr_eq(&a.inner, &b.inner)
     }
 
     /// An opaque identity for the underlying storage, equal for handles
     /// that share. Space accounting uses it to charge each shared clock
-    /// buffer once.
+    /// buffer once. Identities are only meaningful within one snapshot:
+    /// arena recycling reuses storage (and therefore identities) over time.
     pub fn storage_id(&self) -> usize {
-        Rc::as_ptr(&self.0) as usize
+        Rc::as_ptr(&self.inner) as usize
+    }
+}
+
+impl Clone for CowClock {
+    /// Cloning is a [`shallow_copy`](CowClock::shallow_copy): handles
+    /// share storage, exactly the paper's sharing protocol.
+    fn clone(&self) -> Self {
+        self.shallow_copy()
     }
 }
 
@@ -101,13 +157,18 @@ impl Default for CowClock {
 
 impl fmt::Debug for CowClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Cow({:?}, rc={})", self.0, Rc::strong_count(&self.0))
+        write!(
+            f,
+            "Cow({:?}, rc={})",
+            self.inner,
+            Rc::strong_count(&self.inner)
+        )
     }
 }
 
 impl PartialEq for CowClock {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self.inner == other.inner
     }
 }
 
@@ -127,6 +188,14 @@ mod tests {
         let c = CowClock::bottom();
         assert!(!c.is_shared());
         assert!(c.clock().is_bottom());
+    }
+
+    #[test]
+    fn cow_clock_is_one_pointer_wide() {
+        assert_eq!(
+            std::mem::size_of::<CowClock>(),
+            std::mem::size_of::<usize>()
+        );
     }
 
     #[test]
@@ -152,9 +221,9 @@ mod tests {
     #[test]
     fn make_mut_clones_only_when_shared() {
         let mut a = CowClock::new(VectorClock::from_slice(&[1]));
-        let before = Rc::as_ptr(&a.0);
+        let before = a.storage_id();
         a.make_mut().increment(t(0));
-        assert_eq!(Rc::as_ptr(&a.0), before, "unshared: mutated in place");
+        assert_eq!(a.storage_id(), before, "unshared: mutated in place");
 
         let b = a.shallow_copy();
         a.make_mut().increment(t(0));
@@ -178,5 +247,72 @@ mod tests {
         let a = CowClock::bottom();
         let _b = a.shallow_copy();
         assert!(format!("{a:?}").contains("rc=2"));
+    }
+
+    #[test]
+    fn deep_copy_in_draws_from_and_reclaim_feeds_the_arena() {
+        let arena = ClockArena::new();
+        let a = CowClock::new(VectorClock::from_slice(&[1, 2, 3]));
+        let b = a.deep_copy_in(Some(&arena));
+        assert_eq!(a, b);
+        assert!(!CowClock::ptr_eq(&a, &b));
+        let freed = b.storage_id();
+        arena.reclaim(b);
+        assert_eq!(arena.stats().free, 1, "sole-owner storage parked");
+        let c = a.deep_copy_in(Some(&arena));
+        assert_eq!(c.storage_id(), freed, "parked storage reused");
+        assert_eq!(c.clock().get(t(2)), 3);
+    }
+
+    #[test]
+    fn deep_copy_in_without_arena_is_plain() {
+        let a = CowClock::new(VectorClock::from_slice(&[4]));
+        let b = a.deep_copy_in(None);
+        assert_eq!(a, b);
+        assert!(!CowClock::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reclaiming_a_shared_handle_leaves_storage_alive() {
+        let arena = ClockArena::new();
+        let a = CowClock::new(VectorClock::from_slice(&[7]));
+        let b = a.shallow_copy();
+        arena.reclaim(b);
+        assert_eq!(arena.stats().free, 0, "a still owns the storage");
+        assert_eq!(a.clock().get(t(0)), 7, "storage untouched");
+        arena.reclaim(a);
+        assert_eq!(arena.stats().free, 1, "last handle parks it");
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = CowClock::new(VectorClock::from_slice(&[4]));
+        #[allow(clippy::redundant_clone)]
+        let b = a.clone();
+        assert!(CowClock::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn make_mut_in_on_shared_clock_draws_from_pool() {
+        let arena = ClockArena::new();
+        // Park one buffer.
+        arena.reclaim(CowClock::new(VectorClock::from_slice(&[9, 9])));
+        assert_eq!(arena.stats().free, 1);
+        let mut a = CowClock::new(VectorClock::from_slice(&[5]));
+        let b = a.shallow_copy();
+        a.make_mut_in(Some(&arena)).increment(t(0));
+        assert_eq!(arena.stats().free, 0, "clone-on-write reused the buffer");
+        assert_eq!(a.clock().get(t(0)), 6);
+        assert_eq!(b.clock().get(t(0)), 5);
+    }
+
+    #[test]
+    fn make_mut_in_unshared_mutates_in_place() {
+        let arena = ClockArena::new();
+        let mut a = CowClock::new(VectorClock::from_slice(&[5]));
+        let before = a.storage_id();
+        a.make_mut_in(Some(&arena)).increment(t(0));
+        assert_eq!(a.storage_id(), before);
+        assert_eq!(arena.stats().fresh, 0, "arena untouched");
     }
 }

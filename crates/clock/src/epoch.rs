@@ -1,15 +1,35 @@
-//! Epochs: the scalar `c@t` clock representation.
+//! Epochs: the scalar `c@t` clock representation, packed into one word.
 
 use std::fmt;
 
-use crate::{ClockValue, ThreadId, VectorClock};
+use crate::{ClockOverflow, ClockValue, ThreadId, VectorClock};
+
+/// Bits reserved for the clock component of a packed [`Epoch`].
+pub const CLOCK_BITS: u32 = 48;
+
+/// Bits reserved for the thread-id component of a packed [`Epoch`]
+/// (65 536 thread slots — two orders of magnitude beyond the paper's 403).
+pub const TID_BITS: u32 = 64 - CLOCK_BITS;
+
+/// Maximum clock value an [`Epoch`] (and therefore any [`VectorClock`]
+/// component that may be narrowed into one) can carry: `2^48 − 1`.
+///
+/// [`VectorClock::try_increment`] reports [`ClockOverflow`] at this
+/// boundary, so every clock component a detector ever reads packs without
+/// loss.
+pub const MAX_CLOCK: ClockValue = (1 << CLOCK_BITS) - 1;
 
 /// An epoch `c@t`: the clock value `c` of thread `t` at some instant
-/// (§2.2, §A.1).
+/// (§2.2, §A.1), stored in **one machine word**: the thread id in the high
+/// [`TID_BITS`], the clock in the low [`CLOCK_BITS`].
 ///
 /// FASTTRACK replaces the last-write vector clock (and, when reads are
 /// totally ordered, the last-read vector clock) with an epoch, reducing the
-/// common-case race check from `O(n)` to `O(1)`.
+/// common-case race check from `O(n)` to `O(1)`. The real implementations
+/// (§4 of the paper) keep the epoch in a single word so metadata can be read
+/// and compare-and-swapped atomically; this layout reproduces that, and makes
+/// epoch equality (the same-epoch "no action" gate of Algorithms 7/8) and
+/// [`Ord`]ering single integer comparisons.
 ///
 /// The minimal epoch `⊥_e = 0@t0` satisfies `⊥_e ≼ C` for every clock `C`;
 /// any epoch with clock zero is minimal.
@@ -26,40 +46,67 @@ use crate::{ClockValue, ThreadId, VectorClock};
 /// assert!(Epoch::MIN.leq_clock(&VectorClock::new()));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Epoch {
-    clock: ClockValue,
-    tid: ThreadId,
-}
+pub struct Epoch(u64);
 
 impl Epoch {
-    /// The minimal epoch `⊥_e = 0@0`.
-    pub const MIN: Epoch = Epoch {
-        clock: 0,
-        tid: ThreadId::new(0),
-    };
+    /// The minimal epoch `⊥_e = 0@0` — the all-zero word.
+    pub const MIN: Epoch = Epoch(0);
 
     /// Creates the epoch `clock@tid`.
+    ///
+    /// The clock must fit in [`CLOCK_BITS`]; out-of-range values
+    /// debug-assert and saturate at [`MAX_CLOCK`] in release builds,
+    /// mirroring [`VectorClock::increment`]. Use [`try_new`](Self::try_new)
+    /// to observe the narrowing failure as a typed error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not fit in [`TID_BITS`]; thread slots are
+    /// detector-assigned dense indices, so an oversized id is a programming
+    /// error, not an input condition.
     pub const fn new(clock: ClockValue, tid: ThreadId) -> Self {
-        Epoch { clock, tid }
+        assert!(
+            (tid.raw() as u64) < (1 << TID_BITS),
+            "thread id out of range for packed epoch"
+        );
+        debug_assert!(
+            clock <= MAX_CLOCK,
+            "clock overflow: epoch clock exceeds 2^48 - 1"
+        );
+        let c = if clock > MAX_CLOCK { MAX_CLOCK } else { clock };
+        Epoch(((tid.raw() as u64) << CLOCK_BITS) | c)
+    }
+
+    /// Checked construction: the narrowing of a full-width [`ClockValue`]
+    /// into the packed clock field, reusing the [`ClockOverflow`] path.
+    ///
+    /// # Errors
+    ///
+    /// [`ClockOverflow`] when `clock` exceeds [`MAX_CLOCK`].
+    pub const fn try_new(clock: ClockValue, tid: ThreadId) -> Result<Self, ClockOverflow> {
+        if clock > MAX_CLOCK {
+            return Err(ClockOverflow { thread: tid });
+        }
+        Ok(Epoch::new(clock, tid))
     }
 
     /// Creates thread `t`'s *current epoch* `E(t) = C_t(t)@t` from its
     /// vector clock.
+    ///
+    /// Always representable: [`VectorClock`] components saturate at
+    /// [`MAX_CLOCK`], so the narrowing cannot lose information here.
     pub fn of_thread(t: ThreadId, clock_t: &VectorClock) -> Self {
-        Epoch {
-            clock: clock_t.get(t),
-            tid: t,
-        }
+        Epoch::new(clock_t.get(t), t)
     }
 
     /// The clock component `c`.
     pub const fn clock(self) -> ClockValue {
-        self.clock
+        self.0 & MAX_CLOCK
     }
 
     /// The thread component `t`.
     pub const fn tid(self) -> ThreadId {
-        self.tid
+        ThreadId::new((self.0 >> CLOCK_BITS) as u32)
     }
 
     /// The constant-time order `c@t ≼ C  iff  c ≤ C(t)` (§A.1, eq. 4).
@@ -68,12 +115,22 @@ impl Epoch {
     /// happens-before only for epochs recorded in sampling periods, which is
     /// all PACER ever compares (§3.2).
     pub fn leq_clock(self, clock: &VectorClock) -> bool {
-        self.clock <= clock.get(self.tid)
+        self.clock() <= clock.get(self.tid())
     }
 
     /// Returns `true` if this is a minimal epoch (clock component zero).
-    pub fn is_min(self) -> bool {
-        self.clock == 0
+    pub const fn is_min(self) -> bool {
+        self.clock() == 0
+    }
+
+    /// The raw packed word (what a lock-free implementation would CAS).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an epoch from a raw packed word.
+    pub const fn from_raw(raw: u64) -> Epoch {
+        Epoch(raw)
     }
 }
 
@@ -85,13 +142,13 @@ impl Default for Epoch {
 
 impl fmt::Debug for Epoch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.clock, self.tid)
+        write!(f, "{}@{}", self.clock(), self.tid())
     }
 }
 
 impl fmt::Display for Epoch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.clock, self.tid)
+        write!(f, "{}@{}", self.clock(), self.tid())
     }
 }
 
@@ -105,20 +162,67 @@ mod tests {
 
     #[test]
     fn epoch_at_clock_boundary_orders_correctly() {
-        // Drive a thread's component to the u64 boundary and form its
-        // epoch: ordering must stay consistent right at the edge.
+        // Drive a thread's component to the packed-clock boundary and form
+        // its epoch: ordering must stay consistent right at the edge.
         let mut c = VectorClock::new();
-        c.set(t(1), ClockValue::MAX - 1);
-        assert_eq!(c.try_increment(t(1)), Ok(ClockValue::MAX));
+        c.set(t(1), MAX_CLOCK - 1);
+        assert_eq!(c.try_increment(t(1)), Ok(MAX_CLOCK));
         let e = Epoch::of_thread(t(1), &c);
-        assert_eq!(e.clock(), ClockValue::MAX);
+        assert_eq!(e.clock(), MAX_CLOCK);
         assert!(e.leq_clock(&c), "an epoch read from a clock precedes it");
-        let behind = VectorClock::from_slice(&[0, ClockValue::MAX - 1]);
+        let behind = VectorClock::from_slice(&[0, MAX_CLOCK - 1]);
         assert!(!e.leq_clock(&behind), "a saturated epoch is ahead of MAX-1");
         // Further increments overflow rather than wrapping the epoch back
         // to zero (which would order it before everything).
         assert!(c.try_increment(t(1)).is_err());
-        assert_eq!(Epoch::of_thread(t(1), &c).clock(), ClockValue::MAX);
+        assert_eq!(Epoch::of_thread(t(1), &c).clock(), MAX_CLOCK);
+    }
+
+    #[test]
+    fn try_new_reports_overflow_past_packed_boundary() {
+        assert_eq!(
+            Epoch::try_new(MAX_CLOCK, t(3)),
+            Ok(Epoch::new(MAX_CLOCK, t(3)))
+        );
+        assert_eq!(
+            Epoch::try_new(MAX_CLOCK + 1, t(3)),
+            Err(ClockOverflow { thread: t(3) })
+        );
+        assert_eq!(
+            Epoch::try_new(ClockValue::MAX, t(0)),
+            Err(ClockOverflow { thread: t(0) })
+        );
+    }
+
+    #[test]
+    fn packs_into_one_word() {
+        assert_eq!(std::mem::size_of::<Epoch>(), 8);
+        let e = Epoch::new(12345, t(402));
+        assert_eq!(Epoch::from_raw(e.raw()), e);
+        assert_eq!(e.raw(), (402u64 << CLOCK_BITS) | 12345);
+        assert_eq!(Epoch::MIN.raw(), 0);
+    }
+
+    #[test]
+    fn round_trips_at_field_extremes() {
+        for (c, tid) in [
+            (0u64, 0u32),
+            (1, 0),
+            (0, 1),
+            (12345, 402),
+            (MAX_CLOCK, 99),
+            (7, (1 << TID_BITS) - 1),
+        ] {
+            let e = Epoch::new(c, t(tid));
+            assert_eq!(e.clock(), c, "{e}");
+            assert_eq!(e.tid(), t(tid), "{e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn oversized_tid_panics() {
+        let _ = Epoch::new(0, t(1 << TID_BITS));
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //!   pointwise partial order `⊑` and least-upper-bound join `⊔` (§2.1, §A.1
 //!   of the paper).
 //! * [`Epoch`] — the scalar `c@t` representation FASTTRACK uses for totally
-//!   ordered accesses, with the constant-time order `≼` against vector
-//!   clocks (§2.2).
+//!   ordered accesses, packed into a single `u64` (tid in the high bits,
+//!   clock in the low [`CLOCK_BITS`]) with the constant-time order `≼`
+//!   against vector clocks (§2.2).
 //! * [`ReadMap`] — FASTTRACK's adaptive representation for last-reader
 //!   metadata: an epoch while reads are totally ordered, inflated to a
 //!   sparse map for concurrent reads.
@@ -18,6 +19,9 @@
 //! * [`CowClock`] — a reference-counted, copy-on-write vector clock
 //!   implementing PACER's `isShared`/`setShared`/`clone` sharing protocol
 //!   (Algorithms 9–11) with explicit deep/shallow accounting hooks.
+//! * [`ClockArena`] — a slab allocator that recycles clock storage so the
+//!   deep-copy/clone-on-write churn of a full-rate trial stops paying the
+//!   allocator; each detector trial owns one arena.
 //!
 //! # Examples
 //!
@@ -43,17 +47,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cow;
 mod epoch;
-mod packed;
 mod read_map;
 mod thread_id;
 mod vector;
 mod version;
 
+pub use arena::ClockArena;
 pub use cow::CowClock;
-pub use epoch::Epoch;
-pub use packed::{PackedEpoch, MAX_PACKED_CLOCK, TID_BITS};
+pub use epoch::{Epoch, CLOCK_BITS, MAX_CLOCK, TID_BITS};
 pub use read_map::{ReadEntry, ReadMap};
 pub use thread_id::ThreadId;
 pub use vector::VectorClock;
@@ -62,14 +66,17 @@ pub use version::{VersionEpoch, VersionVector};
 /// The integer type used for clock values and version numbers.
 ///
 /// Clock values only increase, one step per release/fork/join/volatile-write
-/// in a sampling period. 64 bits is far more than any realistic execution
-/// consumes, but increments are still *checked*: hitting the boundary is a
-/// [`ClockOverflow`] from [`VectorClock::try_increment`], a debug assertion
-/// (and saturation in release) from [`VectorClock::increment`] — never a
-/// silent wrap that would corrupt the happens-before order.
+/// in a sampling period. The API keeps the full 64-bit width, but values a
+/// detector can produce are bounded by [`MAX_CLOCK`] (`2^48 − 1`) so every
+/// component narrows losslessly into a packed [`Epoch`]. That is far more
+/// than any realistic execution consumes, and increments are still
+/// *checked*: hitting the boundary is a [`ClockOverflow`] from
+/// [`VectorClock::try_increment`], a debug assertion (and saturation in
+/// release) from [`VectorClock::increment`] — never a silent wrap that
+/// would corrupt the happens-before order.
 pub type ClockValue = u64;
 
-/// A thread's logical clock reached [`ClockValue::MAX`] and cannot advance.
+/// A thread's logical clock reached [`MAX_CLOCK`] and cannot advance.
 ///
 /// Wrapping back to zero would reorder every previously recorded access
 /// after the current one — silently unsound — so the overflow is surfaced

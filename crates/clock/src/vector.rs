@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{ClockOverflow, ClockValue, ThreadId};
+use crate::{ClockOverflow, ClockValue, ThreadId, MAX_CLOCK};
 
 /// A vector clock `C : Tid → Nat` (§A.1).
 ///
@@ -10,6 +10,16 @@ use crate::{ClockOverflow, ClockValue, ThreadId};
 /// the end of the storage are implicitly zero, so clocks for programs with
 /// thousands of threads only pay for the threads they have actually
 /// communicated with.
+///
+/// Storage is kept *canonical* — no trailing zero slots — so the derived
+/// `PartialEq`/`Eq` compare logical values: `set(t, 0)` on the last slot and
+/// [`from_slice`](Self::from_slice) with trailing zeros truncate rather than
+/// leaving observationally-equal clocks that compare unequal.
+///
+/// Components are bounded by [`MAX_CLOCK`] (`2^48 − 1`), the widest value
+/// that still narrows losslessly into a packed [`Epoch`](crate::Epoch);
+/// [`try_increment`](Self::try_increment) surfaces the boundary as a
+/// [`ClockOverflow`] and [`set`](Self::set) saturates.
 ///
 /// Following the paper, three operations are defined: `copy` (plain
 /// [`Clone`]), [`increment`](Self::increment), and the least-upper-bound
@@ -30,9 +40,24 @@ use crate::{ClockOverflow, ClockValue, ThreadId};
 /// assert_eq!(c.get(t1), 1);
 /// assert_eq!(c.get(ThreadId::new(9)), 0, "absent entries are zero");
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(PartialEq, Eq, Default)]
 pub struct VectorClock {
     slots: Vec<ClockValue>,
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        VectorClock {
+            slots: self.slots.clone(),
+        }
+    }
+
+    /// Reuses the destination's storage — the arena's recycling path runs
+    /// through here, so a deep copy into a parked buffer is a `memcpy`, not
+    /// an allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.slots.clone_from(&source.slots);
+    }
 }
 
 impl VectorClock {
@@ -60,9 +85,25 @@ impl VectorClock {
     /// assert_eq!(c.get(ThreadId::new(2)), 1);
     /// ```
     pub fn from_slice(values: &[ClockValue]) -> Self {
-        VectorClock {
-            slots: values.to_vec(),
+        let mut vc = VectorClock {
+            slots: values.iter().map(|&v| v.min(MAX_CLOCK)).collect(),
+        };
+        vc.canonicalize();
+        vc
+    }
+
+    /// Drops trailing zero slots so storage is canonical and the derived
+    /// equality compares logical values.
+    fn canonicalize(&mut self) {
+        while self.slots.last() == Some(&0) {
+            self.slots.pop();
         }
+    }
+
+    /// Empties the clock while keeping its backing capacity (arena
+    /// recycling support).
+    pub(crate) fn reset_storage(&mut self) {
+        self.slots.clear();
     }
 
     /// Returns the clock value for thread `t` (zero if never set).
@@ -71,6 +112,8 @@ impl VectorClock {
     }
 
     /// Sets the clock value for thread `t`, growing storage as needed.
+    /// Values above [`MAX_CLOCK`] saturate (see the type docs). Setting a
+    /// trailing component to zero shrinks storage back to canonical form.
     pub fn set(&mut self, t: ThreadId, value: ClockValue) {
         let i = t.index();
         if i >= self.slots.len() {
@@ -79,14 +122,17 @@ impl VectorClock {
             }
             self.slots.resize(i + 1, 0);
         }
-        self.slots[i] = value;
+        self.slots[i] = value.min(MAX_CLOCK);
+        if value == 0 && i + 1 == self.slots.len() {
+            self.canonicalize();
+        }
     }
 
     /// Increments thread `t`'s component: `inc_t(C)` (§A.1, eq. 2).
     ///
     /// This is the mechanism by which logical time passes. At the
-    /// [`ClockValue::MAX`] boundary it debug-asserts (wrapping would
-    /// silently reorder history) and saturates in release builds; use
+    /// [`MAX_CLOCK`] boundary it debug-asserts (wrapping would silently
+    /// reorder history) and saturates in release builds; use
     /// [`try_increment`](Self::try_increment) to observe the overflow as
     /// a typed error instead.
     pub fn increment(&mut self, t: ThreadId) {
@@ -99,7 +145,9 @@ impl VectorClock {
     }
 
     /// Increments thread `t`'s component, reporting [`ClockOverflow`]
-    /// instead of advancing when the component is at [`ClockValue::MAX`].
+    /// instead of advancing when the component is at [`MAX_CLOCK`] (the
+    /// packed-epoch boundary — advancing past it could not be narrowed
+    /// into an [`Epoch`](crate::Epoch) without loss).
     ///
     /// On success returns the new component value. On overflow the clock
     /// is left unchanged (saturated at the maximum).
@@ -113,13 +161,11 @@ impl VectorClock {
         if i >= self.slots.len() {
             self.slots.resize(i + 1, 0);
         }
-        match self.slots[i].checked_add(1) {
-            Some(next) => {
-                self.slots[i] = next;
-                Ok(next)
-            }
-            None => Err(ClockOverflow { thread: t }),
+        if self.slots[i] >= MAX_CLOCK {
+            return Err(ClockOverflow { thread: t });
         }
+        self.slots[i] += 1;
+        Ok(self.slots[i])
     }
 
     /// Joins `other` into `self`: `C ← C ⊔ other`, the pointwise maximum
@@ -170,10 +216,12 @@ impl VectorClock {
     }
 
     /// Truncates the clock of a retired thread slot to zero (accordion-clock
-    /// support: the slot may later be reassigned to a fresh thread).
+    /// support: the slot may later be reassigned to a fresh thread). Clearing
+    /// the last slot shrinks storage back to canonical form.
     pub fn clear_slot(&mut self, t: ThreadId) {
         if let Some(v) = self.slots.get_mut(t.index()) {
             *v = 0;
+            self.canonicalize();
         }
     }
 }
@@ -304,26 +352,76 @@ mod tests {
 
     #[test]
     fn try_increment_reports_overflow_without_mutating() {
-        let mut c = VectorClock::from_slice(&[ClockValue::MAX, 7]);
+        let mut c = VectorClock::from_slice(&[MAX_CLOCK, 7]);
         assert_eq!(
             c.try_increment(t(0)),
             Err(ClockOverflow { thread: t(0) }),
             "saturated component overflows"
         );
-        assert_eq!(c.get(t(0)), ClockValue::MAX, "clock left saturated");
+        assert_eq!(c.get(t(0)), MAX_CLOCK, "clock left saturated");
         assert_eq!(c.try_increment(t(1)), Ok(8), "other threads still advance");
         // One step shy of the boundary succeeds, the next fails.
-        c.set(t(1), ClockValue::MAX - 1);
-        assert_eq!(c.try_increment(t(1)), Ok(ClockValue::MAX));
+        c.set(t(1), MAX_CLOCK - 1);
+        assert_eq!(c.try_increment(t(1)), Ok(MAX_CLOCK));
         assert!(c.try_increment(t(1)).is_err());
+    }
+
+    #[test]
+    fn set_saturates_at_packed_boundary() {
+        let mut c = VectorClock::new();
+        c.set(t(0), ClockValue::MAX);
+        assert_eq!(c.get(t(0)), MAX_CLOCK, "set clamps to the packed width");
+        assert!(c.try_increment(t(0)).is_err());
+        let d = VectorClock::from_slice(&[ClockValue::MAX]);
+        assert_eq!(d.get(t(0)), MAX_CLOCK, "from_slice clamps too");
     }
 
     #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "clock overflow")]
     fn increment_at_boundary_debug_asserts() {
-        let mut c = VectorClock::from_slice(&[ClockValue::MAX]);
+        let mut c = VectorClock::from_slice(&[MAX_CLOCK]);
         c.increment(t(0));
+    }
+
+    #[test]
+    fn set_zero_on_last_slot_restores_canonical_form() {
+        // Regression: set(t, 0) used to leave a trailing zero slot, so
+        // observationally-equal clocks compared unequal under the derived
+        // PartialEq.
+        let mut a = VectorClock::from_slice(&[1, 2]);
+        a.set(t(1), 0);
+        assert_eq!(a, VectorClock::from_slice(&[1]));
+        assert_eq!(a.width(), 1, "trailing zero truncated");
+        // Interior zeros stay (they are not trailing).
+        let mut b = VectorClock::from_slice(&[1, 2, 3]);
+        b.set(t(1), 0);
+        assert_eq!(b.width(), 3);
+        // Clearing the tail cascades over interior zeros that become
+        // trailing.
+        b.set(t(2), 0);
+        assert_eq!(b, VectorClock::from_slice(&[1]));
+        assert_eq!(b.width(), 1);
+    }
+
+    #[test]
+    fn from_slice_truncates_trailing_zeros() {
+        // Regression: from_slice(&[1, 0]) used to compare unequal to
+        // from_slice(&[1]) despite identical logical values.
+        assert_eq!(
+            VectorClock::from_slice(&[1, 0]),
+            VectorClock::from_slice(&[1])
+        );
+        assert_eq!(VectorClock::from_slice(&[0, 0, 0]), VectorClock::new());
+        assert_eq!(VectorClock::from_slice(&[1, 0, 2]).width(), 3);
+    }
+
+    #[test]
+    fn clear_slot_restores_canonical_form() {
+        let mut c = VectorClock::from_slice(&[1, 0, 3]);
+        c.clear_slot(t(2));
+        assert_eq!(c, VectorClock::from_slice(&[1]));
+        assert_eq!(c.width(), 1);
     }
 
     #[test]

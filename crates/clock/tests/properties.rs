@@ -232,17 +232,125 @@ proptest! {
 }
 
 proptest! {
-    /// Packed epochs agree with the struct form on every operation.
+    /// The packed single-word epoch representation preserves both fields
+    /// and the raw word round-trips.
     #[test]
-    fn packed_epoch_equivalence(
-        c in 0u64..pacer_clock::MAX_PACKED_CLOCK,
+    fn packed_epoch_round_trips(
+        c in 0u64..=pacer_clock::MAX_CLOCK,
         tid in 0u32..1000,
-        clock in arb_clock(),
     ) {
-        use pacer_clock::PackedEpoch;
         let e = Epoch::new(c, ThreadId::new(tid));
-        let p = PackedEpoch::pack(e).expect("in range");
-        prop_assert_eq!(p.unpack(), e);
-        prop_assert_eq!(p.leq_clock(&clock), e.leq_clock(&clock));
+        prop_assert_eq!(e.clock(), c);
+        prop_assert_eq!(e.tid(), ThreadId::new(tid));
+        prop_assert_eq!(Epoch::from_raw(e.raw()), e);
+        prop_assert_eq!(
+            e.raw(),
+            (u64::from(tid) << pacer_clock::CLOCK_BITS) | c,
+            "tid in the high bits, clock in the low bits"
+        );
+    }
+
+    /// Packed equality is value equality: two epochs compare equal exactly
+    /// when both components match, via one word comparison.
+    #[test]
+    fn packed_epoch_equality_is_componentwise(
+        c1 in 0u64..=pacer_clock::MAX_CLOCK,
+        c2 in 0u64..=pacer_clock::MAX_CLOCK,
+        t1 in 0u32..1000,
+        t2 in 0u32..1000,
+    ) {
+        let a = Epoch::new(c1, ThreadId::new(t1));
+        let b = Epoch::new(c2, ThreadId::new(t2));
+        prop_assert_eq!(a == b, c1 == c2 && t1 == t2);
+    }
+
+    /// Checked narrowing at the packed-clock boundary: values in range
+    /// construct, values past it surface `ClockOverflow`, and the clock
+    /// machinery cannot produce an out-of-range component in the first
+    /// place.
+    #[test]
+    fn clock_overflow_at_packed_boundary(
+        over in pacer_clock::MAX_CLOCK + 1..u64::MAX,
+        tid in 0u32..1000,
+    ) {
+        let t = ThreadId::new(tid);
+        prop_assert!(Epoch::try_new(pacer_clock::MAX_CLOCK, t).is_ok());
+        prop_assert_eq!(
+            Epoch::try_new(over, t),
+            Err(pacer_clock::ClockOverflow { thread: t })
+        );
+        // set() saturates at the boundary, so of_thread always narrows
+        // losslessly, and the next increment reports the overflow.
+        let mut c = VectorClock::new();
+        c.set(t, over);
+        prop_assert_eq!(c.get(t), pacer_clock::MAX_CLOCK);
+        prop_assert_eq!(Epoch::of_thread(t, &c).clock(), pacer_clock::MAX_CLOCK);
+        prop_assert_eq!(
+            c.try_increment(t),
+            Err(pacer_clock::ClockOverflow { thread: t })
+        );
+    }
+
+    /// An arena-backed CowClock is observationally identical to an eager
+    /// Vec-backed VectorClock (and to an unbound CowClock) under random
+    /// op sequences, and shared snapshots never change.
+    #[test]
+    fn arena_backed_cow_matches_eager_under_random_ops(
+        base in arb_clock(),
+        ops in prop::collection::vec((0..5u8, arb_tid(), arb_clock()), 0..24),
+    ) {
+        use pacer_clock::ClockArena;
+        let arena = ClockArena::new();
+        let snapshot_expected = base.clone();
+        let mut eager = base.clone();
+        let mut plain = CowClock::new(base.clone());
+        let mut arena_cow = CowClock::new(base);
+        let snapshot = arena_cow.shallow_copy();
+        // Park spare storage so reuse paths actually run mid-sequence.
+        arena.reclaim(arena_cow.deep_copy_in(Some(&arena)));
+
+        for (op, t, other) in ops {
+            match op {
+                0 => {
+                    eager.increment(t);
+                    plain.make_mut().increment(t);
+                    arena_cow.make_mut_in(Some(&arena)).increment(t);
+                }
+                1 => {
+                    eager.join(&other);
+                    plain.make_mut().join(&other);
+                    arena_cow.make_mut_in(Some(&arena)).join(&other);
+                }
+                2 => {
+                    let v = eager.get(t) + 1;
+                    eager.set(t, v);
+                    plain.make_mut().set(t, v);
+                    arena_cow.make_mut_in(Some(&arena)).set(t, v);
+                }
+                3 => {
+                    // Deep copies recycle through the arena; the copy must
+                    // equal the source at the instant it is taken.
+                    let copy = arena_cow.deep_copy_in(Some(&arena));
+                    prop_assert!(copy.clock().leq(arena_cow.clock()));
+                    prop_assert!(arena_cow.clock().leq(copy.clock()));
+                    arena.reclaim(copy);
+                }
+                _ => {
+                    // Re-share, forcing the next mutation to clone-on-write
+                    // out of the arena.
+                    let holder = arena_cow.shallow_copy();
+                    prop_assert!(arena_cow.is_shared());
+                    drop(holder);
+                }
+            }
+            prop_assert_eq!(arena_cow.clock().leq(&eager), true);
+            prop_assert_eq!(eager.leq(arena_cow.clock()), true);
+        }
+        for i in 0..MAX_THREADS {
+            let t = ThreadId::new(i);
+            prop_assert_eq!(arena_cow.clock().get(t), eager.get(t));
+            prop_assert_eq!(plain.clock().get(t), eager.get(t));
+            prop_assert_eq!(snapshot.clock().get(t), snapshot_expected.get(t));
+        }
     }
 }

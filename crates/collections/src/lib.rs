@@ -14,6 +14,11 @@
 //! metadata discard (`remove`), and footprint accounting keep their
 //! `HashMap` semantics exactly.
 //!
+//! [`SlabPool`] complements the slab maps on the allocation side: it
+//! recycles the uniformly-shaped storage blocks (vector-clock buffers,
+//! mainly) that full-rate trials churn through, so the hot path stops
+//! paying the global allocator. `pacer-clock` wraps it as `ClockArena`.
+//!
 //! The crate also hosts the workspace's dependency-free durability
 //! primitives: [`atomic_write`] (crash-safe artifact replacement) and
 //! [`json`] (a structured-error JSON reader for artifact round-trips).
@@ -40,9 +45,11 @@
 
 pub mod atomic_io;
 pub mod json;
+pub mod pool;
 
 pub use atomic_io::atomic_write;
 pub use json::{JsonError, JsonValue};
+pub use pool::{PoolItem, PoolStats, SlabPool};
 
 use std::fmt;
 use std::marker::PhantomData;

@@ -1,0 +1,262 @@
+//! A recycling slab pool for reference-counted storage blocks.
+//!
+//! Full-rate detector trials churn through clock storage: every lock
+//! release deep-copies a thread clock, every clone-on-write allocates a
+//! fresh buffer, and the old buffer is dropped a few events later. The
+//! blocks are all the same shape, so paying the global allocator for each
+//! one is pure overhead. [`SlabPool`] keeps dropped blocks (both the `Rc`
+//! box and the `T` inside, capacity included) on a free list and hands
+//! them back out, so steady-state allocation traffic is zero.
+//!
+//! The pool is deliberately generic — this crate sits below the clock
+//! crate in the dependency order, so it cannot name `VectorClock`;
+//! `pacer-clock` wraps it as `ClockArena`.
+//!
+//! Handles are cheap clones sharing one pool (single-threaded `Rc`
+//! interior, like the detectors themselves). Blocks re-enter the pool via
+//! [`recycle`](SlabPool::recycle); a caller that never recycles just
+//! degrades to plain allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_collections::SlabPool;
+//!
+//! let pool: SlabPool<Vec<u32>> = SlabPool::new();
+//! let block = pool.alloc_with(|v| v.extend([1, 2, 3]));
+//! assert_eq!(*block, vec![1, 2, 3]);
+//! pool.recycle(block);
+//! // The next allocation reuses the same storage, cleared.
+//! let again = pool.alloc_with(|v| v.push(9));
+//! assert_eq!(*again, vec![9]);
+//! assert_eq!(pool.stats().reused, 1);
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Resets a block to its empty state while keeping its backing capacity.
+///
+/// Implemented for anything [`Default`] + `Clone`; `Vec`-like types should
+/// clear rather than reallocate, which the blanket impl achieves via
+/// `clone_from`-style reuse only when the type cooperates. The pool calls
+/// [`reset`](PoolItem::reset) on every block it hands back out.
+pub trait PoolItem: Default {
+    /// Restores the empty state, retaining allocations where possible.
+    fn reset(&mut self);
+}
+
+impl<T> PoolItem for Vec<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// Counters describing a pool's recycling behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Blocks created fresh from the global allocator.
+    pub fresh: u64,
+    /// Blocks served from the free list instead of the allocator.
+    pub reused: u64,
+    /// Blocks currently parked on the free list.
+    pub free: usize,
+}
+
+struct PoolInner<T> {
+    free: RefCell<Vec<Rc<T>>>,
+    fresh: std::cell::Cell<u64>,
+    reused: std::cell::Cell<u64>,
+    cap: usize,
+}
+
+/// A recycling pool of `Rc<T>` storage blocks. See the module docs.
+pub struct SlabPool<T> {
+    inner: Rc<PoolInner<T>>,
+}
+
+impl<T> Clone for SlabPool<T> {
+    fn clone(&self) -> Self {
+        SlabPool {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: PoolItem> Default for SlabPool<T> {
+    fn default() -> Self {
+        SlabPool::new()
+    }
+}
+
+/// Free-list length past which [`recycle`](SlabPool::recycle) drops blocks
+/// instead of parking them. Live detector metadata is proportional to
+/// threads + locks + volatiles, so this is generous; it only guards against
+/// pathological churn pinning memory.
+const DEFAULT_POOL_CAP: usize = 4096;
+
+impl<T: PoolItem> SlabPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SlabPool {
+            inner: Rc::new(PoolInner {
+                free: RefCell::new(Vec::new()),
+                fresh: std::cell::Cell::new(0),
+                reused: std::cell::Cell::new(0),
+                cap: DEFAULT_POOL_CAP,
+            }),
+        }
+    }
+
+    /// Allocates a block in its [`Default`] state — recycled if the free
+    /// list has one, fresh otherwise.
+    pub fn alloc(&self) -> Rc<T> {
+        self.alloc_with(|_| {})
+    }
+
+    /// Allocates a block, reset to empty, then initialized by `init`.
+    ///
+    /// The returned `Rc` is uniquely owned (strong count 1), so callers may
+    /// `Rc::get_mut` it until they share it.
+    pub fn alloc_with(&self, init: impl FnOnce(&mut T)) -> Rc<T> {
+        let recycled = self.inner.free.borrow_mut().pop();
+        match recycled {
+            Some(mut rc) => {
+                self.inner.reused.set(self.inner.reused.get() + 1);
+                let block = Rc::get_mut(&mut rc)
+                    .expect("pooled blocks are uniquely owned by the free list");
+                block.reset();
+                init(block);
+                rc
+            }
+            None => {
+                self.inner.fresh.set(self.inner.fresh.get() + 1);
+                let mut value = T::default();
+                init(&mut value);
+                Rc::new(value)
+            }
+        }
+    }
+
+    /// Returns a block to the free list for reuse.
+    ///
+    /// Only uniquely-owned blocks are recyclable; a block that is still
+    /// shared (strong count > 1 after accounting for the handle passed in)
+    /// is simply dropped — its other owners keep it alive. Likewise blocks
+    /// beyond the pool's parking capacity are dropped to bound memory.
+    pub fn recycle(&self, rc: Rc<T>) {
+        if Rc::strong_count(&rc) == 1 {
+            let mut free = self.inner.free.borrow_mut();
+            if free.len() < self.inner.cap {
+                free.push(rc);
+            }
+        }
+    }
+
+    /// Drops every parked block, releasing their memory to the allocator.
+    /// Allocation counters are retained (they describe lifetime traffic).
+    pub fn reset(&self) {
+        self.inner.free.borrow_mut().clear();
+    }
+
+    /// Recycling counters: fresh vs. reused allocations and the current
+    /// free-list length.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.inner.fresh.get(),
+            reused: self.inner.reused.get(),
+            free: self.inner.free.borrow().len(),
+        }
+    }
+
+    /// Whether `other` is a handle to this same pool.
+    pub fn ptr_eq(&self, other: &SlabPool<T>) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl<T> fmt::Debug for SlabPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SlabPool(fresh={}, reused={}, free={})",
+            self.inner.fresh.get(),
+            self.inner.reused.get(),
+            self.inner.free.borrow().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_without_recycle_is_always_fresh() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let a = pool.alloc();
+        let b = pool.alloc();
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_eq!(pool.stats().fresh, 2);
+        assert_eq!(pool.stats().reused, 0);
+    }
+
+    #[test]
+    fn recycled_block_is_reused_and_reset() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let a = pool.alloc_with(|v| v.extend([1, 2, 3]));
+        let ptr = Rc::as_ptr(&a);
+        pool.recycle(a);
+        assert_eq!(pool.stats().free, 1);
+        let b = pool.alloc();
+        assert_eq!(Rc::as_ptr(&b), ptr, "same storage back");
+        assert!(b.is_empty(), "reset before handing out");
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn shared_blocks_are_not_parked() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let a = pool.alloc();
+        let b = Rc::clone(&a);
+        pool.recycle(a); // still shared via b: dropped, not parked
+        assert_eq!(pool.stats().free, 0);
+        drop(b);
+    }
+
+    #[test]
+    fn handles_share_one_pool() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let other = pool.clone();
+        assert!(pool.ptr_eq(&other));
+        other.recycle(pool.alloc());
+        assert_eq!(pool.stats().free, 1);
+    }
+
+    #[test]
+    fn reset_releases_parked_blocks() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        pool.recycle(pool.alloc());
+        pool.reset();
+        assert_eq!(pool.stats().free, 0);
+        assert_eq!(pool.stats().fresh, 1, "counters survive reset");
+    }
+
+    #[test]
+    fn init_runs_on_both_paths() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let a = pool.alloc_with(|v| v.push(7));
+        assert_eq!(*a, vec![7]);
+        pool.recycle(a);
+        let b = pool.alloc_with(|v| v.push(9));
+        assert_eq!(*b, vec![9]);
+    }
+
+    #[test]
+    fn debug_shows_counters() {
+        let pool: SlabPool<Vec<u8>> = SlabPool::new();
+        let _ = pool.alloc();
+        assert!(format!("{pool:?}").contains("fresh=1"));
+    }
+}

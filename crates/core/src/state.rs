@@ -6,18 +6,25 @@
 //! [`VersionVector`]s (threads) and [`VersionEpoch`]s (locks and
 //! volatiles).
 
-use pacer_clock::{CowClock, Epoch, ReadMap, ThreadId, VersionEpoch, VersionVector};
+use pacer_clock::{ClockArena, CowClock, Epoch, ReadMap, ThreadId, VersionEpoch, VersionVector};
 use pacer_collections::IdMap;
 use pacer_obs::SpaceBreakdown;
 use pacer_trace::{LockId, SiteId, VarId, VolatileId};
 
 use crate::PacerStats;
 
-/// Thread metadata: a versioned vector clock plus a version vector (§A.3).
+/// Thread metadata: a versioned vector clock plus a version vector (§A.3),
+/// and the thread's monotone-join cache edges (DESIGN.md "Clock
+/// representation": the last sync-object *content stamp* fully joined into
+/// this thread, per object).
 #[derive(Clone, Debug)]
 pub(crate) struct ThreadMeta {
     pub clock: CowClock,
     pub ver: VersionVector,
+    /// Stamp of the lock clock last fully joined into this thread.
+    pub joined_locks: IdMap<LockId, u64>,
+    /// Stamp of the volatile clock last fully joined into this thread.
+    pub joined_vols: IdMap<VolatileId, u64>,
 }
 
 impl ThreadMeta {
@@ -30,6 +37,8 @@ impl ThreadMeta {
         ThreadMeta {
             clock: CowClock::new(clock),
             ver,
+            joined_locks: IdMap::new(),
+            joined_vols: IdMap::new(),
         }
     }
 
@@ -40,11 +49,14 @@ impl ThreadMeta {
 }
 
 /// Lock/volatile metadata: a (possibly shared) vector clock plus a version
-/// epoch (§A.3).
+/// epoch (§A.3), and a content stamp for the monotone-join cache — bumped
+/// (from the state's monotone counter) exactly when the clock's *content*
+/// changes, so `stamp equal ⇒ content identical`.
 #[derive(Clone, Debug)]
 pub(crate) struct SyncObjMeta {
     pub clock: CowClock,
     pub vepoch: VersionEpoch,
+    pub stamp: u64,
 }
 
 impl Default for SyncObjMeta {
@@ -52,6 +64,7 @@ impl Default for SyncObjMeta {
         SyncObjMeta {
             clock: CowClock::bottom(),
             vepoch: VersionEpoch::BOTTOM,
+            stamp: 0,
         }
     }
 }
@@ -98,6 +111,18 @@ pub(crate) struct PacerState {
     /// and every join pays the `O(n)` comparison (benchmarked by the
     /// `version_ablation` bench).
     pub use_versions: bool,
+    /// Ablation switch: when false, the monotone-join stamp cache is
+    /// bypassed and redundant joins that miss the version fast path pay
+    /// the full `O(n)` comparison (benchmarked by `clock_ablation`).
+    pub use_join_cache: bool,
+    /// The trial's clock arena — recycled storage for every deep copy and
+    /// clone-on-write this state performs. `None` only for the
+    /// `clock_ablation` baseline, where copies hit the global allocator.
+    pub arena: Option<ClockArena>,
+    /// Monotone counter feeding sync-object content stamps. Assigned in
+    /// event order, so stamps (and everything derived from them) are
+    /// deterministic at any `--jobs`.
+    next_stamp: u64,
     /// First thread whose vector-clock component overflowed, if any.
     /// Clocks saturate instead of panicking (conservative: time stops
     /// advancing, races may be missed but history is never reordered);
@@ -115,6 +140,9 @@ impl Default for PacerState {
             vars: IdMap::new(),
             sampling: false,
             use_versions: true,
+            use_join_cache: true,
+            arena: Some(ClockArena::new()),
+            next_stamp: 0,
             overflow: None,
         }
     }
@@ -123,31 +151,84 @@ impl Default for PacerState {
 impl PacerState {
     /// Thread metadata, created at its initial value on first use.
     pub fn thread(&mut self, t: ThreadId) -> &mut ThreadMeta {
-        let i = t.index();
-        if i >= self.threads.len() {
-            self.threads.resize_with(i + 1, || None);
-        }
-        self.threads[i].get_or_insert_with(|| ThreadMeta::initial(t))
+        Self::thread_slot(&mut self.threads, t)
     }
 
-    /// Reads the source operand of a join without holding a borrow: returns
-    /// its current version epoch and an `O(1)` handle on its clock. Absent
-    /// objects (never-released locks, never-written volatiles) read as
-    /// `(⊥_ve, ⊥_c)`, for which every join is a fast no-op.
-    fn read_source(&mut self, source: SyncRef) -> (VersionEpoch, CowClock) {
+    /// Free-standing slot materialization so callers can borrow a thread's
+    /// metadata and the arena (disjoint fields) simultaneously.
+    fn thread_slot(threads: &mut Vec<Option<ThreadMeta>>, t: ThreadId) -> &mut ThreadMeta {
+        let i = t.index();
+        if i >= threads.len() {
+            threads.resize_with(i + 1, || None);
+        }
+        threads[i].get_or_insert_with(|| ThreadMeta::initial(t))
+    }
+
+    /// The next sync-object content stamp (monotone, event-ordered).
+    fn fresh_stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Reads the version epoch of a join source without touching its clock
+    /// — the version fast path (rule 4) needs nothing else, so the common
+    /// case never pays refcount traffic on the clock handle. Absent objects
+    /// (never-released locks, never-written volatiles) read as `⊥_ve`, for
+    /// which every join is a fast no-op. Returns the source's content stamp
+    /// alongside (0 for threads and absent objects: never cached).
+    fn source_vepoch(&mut self, source: SyncRef) -> (VersionEpoch, u64) {
         match source {
             SyncRef::Thread(u) => {
                 let meta = self.thread(u);
-                (meta.vepoch(u), meta.clock.shallow_copy())
+                (meta.vepoch(u), 0)
             }
             SyncRef::Lock(m) => match self.locks.get(m) {
-                Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
-                None => (VersionEpoch::BOTTOM, CowClock::bottom()),
+                Some(meta) => (meta.vepoch, meta.stamp),
+                None => (VersionEpoch::BOTTOM, 0),
             },
             SyncRef::Volatile(v) => match self.volatiles.get(v) {
-                Some(meta) => (meta.vepoch, meta.clock.shallow_copy()),
-                None => (VersionEpoch::BOTTOM, CowClock::bottom()),
+                Some(meta) => (meta.vepoch, meta.stamp),
+                None => (VersionEpoch::BOTTOM, 0),
             },
+        }
+    }
+
+    /// An `O(1)` handle on the source clock of a join (slow path only).
+    fn source_clock(&mut self, source: SyncRef) -> CowClock {
+        match source {
+            SyncRef::Thread(u) => self.thread(u).clock.shallow_copy(),
+            SyncRef::Lock(m) => match self.locks.get(m) {
+                Some(meta) => meta.clock.shallow_copy(),
+                None => CowClock::bottom(),
+            },
+            SyncRef::Volatile(v) => match self.volatiles.get(v) {
+                Some(meta) => meta.clock.shallow_copy(),
+                None => CowClock::bottom(),
+            },
+        }
+    }
+
+    /// The cached stamp for the `(thread t × source)` join edge, if the
+    /// cache is enabled and the edge has one.
+    fn cached_edge(meta: &ThreadMeta, source: SyncRef) -> Option<u64> {
+        match source {
+            SyncRef::Lock(m) => meta.joined_locks.get(m).copied(),
+            SyncRef::Volatile(v) => meta.joined_vols.get(v).copied(),
+            SyncRef::Thread(_) => None,
+        }
+    }
+
+    /// Records that `source`'s clock at `stamp` is now fully joined into
+    /// (subsumed by) thread `t`'s clock.
+    fn record_edge(meta: &mut ThreadMeta, source: SyncRef, stamp: u64) {
+        match source {
+            SyncRef::Lock(m) => {
+                meta.joined_locks.insert(m, stamp);
+            }
+            SyncRef::Volatile(v) => {
+                meta.joined_vols.insert(v, stamp);
+            }
+            SyncRef::Thread(_) => {}
         }
     }
 
@@ -158,11 +239,15 @@ impl PacerState {
         if !self.sampling {
             return;
         }
-        let meta = self.thread(t);
+        let meta = Self::thread_slot(&mut self.threads, t);
         if meta.clock.is_shared() {
             stats.cow_clones += 1;
         }
-        let overflowed = meta.clock.make_mut().try_increment(t).is_err();
+        let overflowed = meta
+            .clock
+            .make_mut_in(self.arena.as_ref())
+            .try_increment(t)
+            .is_err();
         meta.ver.increment(t);
         if overflowed {
             self.overflow.get_or_insert(t);
@@ -171,40 +256,76 @@ impl PacerState {
 
     /// Vector-clock join with a thread target (Algorithm 11 / Table 7,
     /// rules 4–6): `C_t ← C_t ⊔ S_o`.
+    ///
+    /// Two `O(1)` exits precede the `O(n)` work, in order: the paper's
+    /// version fast path (rule 4), then the monotone-join stamp cache —
+    /// if the source's content stamp equals the one last fully joined into
+    /// `t`, the source is unchanged and `C_t` only grew, so rule 5's
+    /// subsumption conclusion still holds without re-comparing. Neither
+    /// exit perturbs the paper's join/copy accounting: the cache hit is
+    /// counted as the slow join it replaces (it *is* rule 5, computed in
+    /// `O(1)`), keeping Table 3 counters exact.
     pub fn join_into_thread(&mut self, t: ThreadId, source: SyncRef, stats: &mut PacerStats) {
-        let (src_vepoch, src_clock) = self.read_source(source);
+        let (src_vepoch, src_stamp) = self.source_vepoch(source);
         let sampling = self.sampling;
         let use_versions = self.use_versions;
-        let meta = self.thread(t);
+        let use_join_cache = self.use_join_cache;
+        {
+            let meta = self.thread(t);
 
-        // Rule 4 {Same version epoch}: the source's snapshot is already
-        // subsumed — O(1), no clock work at all.
-        if use_versions && src_vepoch.leq(&meta.ver) {
-            if sampling {
-                stats.joins.sampling_fast += 1;
-            } else {
-                stats.joins.non_sampling_fast += 1;
+            // Rule 4 {Same version epoch}: the source's snapshot is already
+            // subsumed — O(1), no clock work at all.
+            if use_versions && src_vepoch.leq(&meta.ver) {
+                if sampling {
+                    stats.joins.sampling_fast += 1;
+                } else {
+                    stats.joins.non_sampling_fast += 1;
+                }
+                return;
             }
-            return;
+            if sampling {
+                stats.joins.sampling_slow += 1;
+            } else {
+                stats.joins.non_sampling_slow += 1;
+            }
+
+            // Monotone-join cache: source unchanged since last fully joined
+            // into t ⇒ rule 5 applies, skip the O(n) comparison.
+            if use_join_cache
+                && src_stamp != 0
+                && Self::cached_edge(meta, source) == Some(src_stamp)
+            {
+                if let VersionEpoch::At { v, t: u } = src_vepoch {
+                    meta.ver.set(u, v);
+                }
+                return;
+            }
         }
-        if sampling {
-            stats.joins.sampling_slow += 1;
-        } else {
-            stats.joins.non_sampling_slow += 1;
-        }
+
+        let src_clock = self.source_clock(source);
+        let meta = Self::thread_slot(&mut self.threads, t);
 
         // Rules 5–6: O(n) comparison decides whether the join changes C_t.
-        if !src_clock.clock().leq(meta.clock.clock()) {
+        // Shared storage is a free O(1) answer: identical content.
+        let subsumed =
+            CowClock::ptr_eq(&src_clock, &meta.clock) || src_clock.clock().leq(meta.clock.clock());
+        if !subsumed {
             // Rule 6 {Concurrent}: perform the join.
             if meta.clock.is_shared() {
                 stats.cow_clones += 1;
             }
-            meta.clock.make_mut().join(src_clock.clock());
+            meta.clock
+                .make_mut_in(self.arena.as_ref())
+                .join(src_clock.clock());
             meta.ver.increment(t);
         }
         // Rules 5 and 6 both record the received version (skipped for ⊤_ve).
         if let VersionEpoch::At { v, t: u } = src_vepoch {
             meta.ver.set(u, v);
+        }
+        // Either way the source is now subsumed by C_t: remember its stamp.
+        if use_join_cache && src_stamp != 0 {
+            Self::record_edge(meta, source, src_stamp);
         }
     }
 
@@ -212,15 +333,35 @@ impl PacerState {
     /// release. Shallow outside sampling periods, deep inside.
     pub fn copy_to_lock(&mut self, m: LockId, t: ThreadId, stats: &mut PacerStats) {
         let sampling = self.sampling;
-        let meta = self.thread(t);
+        let stamp = self.fresh_stamp();
+        let meta = Self::thread_slot(&mut self.threads, t);
         let (clock, vepoch) = if sampling {
             stats.copies.sampling_deep += 1;
-            (meta.clock.deep_copy(), meta.vepoch(t))
+            (meta.clock.deep_copy_in(self.arena.as_ref()), meta.vepoch(t))
         } else {
             stats.copies.non_sampling_shallow += 1;
             (meta.clock.shallow_copy(), meta.vepoch(t))
         };
-        self.locks.insert(m, SyncObjMeta { clock, vepoch });
+        // No cache edge is seeded here: the releasing thread's own
+        // re-acquire is already O(1) via the version fast path (rule 4),
+        // so a per-release map write would buy nothing.
+        let displaced = self.locks.insert(
+            m,
+            SyncObjMeta {
+                clock,
+                vepoch,
+                stamp,
+            },
+        );
+        // The overwritten lock clock is dead; park sole-owner storage
+        // (shared storage stays with its other owners — skip the pool).
+        if let Some(old) = displaced {
+            if !old.clock.is_shared() {
+                if let Some(arena) = &self.arena {
+                    arena.reclaim(old.clock);
+                }
+            }
+        }
     }
 
     /// Vector-clock join with a volatile target (Algorithm 16 / Table 7,
@@ -272,22 +413,33 @@ impl PacerState {
             stats.joins.non_sampling_slow += 1;
         }
 
+        let stamp = self.fresh_stamp();
         if subsumes {
             // Rules 7–8: the join is a copy of C_t.
             let clock = if sampling {
                 stats.copies.sampling_deep += 1;
-                t_clock.deep_copy()
+                t_clock.deep_copy_in(self.arena.as_ref())
             } else {
                 stats.copies.non_sampling_shallow += 1;
                 t_clock.shallow_copy()
             };
-            self.volatiles.insert(
+            let displaced = self.volatiles.insert(
                 vx,
                 SyncObjMeta {
                     clock,
                     vepoch: t_vepoch,
+                    stamp,
                 },
             );
+            // The overwritten volatile clock is dead; park sole-owner
+            // storage (shared storage stays with its other owners).
+            if let Some(old) = displaced {
+                if !old.clock.is_shared() {
+                    if let Some(arena) = &self.arena {
+                        arena.reclaim(old.clock);
+                    }
+                }
+            }
         } else {
             // Rule 9 {Concurrent}: real join; version epoch becomes ⊤_ve.
             let meta = self
@@ -297,8 +449,11 @@ impl PacerState {
             if meta.clock.is_shared() {
                 stats.cow_clones += 1;
             }
-            meta.clock.make_mut().join(t_clock.clock());
+            meta.clock
+                .make_mut_in(self.arena.as_ref())
+                .join(t_clock.clock());
             meta.vepoch = VersionEpoch::Top;
+            meta.stamp = stamp;
         }
     }
 
@@ -315,7 +470,12 @@ impl PacerState {
                 if meta.clock.is_shared() {
                     stats.cow_clones += 1;
                 }
-                if meta.clock.make_mut().try_increment(t).is_err() {
+                if meta
+                    .clock
+                    .make_mut_in(self.arena.as_ref())
+                    .try_increment(t)
+                    .is_err()
+                {
                     self.overflow.get_or_insert(t);
                 }
                 meta.ver.increment(t);

@@ -82,6 +82,21 @@ impl FastTrackDetector {
         }
     }
 
+    /// Enables or disables the synchronization-state monotone-join cache
+    /// (see [`SyncClocks::with_join_cache`]). Detection is unchanged either
+    /// way; the flag exists for the `clock_ablation` benchmark.
+    pub fn with_join_cache(mut self, enabled: bool) -> Self {
+        self.sync = self.sync.with_join_cache(enabled);
+        self
+    }
+
+    /// Enables or disables arena-recycled lock/volatile clock storage (see
+    /// [`SyncClocks::with_clock_arena`]). Detection is unchanged either way.
+    pub fn with_clock_arena(mut self, enabled: bool) -> Self {
+        self.sync = self.sync.with_clock_arena(enabled);
+        self
+    }
+
     /// Approximate live metadata footprint in machine words: three words
     /// per tracked variable (write epoch, site, read-map slot — the
     /// per-field hash-table entry of §4), plus inflated read maps and

@@ -48,6 +48,21 @@ impl GenericDetector {
         GenericDetector::default()
     }
 
+    /// Enables or disables the synchronization-state monotone-join cache
+    /// (see [`SyncClocks::with_join_cache`]). Detection is unchanged either
+    /// way; the flag exists for the `clock_ablation` benchmark.
+    pub fn with_join_cache(mut self, enabled: bool) -> Self {
+        self.sync = self.sync.with_join_cache(enabled);
+        self
+    }
+
+    /// Enables or disables arena-recycled lock/volatile clock storage (see
+    /// [`SyncClocks::with_clock_arena`]). Detection is unchanged either way.
+    pub fn with_clock_arena(mut self, enabled: bool) -> Self {
+        self.sync = self.sync.with_clock_arena(enabled);
+        self
+    }
+
     /// Approximate live metadata footprint in machine words.
     pub fn footprint_words(&self) -> usize {
         self.space_breakdown().total_words() as usize
