@@ -83,6 +83,33 @@ echo "$FLEET_A" | grep -q "quarantined=4" || {
     exit 1
 }
 
+# Record/replay smoke (TRACE_FORMAT.md): capture an execution once in
+# the binary trace format and re-analyze it offline. Three properties
+# gate: recording is deterministic (two captures are byte-identical),
+# replaying the binary capture prints exactly what replaying a text
+# capture of the same execution prints, and the replay finds the race.
+echo "== pacer record/replay smoke"
+./target/release/pacer record "$RESDIR/racy.pl" --rate 1.0 --seed 5 \
+    --out "$RESDIR/racy.ptrace" > /dev/null
+./target/release/pacer record "$RESDIR/racy.pl" --rate 1.0 --seed 5 \
+    --out "$RESDIR/racy2.ptrace" > /dev/null
+cmp -s "$RESDIR/racy.ptrace" "$RESDIR/racy2.ptrace" || {
+    echo "pacer record is nondeterministic across identical invocations" >&2
+    exit 1
+}
+./target/release/pacer record "$RESDIR/racy.pl" --rate 1.0 --seed 5 \
+    --out "$RESDIR/racy.trace" --format text > /dev/null
+REPLAY_BIN=$(./target/release/pacer replay "$RESDIR/racy.ptrace" --detector fasttrack)
+REPLAY_TXT=$(./target/release/pacer replay "$RESDIR/racy.trace" --detector fasttrack)
+if [ "$REPLAY_BIN" != "$REPLAY_TXT" ]; then
+    echo "binary and text replays of the same execution differ" >&2
+    exit 1
+fi
+echo "$REPLAY_BIN" | grep -q "distinct:" || {
+    echo "replay found no races in the racy capture" >&2
+    exit 1
+}
+
 # Checkpoint/resume byte-identity (RESILIENCE.md): chop the journal
 # mid-entry — as a kill -9 during an append would — and the resumed
 # run's artifacts must be byte-identical to an uninterrupted run's.
@@ -152,7 +179,7 @@ fi
 
 # Smoke-run every bench target in quick mode; each writes BENCH_<name>.json
 # at the workspace root.
-for bench in clock_ops detector_throughput workload_overhead version_ablation clock_ablation; do
+for bench in clock_ops detector_throughput workload_overhead version_ablation clock_ablation trace_codec; do
     echo "== cargo bench $bench --quick"
     cargo bench -p pacer-bench --bench "$bench" -- --quick
 done

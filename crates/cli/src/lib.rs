@@ -6,8 +6,20 @@
 //! pacer run <file> [--rate R] [--seed N] [--detector D] [--trace OUT]
 //!     Compile and execute a mini-language program under a race detector.
 //!     D ∈ {pacer, pacer-accordion, fasttrack, generic, literace, none}.
-//! pacer replay <file.trace> [--detector D]
-//!     Re-analyze a recorded trace offline.
+//! pacer record <file> [--rate R] [--seed N] [--out PATH] [--format F]
+//!     Execute once and capture the event stream to a trace file —
+//!     binary `.ptrace` by default (spec in TRACE_FORMAT.md), text with
+//!     --format text — without running any detector. The capture half
+//!     of the record/replay split.
+//! pacer replay <file> [--detector D] [--metrics-out PATH] [--resample R]
+//!     Re-analyze a recorded trace offline. Binary and text inputs are
+//!     auto-detected by content; binary traces stream through the
+//!     detector frame by frame (bounded memory), a truncated binary
+//!     tail is reported and the complete prefix analyzed, and any
+//!     corrupt frame is a hard error. --resample R overlays fresh
+//!     sampling periods (mean length --resample-period, seeded by
+//!     --seed) before detection, so one recorded workload can be
+//!     replayed at many rates.
 //! pacer check <file>
 //!     Parse, analyze, and compile only; print instrumentation summary.
 //! pacer fmt <file>
@@ -141,6 +153,12 @@ struct Options {
     mem_budget: Option<u64>,
     deadline_events: Option<u64>,
     governor_ladder: Option<String>,
+    out: Option<String>,
+    format: Option<String>,
+    record_traces: Option<String>,
+    trace_dir: Option<String>,
+    resample: Option<f64>,
+    resample_period: usize,
 }
 
 impl Default for Options {
@@ -164,6 +182,12 @@ impl Default for Options {
             mem_budget: None,
             deadline_events: None,
             governor_ladder: None,
+            out: None,
+            format: None,
+            record_traces: None,
+            trace_dir: None,
+            resample: None,
+            resample_period: 50,
         }
     }
 }
@@ -174,7 +198,14 @@ usage: pacer <command> [args]
 commands:
   run <file>     compile + execute under a detector
                  [--rate R] [--seed N] [--detector D] [--trace OUT]
-  replay <file>  re-analyze a recorded .trace file [--detector D]
+  record <file>  execute once, capturing the event stream to a trace
+                 file instead of running a detector (TRACE_FORMAT.md)
+                 [--rate R] [--seed N] [--out PATH]
+                 [--format binary|text]   (default: binary, .ptrace)
+  replay <file>  re-analyze a recorded trace offline; binary (.ptrace)
+                 and text traces are auto-detected by content
+                 [--detector D] [--metrics-out PATH]
+                 [--resample R [--resample-period N] [--seed N]]
   check <file>   compile only; print the instrumentation summary
   fmt <file>     pretty-print canonical source
   fold <file>    constant-fold, then pretty-print
@@ -186,6 +217,7 @@ commands:
                  [--checkpoint JOURNAL] [--resume JOURNAL]
                  [--mem-budget BYTES] [--deadline-events N]
                  [--rate-ladder-governor R,R,...]
+                 [--record-traces DIR [--format binary|text]]
   stats <file>   run once under the observability layer; print the
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
@@ -193,10 +225,19 @@ commands:
   fuzz           differential race-oracle fuzzing campaign (FUZZING.md)
                  [--seed N] [--iters N] [--jobs N]
                  [--rate-ladder R,R,...] [--schedule-seeds N]
-                 [--metrics-out PATH]
+                 [--metrics-out PATH] [--trace-dir DIR]
 
 detectors: pacer (default), pacer-accordion, fasttrack, generic,
            literace, none
+
+record/replay splits capture from detection: `record` writes the
+length-prefixed, checksummed binary trace format (spec in
+TRACE_FORMAT.md; ~3-4 bytes/event vs ~11 for text), `replay`
+streams it back through any detector without materializing the
+trace, `--resample R` overlays fresh sampling periods on the fly,
+and `fleet --record-traces` / `fuzz --trace-dir` capture
+per-instance and per-program truth traces (deterministic at any
+--jobs count).
 
 --metrics-out writes the unified metrics snapshot as JSON;
 --trace-out writes the structured event trace as JSONL (see
@@ -232,6 +273,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     };
     match command.as_str() {
         "run" => cmd_run(&args[1..]).map(CmdOutput::from),
+        "record" => cmd_record(&args[1..]).map(CmdOutput::from),
         "replay" => cmd_replay(&args[1..]).map(CmdOutput::from),
         "check" => cmd_check(&args[1..]).map(CmdOutput::from),
         "fmt" => cmd_fmt(&args[1..], false).map(CmdOutput::from),
@@ -399,6 +441,57 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                     err("--rate-ladder-governor requires a comma-separated list")
                 })?);
             }
+            "--out" => {
+                i += 1;
+                opts.out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--out requires a path"))?,
+                );
+            }
+            "--format" => {
+                i += 1;
+                opts.format = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--format requires `binary` or `text`"))?,
+                );
+            }
+            "--record-traces" => {
+                i += 1;
+                opts.record_traces = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--record-traces requires a directory"))?,
+                );
+            }
+            "--trace-dir" => {
+                i += 1;
+                opts.trace_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--trace-dir requires a directory"))?,
+                );
+            }
+            "--resample" => {
+                i += 1;
+                let v: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--resample requires a rate in [0, 1]"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(err("--resample must be in [0, 1]"));
+                }
+                opts.resample = Some(v);
+            }
+            "--resample-period" => {
+                i += 1;
+                opts.resample_period = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--resample-period requires a positive integer"))?;
+            }
             "--checkpoint" => {
                 i += 1;
                 opts.checkpoint = Some(
@@ -549,46 +642,279 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+/// Trace output encoding for `record` and `fleet --record-traces`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    Binary,
+    Text,
+}
+
+impl TraceFormat {
+    fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Binary => "ptrace",
+            TraceFormat::Text => "trace",
+        }
+    }
+}
+
+fn trace_format(opts: &Options) -> Result<TraceFormat, CliError> {
+    match opts.format.as_deref() {
+        None | Some("binary") => Ok(TraceFormat::Binary),
+        Some("text") => Ok(TraceFormat::Text),
+        Some(other) => Err(err(format!(
+            "unknown trace format `{other}` (expected `binary` or `text`)"
+        ))),
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<String, CliError> {
     let (file, opts) = parse_options(args)?;
-    let trace = Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
-    trace
-        .validate()
-        .map_err(|e| err(format!("{file}: invalid trace: {e}")))?;
+    let (_, compiled) = load_program(&file)?;
+    let format = trace_format(&opts)?;
+    let out_path = opts.out.clone().unwrap_or_else(|| {
+        Path::new(&file)
+            .with_extension(format.extension())
+            .to_string_lossy()
+            .into_owned()
+    });
+    let cfg = VmConfig::new(opts.seed).with_sampling_rate(opts.rate);
+    let vm_err = |e: pacer_runtime::VmError| err(format!("runtime error: {e}"));
     let mut out = String::new();
-    let stats = trace.stats();
+    let _ = writeln!(
+        out,
+        "{} recorded at r = {:.2}%, seed {}",
+        file,
+        opts.rate * 100.0,
+        opts.seed
+    );
+    match format {
+        TraceFormat::Binary => {
+            // The recorder encodes frames as the VM runs; the action vector
+            // is never materialized.
+            let mut rec = pacer_trace::StreamRecorder::new(Vec::new())
+                .map_err(|e| err(format!("encoding error: {e}")))?;
+            let outcome = Vm::run(&compiled, &mut rec, &cfg).map_err(vm_err)?;
+            let (bytes, summary) = rec
+                .finish()
+                .map_err(|e| err(format!("encoding error: {e}")))?;
+            summarize_run(&mut out, &outcome);
+            let _ = writeln!(
+                out,
+                "captured {} events ({} accesses, {} sync ops, {} threads)",
+                summary.encode.events,
+                summary.stats.accesses(),
+                summary.stats.sync_ops(),
+                summary.thread_count
+            );
+            let _ = writeln!(
+                out,
+                "{} frame(s), {} bytes ({:.2} bytes/event)",
+                summary.encode.frames,
+                summary.encode.bytes,
+                summary.encode.bytes_per_event()
+            );
+            pacer_collections::atomic_write(&out_path, &bytes)
+                .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+            let _ = writeln!(out, "binary trace written to {out_path}");
+        }
+        TraceFormat::Text => {
+            let mut rec = RecordingDetector::new();
+            let outcome = Vm::run(&compiled, &mut rec, &cfg).map_err(vm_err)?;
+            summarize_run(&mut out, &outcome);
+            let stats = rec.trace().stats();
+            let _ = writeln!(
+                out,
+                "captured {} events ({} accesses, {} sync ops, {} threads)",
+                rec.trace().len(),
+                stats.accesses(),
+                stats.sync_ops(),
+                rec.trace().thread_count()
+            );
+            rec.trace()
+                .save(&out_path)
+                .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+            let _ = writeln!(out, "text trace written to {out_path}");
+        }
+    }
+    Ok(out)
+}
+
+/// Everything one replay pass produces, independent of input encoding.
+struct ReplayOutcome {
+    stats: pacer_trace::ActionStats,
+    threads: usize,
+    races: Vec<RaceReport>,
+    metrics_json: Option<String>,
+}
+
+/// Feeds `actions` through `det` one at a time — validating, counting, and
+/// (when `want_metrics`) observing — without ever materializing the trace.
+fn drive_replay<D, I>(
+    det: D,
+    actions: I,
+    want_metrics: bool,
+    file: &str,
+) -> Result<ReplayOutcome, CliError>
+where
+    D: pacer_obs::ObservableDetector,
+    I: Iterator<Item = pacer_trace::Action>,
+{
+    use pacer_trace::Action;
+
+    let registry = if want_metrics {
+        pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default())
+    } else {
+        pacer_obs::Registry::disabled()
+    };
+    let mut obs = pacer_obs::Observed::new(det, registry);
+    let mut validator = pacer_trace::TraceValidator::new();
+    let mut stats = pacer_trace::ActionStats::default();
+    let mut max_thread: Option<usize> = None;
+    for action in actions {
+        validator
+            .check(&action)
+            .map_err(|e| err(format!("{file}: invalid trace: {e}")))?;
+        stats.count(&action);
+        let mut see = |idx: usize| {
+            max_thread = Some(max_thread.map_or(idx, |m| m.max(idx)));
+        };
+        if let Some(t) = action.thread() {
+            see(t.index());
+        }
+        match action {
+            Action::Fork { u, .. } | Action::Join { u, .. } => see(u.index()),
+            _ => {}
+        }
+        obs.on_action(&action);
+    }
+    let (det, registry) = obs.finish();
+    Ok(ReplayOutcome {
+        stats,
+        threads: max_thread.map_or(0, |m| m + 1),
+        races: det.races().to_vec(),
+        metrics_json: want_metrics.then(|| registry.metrics().to_json()),
+    })
+}
+
+/// Detector dispatch for `replay`, applying `--resample` on the fly.
+fn replay_actions<I: Iterator<Item = pacer_trace::Action>>(
+    actions: I,
+    opts: &Options,
+    file: &str,
+) -> Result<ReplayOutcome, CliError> {
+    if let Some(rate) = opts.resample {
+        let resampled =
+            pacer_trace::gen::ResampleSampling::new(actions, rate, opts.resample_period, opts.seed);
+        return replay_detector(resampled, opts, file);
+    }
+    replay_detector(actions, opts, file)
+}
+
+fn replay_detector<I: Iterator<Item = pacer_trace::Action>>(
+    actions: I,
+    opts: &Options,
+    file: &str,
+) -> Result<ReplayOutcome, CliError> {
+    let metrics = opts.metrics_out.is_some();
+    match opts.detector.as_str() {
+        "pacer" | "pacer-accordion" => drive_replay(PacerDetector::new(), actions, metrics, file),
+        "fasttrack" => drive_replay(FastTrackDetector::new(), actions, metrics, file),
+        "generic" => drive_replay(GenericDetector::new(), actions, metrics, file),
+        "literace" => drive_replay(
+            LiteRaceDetector::new(LiteRaceConfig::default(), opts.seed),
+            actions,
+            metrics,
+            file,
+        ),
+        other => Err(err(format!("unknown detector `{other}`"))),
+    }
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+
+    let (file, opts) = parse_options(args)?;
+    let mut out = String::new();
+
+    // Sniff the first bytes to pick the decoding path; binary traces then
+    // stream frame by frame from the file, text traces parse in memory.
+    let mut f = std::fs::File::open(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
+    let mut head = [0u8; 4];
+    let mut got = 0;
+    while got < head.len() {
+        let n = f
+            .read(&mut head[got..])
+            .map_err(|e| err(format!("cannot load {file}: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+
+    let mut truncation_note = None;
+    let outcome = if pacer_trace::binary::is_binary_trace(&head[..got]) {
+        f.seek(SeekFrom::Start(0))
+            .map_err(|e| err(format!("cannot load {file}: {e}")))?;
+        let mut reader = pacer_trace::TraceReader::new(std::io::BufReader::new(f))
+            .map_err(|e| err(format!("{file}: {e}")))?;
+        let mut stream_err: Option<pacer_trace::BinaryTraceError> = None;
+        let outcome = {
+            let iter = std::iter::from_fn(|| match reader.next() {
+                Some(Ok(a)) => Some(a),
+                Some(Err(e)) => {
+                    stream_err = Some(e);
+                    None
+                }
+                None => None,
+            });
+            replay_actions(iter, &opts, &file)?
+        };
+        // A complete frame that fails its checksum (or any other mid-stream
+        // corruption) is a hard error; a trace cut mid-frame is the
+        // documented clean partial stop (TRACE_FORMAT.md).
+        if let Some(e) = stream_err {
+            return Err(err(format!("{file}: {e}")));
+        }
+        if reader.truncated() {
+            truncation_note = Some(format!(
+                "note: trace ends mid-frame; analyzed the {} complete frame(s) ({} events)",
+                reader.frames(),
+                reader.events()
+            ));
+        }
+        outcome
+    } else {
+        drop(f);
+        let trace = Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
+        replay_actions(trace.iter().copied(), &opts, &file)?
+    };
+
     let _ = writeln!(
         out,
         "replaying {} actions ({} accesses, {} sync ops, {} threads)",
-        trace.len(),
-        stats.accesses(),
-        stats.sync_ops(),
-        trace.thread_count()
+        outcome.stats.total(),
+        outcome.stats.accesses(),
+        outcome.stats.sync_ops(),
+        outcome.threads
     );
-    let races = match opts.detector.as_str() {
-        "pacer" | "pacer-accordion" => {
-            let mut d = PacerDetector::new();
-            d.run(&trace);
-            d.races().to_vec()
-        }
-        "fasttrack" => {
-            let mut d = FastTrackDetector::new();
-            d.run(&trace);
-            d.races().to_vec()
-        }
-        "generic" => {
-            let mut d = GenericDetector::new();
-            d.run(&trace);
-            d.races().to_vec()
-        }
-        "literace" => {
-            let mut d = LiteRaceDetector::new(LiteRaceConfig::default(), opts.seed);
-            d.run(&trace);
-            d.races().to_vec()
-        }
-        other => return Err(err(format!("unknown detector `{other}`"))),
-    };
-    report_races(&mut out, None, &races);
+    if let Some(note) = truncation_note {
+        let _ = writeln!(out, "{note}");
+    }
+    if let Some(rate) = opts.resample {
+        let _ = writeln!(
+            out,
+            "resampled sampling periods at r = {:.2}%, mean period {}, seed {}",
+            rate * 100.0,
+            opts.resample_period,
+            opts.seed
+        );
+    }
+    report_races(&mut out, None, &outcome.races);
+    if let Some(path) = &opts.metrics_out {
+        let json = outcome.metrics_json.unwrap_or_default();
+        write_artifact(&mut out, path, &json, "metrics")?;
+    }
     Ok(out)
 }
 
@@ -907,6 +1233,34 @@ fn cmd_fleet(args: &[String]) -> Result<CmdOutput, CliError> {
         );
     }
 
+    if let Some(dir) = &opts.record_traces {
+        let format = trace_format(&opts)?;
+        std::fs::create_dir_all(dir).map_err(|e| err(format!("cannot create {dir}: {e}")))?;
+        // Capture each instance's execution (same seed, therefore the same
+        // schedule as its fleet trial) in parallel; encoding happens in the
+        // workers but files are written sequentially in index order, so the
+        // directory contents are byte-identical at any --jobs count.
+        let encoded: Vec<Result<Vec<u8>, String>> =
+            pacer_harness::parallel::run_indexed(opts.instances as usize, |i| {
+                let seed = pacer_harness::fleet::fleet_trial_seed(opts.seed, i as u64);
+                pacer_harness::record_trial_trace(&compiled, opts.rate, seed)
+                    .map(|trace| match format {
+                        TraceFormat::Binary => pacer_trace::binary::encode_trace(&trace),
+                        TraceFormat::Text => trace.to_text().into_bytes(),
+                    })
+                    .map_err(|e| e.to_string())
+            });
+        for (i, result) in encoded.iter().enumerate() {
+            let bytes = result
+                .as_ref()
+                .map_err(|e| err(format!("instance {i}: {e}")))?;
+            let path = format!("{dir}/instance-{i:04}.{}", format.extension());
+            pacer_collections::atomic_write(&path, bytes)
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        let _ = writeln!(out, "recorded {} instance trace(s) to {dir}", encoded.len());
+    }
+
     // Trials that merely finished at a reduced rate are a *successful*
     // degradation (exit 0); cancellation at the ladder floor means the
     // campaign lost coverage, reported like quarantines (exit 2).
@@ -933,6 +1287,16 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
     }
     let report = pacer_fuzz::run_fuzz(&cfg);
     let mut out = report.summary();
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| err(format!("cannot create {dir}: {e}")))?;
+        let traces = pacer_fuzz::record_truth_traces(&cfg);
+        for t in &traces {
+            let path = format!("{}/program-{:04}.ptrace", dir, t.index);
+            pacer_collections::atomic_write(&path, &t.bytes)
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        let _ = writeln!(out, "recorded {} truth trace(s) to {dir}", traces.len());
+    }
     if let Some(path) = &opts.metrics_out {
         let mut reg = pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default());
         reg.add_fuzz(report.fuzz_counters());
@@ -1023,6 +1387,217 @@ mod tests {
         assert!(replayed.contains("distinct:"), "{replayed}");
         std::fs::remove_file(&src).ok();
         std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn record_then_binary_replay_matches_text_replay() {
+        let src = write_temp("pacer_cli_record.pl", RACY);
+        let bin = std::env::temp_dir().join("pacer_cli_record.ptrace");
+        let txt = std::env::temp_dir().join("pacer_cli_record.trace");
+        let bin_str = bin.to_string_lossy().into_owned();
+        let txt_str = txt.to_string_lossy().into_owned();
+        let base = ["record", &src, "--rate", "1.0", "--seed", "5"];
+        let rec_bin = run(&args(&[&base[..], &["--out", &bin_str]].concat())).unwrap();
+        assert!(rec_bin.contains("binary trace written"), "{rec_bin}");
+        assert!(rec_bin.contains("bytes/event"), "{rec_bin}");
+        let rec_txt = run(&args(
+            &[&base[..], &["--out", &txt_str, "--format", "text"]].concat(),
+        ))
+        .unwrap();
+        assert!(rec_txt.contains("text trace written"), "{rec_txt}");
+
+        // The two encodings carry the same events, so offline analysis is
+        // byte-identical: same summary line, same race report.
+        for detector in ["fasttrack", "pacer", "generic"] {
+            let from_bin = run(&args(&["replay", &bin_str, "--detector", detector])).unwrap();
+            let from_txt = run(&args(&["replay", &txt_str, "--detector", detector])).unwrap();
+            assert_eq!(from_bin.text, from_txt.text, "detector {detector}");
+            assert!(from_bin.contains("replaying"), "{from_bin}");
+        }
+        // FASTTRACK at rate 1.0 must see the race.
+        let report = run(&args(&["replay", &bin_str, "--detector", "fasttrack"])).unwrap();
+        assert!(report.contains("distinct:"), "{report}");
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&txt).ok();
+    }
+
+    #[test]
+    fn replay_metrics_agree_across_encodings() {
+        let src = write_temp("pacer_cli_rmetrics.pl", RACY);
+        let bin = std::env::temp_dir().join("pacer_cli_rmetrics.ptrace");
+        let txt = std::env::temp_dir().join("pacer_cli_rmetrics.trace");
+        let m_bin = std::env::temp_dir().join("pacer_cli_rmetrics_bin.json");
+        let m_txt = std::env::temp_dir().join("pacer_cli_rmetrics_txt.json");
+        let bin_str = bin.to_string_lossy().into_owned();
+        let txt_str = txt.to_string_lossy().into_owned();
+        let base = ["record", &src, "--rate", "1.0", "--seed", "9"];
+        run(&args(&[&base[..], &["--out", &bin_str]].concat())).unwrap();
+        run(&args(
+            &[&base[..], &["--out", &txt_str, "--format", "text"]].concat(),
+        ))
+        .unwrap();
+        run(&args(&[
+            "replay",
+            &bin_str,
+            "--metrics-out",
+            &m_bin.to_string_lossy(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "replay",
+            &txt_str,
+            "--metrics-out",
+            &m_txt.to_string_lossy(),
+        ]))
+        .unwrap();
+        let a = std::fs::read_to_string(&m_bin).unwrap();
+        let b = std::fs::read_to_string(&m_txt).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains('{'), "metrics JSON written: {a}");
+        for p in [&bin, &txt, &m_bin, &m_txt] {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn replay_resample_overlays_fresh_periods_deterministically() {
+        let src = write_temp("pacer_cli_resample.pl", RACY);
+        let bin = std::env::temp_dir().join("pacer_cli_resample.ptrace");
+        let bin_str = bin.to_string_lossy().into_owned();
+        run(&args(&[
+            "record", &src, "--rate", "1.0", "--seed", "5", "--out", &bin_str,
+        ]))
+        .unwrap();
+        let resample = |seed: &str| {
+            run(&args(&[
+                "replay",
+                &bin_str,
+                "--resample",
+                "0.5",
+                "--seed",
+                seed,
+            ]))
+            .unwrap()
+        };
+        let once = resample("7");
+        let again = resample("7");
+        assert_eq!(once.text, again.text, "resampling is seeded");
+        assert!(once.contains("resampled sampling periods"), "{once}");
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_binary_but_tolerates_truncation() {
+        let src = write_temp("pacer_cli_corrupt.pl", RACY);
+        let bin = std::env::temp_dir().join("pacer_cli_corrupt.ptrace");
+        let bin_str = bin.to_string_lossy().into_owned();
+        run(&args(&[
+            "record", &src, "--rate", "1.0", "--seed", "5", "--out", &bin_str,
+        ]))
+        .unwrap();
+        let pristine = std::fs::read(&bin).unwrap();
+
+        // A bit flip inside a frame payload is a hard checksum error.
+        let mut flipped = pristine.clone();
+        let mid = pristine.len() / 2;
+        flipped[mid] ^= 0x10;
+        let bad = std::env::temp_dir().join("pacer_cli_corrupt_flip.ptrace");
+        std::fs::write(&bad, &flipped).unwrap();
+        let e = run(&args(&["replay", &bad.to_string_lossy()])).unwrap_err();
+        assert!(
+            e.message.contains("checksum") || e.message.contains("frame"),
+            "{}",
+            e.message
+        );
+
+        // A truncated tail is a clean partial stop: the complete prefix is
+        // still analyzed, with a note.
+        let cut = std::env::temp_dir().join("pacer_cli_corrupt_cut.ptrace");
+        std::fs::write(&cut, &pristine[..pristine.len() - 5]).unwrap();
+        let out = run(&args(&["replay", &cut.to_string_lossy()])).unwrap();
+        assert!(out.contains("ends mid-frame"), "{out}");
+
+        // A wrong magic falls through to the text parser and fails there.
+        let mut wrong = pristine;
+        wrong[0] ^= 0xff;
+        let nomagic = std::env::temp_dir().join("pacer_cli_corrupt_magic.ptrace");
+        std::fs::write(&nomagic, &wrong).unwrap();
+        assert!(run(&args(&["replay", &nomagic.to_string_lossy()])).is_err());
+
+        for p in [&bin, &bad, &cut, &nomagic] {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fleet_recorded_traces_are_identical_across_job_counts() {
+        let src = write_temp("pacer_cli_fleettr.pl", RACY);
+        let dir1 = std::env::temp_dir().join("pacer_cli_fleettr_j1");
+        let dir4 = std::env::temp_dir().join("pacer_cli_fleettr_j4");
+        let fleet = |jobs: &str, dir: &std::path::Path| {
+            run(&args(&[
+                "fleet",
+                &src,
+                "--instances",
+                "6",
+                "--rate",
+                "0.5",
+                "--seed",
+                "3",
+                "--jobs",
+                jobs,
+                "--record-traces",
+                &dir.to_string_lossy(),
+            ]))
+            .unwrap()
+        };
+        let o1 = fleet("1", &dir1);
+        let o4 = fleet("4", &dir4);
+        assert_eq!(o1.text.replace("_j1", "_jN"), o4.text.replace("_j4", "_jN"));
+        assert!(o1.contains("recorded 6 instance trace(s)"), "{o1}");
+        for i in 0..6 {
+            let name = format!("instance-{i:04}.ptrace");
+            let a = std::fs::read(dir1.join(&name)).unwrap();
+            let b = std::fs::read(dir4.join(&name)).unwrap();
+            assert_eq!(a, b, "{name} differs between job counts");
+        }
+        // The captured traces replay cleanly.
+        let first = dir1.join("instance-0000.ptrace");
+        let replayed = run(&args(&["replay", &first.to_string_lossy()])).unwrap();
+        assert!(replayed.contains("replaying"), "{replayed}");
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&dir4).ok();
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn fuzz_trace_dir_writes_replayable_truth_traces() {
+        let dir = std::env::temp_dir().join("pacer_cli_fuzztr");
+        let out = run(&args(&[
+            "fuzz",
+            "--seed",
+            "11",
+            "--iters",
+            "3",
+            "--trace-dir",
+            &dir.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("truth trace(s)"), "{out}");
+        let first = dir.join("program-0000.ptrace");
+        let replayed = run(&args(&[
+            "replay",
+            &first.to_string_lossy(),
+            "--detector",
+            "generic",
+        ]))
+        .unwrap();
+        assert!(replayed.contains("replaying"), "{replayed}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Dependency-free content checksums shared by the durability layers.
+//!
+//! Both checksummed on-disk formats in this workspace — the fleet
+//! checkpoint journal (`pacer-harness`) and the binary trace encoding
+//! (`pacer-trace`) — frame their payloads with an FNV-1a 64-bit digest.
+//! The function lives here, below both crates in the dependency graph, so
+//! the two formats are guaranteed to agree on the checksum definition.
+//!
+//! FNV-1a is not cryptographic; it guards against torn writes, truncation,
+//! and bit rot, not adversaries. It was chosen for the same reasons as in
+//! the journal: one multiply and one xor per byte, zero dependencies, and
+//! a well-known reference specification.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacer_collections::fnv1a64;
+//!
+//! // Reference vectors from the FNV specification.
+//! assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+//! assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+//! ```
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+///
+/// This is the frame checksum of both the checkpoint journal
+/// (`P1 <len> <fnv1a64-hex> <json>`) and the binary trace format
+/// (TRACE_FORMAT.md).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV1A64_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV1A64_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = b"pacer binary trace frame payload".to_vec();
+        let digest = fnv1a64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv1a64(&flipped), digest, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

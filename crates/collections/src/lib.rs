@@ -20,8 +20,10 @@
 //! paying the global allocator. `pacer-clock` wraps it as `ClockArena`.
 //!
 //! The crate also hosts the workspace's dependency-free durability
-//! primitives: [`atomic_write`] (crash-safe artifact replacement) and
-//! [`json`] (a structured-error JSON reader for artifact round-trips).
+//! primitives: [`atomic_write`] (crash-safe artifact replacement),
+//! [`json`] (a structured-error JSON reader for artifact round-trips), and
+//! [`fnv1a64`] (the frame checksum shared by the checkpoint journal and
+//! the binary trace format).
 //!
 //! # Examples
 //!
@@ -44,10 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod atomic_io;
+pub mod hash;
 pub mod json;
 pub mod pool;
 
 pub use atomic_io::atomic_write;
+pub use hash::fnv1a64;
 pub use json::{JsonError, JsonValue};
 pub use pool::{PoolItem, PoolStats, SlabPool};
 

@@ -203,6 +203,50 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     report
 }
 
+/// One recorded truth trace from [`record_truth_traces`].
+#[derive(Clone, Debug)]
+pub struct TruthTrace {
+    /// Campaign index `i`; the program seed is `derive_seed(base, i)`.
+    pub index: u64,
+    /// The program's generation seed (sufficient to reproduce it).
+    pub program_seed: u64,
+    /// The rate-1.0 truth trace, encoded in the binary trace format
+    /// (`TRACE_FORMAT.md`).
+    pub bytes: Vec<u8>,
+}
+
+/// Records the rate-1.0 truth trace of every program in the campaign and
+/// encodes each in the compact binary trace format.
+///
+/// Program `i` is regenerated from `derive_seed(cfg.seed, i)` and executed
+/// under the oracle's *first* schedule seed (`derive_seed(program_seed, 0)`),
+/// so each trace is exactly the truth execution [`check_program`] compares
+/// detectors against. Recording runs in parallel but results come back in
+/// index order, so writing them out sequentially is byte-identical at any
+/// `--jobs` setting. Programs that fail to compile or hit a VM error are
+/// skipped (matching the oracle, which counts them without traces).
+pub fn record_truth_traces(cfg: &FuzzConfig) -> Vec<TruthTrace> {
+    use pacer_runtime::{Vm, VmConfig};
+    use pacer_trace::RecordingDetector;
+
+    let results: Vec<Option<TruthTrace>> = parallel::run_indexed(cfg.iters as usize, |i| {
+        let seed = derive_seed(cfg.seed, i as u64);
+        let program = generate(seed, &cfg.gen);
+        let compiled = pacer_lang::compile(&program).ok()?;
+        let vm_cfg = VmConfig::new(derive_seed(seed, 0))
+            .with_sampling_rate(1.0)
+            .with_max_steps(cfg.oracle.max_steps);
+        let mut rec = RecordingDetector::new();
+        Vm::run(&compiled, &mut rec, &vm_cfg).ok()?;
+        Some(TruthTrace {
+            index: i as u64,
+            program_seed: seed,
+            bytes: pacer_trace::binary::encode_trace(rec.trace()),
+        })
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// The paper's proportionality claim, as a one-sided binomial bound: the
 /// observed detection rate must not fall below the sampling rate `r` by
 /// more than a fixed slack plus four standard errors. The independent

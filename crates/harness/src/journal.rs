@@ -31,14 +31,11 @@ use pacer_collections::JsonValue;
 use pacer_governor::{BudgetKind, GovernorSummary};
 
 /// FNV-1a 64-bit hash of `bytes` — the journal's line checksum.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+///
+/// Re-exported from `pacer-collections`, where it is shared with the
+/// binary trace format (TRACE_FORMAT.md) so both framed formats agree on
+/// the checksum definition.
+pub use pacer_collections::fnv1a64;
 
 /// Frames one JSON payload as a journal line (including the newline).
 ///

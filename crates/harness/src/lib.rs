@@ -60,4 +60,4 @@ pub use resilient::{
     FleetEngineConfig, GovernorReport, QuarantineReport, QuarantinedTrial, ResilientFleet,
     RetryPolicy,
 };
-pub use trials::{num_trials, DetectorKind, RaceKey, TrialResult};
+pub use trials::{num_trials, record_trial_trace, DetectorKind, RaceKey, TrialResult};

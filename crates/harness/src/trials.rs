@@ -131,6 +131,29 @@ pub fn run_trial(
     run_trial_with(program, kind, seed, TrialFaults::default())
 }
 
+/// Runs `program` once at sampling rate `rate` and returns the action trace
+/// the VM emitted (including its `sbegin`/`send` markers), with no race
+/// detector attached.
+///
+/// This is the capture half of the record/replay split: the trace can be
+/// saved with [`Trace::save_binary`](pacer_trace::Trace::save_binary) (or as
+/// text) and re-analysed offline by any detector, which must produce the
+/// same report as an online run with the same seed and rate.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s from the execution.
+pub fn record_trial_trace(
+    program: &CompiledProgram,
+    rate: f64,
+    seed: u64,
+) -> Result<pacer_trace::Trace, VmError> {
+    let cfg = VmConfig::new(seed).with_sampling_rate(rate);
+    let mut rec = pacer_trace::RecordingDetector::new();
+    Vm::run(program, &mut rec, &cfg)?;
+    Ok(rec.into_trace())
+}
+
 /// Applies an optional governor configuration to a [`VmConfig`].
 pub(crate) fn governed_cfg(cfg: VmConfig, governor: Option<&GovernorConfig>) -> VmConfig {
     match governor {

@@ -255,36 +255,102 @@ impl GenConfig {
 ///
 /// Panics unless `0 ≤ rate ≤ 1` and `avg_period ≥ 1`.
 pub fn insert_sampling_periods(trace: &Trace, rate: f64, avg_period: usize, seed: u64) -> Trace {
-    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-    assert!(avg_period >= 1, "avg_period must be at least 1");
-    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Trace::new();
-    let mut sampling = false;
-    let p_off = 1.0 / avg_period as f64;
-    let p_on = if rate >= 1.0 {
-        1.0
-    } else {
-        (p_off * rate / (1.0 - rate)).min(1.0)
-    };
-    for action in trace {
-        if action.is_sampling_marker() {
-            continue; // re-sample from scratch
-        }
-        if sampling {
-            if rng.gen_bool(p_off) && rate < 1.0 {
-                out.push(Action::SampleEnd);
-                sampling = false;
-            }
-        } else if rng.gen_bool(p_on) {
-            out.push(Action::SampleBegin);
-            sampling = true;
-        }
-        out.push(*action);
-    }
-    if sampling {
-        out.push(Action::SampleEnd);
+    for action in ResampleSampling::new(trace.iter().copied(), rate, avg_period, seed) {
+        out.push(action);
     }
     out
+}
+
+/// Streaming form of [`insert_sampling_periods`]: consumes an action stream,
+/// drops any existing `sbegin`/`send` markers, and overlays fresh random
+/// sampling periods on the fly.
+///
+/// Emits at most one extra marker per input action plus a closing `send`, and
+/// buffers at most one action, so it composes with the incremental binary
+/// [`TraceReader`](crate::TraceReader) without materialising the whole trace
+/// (`pacer replay --resample` uses exactly that pairing). For equal seeds the
+/// output is action-for-action identical to [`insert_sampling_periods`] on
+/// the materialised trace: both draw exactly one coin flip per non-marker
+/// input action.
+///
+/// # Panics
+///
+/// `new` panics unless `0 ≤ rate ≤ 1` and `avg_period ≥ 1`.
+#[derive(Debug)]
+pub struct ResampleSampling<I> {
+    inner: I,
+    rng: Rng,
+    rate: f64,
+    p_on: f64,
+    p_off: f64,
+    sampling: bool,
+    finished: bool,
+    /// Action held back while its preceding marker is yielded.
+    pending: Option<Action>,
+}
+
+impl<I: Iterator<Item = Action>> ResampleSampling<I> {
+    /// Wraps `inner`, overlaying sampling periods at the given `rate` with
+    /// mean period length `avg_period` actions, seeded by `seed`.
+    pub fn new(inner: I, rate: f64, avg_period: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(avg_period >= 1, "avg_period must be at least 1");
+        let p_off = 1.0 / avg_period as f64;
+        let p_on = if rate >= 1.0 {
+            1.0
+        } else {
+            (p_off * rate / (1.0 - rate)).min(1.0)
+        };
+        ResampleSampling {
+            inner,
+            rng: Rng::seed_from_u64(seed),
+            rate,
+            p_on,
+            p_off,
+            sampling: false,
+            finished: false,
+            pending: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Action>> Iterator for ResampleSampling<I> {
+    type Item = Action;
+
+    fn next(&mut self) -> Option<Action> {
+        if let Some(held) = self.pending.take() {
+            return Some(held);
+        }
+        loop {
+            match self.inner.next() {
+                Some(action) if action.is_sampling_marker() => continue,
+                Some(action) => {
+                    if self.sampling {
+                        if self.rng.gen_bool(self.p_off) && self.rate < 1.0 {
+                            self.sampling = false;
+                            self.pending = Some(action);
+                            return Some(Action::SampleEnd);
+                        }
+                        return Some(action);
+                    }
+                    if self.rng.gen_bool(self.p_on) {
+                        self.sampling = true;
+                        self.pending = Some(action);
+                        return Some(Action::SampleBegin);
+                    }
+                    return Some(action);
+                }
+                None => {
+                    if self.sampling && !self.finished {
+                        self.finished = true;
+                        return Some(Action::SampleEnd);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +455,24 @@ mod tests {
             .filter(|(a, &m)| !a.is_sampling_marker() && !m)
             .count();
         assert_eq!(uncovered, 0);
+    }
+
+    #[test]
+    fn streaming_resampler_matches_materialised_overlay() {
+        let trace = GenConfig::small(7).with_ops_per_thread(500).generate();
+        let pre_sampled = insert_sampling_periods(&trace, 0.25, 20, 1);
+        // Resampling a trace that already carries markers strips them first,
+        // so the streamed output over the marked trace equals the batch
+        // overlay of the unmarked one.
+        let streamed: Vec<Action> =
+            ResampleSampling::new(pre_sampled.iter().copied(), 0.10, 50, 9).collect();
+        let batch = insert_sampling_periods(&trace, 0.10, 50, 9);
+        assert_eq!(streamed, batch.actions());
+        let mut rebuilt = Trace::new();
+        for a in streamed {
+            rebuilt.push(a);
+        }
+        rebuilt.validate().unwrap();
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!   `fork`, `join`, `vol_rd`, `vol_wr`, plus the analysis-only
 //!   `sbegin`/`send` sampling-period markers).
 //! * [`Trace`] — a validated sequence of actions with a small hand-written
-//!   text format for fixtures ([`Trace::parse`], [`Trace::to_text`]).
+//!   text format for fixtures ([`Trace::parse`], [`Trace::to_text`]) and a
+//!   compact checksummed binary format for captured workloads ([`binary`],
+//!   spec in `TRACE_FORMAT.md`).
 //! * [`Detector`] — the interface every race detector in the suite
 //!   implements (GENERIC, FASTTRACK, PACER, LITERACE), producing
 //!   [`RaceReport`]s.
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod binary;
 mod detector;
 pub mod gen;
 mod hb;
@@ -54,9 +57,10 @@ mod text;
 mod trace;
 
 pub use action::{AccessKind, Action};
+pub use binary::{BinaryTraceError, StreamRecorder, TraceReader, TraceWriter};
 pub use detector::{Access, Detector, RaceReport, RecordingDetector};
 pub use hb::{HbOracle, RacePair};
 pub use ids::{LockId, SiteId, VarId, VolatileId};
 pub use stats::ActionStats;
 pub use text::ParseTraceError;
-pub use trace::{Trace, ValidateTraceError};
+pub use trace::{Trace, TraceValidator, ValidateTraceError};

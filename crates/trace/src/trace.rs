@@ -145,6 +145,65 @@ impl Trace {
         Trace::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
+    /// Encodes the trace in the binary `.ptrace` format (TRACE_FORMAT.md).
+    pub fn to_binary(&self) -> Vec<u8> {
+        crate::binary::encode_trace(self)
+    }
+
+    /// Strictly decodes a trace from the binary `.ptrace` format.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BinaryTraceError`](crate::BinaryTraceError); a truncated tail
+    /// is an error here (use [`TraceReader`](crate::TraceReader) to
+    /// tolerate crash-truncated streams).
+    pub fn from_binary(bytes: &[u8]) -> Result<Trace, crate::BinaryTraceError> {
+        crate::binary::decode_trace(bytes)
+    }
+
+    /// Writes the trace to a file in the binary `.ptrace` format,
+    /// atomically (write-temp-then-rename), like [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn save_binary(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        pacer_collections::atomic_write(path, self.to_binary())
+    }
+
+    /// Reads a trace from a file in the binary `.ptrace` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `InvalidData` error wrapping the
+    /// [`BinaryTraceError`](crate::BinaryTraceError) on damaged content
+    /// (including a truncated tail), or the underlying I/O error.
+    pub fn load_binary(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
+        let bytes = std::fs::read(path)?;
+        Trace::from_binary(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads a trace from a file in either format, auto-detected by
+    /// content: files beginning with the `PTRC` magic are decoded as
+    /// binary, everything else is parsed as text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trace::load`] / [`Trace::load_binary`] for the detected
+    /// format.
+    pub fn load_any(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
+        let bytes = std::fs::read(path)?;
+        if crate::binary::is_binary_trace(&bytes) {
+            return Trace::from_binary(&bytes)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+        let text = String::from_utf8(bytes).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("not UTF-8: {e}"))
+        })?;
+        Trace::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
     /// Checks the §A well-formedness conditions:
     ///
     /// * a lock is never acquired while another thread holds it, and never
@@ -160,78 +219,9 @@ impl Trace {
     ///
     /// Returns the first violated condition with its action index.
     pub fn validate(&self) -> Result<(), ValidateTraceError> {
-        use ValidateTraceError as E;
-
-        let n = self.thread_count();
-        let mut lock_holder: std::collections::HashMap<crate::LockId, ThreadId> =
-            std::collections::HashMap::new();
-        let mut forked: HashSet<ThreadId> = HashSet::new();
-        let mut started: HashSet<ThreadId> = HashSet::new();
-        let mut joined: HashSet<ThreadId> = HashSet::new();
-        let mut sampling = false;
-        if n > 0 {
-            started.insert(ThreadId::new(0));
-        }
-
-        for (i, a) in self.actions.iter().enumerate() {
-            if let Some(t) = a.thread() {
-                if joined.contains(&t) {
-                    return Err(E::ActionAfterJoin { index: i, t });
-                }
-                if !started.contains(&t) {
-                    return Err(E::ActionBeforeFork { index: i, t });
-                }
-            }
-            match *a {
-                Action::Acquire { t, m } => {
-                    if let Some(&holder) = lock_holder.get(&m) {
-                        return Err(E::AcquireHeldLock {
-                            index: i,
-                            t,
-                            m,
-                            holder,
-                        });
-                    }
-                    lock_holder.insert(m, t);
-                }
-                Action::Release { t, m } => {
-                    if lock_holder.get(&m) != Some(&t) {
-                        return Err(E::ReleaseUnheldLock { index: i, t, m });
-                    }
-                    lock_holder.remove(&m);
-                }
-                Action::Fork { t, u } => {
-                    if t == u {
-                        return Err(E::SelfFork { index: i, t });
-                    }
-                    if !forked.insert(u) || u == ThreadId::new(0) {
-                        return Err(E::DoubleFork { index: i, u });
-                    }
-                    started.insert(u);
-                }
-                Action::Join { t, u } => {
-                    if t == u {
-                        return Err(E::SelfJoin { index: i, t });
-                    }
-                    if !started.contains(&u) {
-                        return Err(E::JoinUnstarted { index: i, u });
-                    }
-                    joined.insert(u);
-                }
-                Action::SampleBegin => {
-                    if sampling {
-                        return Err(E::UnbalancedSampling { index: i });
-                    }
-                    sampling = true;
-                }
-                Action::SampleEnd => {
-                    if !sampling {
-                        return Err(E::UnbalancedSampling { index: i });
-                    }
-                    sampling = false;
-                }
-                _ => {}
-            }
+        let mut validator = TraceValidator::new();
+        for a in &self.actions {
+            validator.check(a)?;
         }
         Ok(())
     }
@@ -280,6 +270,135 @@ impl<'a> IntoIterator for &'a Trace {
 
     fn into_iter(self) -> Self::IntoIter {
         self.actions.iter()
+    }
+}
+
+/// Incremental checker for the §A well-formedness conditions.
+///
+/// [`Trace::validate`] is this validator run over a materialized trace;
+/// streaming consumers (the binary replay path, most importantly) feed it
+/// one action at a time instead, so arbitrarily large `.ptrace` files can
+/// be validated in bounded memory while the detector runs.
+///
+/// After the first error the validator is poisoned: state updates from the
+/// offending action were not applied, so further `check` calls have
+/// unspecified (but panic-free) results. Stop at the first `Err`, as
+/// [`Trace::validate`] does.
+///
+/// # Examples
+///
+/// ```
+/// use pacer_trace::{Action, TraceValidator};
+///
+/// let mut v = TraceValidator::new();
+/// assert!(v.check(&Action::SampleBegin).is_ok());
+/// assert!(v.check(&Action::SampleBegin).is_err()); // already sampling
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceValidator {
+    lock_holder: std::collections::HashMap<crate::LockId, ThreadId>,
+    forked: HashSet<ThreadId>,
+    /// Threads allowed to act: thread 0 (the implicit main thread, seeded
+    /// at construction) plus every fork target seen so far.
+    started: HashSet<ThreadId>,
+    joined: HashSet<ThreadId>,
+    sampling: bool,
+    index: usize,
+}
+
+impl Default for TraceValidator {
+    fn default() -> Self {
+        TraceValidator::new()
+    }
+}
+
+impl TraceValidator {
+    /// Creates a validator in the initial state: no locks held, only
+    /// thread 0 started, not sampling.
+    pub fn new() -> Self {
+        TraceValidator {
+            lock_holder: std::collections::HashMap::new(),
+            forked: HashSet::new(),
+            started: HashSet::from([ThreadId::new(0)]),
+            joined: HashSet::new(),
+            sampling: false,
+            index: 0,
+        }
+    }
+
+    /// Number of actions checked so far (the index reported in errors).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Checks the next action of the trace.
+    ///
+    /// # Errors
+    ///
+    /// The violated condition, carrying the action's index.
+    pub fn check(&mut self, a: &Action) -> Result<(), ValidateTraceError> {
+        use ValidateTraceError as E;
+        let i = self.index;
+        if let Some(t) = a.thread() {
+            if self.joined.contains(&t) {
+                return Err(E::ActionAfterJoin { index: i, t });
+            }
+            if !self.started.contains(&t) {
+                return Err(E::ActionBeforeFork { index: i, t });
+            }
+        }
+        match *a {
+            Action::Acquire { t, m } => {
+                if let Some(&holder) = self.lock_holder.get(&m) {
+                    return Err(E::AcquireHeldLock {
+                        index: i,
+                        t,
+                        m,
+                        holder,
+                    });
+                }
+                self.lock_holder.insert(m, t);
+            }
+            Action::Release { t, m } => {
+                if self.lock_holder.get(&m) != Some(&t) {
+                    return Err(E::ReleaseUnheldLock { index: i, t, m });
+                }
+                self.lock_holder.remove(&m);
+            }
+            Action::Fork { t, u } => {
+                if t == u {
+                    return Err(E::SelfFork { index: i, t });
+                }
+                if !self.forked.insert(u) || u == ThreadId::new(0) {
+                    return Err(E::DoubleFork { index: i, u });
+                }
+                self.started.insert(u);
+            }
+            Action::Join { t, u } => {
+                if t == u {
+                    return Err(E::SelfJoin { index: i, t });
+                }
+                if !self.started.contains(&u) {
+                    return Err(E::JoinUnstarted { index: i, u });
+                }
+                self.joined.insert(u);
+            }
+            Action::SampleBegin => {
+                if self.sampling {
+                    return Err(E::UnbalancedSampling { index: i });
+                }
+                self.sampling = true;
+            }
+            Action::SampleEnd => {
+                if !self.sampling {
+                    return Err(E::UnbalancedSampling { index: i });
+                }
+                self.sampling = false;
+            }
+            _ => {}
+        }
+        self.index += 1;
+        Ok(())
     }
 }
 

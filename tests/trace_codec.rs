@@ -1,0 +1,118 @@
+//! Round-trip properties of the binary trace codec (`TRACE_FORMAT.md`)
+//! over realistic inputs: the committed fuzz corpus and freshly generated
+//! random traces.
+//!
+//! Three invariants hold for every trace:
+//!
+//! * **binary → binary byte-identity** — decoding and re-encoding
+//!   reproduces the exact bytes (framing is deterministic);
+//! * **text → binary → text identity** — the two encodings carry the same
+//!   events, so converting through either direction is lossless; and
+//! * **detector-report equality** — any detector produces the same race
+//!   report from a decoded trace as from the original.
+
+use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_fuzz::corpus;
+use pacer_trace::binary::{decode_trace, encode_trace};
+use pacer_trace::gen::{insert_sampling_periods, GenConfig};
+use pacer_trace::{Detector, Trace};
+
+/// Truth traces recorded from every compiling corpus entry, plus a spread
+/// of generated traces with sampling periods overlaid.
+fn sample_traces() -> Vec<(String, Trace)> {
+    let mut out = Vec::new();
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pacer"))
+        .collect();
+    names.sort();
+    for path in names {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (seed, program) = corpus::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let Ok(compiled) = pacer_lang::compile(&program) else {
+            continue;
+        };
+        let Ok(trace) = pacer_harness::record_trial_trace(&compiled, 1.0, seed) else {
+            continue;
+        };
+        out.push((name, trace));
+    }
+    assert!(
+        out.len() >= 5,
+        "expected several corpus truth traces, got {}",
+        out.len()
+    );
+    for seed in 0..8 {
+        let trace = GenConfig::small(seed).with_lock_discipline(0.6).generate();
+        let sampled = insert_sampling_periods(&trace, 0.3, 25, seed);
+        out.push((format!("gen-{seed}"), sampled));
+    }
+    out
+}
+
+#[test]
+fn binary_round_trip_is_byte_identical() {
+    for (name, trace) in sample_traces() {
+        let bytes = encode_trace(&trace);
+        let decoded = decode_trace(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(decoded.actions(), trace.actions(), "{name}: events differ");
+        assert_eq!(encode_trace(&decoded), bytes, "{name}: re-encode differs");
+    }
+}
+
+#[test]
+fn text_to_binary_to_text_is_lossless() {
+    for (name, trace) in sample_traces() {
+        let text = trace.to_text();
+        let reparsed = Trace::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            encode_trace(&reparsed),
+            encode_trace(&trace),
+            "{name}: text round trip changed the binary encoding"
+        );
+        let decoded = decode_trace(&encode_trace(&trace)).unwrap();
+        assert_eq!(
+            decoded.to_text(),
+            text,
+            "{name}: binary round trip changed the text"
+        );
+    }
+}
+
+#[test]
+fn detectors_report_identically_on_both_encodings() {
+    for (name, trace) in sample_traces() {
+        let decoded = decode_trace(&encode_trace(&trace)).unwrap();
+        let mut ft_a = FastTrackDetector::new();
+        let mut ft_b = FastTrackDetector::new();
+        ft_a.run(&trace);
+        ft_b.run(&decoded);
+        assert_eq!(
+            ft_a.races(),
+            ft_b.races(),
+            "{name}: FASTTRACK reports differ"
+        );
+        let mut g_a = GenericDetector::new();
+        let mut g_b = GenericDetector::new();
+        g_a.run(&trace);
+        g_b.run(&decoded);
+        assert_eq!(g_a.races(), g_b.races(), "{name}: GENERIC reports differ");
+    }
+}
+
+#[test]
+fn binary_encoding_is_substantially_smaller_than_text() {
+    let mut text_bytes = 0usize;
+    let mut bin_bytes = 0usize;
+    for (_, trace) in sample_traces() {
+        text_bytes += trace.to_text().len();
+        bin_bytes += encode_trace(&trace).len();
+    }
+    assert!(
+        bin_bytes * 3 <= text_bytes,
+        "binary should be at least 3x smaller: {bin_bytes} vs {text_bytes}"
+    );
+}
