@@ -110,6 +110,53 @@ echo "$REPLAY_BIN" | grep -q "distinct:" || {
     exit 1
 }
 
+# Streaming-service smoke (SERVICE.md): start the daemon, feed two
+# recorded traces over the unix socket, and each reply must be
+# byte-identical to `pacer replay` of the same file; then the framed
+# input mode must print the same merged transcript at --shards 1 and 4.
+echo "== pacer serve smoke"
+./target/release/pacer record "$RESDIR/racy.pl" --rate 0.5 --seed 9 \
+    --out "$RESDIR/second.ptrace" > /dev/null
+./target/release/pacer serve --socket "$RESDIR/pacer.sock" --max-sessions 2 \
+    --detector fasttrack --shards 2 > "$RESDIR/serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$RESDIR/pacer.sock" ] && break
+    sleep 0.05
+done
+for trace in racy second; do
+    ./target/release/pacer serve --send "$RESDIR/$trace.ptrace" \
+        --socket "$RESDIR/pacer.sock" > "$RESDIR/$trace.reply"
+    ./target/release/pacer replay "$RESDIR/$trace.ptrace" \
+        --detector fasttrack > "$RESDIR/$trace.replay"
+    cmp -s "$RESDIR/$trace.reply" "$RESDIR/$trace.replay" || {
+        echo "serve reply for $trace differs from pacer replay" >&2
+        exit 1
+    }
+done
+wait "$SERVE_PID" || {
+    echo "serve daemon exited nonzero" >&2
+    exit 1
+}
+grep -q "served 2 session(s)" "$RESDIR/serve.out" || {
+    echo "serve daemon transcript is missing the session summary" >&2
+    exit 1
+}
+{
+    printf 'SESSION one %s\n' "$(wc -c < "$RESDIR/racy.ptrace")"
+    cat "$RESDIR/racy.ptrace"
+    printf 'SESSION two %s\n' "$(wc -c < "$RESDIR/second.ptrace")"
+    cat "$RESDIR/second.ptrace"
+} > "$RESDIR/sessions.frames"
+./target/release/pacer serve --stdin "$RESDIR/sessions.frames" --shards 1 \
+    > "$RESDIR/serve1.out"
+./target/release/pacer serve --stdin "$RESDIR/sessions.frames" --shards 4 \
+    > "$RESDIR/serve4.out"
+cmp -s "$RESDIR/serve1.out" "$RESDIR/serve4.out" || {
+    echo "serve transcript differs between --shards 1 and --shards 4" >&2
+    exit 1
+}
+
 # Checkpoint/resume byte-identity (RESILIENCE.md): chop the journal
 # mid-entry — as a kill -9 during an append would — and the resumed
 # run's artifacts must be byte-identical to an uninterrupted run's.

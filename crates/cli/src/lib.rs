@@ -48,6 +48,21 @@
 //!     with cooperative cancellation only at the floor. Exit code 0 is
 //!     a clean campaign (including rate-degraded trials), 2 is
 //!     completed-with-quarantines-or-cancellations, 1 a hard error.
+//! pacer serve [--socket PATH | --stdin FILE|-] [--shards N] ...
+//!     Long-running streaming detection service: many concurrent trace
+//!     sessions (unix-socket connections or length-framed input), each
+//!     speaking the `.ptrace` stream format, demultiplexed onto a fleet
+//!     of per-variable shard workers. Each session's reply is
+//!     byte-identical to `pacer replay` of the same bytes; the merged
+//!     transcript is byte-identical at any --shards count or arrival
+//!     interleaving. --checkpoint/--resume journal completed sessions
+//!     (a killed-and-resumed service reproduces the uninterrupted
+//!     transcript); --mem-budget arms governor-driven admission
+//!     shedding (new sessions sample at reduced rates under pressure —
+//!     work is shed, never connections). `--send TRACE --socket PATH`
+//!     is the client: it prints the daemon's reply verbatim. Protocol
+//!     and routing rules in SERVICE.md. Exit 2 if any session was
+//!     rejected.
 //! pacer stats <file> [--rate R] [--seed N] [--detector D]
 //!     Run once under the observability layer and print the Table 3-style
 //!     operation breakdown, space accounting, and escape-analysis
@@ -76,7 +91,7 @@ use pacer_faults::{FaultPlan, INJECTED_PREFIX};
 use pacer_lang::ir::CompiledProgram;
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
 use pacer_runtime::{InstrumentMode, NullDetector, RunOutcome, Vm, VmConfig};
-use pacer_trace::{Detector, RaceReport, RecordingDetector, Trace};
+use pacer_trace::{Detector, RaceReport, RecordingDetector};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -159,6 +174,12 @@ struct Options {
     trace_dir: Option<String>,
     resample: Option<f64>,
     resample_period: usize,
+    socket: Option<String>,
+    send: Option<String>,
+    session: Option<String>,
+    stdin_frames: Option<String>,
+    shards: usize,
+    max_sessions: Option<u64>,
 }
 
 impl Default for Options {
@@ -188,6 +209,12 @@ impl Default for Options {
             trace_dir: None,
             resample: None,
             resample_period: 50,
+            socket: None,
+            send: None,
+            session: None,
+            stdin_frames: None,
+            shards: 4,
+            max_sessions: None,
         }
     }
 }
@@ -218,6 +245,16 @@ commands:
                  [--mem-budget BYTES] [--deadline-events N]
                  [--rate-ladder-governor R,R,...]
                  [--record-traces DIR [--format binary|text]]
+  serve          long-running detection service over the .ptrace stream
+                 format (protocol in SERVICE.md); sessions demultiplex
+                 onto shard workers and the merged transcript is
+                 byte-identical at any shard count or interleaving
+                 [--socket PATH [--max-sessions N]]  (unix-socket daemon)
+                 [--stdin FILE|-]                    (length-framed input)
+                 [--send TRACE --socket PATH [--session NAME]]  (client)
+                 [--shards N] [--detector D] [--seed N]
+                 [--checkpoint JOURNAL] [--resume JOURNAL]
+                 [--mem-budget BYTES] [--metrics-out PATH]
   stats <file>   run once under the observability layer; print the
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
@@ -280,6 +317,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
         "fold" => cmd_fmt(&args[1..], true).map(CmdOutput::from),
         "lint" => cmd_lint(&args[1..]).map(CmdOutput::from),
         "fleet" => cmd_fleet(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "stats" => cmd_stats(&args[1..]).map(CmdOutput::from),
         "fuzz" => cmd_fuzz(&args[1..]).map(CmdOutput::from),
         "--help" | "-h" | "help" => Ok(CmdOutput::from(USAGE.to_string())),
@@ -506,6 +544,55 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                     args.get(i)
                         .cloned()
                         .ok_or_else(|| err("--resume requires a path"))?,
+                );
+            }
+            "--socket" => {
+                i += 1;
+                opts.socket = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--socket requires a path"))?,
+                );
+            }
+            "--send" => {
+                i += 1;
+                opts.send = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--send requires a trace path"))?,
+                );
+            }
+            "--session" => {
+                i += 1;
+                opts.session = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--session requires a name"))?,
+                );
+            }
+            "--stdin" => {
+                i += 1;
+                opts.stdin_frames = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--stdin requires a file (or `-`)"))?,
+                );
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--shards requires a positive integer"))?;
+            }
+            "--max-sessions" => {
+                i += 1;
+                opts.max_sessions = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| err("--max-sessions requires a positive integer"))?,
                 );
             }
             flag if flag.starts_with("--") => {
@@ -760,38 +847,23 @@ where
     D: pacer_obs::ObservableDetector,
     I: Iterator<Item = pacer_trace::Action>,
 {
-    use pacer_trace::Action;
-
     let registry = if want_metrics {
         pacer_obs::Registry::enabled(pacer_obs::RegistryConfig::default())
     } else {
         pacer_obs::Registry::disabled()
     };
     let mut obs = pacer_obs::Observed::new(det, registry);
-    let mut validator = pacer_trace::TraceValidator::new();
-    let mut stats = pacer_trace::ActionStats::default();
-    let mut max_thread: Option<usize> = None;
-    for action in actions {
-        validator
-            .check(&action)
-            .map_err(|e| err(format!("{file}: invalid trace: {e}")))?;
-        stats.count(&action);
-        let mut see = |idx: usize| {
-            max_thread = Some(max_thread.map_or(idx, |m| m.max(idx)));
-        };
-        if let Some(t) = action.thread() {
-            see(t.index());
-        }
-        match action {
-            Action::Fork { u, .. } | Action::Join { u, .. } => see(u.index()),
-            _ => {}
-        }
+    let mut validated = pacer_trace::ValidatedActions::new(actions);
+    for action in validated.by_ref() {
         obs.on_action(&action);
+    }
+    if let Some(e) = validated.error() {
+        return Err(err(format!("{file}: invalid trace: {e}")));
     }
     let (det, registry) = obs.finish();
     Ok(ReplayOutcome {
-        stats,
-        threads: max_thread.map_or(0, |m| m + 1),
+        stats: *validated.stats(),
+        threads: validated.threads(),
         races: det.races().to_vec(),
         metrics_json: want_metrics.then(|| registry.metrics().to_json()),
     })
@@ -832,63 +904,39 @@ fn replay_detector<I: Iterator<Item = pacer_trace::Action>>(
 }
 
 fn cmd_replay(args: &[String]) -> Result<String, CliError> {
-    use std::io::{Read as _, Seek as _, SeekFrom};
-
     let (file, opts) = parse_options(args)?;
     let mut out = String::new();
 
-    // Sniff the first bytes to pick the decoding path; binary traces then
-    // stream frame by frame from the file, text traces parse in memory.
-    let mut f = std::fs::File::open(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
-    let mut head = [0u8; 4];
-    let mut got = 0;
-    while got < head.len() {
-        let n = f
-            .read(&mut head[got..])
-            .map_err(|e| err(format!("cannot load {file}: {e}")))?;
-        if n == 0 {
-            break;
+    // The shared sniff-and-decode entry point (`pacer serve` ingests
+    // through the same one): binary traces stream frame by frame, text
+    // traces parse in memory.
+    let f = std::fs::File::open(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
+    let mut reader = pacer_trace::AnyTraceReader::new(std::io::BufReader::new(f)).map_err(|e| {
+        if e.is_binary() {
+            err(format!("{file}: {e}"))
+        } else {
+            err(format!("cannot load {file}: {e}"))
         }
-        got += n;
-    }
-
-    let mut truncation_note = None;
-    let outcome = if pacer_trace::binary::is_binary_trace(&head[..got]) {
-        f.seek(SeekFrom::Start(0))
-            .map_err(|e| err(format!("cannot load {file}: {e}")))?;
-        let mut reader = pacer_trace::TraceReader::new(std::io::BufReader::new(f))
-            .map_err(|e| err(format!("{file}: {e}")))?;
-        let mut stream_err: Option<pacer_trace::BinaryTraceError> = None;
-        let outcome = {
-            let iter = std::iter::from_fn(|| match reader.next() {
-                Some(Ok(a)) => Some(a),
-                Some(Err(e)) => {
-                    stream_err = Some(e);
-                    None
-                }
-                None => None,
-            });
-            replay_actions(iter, &opts, &file)?
-        };
-        // A complete frame that fails its checksum (or any other mid-stream
-        // corruption) is a hard error; a trace cut mid-frame is the
-        // documented clean partial stop (TRACE_FORMAT.md).
-        if let Some(e) = stream_err {
-            return Err(err(format!("{file}: {e}")));
-        }
-        if reader.truncated() {
-            truncation_note = Some(format!(
-                "note: trace ends mid-frame; analyzed the {} complete frame(s) ({} events)",
-                reader.frames(),
-                reader.events()
-            ));
-        }
-        outcome
-    } else {
-        drop(f);
-        let trace = Trace::load(&file).map_err(|e| err(format!("cannot load {file}: {e}")))?;
-        replay_actions(trace.iter().copied(), &opts, &file)?
+    })?;
+    let mut stream_err: Option<pacer_trace::TraceStreamError> = None;
+    let outcome = {
+        let iter = std::iter::from_fn(|| match reader.next() {
+            Some(Ok(a)) => Some(a),
+            Some(Err(e)) => {
+                stream_err = Some(e);
+                None
+            }
+            None => None,
+        });
+        replay_actions(iter, &opts, &file)?
     };
+    // A complete frame that fails its checksum (or any other mid-stream
+    // corruption) is a hard error; a trace cut mid-frame is the
+    // documented clean partial stop (TRACE_FORMAT.md).
+    if let Some(e) = stream_err {
+        return Err(err(format!("{file}: {e}")));
+    }
+    let truncation_note = reader.truncation_note();
 
     let _ = writeln!(
         out,
@@ -916,6 +964,195 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         write_artifact(&mut out, path, &json, "metrics")?;
     }
     Ok(out)
+}
+
+/// Builds the service configuration shared by every `serve` mode.
+///
+/// `--resume JOURNAL` restores completed sessions from the journal and
+/// keeps checkpointing to it (same contract as `fleet`); `--checkpoint`
+/// alone starts a fresh journal.
+fn serve_config(opts: &Options) -> Result<pacer_harness::ServeConfig, CliError> {
+    let detector = pacer_harness::ServeDetectorKind::parse(&opts.detector).map_err(err)?;
+    let mut cfg = pacer_harness::ServeConfig::new(detector);
+    cfg.shards = opts.shards;
+    cfg.seed = opts.seed;
+    cfg.resample_period = opts.resample_period;
+    cfg.mem_budget = opts.mem_budget;
+    cfg.resume = opts.resume.is_some();
+    cfg.checkpoint = opts
+        .resume
+        .as_ref()
+        .or(opts.checkpoint.as_ref())
+        .map(std::path::PathBuf::from);
+    Ok(cfg)
+}
+
+/// The session header line both serve transports speak (SERVICE.md):
+/// `SESSION <name>` over a socket (body follows until half-close),
+/// `SESSION <name> <len>` in framed mode (body is exactly `len` bytes).
+fn parse_session_header(line: &str) -> Option<(String, Option<u64>)> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("SESSION") {
+        return None;
+    }
+    let name = parts.next()?.to_string();
+    match parts.next() {
+        None => Some((name, None)),
+        Some(len) => {
+            let len = len.parse().ok()?;
+            parts.next().is_none().then_some((name, Some(len)))
+        }
+    }
+}
+
+/// Serves one accepted unix-socket connection: header line, trace bytes
+/// until half-close (or `len` bytes), then the report body as the reply.
+fn serve_connection(
+    handle: &pacer_harness::ServiceHandle<'_>,
+    conn: std::os::unix::net::UnixStream,
+) {
+    use std::io::{BufRead as _, Read as _, Write as _};
+
+    let Ok(mut writer) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(conn);
+    let mut header = String::new();
+    if reader.read_line(&mut header).is_err() {
+        return;
+    }
+    let Some((name, len)) = parse_session_header(&header) else {
+        let _ = writer
+            .write_all(b"error: malformed session header (expected `SESSION <name> [<len>]`)\n");
+        return;
+    };
+    let report = match len {
+        Some(len) => handle.serve(&name, reader.take(len)),
+        None => handle.serve(&name, reader),
+    };
+    // The client may already be gone; its session is merged either way.
+    let _ = writer.write_all(report.body.as_bytes());
+}
+
+/// Serves length-framed sessions from one sequential byte stream.
+fn serve_frames(
+    handle: &pacer_harness::ServiceHandle<'_>,
+    mut input: impl std::io::BufRead,
+) -> Result<(), pacer_harness::ServeError> {
+    loop {
+        let mut header = String::new();
+        if input.read_line(&mut header)? == 0 {
+            return Ok(());
+        }
+        if header.trim().is_empty() {
+            continue;
+        }
+        let Some((name, Some(len))) = parse_session_header(&header) else {
+            // Without a byte count there is no way to find the next
+            // frame, so framed input cannot resync past a bad header.
+            return Err(pacer_harness::ServeError::Config(format!(
+                "malformed session frame (expected `SESSION <name> <len>`): {}",
+                header.trim_end()
+            )));
+        };
+        let mut body = vec![0u8; len as usize];
+        input.read_exact(&mut body)?;
+        handle.serve(&name, &body[..]);
+    }
+}
+
+/// `pacer serve --send`: stream one recorded trace to a running daemon
+/// and print its reply verbatim (so it diffs cleanly against `pacer
+/// replay` of the same file).
+fn serve_send(opts: &Options) -> Result<CmdOutput, CliError> {
+    use std::io::{Read as _, Write as _};
+
+    let trace = opts.send.as_deref().expect("checked by caller");
+    let socket = opts
+        .socket
+        .as_deref()
+        .ok_or_else(|| err("--send requires --socket PATH"))?;
+    let name = opts.session.clone().unwrap_or_else(|| {
+        Path::new(trace)
+            .file_stem()
+            .map_or_else(|| trace.to_string(), |s| s.to_string_lossy().into_owned())
+    });
+    let bytes = std::fs::read(trace).map_err(|e| err(format!("cannot load {trace}: {e}")))?;
+    let mut conn = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| err(format!("cannot connect to {socket}: {e}")))?;
+    conn.write_all(format!("SESSION {name}\n").as_bytes())
+        .and_then(|()| conn.write_all(&bytes))
+        .and_then(|()| conn.shutdown(std::net::Shutdown::Write))
+        .map_err(|e| err(format!("cannot send to {socket}: {e}")))?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)
+        .map_err(|e| err(format!("cannot read reply from {socket}: {e}")))?;
+    let code = if reply.starts_with("error: ") { 2 } else { 0 };
+    Ok(CmdOutput { text: reply, code })
+}
+
+fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
+    let (file, opts) = parse_flags(args)?;
+    if let Some(extra) = file {
+        return Err(err(format!(
+            "serve takes no positional argument (got `{extra}`); traces arrive over --socket or --stdin"
+        )));
+    }
+    if opts.send.is_some() {
+        return serve_send(&opts);
+    }
+    let cfg = serve_config(&opts)?;
+
+    let result = match (&opts.socket, &opts.stdin_frames) {
+        (Some(_), Some(_)) => {
+            return Err(err("--socket and --stdin are mutually exclusive"));
+        }
+        (None, None) => {
+            return Err(err(
+                "serve needs a transport: --socket PATH (daemon) or --stdin FILE|- (framed)",
+            ));
+        }
+        (Some(socket), None) => {
+            // Daemon mode: one handler thread per accepted connection;
+            // --max-sessions bounds the accept loop so scripted runs
+            // (CI) terminate and print the merged transcript.
+            let _ = std::fs::remove_file(socket);
+            let listener = std::os::unix::net::UnixListener::bind(socket)
+                .map_err(|e| err(format!("cannot bind {socket}: {e}")))?;
+            let result = pacer_harness::run_service(&cfg, |handle| {
+                std::thread::scope(|scope| {
+                    let mut accepted = 0u64;
+                    while opts.max_sessions.is_none_or(|max| accepted < max) {
+                        let (conn, _) = listener.accept()?;
+                        accepted += 1;
+                        scope.spawn(move || serve_connection(handle, conn));
+                    }
+                    Ok(())
+                })
+            });
+            let _ = std::fs::remove_file(socket);
+            result
+        }
+        (None, Some(frames)) => pacer_harness::run_service(&cfg, |handle| {
+            if frames == "-" {
+                serve_frames(handle, std::io::stdin().lock())
+            } else {
+                let f = std::fs::File::open(frames).map_err(|e| {
+                    pacer_harness::ServeError::Config(format!("cannot open {frames}: {e}"))
+                })?;
+                serve_frames(handle, std::io::BufReader::new(f))
+            }
+        }),
+    };
+    let (output, ()) = result.map_err(|e| err(format!("serve: {e}")))?;
+
+    let mut out = output.transcript.clone();
+    if let Some(path) = &opts.metrics_out {
+        let json = pacer_obs::serve_metrics_json(&output.shard_counters);
+        write_artifact(&mut out, path, &json, "serve metrics")?;
+    }
+    let code = if output.any_errors() { 2 } else { 0 };
+    Ok(CmdOutput { text: out, code })
 }
 
 fn cmd_check(args: &[String]) -> Result<String, CliError> {

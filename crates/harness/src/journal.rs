@@ -244,7 +244,9 @@ fn field_opt_str(out: &mut String, key: &str, value: Option<&str>) {
     }
 }
 
-fn escape_into(out: &mut String, s: &str) {
+/// Appends `s` as a JSON string literal (quotes included). Shared with
+/// the service journal's per-session entries.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

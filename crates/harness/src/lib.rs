@@ -35,6 +35,14 @@
 //!   quarantine report (see `RESILIENCE.md`);
 //! * [`journal`] — the append-only, checksummed checkpoint journal
 //!   backing that resume path;
+//! * [`shard`] — the shard unit both engines are built from: a worker
+//!   thread owning detector state behind a bounded inbox, with balanced
+//!   and broadcast feeds;
+//! * [`service`] — the streaming detection service behind `pacer serve`:
+//!   many concurrent `.ptrace` sessions demultiplexed onto a shard fleet
+//!   by variable id, with deterministic merged transcripts, journal
+//!   checkpoint/resume, and governor-driven admission shedding (see
+//!   `SERVICE.md`);
 //! * [`render`] — plain-text tables and data series for every table and
 //!   figure.
 
@@ -51,6 +59,8 @@ pub mod overhead;
 pub mod parallel;
 pub mod render;
 pub mod resilient;
+pub mod service;
+pub mod shard;
 pub mod space;
 pub mod trials;
 
@@ -59,5 +69,9 @@ pub use resilient::{
     artifact_io_backoff, retry_artifact_io, run_resilient_fleet, DegradedTrial, EngineError,
     FleetEngineConfig, GovernorReport, QuarantineReport, QuarantinedTrial, ResilientFleet,
     RetryPolicy,
+};
+pub use service::{
+    run_service, serve_sessions, ServeConfig, ServeDetectorKind, ServeError, ServeOutput,
+    ServiceHandle, SessionReport,
 };
 pub use trials::{num_trials, record_trial_trace, DetectorKind, RaceKey, TrialResult};

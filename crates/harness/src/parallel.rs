@@ -3,15 +3,18 @@
 //! Every multi-trial experiment in this crate is embarrassingly parallel:
 //! trial `i` is fully determined by `(program, detector, seed_i)`, and the
 //! per-trial seeds are pure functions of the trial index. This module fans
-//! those trials out over a scoped worker pool (`std::thread::scope`, no
-//! external dependencies) while keeping the *merged* output bit-identical
+//! those trials out over a pool of [`shard`] workers —
+//! bounded-inbox shards on scoped threads, the same unit the streaming
+//! service is built from — while keeping the *merged* output bit-identical
 //! to a sequential run:
 //!
-//! * workers claim trial indices from a shared atomic counter, so there is
-//!   no static partitioning skew;
-//! * each result is stored in its index's slot, and the caller folds the
-//!   slots **in index order** — aggregation order never depends on thread
-//!   scheduling;
+//! * trial indices are fed through single-slot inboxes with balanced
+//!   overflow ([`Inboxes::send_balanced`](crate::shard::Inboxes)): a shard
+//!   busy with a slow trial diverts the next index to an idle one, so
+//!   there is no static partitioning skew;
+//! * each shard returns its `(index, result)` pairs when its inbox
+//!   closes, and the merge writes them into index-order slots — the
+//!   folded aggregation never depends on thread scheduling;
 //! * errors are reported for the lowest failing index, matching what a
 //!   sequential loop would have returned first.
 //!
@@ -32,7 +35,8 @@
 //! governed campaigns stay byte-identical at any `--jobs N`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::shard;
 
 /// Process-wide worker count for [`run_indexed`]. 0 is treated as 1.
 static JOBS: AtomicUsize = AtomicUsize::new(1);
@@ -67,36 +71,36 @@ where
         return (0..count).map(f).collect();
     }
 
-    let next = AtomicUsize::new(0);
+    let f = &f;
+    // Single-slot inboxes: a shard that is still chewing on a slow trial
+    // has a full inbox, so the balanced feed diverts the next index to an
+    // idle shard — the dynamic load balancing an atomic claim counter
+    // used to provide, now expressed through the shard unit itself.
+    let (per_shard, ()) = shard::run_sharded(
+        workers,
+        1,
+        |_, inbox: std::sync::mpsc::Receiver<usize>| {
+            let mut done: Vec<(usize, T)> = Vec::new();
+            for i in inbox {
+                done.push((i, f(i)));
+            }
+            done
+        },
+        |inboxes| {
+            for i in 0..count {
+                inboxes.send_balanced(i % workers, i);
+            }
+        },
+    );
+
     let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
     slots.resize_with(count, || None);
-    let slots = Mutex::new(slots);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                // The lock only guards a slot assignment, which cannot
-                // panic, so poisoning is recoverable by construction:
-                // the data is always consistent.
-                slots
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())[i] = Some(value);
-            });
-        }
-    });
-
+    for (i, value) in per_shard.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
     slots
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
-        // Unreachable when a worker dies early: a panic in `f` propagates
-        // out of `thread::scope` above before the slots are read.
-        .map(|slot| slot.expect("worker filled every slot"))
+        .map(|slot| slot.expect("every index is fed to exactly one shard"))
         .collect()
 }
 
@@ -122,6 +126,8 @@ where
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Mutex;
+
     use super::*;
 
     /// `set_jobs` writes a process-wide global shared across the test

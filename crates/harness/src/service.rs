@@ -1,0 +1,1058 @@
+//! The streaming detection service engine behind `pacer serve`.
+//!
+//! Batch entry points replay one trace into one detector. The service
+//! accepts many concurrent *sessions* — each an independent `.ptrace`
+//! stream (TRACE_FORMAT.md) — and runs the detection itself on a pool of
+//! [`shard`] workers, so ingest parallelism and detection
+//! parallelism scale independently of the number of connections.
+//!
+//! # Sharding and why it is exact
+//!
+//! Events are demultiplexed per the happens-before rules:
+//!
+//! * **accesses** (`rd`/`wr`) are routed to shard `x mod N` by variable
+//!   id — per-variable metadata lives in exactly one shard;
+//! * **sync events** (`acq`/`rel`/`fork`/`join`/`vrd`/`vwr`) and the
+//!   **sampling markers** are broadcast to every shard.
+//!
+//! In every vector-clock detector here, an access only *reads* the
+//! thread's clock and mutates that variable's metadata, while sync events
+//! and markers only mutate thread/lock/volatile clocks and the sampling
+//! state. Broadcasting the latter gives every shard an identical copy of
+//! that shared state, so each access is checked against exactly the
+//! state a single unsharded detector would have used: the union of the
+//! shards' race reports *is* the unsharded report, at any `N`.
+//!
+//! LITERACE is the exception — its bursty sampler keys on per-(site ×
+//! thread) access counts, which splitting accesses would skew — so
+//! LITERACE sessions are routed whole to one shard (session-sharding:
+//! still N-way parallel across sessions, never split within one).
+//!
+//! # Determinism
+//!
+//! Per-session reports depend only on the session's bytes and the
+//! service configuration. The merged transcript orders sessions by name
+//! and sums counts, so it is byte-identical regardless of shard count,
+//! arrival interleaving, or handler scheduling (`tests/serve.rs` and the
+//! ci.sh gate enforce this against `pacer replay`).
+//!
+//! # Recovery and backpressure
+//!
+//! Completed sessions checkpoint to the PR 4 checksummed journal and are
+//! restored verbatim on `--resume` — a killed-and-resumed service emits
+//! the same merged transcript as an uninterrupted one. Under memory
+//! pressure (`--mem-budget`), the PR 5 governor steps the *admission
+//! sampling rate* down a ladder: new sessions get a fresh sampling-period
+//! overlay at the reduced rate (shedding detection work, never
+//! connections). Full protocol and lifecycle rules live in `SERVICE.md`.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+
+use pacer_collections::JsonValue;
+use pacer_core::PacerDetector;
+use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_governor::{
+    default_ladder, millionths_from_rate, rate_from_millionths, Governor, GovernorConfig,
+    GovernorSummary, DEFAULT_COOLDOWN,
+};
+use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
+use pacer_obs::{ObservableDetector, ServeCounters};
+use pacer_trace::gen::ResampleSampling;
+use pacer_trace::stream::{AnyTraceReader, TraceStreamError, ValidatedActions};
+use pacer_trace::{Action, Detector, SiteId};
+
+use crate::journal::{self, JournalWriter};
+use crate::shard::{self, Inboxes};
+
+/// Bytes per metadata word, matching the space-accounting convention
+/// used by the governor's memory budget everywhere else in the suite.
+const WORD_BYTES: u64 = 8;
+
+/// Detector families the service can run per shard. Mirrors the `pacer
+/// replay` dispatch exactly (including `pacer-accordion` mapping to the
+/// plain PACER engine) so per-session reports stay byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeDetectorKind {
+    /// PACER (also selected by the name `pacer-accordion`).
+    Pacer,
+    /// FASTTRACK, always-on precise detection.
+    FastTrack,
+    /// GENERIC O(n) vector-clock detection.
+    Generic,
+    /// LITERACE bursty sampling (session-sharded, see module docs).
+    LiteRace,
+}
+
+impl ServeDetectorKind {
+    /// Parses the `--detector` names `pacer replay` accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for unknown names.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "pacer" | "pacer-accordion" => Ok(ServeDetectorKind::Pacer),
+            "fasttrack" => Ok(ServeDetectorKind::FastTrack),
+            "generic" => Ok(ServeDetectorKind::Generic),
+            "literace" => Ok(ServeDetectorKind::LiteRace),
+            other => Err(format!("unknown detector `{other}`")),
+        }
+    }
+
+    /// Whether accesses can be split across shards by variable id.
+    fn var_shardable(self) -> bool {
+        !matches!(self, ServeDetectorKind::LiteRace)
+    }
+}
+
+/// One shard's detector instance for one session.
+enum ServeDetector {
+    Pacer(PacerDetector),
+    FastTrack(FastTrackDetector),
+    Generic(GenericDetector),
+    LiteRace(LiteRaceDetector),
+}
+
+impl ServeDetector {
+    fn build(kind: ServeDetectorKind, seed: u64) -> ServeDetector {
+        match kind {
+            ServeDetectorKind::Pacer => ServeDetector::Pacer(PacerDetector::new()),
+            ServeDetectorKind::FastTrack => ServeDetector::FastTrack(FastTrackDetector::new()),
+            ServeDetectorKind::Generic => ServeDetector::Generic(GenericDetector::new()),
+            ServeDetectorKind::LiteRace => {
+                ServeDetector::LiteRace(LiteRaceDetector::new(LiteRaceConfig::default(), seed))
+            }
+        }
+    }
+
+    fn on_action(&mut self, action: &Action) {
+        match self {
+            ServeDetector::Pacer(d) => d.on_action(action),
+            ServeDetector::FastTrack(d) => d.on_action(action),
+            ServeDetector::Generic(d) => d.on_action(action),
+            ServeDetector::LiteRace(d) => d.on_action(action),
+        }
+    }
+
+    fn dynamic_races(&self) -> u64 {
+        let races = match self {
+            ServeDetector::Pacer(d) => d.races(),
+            ServeDetector::FastTrack(d) => d.races(),
+            ServeDetector::Generic(d) => d.races(),
+            ServeDetector::LiteRace(d) => d.races(),
+        };
+        races.len() as u64
+    }
+
+    fn distinct_races(&self) -> Vec<(SiteId, SiteId)> {
+        match self {
+            ServeDetector::Pacer(d) => d.distinct_races(),
+            ServeDetector::FastTrack(d) => d.distinct_races(),
+            ServeDetector::Generic(d) => d.distinct_races(),
+            ServeDetector::LiteRace(d) => d.distinct_races(),
+        }
+    }
+
+    fn footprint_words(&self) -> u64 {
+        match self {
+            ServeDetector::Pacer(d) => d.space_breakdown().total_words(),
+            ServeDetector::FastTrack(d) => d.space_breakdown().total_words(),
+            ServeDetector::Generic(d) => d.space_breakdown().total_words(),
+            ServeDetector::LiteRace(d) => d.space_breakdown().total_words(),
+        }
+    }
+}
+
+/// Service configuration shared by the daemon, the client-driving CLI
+/// mode, and the in-process test transport.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Detector worker count.
+    pub shards: usize,
+    /// Detector family each shard runs.
+    pub detector: ServeDetectorKind,
+    /// Seed for LITERACE sampling and shed-rate resampling overlays
+    /// (same default as `pacer replay --seed`).
+    pub seed: u64,
+    /// Per-shard inbox bound — the backpressure depth.
+    pub capacity: usize,
+    /// Journal path for per-session checkpoints.
+    pub checkpoint: Option<PathBuf>,
+    /// Restore completed sessions from the checkpoint journal.
+    pub resume: bool,
+    /// Memory budget in bytes; arms the admission governor.
+    pub mem_budget: Option<u64>,
+    /// Mean sampling-period length for shed-rate overlays (same default
+    /// as `pacer replay --resample-period`).
+    pub resample_period: usize,
+}
+
+impl ServeConfig {
+    /// Defaults matching the CLI: 4 shards, seed 42, inbox depth 1024,
+    /// no checkpoint, no budget, resample period 50.
+    pub fn new(detector: ServeDetectorKind) -> Self {
+        ServeConfig {
+            shards: 4,
+            detector,
+            seed: 42,
+            capacity: 1024,
+            checkpoint: None,
+            resume: false,
+            mem_budget: None,
+            resample_period: 50,
+        }
+    }
+}
+
+/// A service-level failure (configuration, journal, or transport I/O).
+/// Per-session decode/validation problems are *not* errors at this level:
+/// they become error reports for that session alone.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration.
+    Config(String),
+    /// Checkpoint journal failure.
+    Journal(String),
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "{m}"),
+            ServeError::Journal(m) => write!(f, "journal: {m}"),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// One completed session's outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Client-supplied session name (unique per service run).
+    pub name: String,
+    /// The response body — byte-identical to `pacer replay` of the same
+    /// bytes (plus the resample line when shed), or a single `error:`
+    /// line for rejected sessions.
+    pub body: String,
+    /// Actions analyzed (post-overlay).
+    pub events: u64,
+    /// Dynamic race reports, summed over shards.
+    pub dynamic_races: u64,
+    /// Distinct site pairs after the cross-shard union.
+    pub distinct_races: u64,
+    /// Admission sampling rate in millionths when the governor shed this
+    /// session below full rate.
+    pub shed_millionths: Option<u32>,
+    /// Whether the stream ended mid-frame (partial, per TRACE_FORMAT.md).
+    pub truncated: bool,
+    /// Whether the session was rejected (corrupt frame, invalid trace,
+    /// duplicate name).
+    pub error: bool,
+}
+
+/// Everything a finished service run produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutput {
+    /// Per-session reports, sorted by session name.
+    pub reports: Vec<SessionReport>,
+    /// Per-shard counters in shard-index order.
+    pub shard_counters: Vec<ServeCounters>,
+    /// Governor outcome when a budget was armed.
+    pub governor: Option<GovernorSummary>,
+    /// The deterministic merged transcript (see module docs).
+    pub transcript: String,
+}
+
+impl ServeOutput {
+    /// True when at least one session was rejected.
+    pub fn any_errors(&self) -> bool {
+        self.reports.iter().any(|r| r.error)
+    }
+}
+
+/// Messages a session handler sends to shard workers. Per-channel FIFO
+/// plus one-handler-per-session gives every shard each session's events
+/// in stream order; `Close` doubles as the flush barrier.
+#[derive(Clone)]
+enum ShardMsg {
+    /// One event of `session`, already routed or broadcast.
+    Event { session: u32, action: Action },
+    /// Flush barrier: reply with (and discard) the session's state.
+    Close {
+        session: u32,
+        reply: SyncSender<(usize, ShardReport)>,
+    },
+    /// Reply with the shard's total live metadata footprint, in words.
+    Poll { reply: SyncSender<u64> },
+}
+
+/// One shard's share of a closed session.
+#[derive(Clone, Debug, Default)]
+struct ShardReport {
+    dynamic: u64,
+    distinct: Vec<(SiteId, SiteId)>,
+}
+
+fn shard_worker(
+    kind: ServeDetectorKind,
+    seed: u64,
+    shard: usize,
+    inbox: Receiver<ShardMsg>,
+) -> ServeCounters {
+    let mut sessions: Vec<Option<ServeDetector>> = Vec::new();
+    let mut counters = ServeCounters::default();
+    for msg in inbox {
+        match msg {
+            ShardMsg::Event { session, action } => {
+                let idx = session as usize;
+                if sessions.len() <= idx {
+                    sessions.resize_with(idx + 1, || None);
+                }
+                let det = sessions[idx].get_or_insert_with(|| {
+                    counters.sessions += 1;
+                    ServeDetector::build(kind, seed)
+                });
+                counters.events += 1;
+                if action.is_access() {
+                    counters.accesses += 1;
+                }
+                det.on_action(&action);
+            }
+            ShardMsg::Close { session, reply } => {
+                let report = match sessions.get_mut(session as usize).and_then(Option::take) {
+                    Some(det) => {
+                        let dynamic = det.dynamic_races();
+                        counters.races += dynamic;
+                        ShardReport {
+                            dynamic,
+                            distinct: det.distinct_races(),
+                        }
+                    }
+                    None => ShardReport::default(),
+                };
+                // A handler that gave up waiting cannot happen (replies
+                // are collected unconditionally), but a send to a dropped
+                // reply channel must not take the shard down.
+                let _ = reply.send((shard, report));
+            }
+            ShardMsg::Poll { reply } => {
+                let live = sessions
+                    .iter()
+                    .flatten()
+                    .map(ServeDetector::footprint_words)
+                    .sum();
+                let _ = reply.send(live);
+            }
+        }
+    }
+    counters
+}
+
+/// Shared engine state behind the handle's mutex.
+struct EngineState {
+    /// Completed (or restored) reports, in completion order.
+    completed: Vec<SessionReport>,
+    /// Names seen so far, for duplicate rejection.
+    names: Vec<String>,
+    /// Reports restored from the journal, served without re-ingest.
+    restored: Vec<SessionReport>,
+    /// Open checkpoint journal, if any.
+    journal: Option<JournalWriter>,
+    /// First journal-append failure, surfaced at the end of the run.
+    journal_error: Option<String>,
+    /// Admission governor, when a memory budget is armed.
+    governor: Option<Governor>,
+    /// Sessions admitted so far (the governor's boundary counter).
+    admitted: u64,
+}
+
+/// The live service a transport drives: [`serve`](ServiceHandle::serve)
+/// is safe to call from many threads at once (one call per session).
+pub struct ServiceHandle<'cfg> {
+    cfg: &'cfg ServeConfig,
+    inboxes: Inboxes<ShardMsg>,
+    next_session: AtomicU32,
+    state: Mutex<EngineState>,
+}
+
+impl ServiceHandle<'_> {
+    /// Serves one complete session from `source`, blocking until its
+    /// report is merged; the returned body is what the transport should
+    /// send back to the client.
+    pub fn serve(&self, name: &str, source: impl Read) -> SessionReport {
+        let admission = self.admit(name);
+        let report = match admission {
+            Admission::Restored(report) => return report,
+            Admission::Duplicate => SessionReport {
+                name: name.to_string(),
+                body: "error: duplicate session name\n".to_string(),
+                events: 0,
+                dynamic_races: 0,
+                distinct_races: 0,
+                shed_millionths: None,
+                truncated: false,
+                error: true,
+            },
+            Admission::Admit { session, shed } => self.ingest(name, session, shed, source),
+        };
+        self.complete(report)
+    }
+
+    /// Admission decision for a named session: restored from the
+    /// journal, rejected as a duplicate, or admitted at the governor's
+    /// current rate.
+    fn admit(&self, name: &str) -> Admission {
+        let mut state = lock(&self.state);
+        if let Some(r) = state.restored.iter().position(|r| r.name == name) {
+            let report = state.restored.swap_remove(r);
+            state.names.push(report.name.clone());
+            state.completed.push(report.clone());
+            return Admission::Restored(report);
+        }
+        if state.names.iter().any(|n| n == name) {
+            return Admission::Duplicate;
+        }
+        state.names.push(name.to_string());
+        let shed = self.governor_rate(&mut state);
+        drop(state);
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Admission::Admit { session, shed }
+    }
+
+    /// Polls the shards' live footprint and steps the governor at this
+    /// admission boundary; returns the (sub-full) admission rate.
+    fn governor_rate(&self, state: &mut EngineState) -> Option<u32> {
+        state.admitted += 1;
+        let boundary = state.admitted;
+        let governor = state.governor.as_mut()?;
+        let budget = governor.config().mem_budget_bytes?;
+        let (tx, rx) = sync_channel(self.cfg.shards);
+        self.inboxes.broadcast(ShardMsg::Poll { reply: tx });
+        let live_words: u64 = rx.iter().take(self.cfg.shards).sum();
+        let _ = governor.on_boundary(boundary, Some((live_words * WORD_BYTES, budget)), None);
+        let rate = governor.rate_millionths();
+        (rate < millionths_from_rate(1.0)).then_some(rate)
+    }
+
+    /// Decodes, validates, routes, and flushes one admitted session.
+    fn ingest(
+        &self,
+        name: &str,
+        session: u32,
+        shed: Option<u32>,
+        source: impl Read,
+    ) -> SessionReport {
+        let error_report = |message: String, events: u64| SessionReport {
+            name: name.to_string(),
+            body: format!("error: {message}\n"),
+            events,
+            dynamic_races: 0,
+            distinct_races: 0,
+            shed_millionths: shed,
+            truncated: false,
+            error: true,
+        };
+
+        let mut reader = match AnyTraceReader::new(source) {
+            Ok(reader) => reader,
+            Err(e) => {
+                // Nothing was routed yet, so there is no state to flush.
+                return error_report(e.to_string(), 0);
+            }
+        };
+
+        // Decode errors end the event stream; the captured error wins
+        // over whatever partial analysis preceded it (same precedence as
+        // `pacer replay`).
+        let mut stream_err: Option<TraceStreamError> = None;
+        let (stats, threads, validation_err) = {
+            let events = std::iter::from_fn(|| match reader.next() {
+                Some(Ok(action)) => Some(action),
+                Some(Err(e)) => {
+                    stream_err = Some(e);
+                    None
+                }
+                None => None,
+            });
+            if let Some(millionths) = shed {
+                let overlay = ResampleSampling::new(
+                    events,
+                    rate_from_millionths(millionths),
+                    self.cfg.resample_period,
+                    self.cfg.seed,
+                );
+                let mut validated = ValidatedActions::new(overlay);
+                self.route(session, &mut validated);
+                let err = validated.error().map(ToString::to_string);
+                (*validated.stats(), validated.threads(), err)
+            } else {
+                let mut validated = ValidatedActions::new(events);
+                self.route(session, &mut validated);
+                let err = validated.error().map(ToString::to_string);
+                (*validated.stats(), validated.threads(), err)
+            }
+        };
+        let truncation_note = reader.truncation_note();
+        let truncated = reader.truncated();
+
+        // Always flush: events routed before a failure must be freed.
+        let (dynamic, distinct) = self.flush(session);
+
+        if let Some(e) = validation_err {
+            return error_report(format!("invalid trace: {e}"), stats.total());
+        }
+        if let Some(e) = stream_err {
+            return error_report(e.to_string(), stats.total());
+        }
+
+        // The body reproduces `pacer replay` byte for byte (`--resample`
+        // included, for shed sessions).
+        let mut body = String::new();
+        body.push_str(&format!(
+            "replaying {} actions ({} accesses, {} sync ops, {} threads)\n",
+            stats.total(),
+            stats.accesses(),
+            stats.sync_ops(),
+            threads
+        ));
+        if let Some(note) = truncation_note {
+            body.push_str(&note);
+            body.push('\n');
+        }
+        if let Some(millionths) = shed {
+            body.push_str(&format!(
+                "resampled sampling periods at r = {:.2}%, mean period {}, seed {}\n",
+                rate_from_millionths(millionths) * 100.0,
+                self.cfg.resample_period,
+                self.cfg.seed
+            ));
+        }
+        body.push_str(&format!(
+            "\n{} dynamic race report(s), {} distinct:\n",
+            dynamic,
+            distinct.len()
+        ));
+        for (a, b) in &distinct {
+            body.push_str(&format!("  {a}  <->  {b}\n"));
+        }
+
+        SessionReport {
+            name: name.to_string(),
+            body,
+            events: stats.total(),
+            dynamic_races: dynamic,
+            distinct_races: distinct.len() as u64,
+            shed_millionths: shed,
+            truncated,
+            error: false,
+        }
+    }
+
+    /// Routes one session's events: accesses to their variable's shard,
+    /// everything else broadcast (LITERACE: the whole session to one
+    /// shard). See the module docs for why this is exact.
+    fn route(&self, session: u32, events: &mut impl Iterator<Item = Action>) {
+        let shards = self.cfg.shards;
+        if self.cfg.detector.var_shardable() {
+            for action in events {
+                match action.access() {
+                    Some((x, _, _)) => self.inboxes.send(
+                        x.raw() as usize % shards,
+                        ShardMsg::Event { session, action },
+                    ),
+                    None => self.inboxes.broadcast(ShardMsg::Event { session, action }),
+                }
+            }
+        } else {
+            let home = session as usize % shards;
+            for action in events {
+                self.inboxes.send(home, ShardMsg::Event { session, action });
+            }
+        }
+    }
+
+    /// Flush barrier: collects every shard's share of the session and
+    /// merges deterministically (sum of dynamic counts, sorted union of
+    /// distinct pairs — the shard replies are order-insensitive).
+    fn flush(&self, session: u32) -> (u64, Vec<(SiteId, SiteId)>) {
+        let (tx, rx) = sync_channel(self.cfg.shards);
+        self.inboxes
+            .broadcast(ShardMsg::Close { session, reply: tx });
+        let mut dynamic = 0;
+        let mut distinct = Vec::new();
+        for (_, share) in rx.iter().take(self.cfg.shards) {
+            dynamic += share.dynamic;
+            distinct.extend(share.distinct);
+        }
+        distinct.sort();
+        distinct.dedup();
+        (dynamic, distinct)
+    }
+
+    /// Records a finished session: checkpoint it, then merge it.
+    fn complete(&self, report: SessionReport) -> SessionReport {
+        let mut state = lock(&self.state);
+        if let Some(writer) = state.journal.as_mut() {
+            if let Err(e) = writer.write_line(&encode_entry(&report)) {
+                if state.journal_error.is_none() {
+                    state.journal_error = Some(e.to_string());
+                }
+            }
+        }
+        state.completed.push(report.clone());
+        report
+    }
+}
+
+enum Admission {
+    Restored(SessionReport),
+    Duplicate,
+    Admit { session: u32, shed: Option<u32> },
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Handlers run under catch-free scoped threads; a poisoned lock only
+    // means another handler panicked mid-merge, and the state it guards
+    // (append-only vectors) is always structurally consistent.
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs the service: spawns the shard fleet, hands the transport a
+/// [`ServiceHandle`], and merges everything when the transport returns.
+///
+/// `drive` is the transport loop — the unix-socket accept loop, the
+/// framed-stdin reader, or an in-process test driver. It may serve
+/// sessions from as many threads as it likes (e.g. via
+/// `std::thread::scope`); every session must be complete before it
+/// returns.
+///
+/// # Errors
+///
+/// Configuration and journal failures, or whatever `drive` returns.
+pub fn run_service<T>(
+    cfg: &ServeConfig,
+    drive: impl FnOnce(&ServiceHandle<'_>) -> Result<T, ServeError>,
+) -> Result<(ServeOutput, T), ServeError> {
+    if cfg.shards == 0 {
+        return Err(ServeError::Config("--shards must be at least 1".into()));
+    }
+    if cfg.resume && cfg.checkpoint.is_none() {
+        return Err(ServeError::Config("--resume requires --checkpoint".into()));
+    }
+
+    let mut restored = Vec::new();
+    let mut journal = None;
+    if let Some(path) = &cfg.checkpoint {
+        if cfg.resume && path.exists() {
+            let contents =
+                journal::read_journal(path).map_err(|e| ServeError::Journal(e.to_string()))?;
+            if contents.dropped_partial_tail {
+                journal::rewrite_valid_prefix(path, &contents.lines)?;
+            }
+            for line in &contents.lines {
+                restored.push(decode_entry(line).map_err(ServeError::Journal)?);
+            }
+            journal = Some(JournalWriter::append(path)?);
+        } else {
+            journal = Some(JournalWriter::create(path)?);
+        }
+    }
+
+    let governor = cfg.mem_budget.map(|budget| {
+        Governor::new(GovernorConfig {
+            mem_budget_bytes: Some(budget),
+            deadline_events: None,
+            ladder: default_ladder(millionths_from_rate(1.0)),
+            cooldown: DEFAULT_COOLDOWN,
+        })
+    });
+
+    let kind = cfg.detector;
+    let seed = cfg.seed;
+    let (shard_counters, (driven, state)) = shard::run_sharded(
+        cfg.shards,
+        cfg.capacity,
+        |shard, inbox| shard_worker(kind, seed, shard, inbox),
+        |inboxes| {
+            let handle = ServiceHandle {
+                cfg,
+                inboxes,
+                next_session: AtomicU32::new(0),
+                state: Mutex::new(EngineState {
+                    completed: Vec::new(),
+                    names: Vec::new(),
+                    restored,
+                    journal,
+                    journal_error: None,
+                    governor,
+                    admitted: 0,
+                }),
+            };
+            let driven = drive(&handle);
+            let state = handle
+                .state
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            (driven, state)
+        },
+    );
+    let driven = driven?;
+    if let Some(message) = state.journal_error {
+        return Err(ServeError::Journal(message));
+    }
+
+    let mut reports = state.completed;
+    reports.sort_by(|a, b| a.name.cmp(&b.name));
+    let transcript = render_transcript(&reports);
+    let output = ServeOutput {
+        reports,
+        shard_counters,
+        governor: state.governor.map(Governor::into_summary),
+        transcript,
+    };
+    Ok((output, driven))
+}
+
+/// In-process transport: serves `sessions` (name, bytes) with up to
+/// `concurrency` parallel handlers pulling from a shared queue.
+///
+/// # Errors
+///
+/// As [`run_service`].
+pub fn serve_sessions(
+    cfg: &ServeConfig,
+    sessions: Vec<(String, Vec<u8>)>,
+    concurrency: usize,
+) -> Result<ServeOutput, ServeError> {
+    let (output, ()) = run_service(cfg, |handle| {
+        if concurrency <= 1 {
+            for (name, bytes) in &sessions {
+                handle.serve(name, &bytes[..]);
+            }
+        } else {
+            let queue = Mutex::new(sessions.iter());
+            std::thread::scope(|scope| {
+                for _ in 0..concurrency {
+                    scope.spawn(|| loop {
+                        let next = lock(&queue).next();
+                        match next {
+                            Some((name, bytes)) => {
+                                handle.serve(name, &bytes[..]);
+                            }
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+        Ok(())
+    })?;
+    Ok(output)
+}
+
+/// Renders the deterministic merged transcript: sessions by name, then
+/// the fleet summary. Deliberately shard-blind — the transcript must be
+/// byte-identical at any `--shards N` (shard-level detail goes to the
+/// metrics snapshot instead).
+fn render_transcript(reports: &[SessionReport]) -> String {
+    let mut out = String::new();
+    let (mut events, mut dynamic, mut distinct, mut errors, mut shed) = (0u64, 0u64, 0u64, 0, 0);
+    for report in reports {
+        out.push_str(&format!("=== session {} ===\n", report.name));
+        out.push_str(&report.body);
+        events += report.events;
+        dynamic += report.dynamic_races;
+        distinct += report.distinct_races;
+        if report.error {
+            errors += 1;
+        }
+        if report.shed_millionths.is_some() {
+            shed += 1;
+        }
+    }
+    out.push_str(&format!(
+        "\nserved {} session(s) ({} events, {} dynamic races, {} distinct)\n",
+        reports.len(),
+        events,
+        dynamic,
+        distinct,
+    ));
+    if errors > 0 {
+        out.push_str(&format!("{errors} session(s) rejected\n"));
+    }
+    if shed > 0 {
+        out.push_str(&format!(
+            "governor: {shed} session(s) admitted at reduced sampling rates\n"
+        ));
+    }
+    out
+}
+
+/// Encodes one session checkpoint as single-line JSON for the journal.
+fn encode_entry(report: &SessionReport) -> String {
+    let mut out = String::from("{\"name\":");
+    journal::escape_into(&mut out, &report.name);
+    out.push_str(&format!(
+        ",\"events\":{},\"dynamic\":{},\"distinct\":{}",
+        report.events, report.dynamic_races, report.distinct_races
+    ));
+    match report.shed_millionths {
+        Some(m) => out.push_str(&format!(",\"shed\":{m}")),
+        None => out.push_str(",\"shed\":null"),
+    }
+    out.push_str(&format!(
+        ",\"truncated\":{},\"error\":{},\"body\":",
+        report.truncated, report.error
+    ));
+    journal::escape_into(&mut out, &report.body);
+    out.push('}');
+    out
+}
+
+/// Decodes one journaled session checkpoint.
+fn decode_entry(json: &str) -> Result<SessionReport, String> {
+    let value = JsonValue::parse(json).map_err(|e| e.to_string())?;
+    let str_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let u64_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let bool_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("missing boolean field `{key}`"))
+    };
+    let shed = match value.get("shed") {
+        None => return Err("missing field `shed`".into()),
+        Some(v) => v.as_u64().map(|m| m as u32),
+    };
+    Ok(SessionReport {
+        name: str_field("name")?,
+        body: str_field("body")?,
+        events: u64_field("events")?,
+        dynamic_races: u64_field("dynamic")?,
+        distinct_races: u64_field("distinct")?,
+        shed_millionths: shed,
+        truncated: bool_field("truncated")?,
+        error: bool_field("error")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacer_trace::Trace;
+
+    fn racy_trace() -> Trace {
+        Trace::parse(
+            "
+            fork t0 t1
+            sbegin
+            wr t0 x0 s0
+            wr t1 x0 s1
+            rd t0 x1 s2
+            wr t1 x1 s3
+            send
+            join t0 t1
+        ",
+        )
+        .unwrap()
+    }
+
+    fn cfg(kind: ServeDetectorKind, shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            ..ServeConfig::new(kind)
+        }
+    }
+
+    #[test]
+    fn report_is_shard_count_invariant() {
+        let bytes = racy_trace().to_binary();
+        let mut transcripts = Vec::new();
+        for shards in [1, 2, 8] {
+            let out = serve_sessions(
+                &cfg(ServeDetectorKind::FastTrack, shards),
+                vec![("a".into(), bytes.clone())],
+                1,
+            )
+            .unwrap();
+            assert_eq!(out.reports.len(), 1);
+            assert!(!out.reports[0].error);
+            transcripts.push(out.reports[0].body.clone());
+        }
+        assert_eq!(transcripts[0], transcripts[1]);
+        assert_eq!(transcripts[1], transcripts[2]);
+        assert!(transcripts[0].contains("dynamic race report(s)"));
+    }
+
+    #[test]
+    fn journal_entry_round_trips() {
+        let report = SessionReport {
+            name: "s \"quoted\"".into(),
+            body: "replaying 3 actions\n\n1 dynamic race report(s), 1 distinct:\n".into(),
+            events: 3,
+            dynamic_races: 1,
+            distinct_races: 1,
+            shed_millionths: Some(500_000),
+            truncated: true,
+            error: false,
+        };
+        assert_eq!(decode_entry(&encode_entry(&report)).unwrap(), report);
+
+        let plain = SessionReport {
+            shed_millionths: None,
+            truncated: false,
+            ..report
+        };
+        assert_eq!(decode_entry(&encode_entry(&plain)).unwrap(), plain);
+    }
+
+    /// A `Read` fed chunk by chunk over a rendezvous channel, so a test
+    /// can hold a session open at a known decode position.
+    struct ChanReader {
+        rx: std::sync::mpsc::Receiver<Vec<u8>>,
+        cur: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for ChanReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            while self.pos >= self.cur.len() {
+                match self.rx.recv() {
+                    Ok(chunk) => {
+                        self.cur = chunk;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = (self.cur.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.cur[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn admission_sheds_sampling_rate_under_memory_pressure() {
+        let bytes = racy_trace().to_binary();
+        let mut config = cfg(ServeDetectorKind::FastTrack, 2);
+        config.mem_budget = Some(1);
+
+        let (output, ()) = run_service(&config, |handle| {
+            std::thread::scope(|scope| {
+                // Rendezvous channel: each send returns only once the
+                // session thread has consumed the previous chunk, so the
+                // decode position is deterministic at every step.
+                let (tx, rx) = sync_channel::<Vec<u8>>(0);
+                let long = scope.spawn(move || {
+                    handle.serve(
+                        "long",
+                        ChanReader {
+                            rx,
+                            cur: Vec::new(),
+                            pos: 0,
+                        },
+                    )
+                });
+                // The whole trace with the channel still open: every
+                // event is routed, then the decoder blocks waiting for
+                // the next frame header — the session stays live. The
+                // empty rendezvous chunk returns only once the decoder
+                // is past the real bytes.
+                tx.send(bytes.clone()).unwrap();
+                tx.send(Vec::new()).unwrap();
+
+                // `long` now holds live detector state, breaching the
+                // 1-byte budget: this admission must shed one rung.
+                let short = handle.serve("short", &bytes[..]);
+                assert_eq!(short.shed_millionths, Some(500_000));
+                assert!(!short.error, "shed admission still analyzes: {short:?}");
+
+                drop(tx);
+                let long = long.join().unwrap();
+                assert!(!long.truncated && !long.error, "{long:?}");
+                assert_eq!(long.shed_millionths, None, "first admission was clear");
+                Ok(())
+            })
+        })
+        .unwrap();
+
+        let governor = output.governor.expect("budget arms the governor");
+        assert!(governor.breaches >= 1);
+        let short = output.reports.iter().find(|r| r.name == "short").unwrap();
+        assert!(
+            short
+                .body
+                .contains("resampled sampling periods at r = 50.00%, mean period 50, seed 42"),
+            "shed body carries the replay-identical resample line: {}",
+            short.body
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_without_contamination() {
+        let bytes = racy_trace().to_binary();
+        let out = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("a".into(), bytes.clone()), ("a".into(), bytes)],
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.reports.len(), 2);
+        assert!(!out.reports[0].error);
+        assert!(out.reports[1].error);
+        assert!(out.reports[1].body.contains("duplicate session name"));
+        assert!(out.any_errors());
+    }
+
+    #[test]
+    fn corrupt_session_does_not_poison_others() {
+        let good = racy_trace().to_binary();
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let out = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("bad".into(), bad), ("good".into(), good.clone())],
+            2,
+        )
+        .unwrap();
+        let by_name = |n: &str| out.reports.iter().find(|r| r.name == n).unwrap();
+        assert!(by_name("bad").error);
+        assert!(by_name("bad").body.starts_with("error: "));
+        let alone = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("good".into(), good)],
+            1,
+        )
+        .unwrap();
+        assert_eq!(by_name("good").body, alone.reports[0].body);
+    }
+}

@@ -1,0 +1,250 @@
+//! First-class shards: owned state behind a bounded inbox.
+//!
+//! A *shard* is the unit both concurrent engines in this crate are built
+//! from: a worker thread that owns its state outright (detector slabs,
+//! result buffers — never shared, never locked), fed through a bounded
+//! `sync_channel` inbox, and drained by returning the state when its
+//! inbox closes. The batch trial engine ([`parallel`](crate::parallel))
+//! feeds shards trial indices; the streaming service
+//! ([`service`](crate::service)) feeds them demultiplexed trace events.
+//!
+//! The bounded inbox doubles as backpressure: a producer that outruns a
+//! shard blocks (or diverts, with [`Inboxes::send_balanced`]) instead of
+//! queueing unboundedly. Mid-stream synchronization — flush barriers,
+//! checkpoint points — is expressed as ordinary messages carrying a reply
+//! channel, so the shard loop itself stays a plain FIFO drain.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// The send half of every shard inbox, handed to the feed closure of
+/// [`run_sharded`]. Dropping it closes all inboxes, which is what ends
+/// the shard workers.
+pub struct Inboxes<M> {
+    senders: Vec<SyncSender<M>>,
+}
+
+impl<M: Send> Inboxes<M> {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when there are no shards (never constructed by
+    /// [`run_sharded`], which requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Sends `msg` to one shard, blocking while its inbox is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard worker terminated early (its own panic is
+    /// already propagating through [`run_sharded`]).
+    pub fn send(&self, shard: usize, msg: M) {
+        if self.senders[shard].send(msg).is_err() {
+            panic!("shard {shard} terminated before its inbox closed");
+        }
+    }
+
+    /// Sends a copy of `msg` to every shard, in shard-index order.
+    pub fn broadcast(&self, msg: M)
+    where
+        M: Clone,
+    {
+        for shard in 0..self.senders.len() {
+            self.send(shard, msg.clone());
+        }
+    }
+
+    /// Sends `msg` to `preferred`, or to the next shard (cyclically) with
+    /// a free inbox slot when it is full — dynamic load balancing for
+    /// feeds where any shard may take any message. Spins with a yield
+    /// when every inbox is full.
+    pub fn send_balanced(&self, preferred: usize, msg: M) {
+        let n = self.senders.len();
+        let mut msg = msg;
+        loop {
+            for k in 0..n {
+                let shard = (preferred + k) % n;
+                match self.senders[shard].try_send(msg) {
+                    Ok(()) => return,
+                    Err(TrySendError::Full(m)) => msg = m,
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("shard {shard} terminated before its inbox closed")
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs `shards` shard workers on scoped threads, feeds them from the
+/// calling thread, and returns every shard's final state **in shard-index
+/// order** along with the feed's own result.
+///
+/// Each worker runs `worker(shard_index, inbox)` to completion; the
+/// conventional shape is a FIFO drain over the inbox that returns the
+/// shard's owned state. `feed` receives the [`Inboxes`] by value and runs
+/// on the calling thread; when it returns, the inboxes drop, the workers
+/// see end-of-stream, and their states are joined in index order — so
+/// any merge the caller performs over the returned `Vec` is deterministic
+/// regardless of thread scheduling.
+///
+/// `capacity` bounds each inbox (0 = rendezvous): the backpressure knob.
+///
+/// A panic inside a worker or the feed propagates to the caller, exactly
+/// like `std::thread::scope`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero, or to propagate a worker/feed panic.
+pub fn run_sharded<M, S, T>(
+    shards: usize,
+    capacity: usize,
+    worker: impl Fn(usize, Receiver<M>) -> S + Sync,
+    feed: impl FnOnce(Inboxes<M>) -> T,
+) -> (Vec<S>, T)
+where
+    M: Send,
+    S: Send,
+{
+    assert!(shards > 0, "need at least one shard");
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel(capacity);
+            senders.push(tx);
+            handles.push(scope.spawn(move || worker(shard, rx)));
+        }
+        let fed = feed(Inboxes { senders });
+        let states = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(state) => state,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect();
+        (states, fed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_return_in_shard_order() {
+        let (states, ()) = run_sharded(
+            4,
+            8,
+            |shard, rx: Receiver<u64>| {
+                let sum: u64 = rx.iter().sum();
+                (shard, sum)
+            },
+            |inboxes| {
+                for v in 0..100u64 {
+                    inboxes.send((v % 4) as usize, v);
+                }
+            },
+        );
+        let shards: Vec<_> = states.iter().map(|(s, _)| *s).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3]);
+        let total: u64 = states.iter().map(|(_, sum)| sum).sum();
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_shard() {
+        let (counts, ()) = run_sharded(
+            3,
+            4,
+            |_, rx: Receiver<u32>| rx.iter().count(),
+            |inboxes| {
+                for _ in 0..5 {
+                    inboxes.broadcast(7);
+                }
+            },
+        );
+        assert_eq!(counts, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn balanced_send_diverts_from_full_inboxes() {
+        // One shard sleeps; with capacity 1 the feed must divert most
+        // messages to the others rather than blocking on the sleeper.
+        let (counts, ()) = run_sharded(
+            2,
+            1,
+            |shard, rx: Receiver<u32>| {
+                let mut n = 0;
+                for _ in rx {
+                    if shard == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    n += 1;
+                }
+                n
+            },
+            |inboxes| {
+                for _ in 0..40 {
+                    inboxes.send_balanced(0, 1);
+                }
+            },
+        );
+        assert_eq!(counts[0] + counts[1], 40);
+        assert!(counts[1] > counts[0], "idle shard should absorb the load");
+    }
+
+    #[test]
+    fn reply_channels_make_flush_barriers() {
+        #[derive(Clone)]
+        enum Msg {
+            Add(u64),
+            Flush(SyncSender<u64>),
+        }
+        let (_, mid) = run_sharded(
+            2,
+            4,
+            |_, rx: Receiver<Msg>| {
+                let mut acc = 0;
+                for msg in rx {
+                    match msg {
+                        Msg::Add(v) => acc += v,
+                        Msg::Flush(reply) => {
+                            let _ = reply.send(acc);
+                        }
+                    }
+                }
+            },
+            |inboxes| {
+                inboxes.send(0, Msg::Add(2));
+                inboxes.send(1, Msg::Add(3));
+                let (tx, rx) = sync_channel(2);
+                inboxes.broadcast(Msg::Flush(tx));
+                rx.iter().take(2).sum::<u64>()
+            },
+        );
+        assert_eq!(mid, 5, "flush observes everything sent before it");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = run_sharded(
+            2,
+            1,
+            |shard, rx: Receiver<u32>| {
+                for _ in rx {
+                    if shard == 1 {
+                        panic!("boom");
+                    }
+                }
+            },
+            |inboxes| inboxes.send(1, 1),
+        );
+    }
+}

@@ -67,7 +67,8 @@ mod stats;
 pub use event::{Event, EventRing};
 pub use hist::{HistKind, Histogram, HIST_BUCKETS, HIST_COUNT};
 pub use metrics::{
-    FaultCounters, FuzzCounters, GovernorCounters, Metrics, MetricsParseError, RuntimeCounters,
+    serve_metrics_json, FaultCounters, FuzzCounters, GovernorCounters, Metrics, MetricsParseError,
+    RuntimeCounters, ServeCounters,
 };
 pub use observe::{ObservableDetector, Observed};
 pub use registry::{Registry, RegistryConfig};

@@ -64,6 +64,76 @@ impl RuntimeCounters {
     }
 }
 
+/// Per-shard counters the streaming detection service (`pacer serve`)
+/// reports — one instance per shard worker, summed for the fleet total.
+///
+/// Deterministic for variable-sharded detectors at a fixed shard count:
+/// access routing is a pure function of the variable id and sync events
+/// broadcast everywhere, so neither arrival interleaving nor handler
+/// scheduling changes any count (see `SERVICE.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Sessions that materialized detector state in this shard.
+    pub sessions: u64,
+    /// Events this shard processed (routed accesses + broadcasts).
+    pub events: u64,
+    /// Data-variable accesses among those events.
+    pub accesses: u64,
+    /// Dynamic races this shard's detectors reported.
+    pub races: u64,
+}
+
+impl AddAssign for ServeCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sessions += rhs.sessions;
+        self.events += rhs.events;
+        self.accesses += rhs.accesses;
+        self.races += rhs.races;
+    }
+}
+
+impl ServeCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "sessions", self.sessions);
+        json::field_u64(out, &mut first, "events", self.events);
+        json::field_u64(out, &mut first, "accesses", self.accesses);
+        json::field_u64(out, &mut first, "races", self.races);
+        out.push('}');
+    }
+
+    /// One counter object as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// True when this shard processed nothing.
+    pub fn is_zero(&self) -> bool {
+        *self == ServeCounters::default()
+    }
+}
+
+/// The `pacer serve --metrics-out` snapshot: every shard's counters in
+/// shard-index order plus their sum (schema in OBSERVABILITY.md).
+pub fn serve_metrics_json(shards: &[ServeCounters]) -> String {
+    let mut total = ServeCounters::default();
+    let mut out = String::from("{\n  \"serve\": {\n    \"shards\": [");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        s.write_json(&mut out);
+        total += *s;
+    }
+    out.push_str("],\n    \"total\": ");
+    total.write_json(&mut out);
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Counters the differential fuzzer contributes to a snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FuzzCounters {

@@ -53,6 +53,7 @@ pub mod gen;
 mod hb;
 mod ids;
 mod stats;
+pub mod stream;
 mod text;
 mod trace;
 
@@ -62,5 +63,6 @@ pub use detector::{Access, Detector, RaceReport, RecordingDetector};
 pub use hb::{HbOracle, RacePair};
 pub use ids::{LockId, SiteId, VarId, VolatileId};
 pub use stats::ActionStats;
+pub use stream::{AnyTraceReader, TraceStreamError, ValidatedActions};
 pub use text::ParseTraceError;
 pub use trace::{Trace, TraceValidator, ValidateTraceError};

@@ -335,3 +335,81 @@ fn killed_fleet_resumes_byte_identically() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Kill-and-resume for the streaming service journal (SERVICE.md): a
+/// serve run dies mid-ingest (its checkpoint journal torn mid-append, as
+/// a kill -9 would leave it), is resumed with the full session stream,
+/// and the merged transcript comes out byte-identical to an
+/// uninterrupted run — even at a different shard count.
+#[test]
+fn killed_serve_resumes_byte_identically() {
+    use pacer_trace::gen::GenConfig;
+
+    let dir = temp_dir("serve-resume");
+    let journal = dir.join("serve.journal").to_string_lossy().into_owned();
+
+    let sessions: Vec<(String, Vec<u8>)> = (0..4)
+        .map(|i| {
+            let trace = GenConfig::small(300 + i)
+                .with_lock_discipline(0.2)
+                .generate();
+            (format!("sess{i}"), trace.to_binary())
+        })
+        .collect();
+    let frames_file = |name: &str, count: usize| {
+        let mut frames = Vec::new();
+        for (session, bytes) in &sessions[..count] {
+            frames.extend_from_slice(format!("SESSION {session} {}\n", bytes.len()).as_bytes());
+            frames.extend_from_slice(bytes);
+        }
+        let path = dir.join(name);
+        std::fs::write(&path, frames).unwrap();
+        path.to_string_lossy().into_owned()
+    };
+    let full = frames_file("full.frames", 4);
+    let partial = frames_file("partial.frames", 2);
+
+    // Reference: one uninterrupted run.
+    let reference = run(&args(&["serve", "--stdin", &full, "--shards", "4"])).unwrap();
+    assert_eq!(reference.code, 0, "{reference}");
+
+    // "Crash": checkpoint a run that only got through two sessions, then
+    // tear the journal mid-entry.
+    let interrupted = run(&args(&[
+        "serve",
+        "--stdin",
+        &partial,
+        "--shards",
+        "4",
+        "--checkpoint",
+        &journal,
+    ]))
+    .unwrap();
+    assert_eq!(interrupted.code, 0, "{interrupted}");
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 40, "journal has content");
+    std::fs::write(&journal, &bytes[..bytes.len() - 40]).unwrap();
+
+    // Resume with the full stream at a different shard count: the
+    // journaled session is restored verbatim, the torn one re-ingests,
+    // and the transcript is byte-identical to the uninterrupted run.
+    let resumed = run(&args(&[
+        "serve", "--stdin", &full, "--shards", "2", "--resume", &journal,
+    ]))
+    .unwrap();
+    assert_eq!(resumed.code, 0, "{resumed}");
+    assert_eq!(
+        reference.text, resumed.text,
+        "kill + resume reproduces the uninterrupted transcript"
+    );
+
+    // A second resume restores everything and re-ingests nothing new,
+    // still reproducing the same transcript.
+    let again = run(&args(&[
+        "serve", "--stdin", &full, "--shards", "8", "--resume", &journal,
+    ]))
+    .unwrap();
+    assert_eq!(reference.text, again.text);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
