@@ -157,6 +157,63 @@ cmp -s "$RESDIR/serve1.out" "$RESDIR/serve4.out" || {
     exit 1
 }
 
+# Chaos smoke (RESILIENCE.md "Service supervision"): the same framed
+# input under an injected shard-panic plan must print a transcript
+# byte-identical to the fault-free run — supervised replay absorbs the
+# panics — while the metrics snapshot proves they really fired
+# (nonzero shard_restarts, zero sessions_lost).
+echo "== pacer serve chaos smoke"
+printf 'shard-panic every=3\n' > "$RESDIR/chaos.plan"
+./target/release/pacer serve --stdin "$RESDIR/sessions.frames" --shards 4 \
+    --fault-plan "$RESDIR/chaos.plan" > "$RESDIR/chaos.out"
+cmp -s "$RESDIR/serve4.out" "$RESDIR/chaos.out" || {
+    echo "serve transcript changed under injected shard panics" >&2
+    exit 1
+}
+./target/release/pacer serve --stdin "$RESDIR/sessions.frames" --shards 4 \
+    --fault-plan "$RESDIR/chaos.plan" --metrics-out "$RESDIR/chaos.json" \
+    > /dev/null
+grep -q '"shard_restarts":[1-9]' "$RESDIR/chaos.json" || {
+    echo "chaos smoke: expected nonzero shard_restarts in metrics" >&2
+    exit 1
+}
+grep -q '"sessions_lost":[1-9]' "$RESDIR/chaos.json" && {
+    echo "chaos smoke: single-shot panics must not lose sessions" >&2
+    exit 1
+}
+
+# Drain smoke (SERVICE.md "Drain and shutdown"): SIGTERM to a serving
+# daemon stops admission, finishes checkpointing, and exits 0; the
+# journal it leaves behind must resume to the same transcript the
+# framed run prints.
+echo "== pacer serve drain smoke"
+./target/release/pacer serve --socket "$RESDIR/drain.sock" \
+    --detector fasttrack --shards 2 --checkpoint "$RESDIR/drain.journal" \
+    > "$RESDIR/drain.out" &
+DRAIN_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$RESDIR/drain.sock" ] && break
+    sleep 0.05
+done
+./target/release/pacer serve --send "$RESDIR/racy.ptrace" --session one \
+    --socket "$RESDIR/drain.sock" > /dev/null
+kill -TERM "$DRAIN_PID"
+rc=0; wait "$DRAIN_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "drained daemon: expected exit 0, got $rc" >&2
+    exit 1
+fi
+grep -q "served 1 session(s)" "$RESDIR/drain.out" || {
+    echo "drained daemon transcript is missing the completed session" >&2
+    exit 1
+}
+./target/release/pacer serve --stdin "$RESDIR/sessions.frames" --shards 1 \
+    --resume "$RESDIR/drain.journal" > "$RESDIR/drain-resume.out"
+cmp -s "$RESDIR/serve1.out" "$RESDIR/drain-resume.out" || {
+    echo "journal left by a drained daemon does not resume byte-identically" >&2
+    exit 1
+}
+
 # Checkpoint/resume byte-identity (RESILIENCE.md): chop the journal
 # mid-entry — as a kill -9 during an append would — and the resumed
 # run's artifacts must be byte-identical to an uninterrupted run's.

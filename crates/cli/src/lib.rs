@@ -79,8 +79,13 @@
 //! The library form exists so the behavior is unit-testable; `main.rs` is a
 //! thin wrapper.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the signal module carries the suite's
+// only `unsafe` (raw `signal(2)`/`_exit(2)` bindings for graceful
+// drain) behind an explicit module-level allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod signal;
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -180,6 +185,8 @@ struct Options {
     stdin_frames: Option<String>,
     shards: usize,
     max_sessions: Option<u64>,
+    session_deadline_events: Option<u64>,
+    idle_timeout: Option<u32>,
 }
 
 impl Default for Options {
@@ -215,6 +222,8 @@ impl Default for Options {
             stdin_frames: None,
             shards: 4,
             max_sessions: None,
+            session_deadline_events: None,
+            idle_timeout: None,
         }
     }
 }
@@ -255,6 +264,11 @@ commands:
                  [--shards N] [--detector D] [--seed N]
                  [--checkpoint JOURNAL] [--resume JOURNAL]
                  [--mem-budget BYTES] [--metrics-out PATH]
+                 [--session-deadline-events N] [--idle-timeout TICKS]
+                 [--fault-plan FILE]   (chaos drills, RESILIENCE.md)
+                 SIGINT/SIGTERM drain gracefully: admission stops,
+                 in-flight sessions finish and checkpoint, exit 0; a
+                 second signal hard-stops with exit 2 (SERVICE.md)
   stats <file>   run once under the observability layer; print the
                  Table 3-style operation breakdown and space accounting
                  [--rate R] [--seed N] [--detector D]
@@ -593,6 +607,26 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                         .and_then(|s| s.parse().ok())
                         .filter(|&n: &u64| n > 0)
                         .ok_or_else(|| err("--max-sessions requires a positive integer"))?,
+                );
+            }
+            "--session-deadline-events" => {
+                i += 1;
+                opts.session_deadline_events = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| {
+                            err("--session-deadline-events requires a positive integer")
+                        })?,
+                );
+            }
+            "--idle-timeout" => {
+                i += 1;
+                opts.idle_timeout = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .ok_or_else(|| err("--idle-timeout requires a positive tick count"))?,
                 );
             }
             flag if flag.starts_with("--") => {
@@ -984,6 +1018,13 @@ fn serve_config(opts: &Options) -> Result<pacer_harness::ServeConfig, CliError> 
         .as_ref()
         .or(opts.checkpoint.as_ref())
         .map(std::path::PathBuf::from);
+    cfg.deadline_events = opts.session_deadline_events;
+    cfg.idle_timeout_ticks = opts.idle_timeout;
+    if let Some(path) = &opts.fault_plan {
+        let spec = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
+        cfg.fault_plan = Some(FaultPlan::parse(&spec).map_err(|e| err(format!("{path}: {e}")))?);
+    }
     Ok(cfg)
 }
 
@@ -1007,12 +1048,25 @@ fn parse_session_header(line: &str) -> Option<(String, Option<u64>)> {
 
 /// Serves one accepted unix-socket connection: header line, trace bytes
 /// until half-close (or `len` bytes), then the report body as the reply.
+///
+/// With `--idle-timeout` armed, reads tick every second: each timeout is
+/// one deterministic poll tick toward the service engine's reap budget.
 fn serve_connection(
     handle: &pacer_harness::ServiceHandle<'_>,
     conn: std::os::unix::net::UnixStream,
+    idle_timeout: Option<u32>,
 ) {
     use std::io::{BufRead as _, Read as _, Write as _};
 
+    // The listener runs nonblocking so the accept loop can poll the
+    // drain flag; the per-connection socket must block (with at most a
+    // read timeout) or decode would spin.
+    if conn.set_nonblocking(false).is_err() {
+        return;
+    }
+    if idle_timeout.is_some() {
+        let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(1)));
+    }
     let Ok(mut writer) = conn.try_clone() else {
         return;
     };
@@ -1040,6 +1094,11 @@ fn serve_frames(
     mut input: impl std::io::BufRead,
 ) -> Result<(), pacer_harness::ServeError> {
     loop {
+        // Graceful drain: stop admitting between frames; the frame in
+        // flight (below) always completes and checkpoints first.
+        if signal::drain_requested() {
+            return Ok(());
+        }
         let mut header = String::new();
         if input.read_line(&mut header)? == 0 {
             return Ok(());
@@ -1061,6 +1120,37 @@ fn serve_frames(
     }
 }
 
+/// Connect attempts `--send` makes beyond the first. With the shared
+/// `artifact_io_backoff` schedule (in 10 ms units) the worst case waits
+/// roughly 1.3 s — enough for a daemon started a moment earlier to
+/// bind, without masking a genuinely absent service.
+const SEND_CONNECT_RETRIES: u32 = 6;
+
+/// Connects to the daemon socket, retrying not-yet-there conditions
+/// (`NotFound` — the path isn't bound yet — and `ConnectionRefused` — a
+/// stale or still-binding socket) on the deterministic backoff schedule
+/// the artifact-IO retries use. Anything else fails immediately.
+fn connect_with_retry(socket: &str) -> Result<std::os::unix::net::UnixStream, CliError> {
+    let mut attempt = 0u32;
+    loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(conn) => return Ok(conn),
+            Err(e)
+                if attempt < SEND_CONNECT_RETRIES
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::NotFound | std::io::ErrorKind::ConnectionRefused
+                    ) =>
+            {
+                attempt += 1;
+                let ticks = pacer_harness::artifact_io_backoff(0, attempt);
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(ticks) * 10));
+            }
+            Err(e) => return Err(err(format!("cannot connect to {socket}: {e}"))),
+        }
+    }
+}
+
 /// `pacer serve --send`: stream one recorded trace to a running daemon
 /// and print its reply verbatim (so it diffs cleanly against `pacer
 /// replay` of the same file).
@@ -1078,8 +1168,7 @@ fn serve_send(opts: &Options) -> Result<CmdOutput, CliError> {
             .map_or_else(|| trace.to_string(), |s| s.to_string_lossy().into_owned())
     });
     let bytes = std::fs::read(trace).map_err(|e| err(format!("cannot load {trace}: {e}")))?;
-    let mut conn = std::os::unix::net::UnixStream::connect(socket)
-        .map_err(|e| err(format!("cannot connect to {socket}: {e}")))?;
+    let mut conn = connect_with_retry(socket)?;
     conn.write_all(format!("SESSION {name}\n").as_bytes())
         .and_then(|()| conn.write_all(&bytes))
         .and_then(|()| conn.shutdown(std::net::Shutdown::Write))
@@ -1115,17 +1204,51 @@ fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
         (Some(socket), None) => {
             // Daemon mode: one handler thread per accepted connection;
             // --max-sessions bounds the accept loop so scripted runs
-            // (CI) terminate and print the merged transcript.
+            // (CI) terminate and print the merged transcript. The
+            // listener runs nonblocking so the loop can poll the drain
+            // flag: on the first SIGINT/SIGTERM admission stops,
+            // in-flight handlers finish inside the scope, and the run
+            // exits through the normal transcript path.
             let _ = std::fs::remove_file(socket);
             let listener = std::os::unix::net::UnixListener::bind(socket)
                 .map_err(|e| err(format!("cannot bind {socket}: {e}")))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| err(format!("cannot poll {socket}: {e}")))?;
+            signal::arm_drain();
+            let idle_timeout = opts.idle_timeout;
             let result = pacer_harness::run_service(&cfg, |handle| {
                 std::thread::scope(|scope| {
                     let mut accepted = 0u64;
                     while opts.max_sessions.is_none_or(|max| accepted < max) {
-                        let (conn, _) = listener.accept()?;
-                        accepted += 1;
-                        scope.spawn(move || serve_connection(handle, conn));
+                        if signal::drain_requested() {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((conn, _)) => {
+                                accepted += 1;
+                                // A panicking handler loses only its own
+                                // connection; the accept loop and every
+                                // other session carry on.
+                                scope.spawn(move || {
+                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || {
+                                            serve_connection(handle, conn, idle_timeout);
+                                        },
+                                    ));
+                                });
+                            }
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::WouldBlock
+                                        | std::io::ErrorKind::Interrupted
+                                ) =>
+                            {
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
                     }
                     Ok(())
                 })
@@ -1133,22 +1256,25 @@ fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
             let _ = std::fs::remove_file(socket);
             result
         }
-        (None, Some(frames)) => pacer_harness::run_service(&cfg, |handle| {
-            if frames == "-" {
-                serve_frames(handle, std::io::stdin().lock())
-            } else {
-                let f = std::fs::File::open(frames).map_err(|e| {
-                    pacer_harness::ServeError::Config(format!("cannot open {frames}: {e}"))
-                })?;
-                serve_frames(handle, std::io::BufReader::new(f))
-            }
-        }),
+        (None, Some(frames)) => {
+            signal::arm_drain();
+            pacer_harness::run_service(&cfg, |handle| {
+                if frames == "-" {
+                    serve_frames(handle, std::io::stdin().lock())
+                } else {
+                    let f = std::fs::File::open(frames).map_err(|e| {
+                        pacer_harness::ServeError::Config(format!("cannot open {frames}: {e}"))
+                    })?;
+                    serve_frames(handle, std::io::BufReader::new(f))
+                }
+            })
+        }
     };
     let (output, ()) = result.map_err(|e| err(format!("serve: {e}")))?;
 
     let mut out = output.transcript.clone();
     if let Some(path) = &opts.metrics_out {
-        let json = pacer_obs::serve_metrics_json(&output.shard_counters);
+        let json = pacer_obs::serve_metrics_json(&output.shard_counters, &output.sessions);
         write_artifact(&mut out, path, &json, "serve metrics")?;
     }
     let code = if output.any_errors() { 2 } else { 0 };

@@ -1,0 +1,60 @@
+//! Async-signal-safe drain coordination for `pacer serve`.
+//!
+//! The standard library exposes no signal API and the workspace takes no
+//! external dependencies, so this module carries the suite's only
+//! `unsafe`: two raw libc bindings — `signal(2)` to install the handler
+//! and `_exit(2)` for the hard-stop path. The handler body touches only
+//! an `AtomicU32` and `_exit`, both async-signal-safe, so it can never
+//! deadlock against the interrupted thread.
+//!
+//! Lifecycle (SERVICE.md, "Drain and shutdown"):
+//!
+//! * first SIGINT/SIGTERM — sets the drain flag; the accept loop stops
+//!   admitting, in-flight sessions finish and checkpoint, and the
+//!   process exits through the normal transcript path (exit 0 when no
+//!   session was rejected);
+//! * second SIGINT/SIGTERM — the run is taking too long to drain:
+//!   hard-stop immediately with exit code 2. The checksummed journal
+//!   tolerates the torn final write (`--resume` drops it).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// POSIX signal numbers (stable across the unix targets we build for).
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+type SigHandler = extern "C" fn(i32);
+
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+    fn _exit(code: i32) -> !;
+}
+
+/// 0 = running; nonzero = drain requested by a signal.
+static DRAIN: AtomicU32 = AtomicU32::new(0);
+
+extern "C" fn on_signal(_signum: i32) {
+    if DRAIN.swap(1, Ordering::SeqCst) != 0 {
+        // Second signal: hard stop. `_exit` skips destructors and
+        // buffered output by design — the journal line framing makes a
+        // torn final write recoverable.
+        unsafe { _exit(2) };
+    }
+}
+
+/// Installs the drain handler for SIGINT and SIGTERM. Idempotent; call
+/// once before entering a serve transport loop.
+pub fn arm_drain() {
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// True once a drain has been requested. Transports poll this between
+/// accepts (daemon) or frames (framed stdin) and stop admitting.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst) != 0
+}

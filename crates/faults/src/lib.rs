@@ -32,7 +32,19 @@
 //! heap-oom budget=4096 every=1
 //! sched-storm every=5 len=16
 //! artifact-io every=2 limit=1
+//! # serve-layer chaos sites (SERVICE.md): indices are per-shard event
+//! # counts, session admission indices, and shard event counts
+//! shard-panic every=64
+//! conn-drop every=3 after=128
+//! inbox-stall every=32 len=50
 //! ```
+//!
+//! The serve-layer sites reuse the exact `(index + seed) % every` and
+//! `attempt < limit` arithmetic. `shard-panic` defaults to `limit=1`
+//! (fire once per targeted index) so the supervised replay-and-retry in
+//! `pacer serve` succeeds and the merged transcript stays byte-identical
+//! to the clean run; raise `limit` above the service's retry bound to
+//! exercise the `ShardLost` path instead.
 //!
 //! # Examples
 //!
@@ -71,6 +83,15 @@ pub enum FaultSite {
     DetectorPanic,
     /// IO error injected on an artifact write.
     ArtifactIo,
+    /// Forced panic inside a `pacer serve` shard worker, caught and
+    /// recovered by the shard supervisor.
+    ShardPanic,
+    /// Simulated client disconnect: a serve session's byte stream is cut
+    /// off after a fixed prefix (reported as a truncated tail).
+    ConnDrop,
+    /// Cooperative stall inside a shard's inbox drain — a timing-only
+    /// perturbation that must not change any output.
+    InboxStall,
 }
 
 impl FaultSite {
@@ -81,6 +102,9 @@ impl FaultSite {
             FaultSite::SchedStorm => "sched_storm",
             FaultSite::DetectorPanic => "detector_panic",
             FaultSite::ArtifactIo => "artifact_io",
+            FaultSite::ShardPanic => "shard_panic",
+            FaultSite::ConnDrop => "conn_drop",
+            FaultSite::InboxStall => "inbox_stall",
         }
     }
 
@@ -96,6 +120,12 @@ impl FaultSite {
             Some(FaultSite::ArtifactIo)
         } else if rest.starts_with("sched storm") {
             Some(FaultSite::SchedStorm)
+        } else if rest.starts_with("shard panic") {
+            Some(FaultSite::ShardPanic)
+        } else if rest.starts_with("conn drop") {
+            Some(FaultSite::ConnDrop)
+        } else if rest.starts_with("inbox stall") {
+            Some(FaultSite::InboxStall)
         } else {
             None
         }
@@ -136,6 +166,9 @@ pub struct FaultPlan {
     sched_storm: Option<(Targeting, u64, u64)>,
     detector_panic: Option<(Targeting, u64)>,
     artifact_io: Option<Targeting>,
+    shard_panic: Option<Targeting>,
+    conn_drop: Option<(Targeting, u64)>,
+    inbox_stall: Option<(Targeting, u64)>,
 }
 
 impl FaultPlan {
@@ -153,6 +186,9 @@ impl FaultPlan {
             sched_storm: None,
             detector_panic: None,
             artifact_io: None,
+            shard_panic: None,
+            conn_drop: None,
+            inbox_stall: None,
         };
         for (i, raw_line) in spec.lines().enumerate() {
             let line_no = i + 1;
@@ -203,6 +239,26 @@ impl FaultPlan {
                     let params = Params::parse(line_no, words, &["every", "limit"])?;
                     plan.artifact_io = Some(params.targeting()?);
                 }
+                "shard-panic" => {
+                    let params = Params::parse(line_no, words, &["every", "limit"])?;
+                    // Default limit=1: fire once per targeted event index
+                    // so the supervised retry succeeds (see crate docs).
+                    let mut t = params.targeting()?;
+                    if params.get("limit")?.is_none() {
+                        t.limit = 1;
+                    }
+                    plan.shard_panic = Some(t);
+                }
+                "conn-drop" => {
+                    let params = Params::parse(line_no, words, &["every", "after"])?;
+                    let after = params.get("after")?.unwrap_or(64);
+                    plan.conn_drop = Some((params.targeting()?, after));
+                }
+                "inbox-stall" => {
+                    let params = Params::parse(line_no, words, &["every", "len"])?;
+                    let len = params.get("len")?.unwrap_or(64).max(1);
+                    plan.inbox_stall = Some((params.targeting()?, len));
+                }
                 other => {
                     return Err(err(format!("unknown directive '{other}'")));
                 }
@@ -217,6 +273,15 @@ impl FaultPlan {
             && self.sched_storm.is_none()
             && self.detector_panic.is_none()
             && self.artifact_io.is_none()
+            && self.shard_panic.is_none()
+            && self.conn_drop.is_none()
+            && self.inbox_stall.is_none()
+    }
+
+    /// `true` when any serve-layer chaos site is armed (`shard-panic`,
+    /// `conn-drop`, `inbox-stall`).
+    pub fn has_serve_sites(&self) -> bool {
+        self.shard_panic.is_some() || self.conn_drop.is_some() || self.inbox_stall.is_some()
     }
 
     /// The plan's phase-shift seed.
@@ -251,6 +316,32 @@ impl FaultPlan {
     pub fn artifact_io_fails(&self, write_index: u64, attempt: u32) -> bool {
         self.artifact_io
             .is_some_and(|t| t.applies(self.seed, write_index, attempt))
+    }
+
+    /// Whether attempt `attempt` at a shard's `event_index`-th arrived
+    /// event should panic the shard worker. The index is per shard — the
+    /// count of events delivered to that shard, counted once per event
+    /// no matter how many supervised attempts it takes — so the site
+    /// fires under any `--shards N` without coordinating shards.
+    pub fn shard_panic_fires(&self, event_index: u64, attempt: u32) -> bool {
+        self.shard_panic
+            .is_some_and(|t| t.applies(self.seed, event_index, attempt))
+    }
+
+    /// Byte prefix to keep of the `session_index`-th admitted session's
+    /// stream when `conn-drop` targets it — simulating the client
+    /// disconnecting mid-stream; `None` when the session is untargeted.
+    pub fn conn_drop_after(&self, session_index: u64) -> Option<u64> {
+        let (t, after) = self.conn_drop?;
+        t.applies(self.seed, session_index, 0).then_some(after)
+    }
+
+    /// Cooperative yields to spin before a shard processes its
+    /// `event_index`-th event when `inbox-stall` targets it — a pure
+    /// timing perturbation; `None` when untargeted.
+    pub fn inbox_stall_spins(&self, event_index: u64) -> Option<u64> {
+        let (t, len) = self.inbox_stall?;
+        t.applies(self.seed, event_index, 0).then_some(len)
     }
 }
 
@@ -474,5 +565,58 @@ mod tests {
         assert_eq!(FaultSite::SchedStorm.name(), "sched_storm");
         assert_eq!(FaultSite::DetectorPanic.name(), "detector_panic");
         assert_eq!(FaultSite::ArtifactIo.name(), "artifact_io");
+        assert_eq!(FaultSite::ShardPanic.name(), "shard_panic");
+        assert_eq!(FaultSite::ConnDrop.name(), "conn_drop");
+        assert_eq!(FaultSite::InboxStall.name(), "inbox_stall");
+    }
+
+    #[test]
+    fn serve_sites_parse_and_target_deterministically() {
+        let plan = FaultPlan::parse(
+            "seed 1\nshard-panic every=4\nconn-drop every=3 after=40\ninbox-stall every=2 len=9\n",
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.has_serve_sites());
+
+        // shard-panic: (i + 1) % 4 == 0 → i = 3, 7, …; default limit=1
+        // fires on attempt 0 only, so the supervised retry succeeds.
+        assert!(plan.shard_panic_fires(3, 0));
+        assert!(!plan.shard_panic_fires(3, 1), "default limit is 1");
+        assert!(!plan.shard_panic_fires(4, 0));
+
+        // conn-drop: (i + 1) % 3 == 0 → sessions 2, 5, …
+        assert_eq!(plan.conn_drop_after(2), Some(40));
+        assert_eq!(plan.conn_drop_after(3), None);
+
+        // inbox-stall: (i + 1) % 2 == 0 → odd event indices.
+        assert_eq!(plan.inbox_stall_spins(1), Some(9));
+        assert_eq!(plan.inbox_stall_spins(2), None);
+
+        // An explicit limit overrides the shard-panic fire-once default
+        // (the ShardLost path needs panics on every retry).
+        let hostile = FaultPlan::parse("shard-panic every=1 limit=100\n").unwrap();
+        assert!(hostile.shard_panic_fires(0, 5));
+
+        // Classification of the injected messages.
+        assert_eq!(
+            FaultSite::classify("injected: shard panic (shard 2, event 64)"),
+            Some(FaultSite::ShardPanic)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: conn drop (session 3)"),
+            Some(FaultSite::ConnDrop)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: inbox stall (event 32)"),
+            Some(FaultSite::InboxStall)
+        );
+
+        // Plans without serve sites report none armed.
+        let fleet_only = FaultPlan::parse("detector-panic every=2\n").unwrap();
+        assert!(!fleet_only.has_serve_sites());
+        assert!(!fleet_only.shard_panic_fires(0, 0));
+        assert_eq!(fleet_only.conn_drop_after(0), None);
+        assert_eq!(fleet_only.inbox_stall_spins(0), None);
     }
 }

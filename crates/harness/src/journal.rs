@@ -232,6 +232,22 @@ pub fn rewrite_valid_prefix(path: &Path, lines: &[String]) -> io::Result<()> {
     pacer_collections::atomic_write(path, out)
 }
 
+/// Reads the journal at `path` and, when a crash left a partial final
+/// line, rewrites the file down to its valid prefix so it is appendable
+/// again. This is the one-call resume helper: both the fleet engine and
+/// the serve session journal recover through it.
+///
+/// # Errors
+///
+/// I/O failures and mid-file corruption, as [`read_journal`].
+pub fn recover_lines(path: &Path) -> Result<JournalContents, JournalError> {
+    let contents = read_journal(path)?;
+    if contents.dropped_partial_tail {
+        rewrite_valid_prefix(path, &contents.lines)?;
+    }
+    Ok(contents)
+}
+
 /// Appends `"key":"value"` (or `"key":null`) with JSON string escaping,
 /// matching the workspace's artifact writers.
 fn field_opt_str(out: &mut String, key: &str, value: Option<&str>) {
@@ -533,6 +549,27 @@ mod tests {
         drop(w);
         let contents = read_journal(&path).unwrap();
         assert_eq!(contents.lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert!(!contents.dropped_partial_tail);
+    }
+
+    #[test]
+    fn recover_lines_truncates_partial_tail_in_one_call() {
+        let path = temp_path("recover");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.write_line("{\"a\":1}").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"P1 7 deadbeef");
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = recover_lines(&path).unwrap();
+        assert_eq!(contents.lines, vec!["{\"a\":1}"]);
+        assert!(contents.dropped_partial_tail);
+        // The file itself was rewritten: appending now works cleanly.
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.write_line("{\"b\":2}").unwrap();
+        drop(w);
+        let contents = recover_lines(&path).unwrap();
+        assert_eq!(contents.lines.len(), 2);
         assert!(!contents.dropped_partial_tail);
     }
 

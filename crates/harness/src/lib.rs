@@ -72,6 +72,7 @@ pub use resilient::{
 };
 pub use service::{
     run_service, serve_sessions, ServeConfig, ServeDetectorKind, ServeError, ServeOutput,
-    ServiceHandle, SessionReport,
+    ServiceHandle, SessionOutcome, SessionReport,
 };
+pub use shard::{ShardDown, ShardLost, Supervisor};
 pub use trials::{num_trials, record_trial_trace, DetectorKind, RaceKey, TrialResult};

@@ -122,7 +122,7 @@ pub fn attempt_one<T>(
 /// stderr mid-campaign. Re-entrant across threads: a process-wide depth
 /// count keeps the hook silenced until the last guard drops, then
 /// restores the previous hook.
-struct SilencePanics;
+pub(crate) struct SilencePanics;
 
 struct PanicSilenceState {
     depth: usize,
@@ -135,7 +135,7 @@ static PANIC_SILENCE: Mutex<PanicSilenceState> = Mutex::new(PanicSilenceState {
 });
 
 impl SilencePanics {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut state = PANIC_SILENCE.lock().unwrap_or_else(|p| p.into_inner());
         if state.depth == 0 {
             state.prev = Some(std::panic::take_hook());
@@ -158,7 +158,7 @@ impl Drop for SilencePanics {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else if let Some(s) = payload.downcast_ref::<&str>() {

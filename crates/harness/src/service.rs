@@ -45,9 +45,29 @@
 //! sampling rate* down a ladder: new sessions get a fresh sampling-period
 //! overlay at the reduced rate (shedding detection work, never
 //! connections). Full protocol and lifecycle rules live in `SERVICE.md`.
+//!
+//! # Supervision and lifecycle budgets
+//!
+//! Each shard worker applies events under a [`Supervisor`]: a panic in a
+//! detector callback is caught, the shard's sessions are rebuilt
+//! deterministically by replaying their retained event logs through
+//! fresh detectors, and the event is retried — so the transcript stays
+//! byte-identical to an uncrashed run. Only when the per-event attempt
+//! budget is exhausted does the *owning session* (and no other) fail
+//! with a typed [`ShardLost`] note. Sessions also carry lifecycle
+//! budgets: an event deadline (`--session-deadline-events`), an
+//! idle-timeout reaper driven by deterministic poll ticks
+//! (`--idle-timeout`), and the `pacer-faults` serve sites (`shard-panic`,
+//! `conn-drop`, `inbox-stall`) for chaos drills. Every terminal outcome
+//! lands in exactly one [`SessionOutcome`] bucket, giving the
+//! conservation law `admitted == completed + shed + failed + reaped`
+//! ([`SessionCounters::conserved`]).
 
+use std::cell::Cell;
 use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
@@ -55,18 +75,20 @@ use std::sync::Mutex;
 use pacer_collections::JsonValue;
 use pacer_core::PacerDetector;
 use pacer_fasttrack::{FastTrackDetector, GenericDetector};
+use pacer_faults::{FaultPlan, INJECTED_PREFIX};
 use pacer_governor::{
     default_ladder, millionths_from_rate, rate_from_millionths, Governor, GovernorConfig,
     GovernorSummary, DEFAULT_COOLDOWN,
 };
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
-use pacer_obs::{ObservableDetector, ServeCounters};
+use pacer_obs::{ObservableDetector, ServeCounters, SessionCounters};
 use pacer_trace::gen::ResampleSampling;
 use pacer_trace::stream::{AnyTraceReader, TraceStreamError, ValidatedActions};
 use pacer_trace::{Action, Detector, SiteId};
 
 use crate::journal::{self, JournalWriter};
-use crate::shard::{self, Inboxes};
+use crate::resilient::panic_message;
+use crate::shard::{self, Inboxes, ShardDown, ShardLost, Supervisor};
 
 /// Bytes per metadata word, matching the space-accounting convention
 /// used by the governor's memory budget everywhere else in the suite.
@@ -189,11 +211,22 @@ pub struct ServeConfig {
     /// Mean sampling-period length for shed-rate overlays (same default
     /// as `pacer replay --resample-period`).
     pub resample_period: usize,
+    /// Per-session event budget: a session decoding more events than
+    /// this is rejected with a deadline error (`--session-deadline-events`).
+    pub deadline_events: Option<u64>,
+    /// Idle poll ticks before a stalled session is reaped
+    /// (`--idle-timeout`). A tick is one timeout-ish read
+    /// (`WouldBlock`/`TimedOut`); any delivered byte resets the count.
+    pub idle_timeout_ticks: Option<u32>,
+    /// Chaos fault plan; only the serve sites (`shard-panic`,
+    /// `conn-drop`, `inbox-stall`) are consulted here.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServeConfig {
     /// Defaults matching the CLI: 4 shards, seed 42, inbox depth 1024,
-    /// no checkpoint, no budget, resample period 50.
+    /// no checkpoint, no budget, resample period 50, no lifecycle
+    /// budgets, no faults.
     pub fn new(detector: ServeDetectorKind) -> Self {
         ServeConfig {
             shards: 4,
@@ -204,6 +237,9 @@ impl ServeConfig {
             resume: false,
             mem_budget: None,
             resample_period: 50,
+            deadline_events: None,
+            idle_timeout_ticks: None,
+            fault_plan: None,
         }
     }
 }
@@ -239,6 +275,50 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+/// The terminal bucket a session lands in. Buckets are disjoint and
+/// exhaustive, which is what makes [`SessionCounters`]'s conservation
+/// law (`admitted == completed + shed + failed + reaped`) checkable:
+/// every admitted session is filed exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// Completed at full sampling rate (truncated partials included).
+    Clean,
+    /// Completed at a governor-reduced sampling rate.
+    Shed,
+    /// Rejected: corrupt frame, invalid trace, duplicate name, deadline
+    /// overrun, or unreachable shard.
+    Failed,
+    /// Reaped by the idle timeout before its stream completed.
+    Reaped,
+    /// Abandoned by shard supervision after the per-event attempt
+    /// budget was exhausted.
+    ShardLost,
+}
+
+impl SessionOutcome {
+    /// Stable name used in journal entries and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionOutcome::Clean => "clean",
+            SessionOutcome::Shed => "shed",
+            SessionOutcome::Failed => "failed",
+            SessionOutcome::Reaped => "reaped",
+            SessionOutcome::ShardLost => "shard_lost",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<SessionOutcome, String> {
+        match name {
+            "clean" => Ok(SessionOutcome::Clean),
+            "shed" => Ok(SessionOutcome::Shed),
+            "failed" => Ok(SessionOutcome::Failed),
+            "reaped" => Ok(SessionOutcome::Reaped),
+            "shard_lost" => Ok(SessionOutcome::ShardLost),
+            other => Err(format!("unknown session outcome {other:?}")),
+        }
+    }
+}
+
 /// One completed session's outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionReport {
@@ -260,8 +340,10 @@ pub struct SessionReport {
     /// Whether the stream ended mid-frame (partial, per TRACE_FORMAT.md).
     pub truncated: bool,
     /// Whether the session was rejected (corrupt frame, invalid trace,
-    /// duplicate name).
+    /// duplicate name, deadline, reap, or shard loss).
     pub error: bool,
+    /// The disjoint accounting bucket this session landed in.
+    pub outcome: SessionOutcome,
 }
 
 /// Everything a finished service run produced.
@@ -271,6 +353,9 @@ pub struct ServeOutput {
     pub reports: Vec<SessionReport>,
     /// Per-shard counters in shard-index order.
     pub shard_counters: Vec<ServeCounters>,
+    /// Session lifecycle accounting (see
+    /// [`SessionCounters::conserved`]).
+    pub sessions: SessionCounters,
     /// Governor outcome when a budget was armed.
     pub governor: Option<GovernorSummary>,
     /// The deterministic merged transcript (see module docs).
@@ -305,41 +390,140 @@ enum ShardMsg {
 struct ShardReport {
     dynamic: u64,
     distinct: Vec<(SiteId, SiteId)>,
+    /// Set when supervision abandoned this session on this shard.
+    lost: Option<ShardLost>,
+}
+
+/// Replays granted to each event application after its first panicking
+/// attempt. Three total attempts sits comfortably above `limit=1` chaos
+/// plans (which stop firing after attempt 0, so the first replay
+/// succeeds) while bounding the work a deterministically-panicking
+/// organic bug can consume before its session is abandoned.
+const SHARD_EVENT_RETRIES: u32 = 2;
+
+/// One session's state on one shard: live (a detector plus the retained
+/// event log that makes rebuild-by-replay possible), or abandoned after
+/// supervision exhausted the per-event attempt budget.
+enum SessionSlot {
+    Live {
+        det: ServeDetector,
+        log: Vec<Action>,
+    },
+    Lost(ShardLost),
+}
+
+/// Rebuilds every live slot deterministically by replaying its retained
+/// log through a fresh detector — shard state is a pure function of the
+/// event stream, so this restores exactly the pre-panic state. A slot
+/// whose *replay* panics is unrecoverable (the poison is in its own
+/// history) and becomes [`SessionSlot::Lost`]; every other session is
+/// unaffected.
+fn rebuild_sessions(kind: ServeDetectorKind, seed: u64, sessions: &mut [Option<SessionSlot>]) {
+    for slot in sessions.iter_mut() {
+        let Some(SessionSlot::Live { det, log }) = slot.as_mut() else {
+            continue;
+        };
+        let replayed = catch_unwind(AssertUnwindSafe(|| {
+            let mut fresh = ServeDetector::build(kind, seed);
+            for action in log.iter() {
+                fresh.on_action(action);
+            }
+            fresh
+        }));
+        match replayed {
+            Ok(fresh) => *det = fresh,
+            Err(payload) => {
+                *slot = Some(SessionSlot::Lost(ShardLost {
+                    reason: panic_message(payload.as_ref()),
+                    attempts: 1,
+                }));
+            }
+        }
+    }
 }
 
 fn shard_worker(
     kind: ServeDetectorKind,
     seed: u64,
+    plan: Option<&FaultPlan>,
     shard: usize,
     inbox: Receiver<ShardMsg>,
 ) -> ServeCounters {
-    let mut sessions: Vec<Option<ServeDetector>> = Vec::new();
+    let mut sessions: Vec<Option<SessionSlot>> = Vec::new();
     let mut counters = ServeCounters::default();
+    let mut supervisor = Supervisor::new(SHARD_EVENT_RETRIES);
+    // The fault index: events *arrived* at this shard, counted once per
+    // event regardless of how many supervised attempts it takes (or
+    // whether it is ultimately lost) — so a `limit=1` plan stops firing
+    // on the first retry and the rebuilt state absorbs the event
+    // exactly once.
+    let mut arrivals: u64 = 0;
     for msg in inbox {
         match msg {
             ShardMsg::Event { session, action } => {
+                let arrival = arrivals;
+                arrivals += 1;
                 let idx = session as usize;
                 if sessions.len() <= idx {
                     sessions.resize_with(idx + 1, || None);
                 }
-                let det = sessions[idx].get_or_insert_with(|| {
+                if sessions[idx].is_none() {
                     counters.sessions += 1;
-                    ServeDetector::build(kind, seed)
-                });
-                counters.events += 1;
-                if action.is_access() {
-                    counters.accesses += 1;
+                    sessions[idx] = Some(SessionSlot::Live {
+                        det: ServeDetector::build(kind, seed),
+                        log: Vec::new(),
+                    });
                 }
-                det.on_action(&action);
+                if matches!(sessions[idx], Some(SessionSlot::Lost(_))) {
+                    // Already abandoned: drain the session's remaining
+                    // events without applying or counting them.
+                    continue;
+                }
+                let is_access = action.is_access();
+                let applied = supervisor.supervise(
+                    &mut sessions,
+                    |sessions, attempt| {
+                        if plan.is_some_and(|p| p.shard_panic_fires(arrival, attempt)) {
+                            panic!("{INJECTED_PREFIX}shard panic (shard {shard}, event {arrival})");
+                        }
+                        if let Some(SessionSlot::Live { det, .. }) = &mut sessions[idx] {
+                            det.on_action(&action);
+                        }
+                    },
+                    |sessions| rebuild_sessions(kind, seed, sessions),
+                );
+                counters.shard_restarts = supervisor.restarts();
+                match applied {
+                    Ok(()) => {
+                        if let Some(SessionSlot::Live { log, .. }) = &mut sessions[idx] {
+                            log.push(action);
+                            counters.events += 1;
+                            if is_access {
+                                counters.accesses += 1;
+                            }
+                        }
+                    }
+                    Err(lost) => {
+                        sessions[idx] = Some(SessionSlot::Lost(lost));
+                    }
+                }
             }
             ShardMsg::Close { session, reply } => {
                 let report = match sessions.get_mut(session as usize).and_then(Option::take) {
-                    Some(det) => {
+                    Some(SessionSlot::Live { det, .. }) => {
                         let dynamic = det.dynamic_races();
                         counters.races += dynamic;
                         ShardReport {
                             dynamic,
                             distinct: det.distinct_races(),
+                            lost: None,
+                        }
+                    }
+                    Some(SessionSlot::Lost(lost)) => {
+                        counters.sessions_lost += 1;
+                        ShardReport {
+                            lost: Some(lost),
+                            ..ShardReport::default()
                         }
                     }
                     None => ShardReport::default(),
@@ -353,7 +537,10 @@ fn shard_worker(
                 let live = sessions
                     .iter()
                     .flatten()
-                    .map(ServeDetector::footprint_words)
+                    .map(|slot| match slot {
+                        SessionSlot::Live { det, .. } => det.footprint_words(),
+                        SessionSlot::Lost(_) => 0,
+                    })
                     .sum();
                 let _ = reply.send(live);
             }
@@ -378,6 +565,18 @@ struct EngineState {
     governor: Option<Governor>,
     /// Sessions admitted so far (the governor's boundary counter).
     admitted: u64,
+    /// Lifecycle accounting; every terminal report is filed exactly once.
+    sessions: SessionCounters,
+}
+
+/// Files one terminal outcome into its conservation bucket.
+fn bucket(sessions: &mut SessionCounters, outcome: SessionOutcome) {
+    match outcome {
+        SessionOutcome::Clean => sessions.completed += 1,
+        SessionOutcome::Shed => sessions.shed += 1,
+        SessionOutcome::Failed | SessionOutcome::ShardLost => sessions.failed += 1,
+        SessionOutcome::Reaped => sessions.reaped += 1,
+    }
 }
 
 /// The live service a transport drives: [`serve`](ServiceHandle::serve)
@@ -406,6 +605,7 @@ impl ServiceHandle<'_> {
                 shed_millionths: None,
                 truncated: false,
                 error: true,
+                outcome: SessionOutcome::Failed,
             },
             Admission::Admit { session, shed } => self.ingest(name, session, shed, source),
         };
@@ -420,6 +620,9 @@ impl ServiceHandle<'_> {
         if let Some(r) = state.restored.iter().position(|r| r.name == name) {
             let report = state.restored.swap_remove(r);
             state.names.push(report.name.clone());
+            state.sessions.admitted += 1;
+            state.sessions.restored += 1;
+            bucket(&mut state.sessions, report.outcome);
             state.completed.push(report.clone());
             return Admission::Restored(report);
         }
@@ -441,14 +644,16 @@ impl ServiceHandle<'_> {
         let governor = state.governor.as_mut()?;
         let budget = governor.config().mem_budget_bytes?;
         let (tx, rx) = sync_channel(self.cfg.shards);
-        self.inboxes.broadcast(ShardMsg::Poll { reply: tx });
-        let live_words: u64 = rx.iter().take(self.cfg.shards).sum();
+        let delivered = self.inboxes.broadcast_live(ShardMsg::Poll { reply: tx });
+        let live_words: u64 = rx.iter().take(delivered).sum();
         let _ = governor.on_boundary(boundary, Some((live_words * WORD_BYTES, budget)), None);
         let rate = governor.rate_millionths();
         (rate < millionths_from_rate(1.0)).then_some(rate)
     }
 
-    /// Decodes, validates, routes, and flushes one admitted session.
+    /// Decodes, validates, routes, and flushes one admitted session,
+    /// enforcing the lifecycle budgets (deadline, idle reaper,
+    /// `conn-drop`) along the way.
     fn ingest(
         &self,
         name: &str,
@@ -456,7 +661,7 @@ impl ServiceHandle<'_> {
         shed: Option<u32>,
         source: impl Read,
     ) -> SessionReport {
-        let error_report = |message: String, events: u64| SessionReport {
+        let error_report = |message: String, events: u64, outcome: SessionOutcome| SessionReport {
             name: name.to_string(),
             body: format!("error: {message}\n"),
             events,
@@ -465,23 +670,57 @@ impl ServiceHandle<'_> {
             shed_millionths: shed,
             truncated: false,
             error: true,
+            outcome,
         };
+        let idle_note = |ticks: u32| format!("idle timeout: reaped after {ticks} idle tick(s)");
+
+        // Lifecycle wrapper: the `conn-drop` chaos site caps the bytes
+        // delivered (simulating a client vanishing mid-stream) and the
+        // idle reaper counts timeout-ish reads as poll ticks.
+        let drop_after = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.conn_drop_after(u64::from(session)));
+        let reaped = Rc::new(Cell::new(false));
+        let source = LifecycleGuard {
+            inner: source,
+            remaining: drop_after,
+            idle_limit: self.cfg.idle_timeout_ticks,
+            idle_ticks: 0,
+            reaped: Rc::clone(&reaped),
+        };
+        let idle_limit = self.cfg.idle_timeout_ticks.unwrap_or(0);
 
         let mut reader = match AnyTraceReader::new(source) {
             Ok(reader) => reader,
             Err(e) => {
                 // Nothing was routed yet, so there is no state to flush.
-                return error_report(e.to_string(), 0);
+                if reaped.get() {
+                    return error_report(idle_note(idle_limit), 0, SessionOutcome::Reaped);
+                }
+                return error_report(e.to_string(), 0, SessionOutcome::Failed);
             }
         };
 
         // Decode errors end the event stream; the captured error wins
         // over whatever partial analysis preceded it (same precedence as
-        // `pacer replay`).
+        // `pacer replay`). The deadline check sits *after* the pull, so
+        // a session with exactly `deadline_events` events still passes.
+        let deadline = self.cfg.deadline_events;
         let mut stream_err: Option<TraceStreamError> = None;
-        let (stats, threads, validation_err) = {
+        let mut deadline_hit = false;
+        let mut decoded: u64 = 0;
+        let (routed, stats, threads, validation_err) = {
             let events = std::iter::from_fn(|| match reader.next() {
-                Some(Ok(action)) => Some(action),
+                Some(Ok(action)) => {
+                    if deadline.is_some_and(|max| decoded >= max) {
+                        deadline_hit = true;
+                        return None;
+                    }
+                    decoded += 1;
+                    Some(action)
+                }
                 Some(Err(e)) => {
                     stream_err = Some(e);
                     None
@@ -496,27 +735,50 @@ impl ServiceHandle<'_> {
                     self.cfg.seed,
                 );
                 let mut validated = ValidatedActions::new(overlay);
-                self.route(session, &mut validated);
+                let routed = self.route(session, &mut validated);
                 let err = validated.error().map(ToString::to_string);
-                (*validated.stats(), validated.threads(), err)
+                (routed, *validated.stats(), validated.threads(), err)
             } else {
                 let mut validated = ValidatedActions::new(events);
-                self.route(session, &mut validated);
+                let routed = self.route(session, &mut validated);
                 let err = validated.error().map(ToString::to_string);
-                (*validated.stats(), validated.threads(), err)
+                (routed, *validated.stats(), validated.threads(), err)
             }
         };
         let truncation_note = reader.truncation_note();
         let truncated = reader.truncated();
 
         // Always flush: events routed before a failure must be freed.
-        let (dynamic, distinct) = self.flush(session);
+        let (dynamic, distinct, lost) = self.flush(session);
 
+        if reaped.get() {
+            return error_report(idle_note(idle_limit), stats.total(), SessionOutcome::Reaped);
+        }
         if let Some(e) = validation_err {
-            return error_report(format!("invalid trace: {e}"), stats.total());
+            return error_report(
+                format!("invalid trace: {e}"),
+                stats.total(),
+                SessionOutcome::Failed,
+            );
         }
         if let Some(e) = stream_err {
-            return error_report(e.to_string(), stats.total());
+            return error_report(e.to_string(), stats.total(), SessionOutcome::Failed);
+        }
+        if deadline_hit {
+            return error_report(
+                format!(
+                    "session deadline exceeded: more than {} event(s)",
+                    deadline.unwrap_or(0)
+                ),
+                stats.total(),
+                SessionOutcome::Failed,
+            );
+        }
+        if let Err(down) = routed {
+            return error_report(down.to_string(), stats.total(), SessionOutcome::Failed);
+        }
+        if let Some(lost) = lost {
+            return error_report(lost.to_string(), stats.total(), SessionOutcome::ShardLost);
         }
 
         // The body reproduces `pacer replay` byte for byte (`--resample`
@@ -559,51 +821,97 @@ impl ServiceHandle<'_> {
             shed_millionths: shed,
             truncated,
             error: false,
+            outcome: if shed.is_some() {
+                SessionOutcome::Shed
+            } else {
+                SessionOutcome::Clean
+            },
         }
     }
 
     /// Routes one session's events: accesses to their variable's shard,
     /// everything else broadcast (LITERACE: the whole session to one
-    /// shard). See the module docs for why this is exact.
-    fn route(&self, session: u32, events: &mut impl Iterator<Item = Action>) {
+    /// shard). See the module docs for why this is exact. All sends are
+    /// checked — a shard that died anyway fails only the sessions whose
+    /// events it owned, never the handler or the accept loop. The
+    /// `inbox-stall` chaos site spins (a pure timing perturbation)
+    /// before targeted events.
+    fn route(
+        &self,
+        session: u32,
+        events: &mut impl Iterator<Item = Action>,
+    ) -> Result<(), ShardDown> {
         let shards = self.cfg.shards;
+        let plan = self.cfg.fault_plan.as_ref();
+        let mut index: u64 = 0;
+        let stall = |index: u64| {
+            if let Some(spins) = plan.and_then(|p| p.inbox_stall_spins(index)) {
+                for _ in 0..spins {
+                    std::thread::yield_now();
+                }
+            }
+        };
         if self.cfg.detector.var_shardable() {
             for action in events {
+                stall(index);
+                index += 1;
                 match action.access() {
-                    Some((x, _, _)) => self.inboxes.send(
+                    Some((x, _, _)) => self.inboxes.checked_send(
                         x.raw() as usize % shards,
                         ShardMsg::Event { session, action },
-                    ),
-                    None => self.inboxes.broadcast(ShardMsg::Event { session, action }),
+                    )?,
+                    None => {
+                        // Broadcasts skip dead shards: the survivors'
+                        // replicas stay exact, and any session whose
+                        // accesses live on the dead shard fails at its
+                        // own checked send above.
+                        self.inboxes
+                            .broadcast_live(ShardMsg::Event { session, action });
+                    }
                 }
             }
         } else {
             let home = session as usize % shards;
             for action in events {
-                self.inboxes.send(home, ShardMsg::Event { session, action });
+                stall(index);
+                index += 1;
+                self.inboxes
+                    .checked_send(home, ShardMsg::Event { session, action })?;
             }
         }
+        Ok(())
     }
 
-    /// Flush barrier: collects every shard's share of the session and
-    /// merges deterministically (sum of dynamic counts, sorted union of
-    /// distinct pairs — the shard replies are order-insensitive).
-    fn flush(&self, session: u32) -> (u64, Vec<(SiteId, SiteId)>) {
+    /// Flush barrier: collects every live shard's share of the session
+    /// and merges deterministically (sum of dynamic counts, sorted union
+    /// of distinct pairs — the shard replies are order-insensitive).
+    /// When supervision abandoned the session somewhere, the
+    /// lowest-indexed shard's [`ShardLost`] note is returned so the
+    /// report is deterministic even if several shards lost it.
+    fn flush(&self, session: u32) -> (u64, Vec<(SiteId, SiteId)>, Option<ShardLost>) {
         let (tx, rx) = sync_channel(self.cfg.shards);
-        self.inboxes
-            .broadcast(ShardMsg::Close { session, reply: tx });
+        let delivered = self
+            .inboxes
+            .broadcast_live(ShardMsg::Close { session, reply: tx });
         let mut dynamic = 0;
         let mut distinct = Vec::new();
-        for (_, share) in rx.iter().take(self.cfg.shards) {
+        let mut lost: Option<(usize, ShardLost)> = None;
+        for (shard, share) in rx.iter().take(delivered) {
             dynamic += share.dynamic;
             distinct.extend(share.distinct);
+            if let Some(l) = share.lost {
+                if lost.as_ref().is_none_or(|(s, _)| shard < *s) {
+                    lost = Some((shard, l));
+                }
+            }
         }
         distinct.sort();
         distinct.dedup();
-        (dynamic, distinct)
+        (dynamic, distinct, lost.map(|(_, l)| l))
     }
 
-    /// Records a finished session: checkpoint it, then merge it.
+    /// Records a finished session: checkpoint it, file its outcome
+    /// bucket, then merge it.
     fn complete(&self, report: SessionReport) -> SessionReport {
         let mut state = lock(&self.state);
         if let Some(writer) = state.journal.as_mut() {
@@ -613,8 +921,70 @@ impl ServiceHandle<'_> {
                 }
             }
         }
+        state.sessions.admitted += 1;
+        bucket(&mut state.sessions, report.outcome);
         state.completed.push(report.clone());
         report
+    }
+}
+
+/// `Read` adapter enforcing per-session lifecycle budgets: an optional
+/// byte cap (the `conn-drop` chaos site — the stream just ends, exactly
+/// like a vanished client) and the idle-timeout reaper. Timeout-ish
+/// errors (`WouldBlock`/`TimedOut`, i.e. one poll tick of a socket with
+/// a read timeout armed) are counted, not propagated; any delivered
+/// byte resets the count, and at the limit the stream ends with the
+/// `reaped` flag raised so ingest files the session as
+/// [`SessionOutcome::Reaped`].
+struct LifecycleGuard<R> {
+    inner: R,
+    /// Bytes still allowed through (`conn-drop`); `None` = unlimited.
+    remaining: Option<u64>,
+    idle_limit: Option<u32>,
+    idle_ticks: u32,
+    reaped: Rc<Cell<bool>>,
+}
+
+impl<R: Read> Read for LifecycleGuard<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.reaped.get() || self.remaining == Some(0) {
+            return Ok(0);
+        }
+        let cap = match self.remaining {
+            Some(n) => usize::try_from(n.min(buf.len() as u64)).unwrap_or(buf.len()),
+            None => buf.len(),
+        };
+        loop {
+            match self.inner.read(&mut buf[..cap]) {
+                Ok(n) => {
+                    if let Some(remaining) = &mut self.remaining {
+                        *remaining -= n as u64;
+                    }
+                    self.idle_ticks = 0;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    self.idle_ticks += 1;
+                    match self.idle_limit {
+                        Some(limit) if self.idle_ticks >= limit => {
+                            self.reaped.set(true);
+                            return Ok(0);
+                        }
+                        // No limit armed: a timeout-ish error is
+                        // spurious (read timeouts are only set when the
+                        // reaper is on) — retry.
+                        _ => continue,
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -655,16 +1025,20 @@ pub fn run_service<T>(
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err(ServeError::Config("--resume requires --checkpoint".into()));
     }
+    // Supervised shard panics — injected or organic — are caught,
+    // recorded in counters, and replay-rebuilt; keep them from spraying
+    // backtraces on stderr for the run's lifetime (same policy as the
+    // fleet's quarantine path).
+    let _quiet = crate::resilient::SilencePanics::new();
 
     let mut restored = Vec::new();
     let mut journal = None;
     if let Some(path) = &cfg.checkpoint {
         if cfg.resume && path.exists() {
+            // `recover_lines` truncates a crash-torn partial tail in the
+            // same call, so the append below lands on a clean frame edge.
             let contents =
-                journal::read_journal(path).map_err(|e| ServeError::Journal(e.to_string()))?;
-            if contents.dropped_partial_tail {
-                journal::rewrite_valid_prefix(path, &contents.lines)?;
-            }
+                journal::recover_lines(path).map_err(|e| ServeError::Journal(e.to_string()))?;
             for line in &contents.lines {
                 restored.push(decode_entry(line).map_err(ServeError::Journal)?);
             }
@@ -685,10 +1059,11 @@ pub fn run_service<T>(
 
     let kind = cfg.detector;
     let seed = cfg.seed;
+    let plan = cfg.fault_plan.as_ref();
     let (shard_counters, (driven, state)) = shard::run_sharded(
         cfg.shards,
         cfg.capacity,
-        |shard, inbox| shard_worker(kind, seed, shard, inbox),
+        |shard, inbox| shard_worker(kind, seed, plan, shard, inbox),
         |inboxes| {
             let handle = ServiceHandle {
                 cfg,
@@ -702,6 +1077,7 @@ pub fn run_service<T>(
                     journal_error: None,
                     governor,
                     admitted: 0,
+                    sessions: SessionCounters::default(),
                 }),
             };
             let driven = drive(&handle);
@@ -723,6 +1099,7 @@ pub fn run_service<T>(
     let output = ServeOutput {
         reports,
         shard_counters,
+        sessions: state.sessions,
         governor: state.governor.map(Governor::into_summary),
         transcript,
     };
@@ -817,8 +1194,10 @@ fn encode_entry(report: &SessionReport) -> String {
         None => out.push_str(",\"shed\":null"),
     }
     out.push_str(&format!(
-        ",\"truncated\":{},\"error\":{},\"body\":",
-        report.truncated, report.error
+        ",\"truncated\":{},\"error\":{},\"outcome\":\"{}\",\"body\":",
+        report.truncated,
+        report.error,
+        report.outcome.name()
     ));
     journal::escape_into(&mut out, &report.body);
     out.push('}');
@@ -851,6 +1230,24 @@ fn decode_entry(json: &str) -> Result<SessionReport, String> {
         None => return Err("missing field `shed`".into()),
         Some(v) => v.as_u64().map(|m| m as u32),
     };
+    let error = bool_field("error")?;
+    let outcome = match value.get("outcome") {
+        // Journals written before outcomes existed: derive the bucket
+        // from the fields that determined it then.
+        None => {
+            if error {
+                SessionOutcome::Failed
+            } else if shed.is_some() {
+                SessionOutcome::Shed
+            } else {
+                SessionOutcome::Clean
+            }
+        }
+        Some(v) => SessionOutcome::from_name(
+            v.as_str()
+                .ok_or_else(|| "field `outcome` must be a string".to_string())?,
+        )?,
+    };
     Ok(SessionReport {
         name: str_field("name")?,
         body: str_field("body")?,
@@ -859,7 +1256,8 @@ fn decode_entry(json: &str) -> Result<SessionReport, String> {
         distinct_races: u64_field("distinct")?,
         shed_millionths: shed,
         truncated: bool_field("truncated")?,
-        error: bool_field("error")?,
+        error,
+        outcome,
     })
 }
 
@@ -922,15 +1320,49 @@ mod tests {
             shed_millionths: Some(500_000),
             truncated: true,
             error: false,
+            outcome: SessionOutcome::Shed,
         };
         assert_eq!(decode_entry(&encode_entry(&report)).unwrap(), report);
 
         let plain = SessionReport {
             shed_millionths: None,
             truncated: false,
-            ..report
+            outcome: SessionOutcome::Clean,
+            ..report.clone()
         };
         assert_eq!(decode_entry(&encode_entry(&plain)).unwrap(), plain);
+
+        let lost = SessionReport {
+            body: "error: shard lost after 3 attempt(s): boom\n".into(),
+            error: true,
+            outcome: SessionOutcome::ShardLost,
+            ..plain.clone()
+        };
+        assert_eq!(decode_entry(&encode_entry(&lost)).unwrap(), lost);
+    }
+
+    #[test]
+    fn legacy_entries_without_outcome_still_decode() {
+        // A journal line written before outcomes existed derives its
+        // bucket from `error`/`shed`.
+        let legacy = "{\"name\":\"a\",\"events\":3,\"dynamic\":1,\"distinct\":1,\
+                      \"shed\":null,\"truncated\":false,\"error\":false,\"body\":\"b\\n\"}";
+        assert_eq!(decode_entry(legacy).unwrap().outcome, SessionOutcome::Clean);
+        let legacy_shed = legacy.replace("\"shed\":null", "\"shed\":500000");
+        assert_eq!(
+            decode_entry(&legacy_shed).unwrap().outcome,
+            SessionOutcome::Shed
+        );
+        let legacy_err = legacy.replace("\"error\":false", "\"error\":true");
+        assert_eq!(
+            decode_entry(&legacy_err).unwrap().outcome,
+            SessionOutcome::Failed
+        );
+        let bad = legacy.replace(
+            "\"error\":false",
+            "\"error\":false,\"outcome\":\"sideways\"",
+        );
+        assert!(decode_entry(&bad).is_err());
     }
 
     /// A `Read` fed chunk by chunk over a rendezvous channel, so a test
@@ -1054,5 +1486,157 @@ mod tests {
         )
         .unwrap();
         assert_eq!(by_name("good").body, alone.reports[0].body);
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.admitted, 2);
+        assert_eq!(out.sessions.completed, 1);
+        assert_eq!(out.sessions.failed, 1);
+    }
+
+    #[test]
+    fn deadline_rejects_only_over_budget_sessions() {
+        let bytes = racy_trace().to_binary();
+        let clean = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("a".into(), bytes.clone())],
+            1,
+        )
+        .unwrap();
+        let events = clean.reports[0].events;
+        assert!(events > 1);
+
+        // Exactly at the budget: still clean (the check is one past).
+        let mut at = cfg(ServeDetectorKind::FastTrack, 2);
+        at.deadline_events = Some(events);
+        let out = serve_sessions(&at, vec![("a".into(), bytes.clone())], 1).unwrap();
+        assert_eq!(out.reports[0].body, clean.reports[0].body);
+        assert_eq!(out.reports[0].outcome, SessionOutcome::Clean);
+
+        // One under: rejected with a typed deadline error.
+        let mut under = cfg(ServeDetectorKind::FastTrack, 2);
+        under.deadline_events = Some(events - 1);
+        let out = serve_sessions(&under, vec![("a".into(), bytes)], 1).unwrap();
+        assert!(out.reports[0].error);
+        assert_eq!(out.reports[0].outcome, SessionOutcome::Failed);
+        assert!(
+            out.reports[0].body.contains("session deadline exceeded"),
+            "{}",
+            out.reports[0].body
+        );
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.failed, 1);
+    }
+
+    /// A `Read` that delivers its bytes, then reports `WouldBlock`
+    /// forever — a client that sent a prefix and went silent.
+    struct SilentAfter {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for SilentAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "poll tick",
+                ));
+            }
+            let n = (self.bytes.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_after_the_tick_budget() {
+        let bytes = racy_trace().to_binary();
+        let mut config = cfg(ServeDetectorKind::FastTrack, 2);
+        config.idle_timeout_ticks = Some(3);
+        let (output, ()) = run_service(&config, |handle| {
+            // Without the reaper this session would spin forever on the
+            // silent tail; three ticks end it deterministically.
+            let report = handle.serve("idle", SilentAfter { bytes, pos: 0 });
+            assert!(report.error);
+            assert_eq!(report.outcome, SessionOutcome::Reaped);
+            assert!(
+                report.body.contains("reaped after 3 idle tick(s)"),
+                "{}",
+                report.body
+            );
+            Ok(())
+        })
+        .unwrap();
+        assert!(output.sessions.conserved(), "{:?}", output.sessions);
+        assert_eq!(output.sessions.reaped, 1);
+        assert_eq!(output.sessions.admitted, 1);
+    }
+
+    #[test]
+    fn injected_shard_panics_rebuild_without_changing_reports() {
+        let bytes = racy_trace().to_binary();
+        let sessions = vec![("a".into(), bytes.clone()), ("b".into(), bytes)];
+        let clean =
+            serve_sessions(&cfg(ServeDetectorKind::FastTrack, 2), sessions.clone(), 1).unwrap();
+
+        // Panic on every event's first attempt; the default limit=1
+        // stops it firing on the supervised retry.
+        let mut chaos = cfg(ServeDetectorKind::FastTrack, 2);
+        chaos.fault_plan = Some(pacer_faults::FaultPlan::parse("shard-panic every=1\n").unwrap());
+        let out = serve_sessions(&chaos, sessions, 1).unwrap();
+
+        assert_eq!(out.transcript, clean.transcript, "chaos must be invisible");
+        let restarts: u64 = out.shard_counters.iter().map(|c| c.shard_restarts).sum();
+        assert!(restarts > 0, "the plan must actually have fired");
+        let lost: u64 = out.shard_counters.iter().map(|c| c.sessions_lost).sum();
+        assert_eq!(lost, 0);
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.completed, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_lose_only_the_owning_session() {
+        let bytes = racy_trace().to_binary();
+        // Fires on shard event index 0 alone (`every` far above the
+        // event count), on every attempt: the first session's first
+        // event exhausts the budget and is abandoned; the second
+        // session's events arrive at later indices and never fire.
+        let mut config = cfg(ServeDetectorKind::FastTrack, 1);
+        config.fault_plan = Some(
+            pacer_faults::FaultPlan::parse("shard-panic every=1000000000 limit=100\n").unwrap(),
+        );
+        let out = serve_sessions(
+            &config,
+            vec![
+                ("victim".into(), bytes.clone()),
+                ("bystander".into(), bytes.clone()),
+            ],
+            1,
+        )
+        .unwrap();
+        let by_name = |n: &str| out.reports.iter().find(|r| r.name == n).unwrap();
+        let victim = by_name("victim");
+        assert!(victim.error);
+        assert_eq!(victim.outcome, SessionOutcome::ShardLost);
+        assert!(
+            victim.body.contains("shard lost after 3 attempt(s)")
+                && victim.body.contains("injected: shard panic"),
+            "{}",
+            victim.body
+        );
+
+        let clean = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 1),
+            vec![("bystander".into(), bytes)],
+            1,
+        )
+        .unwrap();
+        assert_eq!(by_name("bystander").body, clean.reports[0].body);
+
+        assert_eq!(out.shard_counters[0].sessions_lost, 1);
+        assert_eq!(out.shard_counters[0].shard_restarts, 3);
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.failed, 1);
+        assert_eq!(out.sessions.completed, 1);
     }
 }

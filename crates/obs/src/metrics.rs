@@ -76,11 +76,18 @@ pub struct ServeCounters {
     /// Sessions that materialized detector state in this shard.
     pub sessions: u64,
     /// Events this shard processed (routed accesses + broadcasts).
+    /// Counted once per event — supervised replays never double-count.
     pub events: u64,
     /// Data-variable accesses among those events.
     pub accesses: u64,
     /// Dynamic races this shard's detectors reported.
     pub races: u64,
+    /// Supervised restarts: panics caught in this shard's worker, each
+    /// followed by a deterministic replay rebuild (RESILIENCE.md).
+    pub shard_restarts: u64,
+    /// Sessions this shard abandoned with a `ShardLost` note after a
+    /// unit of work exhausted its restart budget.
+    pub sessions_lost: u64,
 }
 
 impl AddAssign for ServeCounters {
@@ -89,6 +96,8 @@ impl AddAssign for ServeCounters {
         self.events += rhs.events;
         self.accesses += rhs.accesses;
         self.races += rhs.races;
+        self.shard_restarts += rhs.shard_restarts;
+        self.sessions_lost += rhs.sessions_lost;
     }
 }
 
@@ -100,6 +109,8 @@ impl ServeCounters {
         json::field_u64(out, &mut first, "events", self.events);
         json::field_u64(out, &mut first, "accesses", self.accesses);
         json::field_u64(out, &mut first, "races", self.races);
+        json::field_u64(out, &mut first, "shard_restarts", self.shard_restarts);
+        json::field_u64(out, &mut first, "sessions_lost", self.sessions_lost);
         out.push('}');
     }
 
@@ -116,9 +127,75 @@ impl ServeCounters {
     }
 }
 
+/// Service-level session lifecycle accounting for `pacer serve` — one
+/// instance per service run, alongside the per-shard [`ServeCounters`].
+///
+/// The outcome buckets are disjoint and exhaustive: every admitted
+/// session lands in exactly one of `completed`, `shed`, `failed`, or
+/// `reaped`, so `admitted == completed + shed + failed + reaped` holds
+/// at the end of any run — including runs with supervised shard
+/// restarts (`tests/serve_chaos.rs` enforces the conservation law).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Sessions admitted (including duplicates and journal restores).
+    pub admitted: u64,
+    /// Sessions that completed at full sampling rate (truncated partials
+    /// included — truncation is a partial success).
+    pub completed: u64,
+    /// Sessions the governor admitted at a reduced sampling rate and
+    /// that then completed.
+    pub shed: u64,
+    /// Sessions rejected: corrupt or invalid streams, duplicate names,
+    /// deadline overruns, and `ShardLost` casualties.
+    pub failed: u64,
+    /// Socket sessions reaped by the idle timeout.
+    pub reaped: u64,
+    /// Of `admitted`, how many were restored verbatim from the resume
+    /// journal (informational; restores also land in an outcome bucket).
+    pub restored: u64,
+}
+
+impl AddAssign for SessionCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.admitted += rhs.admitted;
+        self.completed += rhs.completed;
+        self.shed += rhs.shed;
+        self.failed += rhs.failed;
+        self.reaped += rhs.reaped;
+        self.restored += rhs.restored;
+    }
+}
+
+impl SessionCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "admitted", self.admitted);
+        json::field_u64(out, &mut first, "completed", self.completed);
+        json::field_u64(out, &mut first, "shed", self.shed);
+        json::field_u64(out, &mut first, "failed", self.failed);
+        json::field_u64(out, &mut first, "reaped", self.reaped);
+        json::field_u64(out, &mut first, "restored", self.restored);
+        out.push('}');
+    }
+
+    /// One counter object as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// The conservation law every run must satisfy (see type docs).
+    pub fn conserved(&self) -> bool {
+        self.admitted == self.completed + self.shed + self.failed + self.reaped
+    }
+}
+
 /// The `pacer serve --metrics-out` snapshot: every shard's counters in
-/// shard-index order plus their sum (schema in OBSERVABILITY.md).
-pub fn serve_metrics_json(shards: &[ServeCounters]) -> String {
+/// shard-index order, their sum, and the service-level session
+/// lifecycle buckets (schema in OBSERVABILITY.md).
+pub fn serve_metrics_json(shards: &[ServeCounters], sessions: &SessionCounters) -> String {
     let mut total = ServeCounters::default();
     let mut out = String::from("{\n  \"serve\": {\n    \"shards\": [");
     for (i, s) in shards.iter().enumerate() {
@@ -130,6 +207,8 @@ pub fn serve_metrics_json(shards: &[ServeCounters]) -> String {
     }
     out.push_str("],\n    \"total\": ");
     total.write_json(&mut out);
+    out.push_str(",\n    \"sessions\": ");
+    sessions.write_json(&mut out);
     out.push_str("\n  }\n}\n");
     out
 }

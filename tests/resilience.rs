@@ -413,3 +413,87 @@ fn killed_serve_resumes_byte_identically() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The kill-during-checkpoint drill again, this time with a chaos plan
+/// armed on every leg: shard panics during the partial run, during the
+/// resume, and during the reference-free re-resume. Supervised replay
+/// plus the checksummed journal must still reproduce the fault-free
+/// transcript byte for byte.
+#[test]
+fn torn_journal_resume_is_byte_identical_under_shard_panics() {
+    use pacer_trace::gen::GenConfig;
+
+    let dir = temp_dir("serve-chaos-resume");
+    let journal = dir.join("serve.journal").to_string_lossy().into_owned();
+    let plan = dir.join("plan.faults");
+    std::fs::write(&plan, "shard-panic every=3\n").unwrap();
+    let plan = plan.to_string_lossy().into_owned();
+
+    let sessions: Vec<(String, Vec<u8>)> = (0..5)
+        .map(|i| {
+            let trace = GenConfig::small(8800 + i)
+                .with_lock_discipline(0.3)
+                .generate();
+            (format!("sess{i}"), trace.to_binary())
+        })
+        .collect();
+    let frames_file = |name: &str, count: usize| {
+        let mut frames = Vec::new();
+        for (session, bytes) in &sessions[..count] {
+            frames.extend_from_slice(format!("SESSION {session} {}\n", bytes.len()).as_bytes());
+            frames.extend_from_slice(bytes);
+        }
+        let path = dir.join(name);
+        std::fs::write(&path, frames).unwrap();
+        path.to_string_lossy().into_owned()
+    };
+    let full = frames_file("full.frames", 5);
+    let partial = frames_file("partial.frames", 3);
+
+    // Reference: uninterrupted and fault-free.
+    let reference = run(&args(&["serve", "--stdin", &full, "--shards", "4"])).unwrap();
+    assert_eq!(reference.code, 0, "{reference}");
+
+    // "Crash" mid-campaign: a faulted run checkpoints three sessions,
+    // then the journal is torn mid-entry as a kill -9 would leave it.
+    let interrupted = run(&args(&[
+        "serve",
+        "--stdin",
+        &partial,
+        "--shards",
+        "4",
+        "--checkpoint",
+        &journal,
+        "--fault-plan",
+        &plan,
+    ]))
+    .unwrap();
+    assert_eq!(interrupted.code, 0, "{interrupted}");
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 40, "journal has content");
+    std::fs::write(&journal, &bytes[..bytes.len() - 40]).unwrap();
+
+    // Resume the full stream with the same chaos plan still armed, at a
+    // different shard count: restored sessions come back verbatim, the
+    // torn one re-ingests under injected panics, and the transcript
+    // matches the fault-free reference exactly.
+    let resumed = run(&args(&[
+        "serve",
+        "--stdin",
+        &full,
+        "--shards",
+        "2",
+        "--resume",
+        &journal,
+        "--fault-plan",
+        &plan,
+    ]))
+    .unwrap();
+    assert_eq!(resumed.code, 0, "{resumed}");
+    assert_eq!(
+        reference.text, resumed.text,
+        "chaos + kill + resume reproduces the fault-free transcript"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
