@@ -214,6 +214,46 @@ cmp -s "$RESDIR/serve1.out" "$RESDIR/drain-resume.out" || {
     exit 1
 }
 
+# Durable-TCP smoke (SERVICE.md "Durable TCP sessions"): a daemon armed
+# with a conn-reset plan kills the client's connection mid-session after
+# every accepted frame; the client must reconnect with RESUME from the
+# acked offset and its reply must still be byte-identical to
+# `pacer replay` — at --shards 1 and 4 — while the metrics snapshot
+# proves the chaos really fired (nonzero session_resumes).
+echo "== pacer serve tcp resume smoke"
+printf 'seed 0\nconn-reset every=1 after=1\n' > "$RESDIR/tcp.plan"
+for shards in 1 4; do
+    rm -f "$RESDIR/tcp.addr"
+    ./target/release/pacer serve --tcp 127.0.0.1:0 \
+        --addr-file "$RESDIR/tcp.addr" --wal "$RESDIR/tcp-wal" \
+        --detector fasttrack --shards "$shards" --max-sessions 2 \
+        --fault-plan "$RESDIR/tcp.plan" --metrics-out "$RESDIR/tcp$shards.json" \
+        > "$RESDIR/tcp$shards.out" &
+    TCP_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$RESDIR/tcp.addr" ] && break
+        sleep 0.05
+    done
+    ./target/release/pacer serve --send "$RESDIR/racy.ptrace" --session one \
+        --tcp "$(cat "$RESDIR/tcp.addr")" > "$RESDIR/tcp$shards.reply"
+    wait "$TCP_PID" || {
+        echo "tcp daemon (--shards $shards) exited nonzero" >&2
+        exit 1
+    }
+    cmp -s "$RESDIR/tcp$shards.reply" "$RESDIR/racy.replay" || {
+        echo "tcp reply after forced reconnects differs from pacer replay (--shards $shards)" >&2
+        exit 1
+    }
+    grep -q '"session_resumes":[1-9]' "$RESDIR/tcp$shards.json" || {
+        echo "tcp chaos smoke: expected nonzero session_resumes (--shards $shards)" >&2
+        exit 1
+    }
+    grep -q "served 1 session(s)" "$RESDIR/tcp$shards.out" || {
+        echo "tcp daemon transcript is missing the session summary (--shards $shards)" >&2
+        exit 1
+    }
+done
+
 # Checkpoint/resume byte-identity (RESILIENCE.md): chop the journal
 # mid-entry — as a kill -9 during an append would — and the resumed
 # run's artifacts must be byte-identical to an uninterrupted run's.

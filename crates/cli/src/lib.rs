@@ -187,6 +187,9 @@ struct Options {
     max_sessions: Option<u64>,
     session_deadline_events: Option<u64>,
     idle_timeout: Option<u32>,
+    tcp: Option<String>,
+    wal: Option<String>,
+    addr_file: Option<String>,
 }
 
 impl Default for Options {
@@ -224,6 +227,9 @@ impl Default for Options {
             max_sessions: None,
             session_deadline_events: None,
             idle_timeout: None,
+            tcp: None,
+            wal: None,
+            addr_file: None,
         }
     }
 }
@@ -259,8 +265,15 @@ commands:
                  onto shard workers and the merged transcript is
                  byte-identical at any shard count or interleaving
                  [--socket PATH [--max-sessions N]]  (unix-socket daemon)
+                 [--tcp HOST:PORT [--wal DIR] [--addr-file PATH]]
+                     (TCP daemon with durable, reconnectable sessions:
+                      acked-offset resume via `RESUME <name> <offset>`,
+                      per-session write-ahead segments under --wal)
                  [--stdin FILE|-]                    (length-framed input)
                  [--send TRACE --socket PATH [--session NAME]]  (client)
+                 [--send TRACE --tcp HOST:PORT [--session NAME]]
+                     (reconnecting client: resumes from the last acked
+                      frame offset after a connection drop)
                  [--shards N] [--detector D] [--seed N]
                  [--checkpoint JOURNAL] [--resume JOURNAL]
                  [--mem-budget BYTES] [--metrics-out PATH]
@@ -627,6 +640,30 @@ fn parse_flags(args: &[String]) -> Result<(Option<String>, Options), CliError> {
                         .and_then(|s| s.parse().ok())
                         .filter(|&n: &u32| n > 0)
                         .ok_or_else(|| err("--idle-timeout requires a positive tick count"))?,
+                );
+            }
+            "--tcp" => {
+                i += 1;
+                opts.tcp = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--tcp requires HOST:PORT"))?,
+                );
+            }
+            "--wal" => {
+                i += 1;
+                opts.wal = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--wal requires a directory"))?,
+                );
+            }
+            "--addr-file" => {
+                i += 1;
+                opts.addr_file = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--addr-file requires a path"))?,
                 );
             }
             flag if flag.starts_with("--") => {
@@ -1020,6 +1057,7 @@ fn serve_config(opts: &Options) -> Result<pacer_harness::ServeConfig, CliError> 
         .map(std::path::PathBuf::from);
     cfg.deadline_events = opts.session_deadline_events;
     cfg.idle_timeout_ticks = opts.idle_timeout;
+    cfg.wal = opts.wal.as_ref().map(std::path::PathBuf::from);
     if let Some(path) = &opts.fault_plan {
         let spec = std::fs::read_to_string(path)
             .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
@@ -1046,6 +1084,131 @@ fn parse_session_header(line: &str) -> Option<(String, Option<u64>)> {
     }
 }
 
+/// The durable-session handshakes the TCP transport speaks (SERVICE.md):
+/// `SESSION <name>` starts a fresh durable session; `RESUME <name>
+/// <offset>` reattaches after a disconnect, where `offset` is the
+/// client's last acked frame offset (advisory — the server's `ACK`
+/// reply is authoritative).
+enum DurableHeader {
+    Session(String),
+    Resume(String, u64),
+}
+
+fn parse_durable_header(line: &str) -> Option<DurableHeader> {
+    let mut parts = line.split_whitespace();
+    match parts.next()? {
+        "SESSION" => {
+            let name = parts.next()?.to_string();
+            parts
+                .next()
+                .is_none()
+                .then_some(DurableHeader::Session(name))
+        }
+        "RESUME" => {
+            let name = parts.next()?.to_string();
+            let offset = parts.next()?.parse().ok()?;
+            parts
+                .next()
+                .is_none()
+                .then_some(DurableHeader::Resume(name, offset))
+        }
+        _ => None,
+    }
+}
+
+/// Reads one `\n`-terminated protocol line, tolerating `Interrupted`
+/// and short reads (partial lines accumulate across calls). Each read
+/// timeout (`WouldBlock`/`TimedOut`) consumes one tick from `budget`;
+/// running out surfaces a typed `TimedOut` note. A clean EOF before any
+/// byte returns `Ok(0)`; EOF mid-line is an `UnexpectedEof` with the
+/// byte count, not a generic IO error.
+fn read_protocol_line(
+    reader: &mut impl std::io::BufRead,
+    line: &mut String,
+    budget: u32,
+) -> std::io::Result<usize> {
+    let mut ticks = 0u32;
+    loop {
+        match reader.read_line(line) {
+            Ok(0) if line.is_empty() => return Ok(0),
+            Ok(_) if line.ends_with('\n') => return Ok(line.len()),
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("connection closed mid-line after {} byte(s)", line.len()),
+                ));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ticks += 1;
+                if ticks >= budget {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("no complete line within {budget} idle tick(s)"),
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `read_exact` that tolerates `Interrupted` and short reads, ticking
+/// read timeouts against `budget` (any delivered byte resets the
+/// count). Failures carry the byte position instead of a generic IO
+/// error.
+fn read_body_exact(
+    reader: &mut impl std::io::Read,
+    buf: &mut [u8],
+    budget: u32,
+    what: &str,
+) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    let mut ticks = 0u32;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "{what}: short read: {filled} of {} byte(s), then EOF",
+                        buf.len()
+                    ),
+                ));
+            }
+            Ok(n) => {
+                filled += n;
+                ticks = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ticks += 1;
+                if ticks >= budget {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "{what}: stalled at {filled} of {} byte(s) for {budget} idle tick(s)",
+                            buf.len()
+                        ),
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Serves one accepted unix-socket connection: header line, trace bytes
 /// until half-close (or `len` bytes), then the report body as the reply.
 ///
@@ -1056,7 +1219,7 @@ fn serve_connection(
     conn: std::os::unix::net::UnixStream,
     idle_timeout: Option<u32>,
 ) {
-    use std::io::{BufRead as _, Read as _, Write as _};
+    use std::io::{Read as _, Write as _};
 
     // The listener runs nonblocking so the accept loop can poll the
     // drain flag; the per-connection socket must block (with at most a
@@ -1072,8 +1235,16 @@ fn serve_connection(
     };
     let mut reader = std::io::BufReader::new(conn);
     let mut header = String::new();
-    if reader.read_line(&mut header).is_err() {
-        return;
+    // The header must arrive within the idle-timeout budget: a
+    // connected-but-silent client is reaped here instead of pinning a
+    // handler slot forever.
+    match read_protocol_line(&mut reader, &mut header, idle_timeout.unwrap_or(u32::MAX)) {
+        Ok(0) => return, // clean probe disconnect, nothing to report
+        Ok(_) => {}
+        Err(e) => {
+            let _ = writer.write_all(format!("error: session header: {e}\n").as_bytes());
+            return;
+        }
     }
     let Some((name, len)) = parse_session_header(&header) else {
         let _ = writer
@@ -1115,9 +1286,220 @@ fn serve_frames(
             )));
         };
         let mut body = vec![0u8; len as usize];
-        input.read_exact(&mut body)?;
+        read_body_exact(
+            &mut input,
+            &mut body,
+            u32::MAX,
+            &format!("session `{name}` body"),
+        )
+        .map_err(|e| pacer_harness::ServeError::Config(e.to_string()))?;
         handle.serve(&name, &body[..]);
     }
+}
+
+/// Handshake ticks a TCP connection may idle before the header when no
+/// `--idle-timeout` is armed (reads tick every second, so ~30 s). A
+/// connected-but-silent client is dropped here instead of pinning a
+/// handler slot forever.
+const TCP_HANDSHAKE_TICKS: u32 = 30;
+
+/// Serves one accepted TCP connection speaking the durable-session
+/// grammar (SERVICE.md): `SESSION`/`RESUME` handshake, lock-step
+/// `FRAME <offset> <len>` + `ACK <applied>` exchanges, `END <total>`,
+/// then `REPORT <len>` + body. Every early exit leases the slot back to
+/// the engine (`durable_detach`) so a reconnecting client can `RESUME`.
+///
+/// Three chaos sites live here: `conn-reset` (hang up after N accepted
+/// frames on a targeted connection), `sock-stall` (timing-only spins
+/// before the handshake), and `torn-ack` (write a partial ack, then
+/// hang up — the client holds a stale offset and must re-sync).
+fn serve_tcp_connection(
+    handle: &pacer_harness::ServiceHandle<'_>,
+    conn: std::net::TcpStream,
+    idle_timeout: Option<u32>,
+    plan: Option<&FaultPlan>,
+    conn_index: u64,
+    ack_index: &std::sync::atomic::AtomicU64,
+) {
+    use pacer_harness::{DurableFrameError, DurableOpen, FrameAck};
+    use std::io::Write as _;
+    use std::sync::atomic::Ordering;
+
+    let _ = conn.set_nodelay(true);
+    // Reads always tick so both the handshake budget and mid-frame
+    // stall detection work without a watchdog thread.
+    let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(1)));
+    let budget = idle_timeout.unwrap_or(TCP_HANDSHAKE_TICKS);
+
+    if let Some(spins) = plan.and_then(|p| p.sock_stall_spins(conn_index)) {
+        // Timing-only perturbation: a slow peer must never change
+        // results, only latency.
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+
+    let Ok(mut writer) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(conn);
+
+    let send_ack = |writer: &mut std::net::TcpStream, applied: u64| -> std::io::Result<()> {
+        let line = format!("ACK {applied}\n");
+        if plan.is_some_and(|p| p.torn_ack_fires(ack_index.fetch_add(1, Ordering::Relaxed))) {
+            let _ = writer.write_all(&line.as_bytes()[..2]);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected: torn ack",
+            ));
+        }
+        writer.write_all(line.as_bytes())?;
+        handle.note_transport(|t| t.acks_sent += 1);
+        Ok(())
+    };
+    let send_report = |writer: &mut std::net::TcpStream, body: &str| {
+        let _ = writer
+            .write_all(format!("REPORT {}\n", body.len()).as_bytes())
+            .and_then(|()| writer.write_all(body.as_bytes()));
+    };
+
+    let mut header = String::new();
+    match read_protocol_line(&mut reader, &mut header, budget) {
+        Ok(0) => return, // clean probe disconnect, nothing to report
+        Ok(_) => {}
+        Err(e) => {
+            let _ = writer.write_all(format!("error: session header: {e}\n").as_bytes());
+            return;
+        }
+    }
+    let Some(parsed) = parse_durable_header(&header) else {
+        let _ = writer.write_all(
+            b"error: malformed handshake (expected `SESSION <name>` or `RESUME <name> <offset>`)\n",
+        );
+        return;
+    };
+    // The RESUME offset is advisory; the `ACK` reply carries the
+    // server's durably-applied watermark, which is authoritative.
+    let (name, resume_offset) = match parsed {
+        DurableHeader::Session(name) => (name, None),
+        DurableHeader::Resume(name, offset) => (name, Some(offset)),
+    };
+    let (epoch, applied) = match handle.durable_open(&name, resume_offset.is_some()) {
+        DurableOpen::Started { epoch } => (epoch, 0),
+        DurableOpen::Resumed { epoch, applied } => {
+            if let Some(claimed) = resume_offset.filter(|&o| o > applied) {
+                // The client claims acks that were never durable: a
+                // protocol corruption no retransmit can repair.
+                let _ = writer.write_all(
+                    format!(
+                        "error: resume offset {claimed} is ahead of the durable watermark {applied}\n"
+                    )
+                    .as_bytes(),
+                );
+                handle.durable_detach(&name, epoch);
+                return;
+            }
+            (epoch, applied)
+        }
+        DurableOpen::Completed(report) => {
+            // Reconnect after END landed but the report reply was lost:
+            // re-serve the stored report.
+            send_report(&mut writer, &report.body);
+            return;
+        }
+        DurableOpen::Rejected(message) => {
+            let _ = writer.write_all(format!("error: {message}\n").as_bytes());
+            return;
+        }
+    };
+    if send_ack(&mut writer, applied).is_err() {
+        handle.durable_detach(&name, epoch);
+        return;
+    }
+
+    let reset_after = plan.and_then(|p| p.conn_reset_after_frames(conn_index));
+    let mut accepted_frames = 0u64;
+    loop {
+        let mut line = String::new();
+        match read_protocol_line(&mut reader, &mut line, budget) {
+            Ok(0) => break, // client went away; lease the slot for a RESUME
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("FRAME") => {
+                let offset: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                let len: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+                let (Some(offset), Some(len), None) = (offset, len, parts.next()) else {
+                    let _ = writer.write_all(
+                        b"error: malformed frame header (expected `FRAME <offset> <len>`)\n",
+                    );
+                    break;
+                };
+                if len
+                    > pacer_trace::binary::MAX_FRAME_BYTES as usize
+                        + pacer_trace::binary::FRAME_OVERHEAD
+                {
+                    let _ = writer.write_all(
+                        format!("error: frame of {len} byte(s) exceeds the frame size cap\n")
+                            .as_bytes(),
+                    );
+                    break;
+                }
+                let mut frame = vec![0u8; len];
+                if read_body_exact(&mut reader, &mut frame, budget, "frame body").is_err() {
+                    break;
+                }
+                match handle.durable_frame(&name, epoch, offset, &frame) {
+                    Ok(ack) => {
+                        if matches!(ack, FrameAck::Applied { .. }) {
+                            accepted_frames += 1;
+                        }
+                        if send_ack(&mut writer, ack.applied()).is_err() {
+                            break;
+                        }
+                        if reset_after.is_some_and(|n| accepted_frames >= n) {
+                            // Injected conn-reset: hang up mid-session;
+                            // the session survives on its lease.
+                            break;
+                        }
+                    }
+                    Err(DurableFrameError::Failed(report)) => {
+                        // Slot already retired; the body is the error.
+                        let _ = writer.write_all(report.body.as_bytes());
+                        return;
+                    }
+                    Err(DurableFrameError::Detached) => return,
+                }
+            }
+            Some("END") => {
+                let total: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                let (Some(total), None) = (total, parts.next()) else {
+                    let _ = writer.write_all(b"error: malformed end (expected `END <total>`)\n");
+                    break;
+                };
+                match handle.durable_close(&name, epoch, total) {
+                    Ok(report) => {
+                        send_report(&mut writer, &report.body);
+                        return;
+                    }
+                    Err(DurableFrameError::Failed(report)) => {
+                        let _ = writer.write_all(report.body.as_bytes());
+                        return;
+                    }
+                    Err(DurableFrameError::Detached) => return,
+                }
+            }
+            _ => {
+                let _ = writer.write_all(
+                    format!("error: unexpected command: {}\n", line.trim_end()).as_bytes(),
+                );
+                break;
+            }
+        }
+    }
+    handle.durable_detach(&name, epoch);
 }
 
 /// Connect attempts `--send` makes beyond the first. With the shared
@@ -1157,11 +1539,14 @@ fn connect_with_retry(socket: &str) -> Result<std::os::unix::net::UnixStream, Cl
 fn serve_send(opts: &Options) -> Result<CmdOutput, CliError> {
     use std::io::{Read as _, Write as _};
 
+    if let Some(addr) = &opts.tcp {
+        return serve_send_tcp(opts, addr);
+    }
     let trace = opts.send.as_deref().expect("checked by caller");
     let socket = opts
         .socket
         .as_deref()
-        .ok_or_else(|| err("--send requires --socket PATH"))?;
+        .ok_or_else(|| err("--send requires --socket PATH or --tcp HOST:PORT"))?;
     let name = opts.session.clone().unwrap_or_else(|| {
         Path::new(trace)
             .file_stem()
@@ -1180,6 +1565,312 @@ fn serve_send(opts: &Options) -> Result<CmdOutput, CliError> {
     Ok(CmdOutput { text: reply, code })
 }
 
+/// How one TCP send attempt ended short of a final reply.
+enum SendFailure {
+    /// Protocol violation — retrying cannot help.
+    Fatal(String),
+    /// The connection died (or was never made); reconnect and `RESUME`.
+    Io(std::io::Error),
+}
+
+/// One server reply on the durable-session wire.
+enum Reply {
+    /// `ACK <applied>` — the server's durably-applied watermark.
+    Ack(u64),
+    /// A final response: a `REPORT` body or a single `error:` line.
+    Final(String),
+}
+
+fn read_reply(reader: &mut impl std::io::BufRead) -> Result<Reply, SendFailure> {
+    let mut line = String::new();
+    match read_protocol_line(reader, &mut line, u32::MAX) {
+        Ok(0) => Err(SendFailure::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ))),
+        Err(e) => Err(SendFailure::Io(e)),
+        Ok(_) => {
+            if let Some(rest) = line.strip_prefix("ACK ") {
+                rest.trim()
+                    .parse()
+                    .map(Reply::Ack)
+                    .map_err(|_| SendFailure::Fatal(format!("malformed ack: {}", line.trim_end())))
+            } else if let Some(rest) = line.strip_prefix("REPORT ") {
+                let len: usize = rest.trim().parse().map_err(|_| {
+                    SendFailure::Fatal(format!("malformed report header: {}", line.trim_end()))
+                })?;
+                let mut body = vec![0u8; len];
+                read_body_exact(reader, &mut body, u32::MAX, "report body")
+                    .map_err(SendFailure::Io)?;
+                String::from_utf8(body)
+                    .map(Reply::Final)
+                    .map_err(|_| SendFailure::Fatal("report body is not UTF-8".into()))
+            } else if line.starts_with("error:") {
+                Ok(Reply::Final(line))
+            } else {
+                Err(SendFailure::Fatal(format!(
+                    "unexpected reply: {}",
+                    line.trim_end()
+                )))
+            }
+        }
+    }
+}
+
+/// One connection's worth of the durable-session client: handshake,
+/// lock-step frame/ack exchange from the server's watermark, `END`,
+/// final report. Updates `next` with every ack so a reconnect resumes
+/// exactly where durability left off. Returns the final reply text.
+#[allow(clippy::too_many_arguments)]
+fn tcp_send_attempt(
+    addr: &str,
+    name: &str,
+    fresh: &mut bool,
+    next: &mut u64,
+    frames: &[&[u8]],
+    plan: Option<&FaultPlan>,
+    sends: &mut u64,
+) -> Result<String, SendFailure> {
+    use std::io::Write as _;
+
+    let conn = std::net::TcpStream::connect(addr).map_err(SendFailure::Io)?;
+    let _ = conn.set_nodelay(true);
+    let mut writer = conn.try_clone().map_err(SendFailure::Io)?;
+    let mut reader = std::io::BufReader::new(conn);
+
+    let handshake = if *fresh {
+        format!("SESSION {name}\n")
+    } else {
+        format!("RESUME {name} {next}\n")
+    };
+    writer
+        .write_all(handshake.as_bytes())
+        .map_err(SendFailure::Io)?;
+    match read_reply(&mut reader)? {
+        Reply::Ack(applied) => {
+            *fresh = false;
+            *next = applied;
+        }
+        Reply::Final(text) => return Ok(text),
+    }
+
+    fn send_frame(
+        writer: &mut std::net::TcpStream,
+        sends: &mut u64,
+        offset: u64,
+        frame: &[u8],
+    ) -> Result<(), SendFailure> {
+        use std::io::Write as _;
+        *sends += 1;
+        writer
+            .write_all(format!("FRAME {offset} {}\n", frame.len()).as_bytes())
+            .and_then(|()| writer.write_all(frame))
+            .map_err(SendFailure::Io)
+    }
+
+    while (*next as usize) < frames.len() {
+        let offset = *next;
+        if offset > 0 && plan.is_some_and(|p| p.dup_frame_fires(*sends)) {
+            // Injected duplicated retransmit: re-send the previous
+            // frame; the server dedups it by offset and re-acks.
+            send_frame(
+                &mut writer,
+                sends,
+                offset - 1,
+                frames[(offset - 1) as usize],
+            )?;
+            match read_reply(&mut reader)? {
+                Reply::Ack(applied) => *next = applied,
+                Reply::Final(text) => return Ok(text),
+            }
+        }
+        send_frame(&mut writer, sends, offset, frames[offset as usize])?;
+        match read_reply(&mut reader)? {
+            Reply::Ack(applied) => *next = applied,
+            Reply::Final(text) => return Ok(text),
+        }
+    }
+
+    writer
+        .write_all(format!("END {}\n", frames.len()).as_bytes())
+        .map_err(SendFailure::Io)?;
+    match read_reply(&mut reader)? {
+        Reply::Final(text) => Ok(text),
+        Reply::Ack(applied) => Err(SendFailure::Fatal(format!(
+            "expected the final report, got `ACK {applied}`"
+        ))),
+    }
+}
+
+/// `pacer serve --send --tcp`: stream one recorded binary trace to a
+/// durable TCP daemon, frame by frame in lock-step with its acks, and
+/// print the final report verbatim (so it diffs cleanly against `pacer
+/// replay`). A dropped connection triggers deterministic
+/// backoff-and-`RESUME` from the last acked offset; the attempt is
+/// abandoned only after `SEND_CONNECT_RETRIES` consecutive reconnects
+/// with no ack progress.
+fn serve_send_tcp(opts: &Options, addr: &str) -> Result<CmdOutput, CliError> {
+    let trace = opts.send.as_deref().expect("checked by caller");
+    let name = opts.session.clone().unwrap_or_else(|| {
+        Path::new(trace)
+            .file_stem()
+            .map_or_else(|| trace.to_string(), |s| s.to_string_lossy().into_owned())
+    });
+    let bytes = std::fs::read(trace).map_err(|e| err(format!("cannot load {trace}: {e}")))?;
+    let split = pacer_trace::binary::split_frames(&bytes)
+        .map_err(|e| err(format!("{trace}: not a streamable binary trace: {e}")))?;
+    if split.truncated {
+        return Err(err(format!(
+            "{trace}: trace is truncated mid-frame; re-record it before streaming"
+        )));
+    }
+    let frames: Vec<&[u8]> = split
+        .frames
+        .iter()
+        .map(|f| &bytes[f.start..f.end])
+        .collect();
+    let plan = match &opts.fault_plan {
+        Some(path) => {
+            let spec = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read fault plan {path}: {e}")))?;
+            Some(FaultPlan::parse(&spec).map_err(|e| err(format!("{path}: {e}")))?)
+        }
+        None => None,
+    };
+
+    let mut fresh = true;
+    let mut handshake_lost = false;
+    let mut next = 0u64;
+    let mut sends = 0u64;
+    let mut stalls = 0u32;
+    loop {
+        let acked_at_start = next;
+        match tcp_send_attempt(
+            addr,
+            &name,
+            &mut fresh,
+            &mut next,
+            &frames,
+            plan.as_ref(),
+            &mut sends,
+        ) {
+            Ok(reply) => {
+                if fresh && handshake_lost && reply.contains("duplicate session name") {
+                    // An earlier SESSION handshake died before its ack:
+                    // the slot may exist server-side, so reattach
+                    // instead of failing. (A duplicate on a clean first
+                    // handshake stays an error.)
+                    fresh = false;
+                    continue;
+                }
+                let code = if reply.starts_with("error: ") { 2 } else { 0 };
+                return Ok(CmdOutput { text: reply, code });
+            }
+            Err(SendFailure::Fatal(message)) => {
+                return Err(err(format!("{addr}: {message}")));
+            }
+            Err(SendFailure::Io(e)) => {
+                if fresh {
+                    handshake_lost = true;
+                }
+                if next > acked_at_start {
+                    stalls = 0;
+                } else {
+                    stalls += 1;
+                    if stalls > SEND_CONNECT_RETRIES {
+                        return Err(err(format!(
+                            "session `{name}`: no ack progress after {SEND_CONNECT_RETRIES} reconnect attempt(s): {e}"
+                        )));
+                    }
+                }
+                let ticks = pacer_harness::artifact_io_backoff(0, stalls.max(1));
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(ticks) * 10));
+            }
+        }
+    }
+}
+
+/// The TCP daemon: a nonblocking accept loop feeding durable-session
+/// handlers. Idle polling doubles as the durable lease clock (one
+/// `durable_tick` per ~1 s of accept-loop idling); on exit every
+/// leftover slot is reaped with its WAL segment retained, so a
+/// restarted daemon pointed at the same `--wal` directory can still
+/// honor a `RESUME`.
+fn serve_tcp_daemon(
+    cfg: &pacer_harness::ServeConfig,
+    opts: &Options,
+    addr: &str,
+) -> Result<pacer_harness::ServeOutput, CliError> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| err(format!("cannot poll {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| err(format!("cannot resolve {addr}: {e}")))?;
+    if let Some(path) = &opts.addr_file {
+        // `--tcp 127.0.0.1:0` binds an ephemeral port; scripts read the
+        // actual address from here.
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    signal::arm_drain();
+    let idle_timeout = opts.idle_timeout;
+    let ack_index = std::sync::atomic::AtomicU64::new(0);
+    let result = pacer_harness::run_service(cfg, |handle| {
+        let looped = std::thread::scope(|scope| {
+            let mut accepted = 0u64;
+            let mut polls = 0u64;
+            while opts.max_sessions.is_none_or(|max| accepted < max) {
+                if signal::drain_requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let conn_index = accepted;
+                        accepted += 1;
+                        handle.note_transport(|t| t.connections += 1);
+                        let ack_index = &ack_index;
+                        scope.spawn(move || {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                serve_tcp_connection(
+                                    handle,
+                                    conn,
+                                    idle_timeout,
+                                    cfg.fault_plan.as_ref(),
+                                    conn_index,
+                                    ack_index,
+                                );
+                            }));
+                        });
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        polls += 1;
+                        if polls % 50 == 0 {
+                            handle.durable_tick();
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Ok(())
+        });
+        // Every handler has exited: reap leftover durable slots into
+        // the ledger, retaining their WAL segments for a restart.
+        handle.durable_reap_remaining();
+        looped
+    });
+    let (output, ()) = result.map_err(|e| err(format!("serve: {e}")))?;
+    Ok(output)
+}
+
 fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
     let (file, opts) = parse_flags(args)?;
     if let Some(extra) = file {
@@ -1191,6 +1882,13 @@ fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
         return serve_send(&opts);
     }
     let cfg = serve_config(&opts)?;
+    if opts.tcp.is_some() && (opts.socket.is_some() || opts.stdin_frames.is_some()) {
+        return Err(err("--tcp, --socket, and --stdin are mutually exclusive"));
+    }
+    if let Some(addr) = &opts.tcp {
+        let output = serve_tcp_daemon(&cfg, &opts, addr)?;
+        return finish_serve(&opts, &output);
+    }
 
     let result = match (&opts.socket, &opts.stdin_frames) {
         (Some(_), Some(_)) => {
@@ -1198,7 +1896,7 @@ fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
         }
         (None, None) => {
             return Err(err(
-                "serve needs a transport: --socket PATH (daemon) or --stdin FILE|- (framed)",
+                "serve needs a transport: --socket PATH or --tcp HOST:PORT (daemon) or --stdin FILE|- (framed)",
             ));
         }
         (Some(socket), None) => {
@@ -1271,10 +1969,22 @@ fn cmd_serve(args: &[String]) -> Result<CmdOutput, CliError> {
         }
     };
     let (output, ()) = result.map_err(|e| err(format!("serve: {e}")))?;
+    finish_serve(&opts, &output)
+}
 
+/// Shared serve epilogue: merged transcript, optional metrics artifact,
+/// exit code 2 when any session errored.
+fn finish_serve(
+    opts: &Options,
+    output: &pacer_harness::ServeOutput,
+) -> Result<CmdOutput, CliError> {
     let mut out = output.transcript.clone();
     if let Some(path) = &opts.metrics_out {
-        let json = pacer_obs::serve_metrics_json(&output.shard_counters, &output.sessions);
+        let json = pacer_obs::serve_metrics_json(
+            &output.shard_counters,
+            &output.sessions,
+            &output.transport,
+        );
         write_artifact(&mut out, path, &json, "serve metrics")?;
     }
     let code = if output.any_errors() { 2 } else { 0 };

@@ -37,6 +37,12 @@
 //! shard-panic every=64
 //! conn-drop every=3 after=128
 //! inbox-stall every=32 len=50
+//! # network chaos sites for the durable TCP transport (SERVICE.md):
+//! # indices are accepted-connection, client-frame, and server-ack counts
+//! conn-reset every=2 after=3
+//! sock-stall every=3 len=200
+//! dup-frame every=4
+//! torn-ack every=5
 //! ```
 //!
 //! The serve-layer sites reuse the exact `(index + seed) % every` and
@@ -92,6 +98,18 @@ pub enum FaultSite {
     /// Cooperative stall inside a shard's inbox drain — a timing-only
     /// perturbation that must not change any output.
     InboxStall,
+    /// Server-side hard close of a TCP connection after a fixed number
+    /// of accepted frames — the client must reconnect and `RESUME`.
+    ConnReset,
+    /// Cooperative stall before a TCP connection is served — a
+    /// timing-only perturbation that must not change any output.
+    SockStall,
+    /// Client-side duplicated retransmit: the previous frame is sent
+    /// again, and the server must dedup it by offset.
+    DupFrame,
+    /// Server-side torn ack: a partial `ACK` line is written and the
+    /// connection dropped, forcing a resume with retransmit overlap.
+    TornAck,
 }
 
 impl FaultSite {
@@ -105,6 +123,10 @@ impl FaultSite {
             FaultSite::ShardPanic => "shard_panic",
             FaultSite::ConnDrop => "conn_drop",
             FaultSite::InboxStall => "inbox_stall",
+            FaultSite::ConnReset => "conn_reset",
+            FaultSite::SockStall => "sock_stall",
+            FaultSite::DupFrame => "dup_frame",
+            FaultSite::TornAck => "torn_ack",
         }
     }
 
@@ -126,6 +148,14 @@ impl FaultSite {
             Some(FaultSite::ConnDrop)
         } else if rest.starts_with("inbox stall") {
             Some(FaultSite::InboxStall)
+        } else if rest.starts_with("conn reset") {
+            Some(FaultSite::ConnReset)
+        } else if rest.starts_with("sock stall") {
+            Some(FaultSite::SockStall)
+        } else if rest.starts_with("dup frame") {
+            Some(FaultSite::DupFrame)
+        } else if rest.starts_with("torn ack") {
+            Some(FaultSite::TornAck)
         } else {
             None
         }
@@ -169,6 +199,10 @@ pub struct FaultPlan {
     shard_panic: Option<Targeting>,
     conn_drop: Option<(Targeting, u64)>,
     inbox_stall: Option<(Targeting, u64)>,
+    conn_reset: Option<(Targeting, u64)>,
+    sock_stall: Option<(Targeting, u64)>,
+    dup_frame: Option<Targeting>,
+    torn_ack: Option<Targeting>,
 }
 
 impl FaultPlan {
@@ -189,6 +223,10 @@ impl FaultPlan {
             shard_panic: None,
             conn_drop: None,
             inbox_stall: None,
+            conn_reset: None,
+            sock_stall: None,
+            dup_frame: None,
+            torn_ack: None,
         };
         for (i, raw_line) in spec.lines().enumerate() {
             let line_no = i + 1;
@@ -259,6 +297,24 @@ impl FaultPlan {
                     let len = params.get("len")?.unwrap_or(64).max(1);
                     plan.inbox_stall = Some((params.targeting()?, len));
                 }
+                "conn-reset" => {
+                    let params = Params::parse(line_no, words, &["every", "after"])?;
+                    let after = params.get("after")?.unwrap_or(1);
+                    plan.conn_reset = Some((params.targeting()?, after));
+                }
+                "sock-stall" => {
+                    let params = Params::parse(line_no, words, &["every", "len"])?;
+                    let len = params.get("len")?.unwrap_or(64).max(1);
+                    plan.sock_stall = Some((params.targeting()?, len));
+                }
+                "dup-frame" => {
+                    let params = Params::parse(line_no, words, &["every"])?;
+                    plan.dup_frame = Some(params.targeting()?);
+                }
+                "torn-ack" => {
+                    let params = Params::parse(line_no, words, &["every"])?;
+                    plan.torn_ack = Some(params.targeting()?);
+                }
                 other => {
                     return Err(err(format!("unknown directive '{other}'")));
                 }
@@ -276,12 +332,29 @@ impl FaultPlan {
             && self.shard_panic.is_none()
             && self.conn_drop.is_none()
             && self.inbox_stall.is_none()
+            && self.conn_reset.is_none()
+            && self.sock_stall.is_none()
+            && self.dup_frame.is_none()
+            && self.torn_ack.is_none()
     }
 
     /// `true` when any serve-layer chaos site is armed (`shard-panic`,
-    /// `conn-drop`, `inbox-stall`).
+    /// `conn-drop`, `inbox-stall`, or the network sites `conn-reset`,
+    /// `sock-stall`, `dup-frame`, `torn-ack`).
     pub fn has_serve_sites(&self) -> bool {
-        self.shard_panic.is_some() || self.conn_drop.is_some() || self.inbox_stall.is_some()
+        self.shard_panic.is_some()
+            || self.conn_drop.is_some()
+            || self.inbox_stall.is_some()
+            || self.has_network_sites()
+    }
+
+    /// `true` when any durable-TCP network chaos site is armed
+    /// (`conn-reset`, `sock-stall`, `dup-frame`, `torn-ack`).
+    pub fn has_network_sites(&self) -> bool {
+        self.conn_reset.is_some()
+            || self.sock_stall.is_some()
+            || self.dup_frame.is_some()
+            || self.torn_ack.is_some()
     }
 
     /// The plan's phase-shift seed.
@@ -342,6 +415,38 @@ impl FaultPlan {
     pub fn inbox_stall_spins(&self, event_index: u64) -> Option<u64> {
         let (t, len) = self.inbox_stall?;
         t.applies(self.seed, event_index, 0).then_some(len)
+    }
+
+    /// Frames to accept on the `conn_index`-th TCP connection before the
+    /// server hard-closes it mid-session (`conn-reset` — the client must
+    /// reconnect and `RESUME`); `None` when the connection is untargeted.
+    pub fn conn_reset_after_frames(&self, conn_index: u64) -> Option<u64> {
+        let (t, after) = self.conn_reset?;
+        t.applies(self.seed, conn_index, 0).then_some(after)
+    }
+
+    /// Cooperative yields to spin before the server reads from the
+    /// `conn_index`-th TCP connection when `sock-stall` targets it — a
+    /// pure timing perturbation; `None` when untargeted.
+    pub fn sock_stall_spins(&self, conn_index: u64) -> Option<u64> {
+        let (t, len) = self.sock_stall?;
+        t.applies(self.seed, conn_index, 0).then_some(len)
+    }
+
+    /// Whether the client should send a duplicated retransmit of its
+    /// previous frame before its `frame_index`-th frame (`dup-frame`);
+    /// the server must dedup the duplicate by offset.
+    pub fn dup_frame_fires(&self, frame_index: u64) -> bool {
+        self.dup_frame
+            .is_some_and(|t| t.applies(self.seed, frame_index, 0))
+    }
+
+    /// Whether the server should tear its `ack_index`-th `ACK` — write a
+    /// partial line and drop the connection (`torn-ack`), forcing the
+    /// client to resume with a retransmit overlap.
+    pub fn torn_ack_fires(&self, ack_index: u64) -> bool {
+        self.torn_ack
+            .is_some_and(|t| t.applies(self.seed, ack_index, 0))
     }
 }
 
@@ -568,6 +673,10 @@ mod tests {
         assert_eq!(FaultSite::ShardPanic.name(), "shard_panic");
         assert_eq!(FaultSite::ConnDrop.name(), "conn_drop");
         assert_eq!(FaultSite::InboxStall.name(), "inbox_stall");
+        assert_eq!(FaultSite::ConnReset.name(), "conn_reset");
+        assert_eq!(FaultSite::SockStall.name(), "sock_stall");
+        assert_eq!(FaultSite::DupFrame.name(), "dup_frame");
+        assert_eq!(FaultSite::TornAck.name(), "torn_ack");
     }
 
     #[test]
@@ -618,5 +727,63 @@ mod tests {
         assert!(!fleet_only.shard_panic_fires(0, 0));
         assert_eq!(fleet_only.conn_drop_after(0), None);
         assert_eq!(fleet_only.inbox_stall_spins(0), None);
+    }
+
+    #[test]
+    fn network_sites_parse_and_target_deterministically() {
+        let plan = FaultPlan::parse(
+            "seed 1\nconn-reset every=2 after=3\nsock-stall every=3 len=200\n\
+             dup-frame every=4\ntorn-ack every=5\n",
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.has_serve_sites());
+        assert!(plan.has_network_sites());
+
+        // conn-reset: (c + 1) % 2 == 0 → odd connection indices.
+        assert_eq!(plan.conn_reset_after_frames(1), Some(3));
+        assert_eq!(plan.conn_reset_after_frames(2), None);
+
+        // sock-stall: (c + 1) % 3 == 0 → connections 2, 5, ….
+        assert_eq!(plan.sock_stall_spins(2), Some(200));
+        assert_eq!(plan.sock_stall_spins(3), None);
+
+        // dup-frame: (f + 1) % 4 == 0 → frames 3, 7, ….
+        assert!(plan.dup_frame_fires(3));
+        assert!(!plan.dup_frame_fires(4));
+
+        // torn-ack: (a + 1) % 5 == 0 → acks 4, 9, ….
+        assert!(plan.torn_ack_fires(4));
+        assert!(!plan.torn_ack_fires(5));
+
+        // Defaults: conn-reset after=1, sock-stall len=64.
+        let defaults = FaultPlan::parse("conn-reset\nsock-stall\n").unwrap();
+        assert_eq!(defaults.conn_reset_after_frames(0), Some(1));
+        assert_eq!(defaults.sock_stall_spins(0), Some(64));
+
+        // Classification of the injected messages.
+        assert_eq!(
+            FaultSite::classify("injected: conn reset (connection 1, after 3 frame(s))"),
+            Some(FaultSite::ConnReset)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: sock stall (connection 2)"),
+            Some(FaultSite::SockStall)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: dup frame (frame 3)"),
+            Some(FaultSite::DupFrame)
+        );
+        assert_eq!(
+            FaultSite::classify("injected: torn ack (ack 4)"),
+            Some(FaultSite::TornAck)
+        );
+
+        // The legacy serve sites alone arm no network site.
+        let legacy = FaultPlan::parse("conn-drop every=1 after=8\n").unwrap();
+        assert!(legacy.has_serve_sites() && !legacy.has_network_sites());
+        assert_eq!(legacy.conn_reset_after_frames(0), None);
+        assert!(!legacy.dup_frame_fires(0));
+        assert!(!legacy.torn_ack_fires(0));
     }
 }

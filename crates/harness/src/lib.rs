@@ -71,8 +71,8 @@ pub use resilient::{
     RetryPolicy,
 };
 pub use service::{
-    run_service, serve_sessions, ServeConfig, ServeDetectorKind, ServeError, ServeOutput,
-    ServiceHandle, SessionOutcome, SessionReport,
+    run_service, serve_sessions, DurableFrameError, DurableOpen, FrameAck, ServeConfig,
+    ServeDetectorKind, ServeError, ServeOutput, ServiceHandle, SessionOutcome, SessionReport,
 };
 pub use shard::{ShardDown, ShardLost, Supervisor};
 pub use trials::{num_trials, record_trial_trace, DetectorKind, RaceKey, TrialResult};

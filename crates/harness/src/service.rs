@@ -81,7 +81,8 @@ use pacer_governor::{
     GovernorSummary, DEFAULT_COOLDOWN,
 };
 use pacer_literace::{LiteRaceConfig, LiteRaceDetector};
-use pacer_obs::{ObservableDetector, ServeCounters, SessionCounters};
+use pacer_obs::{ObservableDetector, ServeCounters, SessionCounters, TransportCounters};
+use pacer_trace::binary;
 use pacer_trace::gen::ResampleSampling;
 use pacer_trace::stream::{AnyTraceReader, TraceStreamError, ValidatedActions};
 use pacer_trace::{Action, Detector, SiteId};
@@ -221,6 +222,10 @@ pub struct ServeConfig {
     /// Chaos fault plan; only the serve sites (`shard-panic`,
     /// `conn-drop`, `inbox-stall`) are consulted here.
     pub fault_plan: Option<FaultPlan>,
+    /// Directory for durable sessions' per-session write-ahead segments
+    /// (`--wal DIR`). Without it, durable sessions are resumable only
+    /// within the process lifetime.
+    pub wal: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -240,6 +245,7 @@ impl ServeConfig {
             deadline_events: None,
             idle_timeout_ticks: None,
             fault_plan: None,
+            wal: None,
         }
     }
 }
@@ -358,6 +364,9 @@ pub struct ServeOutput {
     pub sessions: SessionCounters,
     /// Governor outcome when a budget was armed.
     pub governor: Option<GovernorSummary>,
+    /// Durable-transport accounting (connections, resumes, acks, WAL
+    /// appends, dedups); all-zero for unix-socket and stdin runs.
+    pub transport: TransportCounters,
     /// The deterministic merged transcript (see module docs).
     pub transcript: String,
 }
@@ -579,6 +588,103 @@ fn bucket(sessions: &mut SessionCounters, outcome: SessionOutcome) {
     }
 }
 
+/// Registry of durable (reconnectable) sessions between connections,
+/// plus the transport counters the accept loop, handlers, and engine
+/// contribute to. One mutex: attach/detach, frame appends, and closes
+/// all serialize here, which is what makes the applied-offset watermark
+/// race-free under connection takeover.
+#[derive(Default)]
+struct DurableState {
+    slots: Vec<DurableSlot>,
+    transport: TransportCounters,
+}
+
+/// One durable session accumulating verified frames until `END`.
+///
+/// Durable sessions do not stream into shards as frames arrive: each
+/// accepted frame is checksum-verified, deduped by offset, appended to
+/// memory (and the WAL segment, when armed), and acked. At `END` the
+/// whole byte stream — `.ptrace` header plus frames — runs through the
+/// same ingest path as every other transport, so the report is
+/// byte-identical to an uninterrupted `pacer replay` by construction.
+struct DurableSlot {
+    name: String,
+    /// Shard-routing session id, assigned at admission.
+    session: u32,
+    /// Governor shed rate fixed at admission (like any other session).
+    shed: Option<u32>,
+    /// Bumped on every attach; a connection holding a stale epoch lost
+    /// the slot to a newer `RESUME` and must drop out silently.
+    epoch: u64,
+    /// Whether a connection currently owns the slot.
+    attached: bool,
+    /// Idle-lease ticks accumulated while detached.
+    idle_ticks: u32,
+    /// Accepted frame bytes in offset order (header + payload verbatim).
+    frames: Vec<Vec<u8>>,
+    /// Open write-ahead segment, when a WAL directory is armed.
+    wal: Option<std::fs::File>,
+}
+
+/// What a `SESSION`/`RESUME` handshake resolved to.
+#[derive(Debug)]
+pub enum DurableOpen {
+    /// Fresh session admitted; the client streams from frame offset 0.
+    Started {
+        /// Ownership token for subsequent frame/close/detach calls.
+        epoch: u64,
+    },
+    /// Attached to a live (or WAL-rebuilt) slot; the server has durably
+    /// applied `applied` frames, so the client streams from that offset.
+    Resumed {
+        /// Ownership token for subsequent frame/close/detach calls.
+        epoch: u64,
+        /// Frames durably applied — the authoritative resume offset.
+        applied: u64,
+    },
+    /// The session already completed; re-serve its stored report (covers
+    /// a connection lost between `END` and the report delivery).
+    Completed(SessionReport),
+    /// Handshake rejected with a client-facing message.
+    Rejected(String),
+}
+
+/// A durably-applied (or deduped) frame's acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameAck {
+    /// Applied and journaled; `applied` frames are now durable.
+    Applied {
+        /// The new applied-offset watermark (also the next expected offset).
+        applied: u64,
+    },
+    /// Duplicate or overlapping retransmit below the watermark — skipped,
+    /// acked again. This is the exactly-once guarantee paying off.
+    Duplicate {
+        /// The unchanged applied-offset watermark.
+        applied: u64,
+    },
+}
+
+impl FrameAck {
+    /// The applied-offset watermark to ack back to the client.
+    pub fn applied(self) -> u64 {
+        match self {
+            FrameAck::Applied { applied } | FrameAck::Duplicate { applied } => applied,
+        }
+    }
+}
+
+/// Why a durable frame/close call did not produce an ack.
+#[derive(Debug)]
+pub enum DurableFrameError {
+    /// The session terminally failed (gap, corrupt frame, WAL error) and
+    /// has been filed; send the report body, then close the connection.
+    Failed(SessionReport),
+    /// This connection no longer owns the slot — it was resumed by a
+    /// newer connection or reaped. Close without filing anything.
+    Detached,
+}
+
 /// The live service a transport drives: [`serve`](ServiceHandle::serve)
 /// is safe to call from many threads at once (one call per session).
 pub struct ServiceHandle<'cfg> {
@@ -586,6 +692,38 @@ pub struct ServiceHandle<'cfg> {
     inboxes: Inboxes<ShardMsg>,
     next_session: AtomicU32,
     state: Mutex<EngineState>,
+    /// Durable-session registry; lock order is `durable` before `state`.
+    durable: Mutex<DurableState>,
+}
+
+/// The durable WAL segment path for a session name.
+fn wal_path(dir: &std::path::Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.wal"))
+}
+
+/// Session names double as WAL file stems, so durable names are
+/// restricted to a filesystem-safe alphabet.
+fn valid_durable_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// The 8-byte `.ptrace` header durable slots prepend at assembly (the
+/// wire carries frames only — the header is a constant).
+fn ptrace_header() -> [u8; binary::HEADER_LEN] {
+    let mut header = [0u8; binary::HEADER_LEN];
+    header[..4].copy_from_slice(&binary::MAGIC);
+    header[4] = binary::FORMAT_VERSION;
+    header
+}
+
+/// Appends one frame to a WAL segment and makes it durable.
+fn append_wal(wal: &mut std::fs::File, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    wal.write_all(bytes)?;
+    wal.sync_data()
 }
 
 impl ServiceHandle<'_> {
@@ -926,6 +1064,373 @@ impl ServiceHandle<'_> {
         state.completed.push(report.clone());
         report
     }
+
+    /// Applies `update` to the transport counters (the accept loop and
+    /// connection handlers contribute `connections`/`acks_sent` here;
+    /// the engine bumps the resume/journal/dedup counters itself).
+    pub fn note_transport(&self, update: impl FnOnce(&mut TransportCounters)) {
+        update(&mut lock(&self.durable).transport);
+    }
+
+    /// Resolves a durable `SESSION` (`resume == false`) or `RESUME`
+    /// (`resume == true`) handshake.
+    ///
+    /// Fresh sessions are admitted through the same governor/duplicate
+    /// gate as every other transport and get a write-ahead segment when a
+    /// WAL directory is armed. A `RESUME` reattaches to a live slot
+    /// (taking it over from a dead connection — the epoch token fences
+    /// the loser), rebuilds the slot from its WAL segment after a server
+    /// restart, or re-serves the stored report of a completed session.
+    pub fn durable_open(&self, name: &str, resume: bool) -> DurableOpen {
+        if !valid_durable_name(name) {
+            return DurableOpen::Rejected(
+                "invalid session name (want [A-Za-z0-9._-]+)".to_string(),
+            );
+        }
+        let mut durable = lock(&self.durable);
+        if resume {
+            if let Some(slot) = durable.slots.iter_mut().find(|s| s.name == name) {
+                slot.epoch += 1;
+                slot.attached = true;
+                slot.idle_ticks = 0;
+                let (epoch, applied) = (slot.epoch, slot.frames.len() as u64);
+                durable.transport.session_resumes += 1;
+                return DurableOpen::Resumed { epoch, applied };
+            }
+            if let Some(report) = {
+                let state = lock(&self.state);
+                state.completed.iter().find(|r| r.name == name).cloned()
+            } {
+                durable.transport.session_resumes += 1;
+                return DurableOpen::Completed(report);
+            }
+            if let Some(dir) = self.cfg.wal.clone() {
+                let path = wal_path(&dir, name);
+                if path.exists() {
+                    return match self.durable_open_from_wal(&mut durable, name, &path) {
+                        Ok(open) => open,
+                        Err(message) => {
+                            durable.transport.resumes_rejected += 1;
+                            DurableOpen::Rejected(message)
+                        }
+                    };
+                }
+            }
+            durable.transport.resumes_rejected += 1;
+            return DurableOpen::Rejected(format!("unknown session `{name}`"));
+        }
+        match self.admit(name) {
+            Admission::Restored(report) => DurableOpen::Completed(report),
+            Admission::Duplicate => {
+                // Ledgered as a failed session, exactly like the
+                // non-durable transports reject duplicates.
+                let report =
+                    durable_error_report(name, "duplicate session name", SessionOutcome::Failed);
+                self.complete(report);
+                DurableOpen::Rejected("duplicate session name".to_string())
+            }
+            Admission::Admit { session, shed } => {
+                let wal = match self.create_wal(name) {
+                    Ok(wal) => wal,
+                    Err(message) => {
+                        // The name is reserved; file the failure so the
+                        // ledger stays complete.
+                        let report = durable_error_report(name, &message, SessionOutcome::Failed);
+                        self.complete(report);
+                        return DurableOpen::Rejected(message);
+                    }
+                };
+                durable.slots.push(DurableSlot {
+                    name: name.to_string(),
+                    session,
+                    shed,
+                    epoch: 0,
+                    attached: true,
+                    idle_ticks: 0,
+                    frames: Vec::new(),
+                    wal,
+                });
+                DurableOpen::Started { epoch: 0 }
+            }
+        }
+    }
+
+    /// Cold resume: rebuilds a durable slot from its write-ahead segment
+    /// (a fresh admission in this run — the previous run filed the slot
+    /// as reaped at shutdown). A crash-torn tail is truncated at the
+    /// last complete frame, exactly like every other journal here.
+    fn durable_open_from_wal(
+        &self,
+        durable: &mut DurableState,
+        name: &str,
+        path: &std::path::Path,
+    ) -> Result<DurableOpen, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("wal segment for `{name}` is unreadable: {e}"))?;
+        let split = binary::split_frames(&bytes)
+            .map_err(|e| format!("wal segment for `{name}` is corrupt: {e}"))?;
+        match self.admit(name) {
+            Admission::Restored(report) => {
+                // The checkpoint journal already has the finished report;
+                // the WAL segment is obsolete.
+                let _ = std::fs::remove_file(path);
+                durable.transport.session_resumes += 1;
+                Ok(DurableOpen::Completed(report))
+            }
+            Admission::Duplicate => Err("duplicate session name".to_string()),
+            Admission::Admit { session, shed } => {
+                let clean_len = split.frames.last().map_or(binary::HEADER_LEN, |f| f.end);
+                let mut wal = std::fs::OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("wal segment for `{name}` is unreadable: {e}"))?;
+                if bytes.len() < binary::HEADER_LEN {
+                    // Torn inside the header at creation: start over.
+                    wal.set_len(0)
+                        .and_then(|()| append_wal(&mut wal, &ptrace_header()))
+                        .map_err(|e| format!("wal segment for `{name}`: {e}"))?;
+                } else if clean_len < bytes.len() {
+                    wal.set_len(clean_len as u64)
+                        .map_err(|e| format!("wal segment for `{name}`: {e}"))?;
+                }
+                let frames: Vec<Vec<u8>> = split
+                    .frames
+                    .iter()
+                    .map(|f| bytes[f.start..f.end].to_vec())
+                    .collect();
+                let applied = frames.len() as u64;
+                durable.slots.push(DurableSlot {
+                    name: name.to_string(),
+                    session,
+                    shed,
+                    epoch: 0,
+                    attached: true,
+                    idle_ticks: 0,
+                    frames,
+                    wal: Some(wal),
+                });
+                durable.transport.session_resumes += 1;
+                Ok(DurableOpen::Resumed { epoch: 0, applied })
+            }
+        }
+    }
+
+    /// Creates a fresh WAL segment (header written and synced), or
+    /// `Ok(None)` when no WAL directory is armed.
+    fn create_wal(&self, name: &str) -> Result<Option<std::fs::File>, String> {
+        let Some(dir) = &self.cfg.wal else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("wal directory {}: {e}", dir.display()))?;
+        let path = wal_path(dir, name);
+        let mut wal = std::fs::File::create(&path)
+            .map_err(|e| format!("wal segment {}: {e}", path.display()))?;
+        append_wal(&mut wal, &ptrace_header())
+            .map_err(|e| format!("wal segment {}: {e}", path.display()))?;
+        Ok(Some(wal))
+    }
+
+    /// Removes a session's WAL segment (session finished or reaped).
+    fn remove_wal(&self, name: &str) {
+        if let Some(dir) = &self.cfg.wal {
+            let _ = std::fs::remove_file(wal_path(dir, name));
+        }
+    }
+
+    /// Accepts one wire frame for an attached durable session: verified,
+    /// deduped by offset against the applied watermark, journaled, then
+    /// acked. A frame below the watermark is a retransmit overlap —
+    /// skipped and re-acked, never applied twice. A frame above it is a
+    /// gap (lost frame the client failed to retransmit): the session
+    /// fails hard rather than analyze a stream with a hole in it.
+    pub fn durable_frame(
+        &self,
+        name: &str,
+        epoch: u64,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<FrameAck, DurableFrameError> {
+        let mut durable = lock(&self.durable);
+        let DurableState { slots, transport } = &mut *durable;
+        let Some(idx) = slots
+            .iter()
+            .position(|s| s.name == name && s.epoch == epoch && s.attached)
+        else {
+            return Err(DurableFrameError::Detached);
+        };
+        let applied = slots[idx].frames.len() as u64;
+        if offset < applied {
+            transport.frames_deduped += 1;
+            return Ok(FrameAck::Duplicate { applied });
+        }
+        if offset > applied {
+            let report = self.durable_fail(
+                &mut durable,
+                idx,
+                format!("frame gap: got offset {offset}, expected {applied}"),
+            );
+            return Err(DurableFrameError::Failed(report));
+        }
+        if let Err(e) = binary::decode_frame_payload(bytes, offset + 1) {
+            let report = self.durable_fail(&mut durable, idx, e.to_string());
+            return Err(DurableFrameError::Failed(report));
+        }
+        let slot = &mut slots[idx];
+        if let Some(wal) = &mut slot.wal {
+            if let Err(e) = append_wal(wal, bytes) {
+                let report =
+                    self.durable_fail(&mut durable, idx, format!("wal append failed: {e}"));
+                return Err(DurableFrameError::Failed(report));
+            }
+            transport.frames_journaled += 1;
+        }
+        slot.frames.push(bytes.to_vec());
+        Ok(FrameAck::Applied {
+            applied: applied + 1,
+        })
+    }
+
+    /// Ends an attached durable session: checks the client's frame total
+    /// against the applied watermark, assembles `header + frames`, and
+    /// runs the whole stream through the standard ingest/complete path —
+    /// so the report is byte-identical to an uninterrupted replay of the
+    /// same bytes, and the WAL segment is retired.
+    ///
+    /// Runs under the registry lock: a concurrent `RESUME` for this name
+    /// blocks until the report is filed and then finds it completed.
+    pub fn durable_close(
+        &self,
+        name: &str,
+        epoch: u64,
+        total: u64,
+    ) -> Result<SessionReport, DurableFrameError> {
+        let mut durable = lock(&self.durable);
+        let Some(idx) = durable
+            .slots
+            .iter()
+            .position(|s| s.name == name && s.epoch == epoch && s.attached)
+        else {
+            return Err(DurableFrameError::Detached);
+        };
+        let applied = durable.slots[idx].frames.len() as u64;
+        if total != applied {
+            let report = self.durable_fail(
+                &mut durable,
+                idx,
+                format!("client ended at {total} frame(s) but {applied} were applied"),
+            );
+            return Err(DurableFrameError::Failed(report));
+        }
+        let slot = durable.slots.swap_remove(idx);
+        let mut bytes = ptrace_header().to_vec();
+        for frame in &slot.frames {
+            bytes.extend_from_slice(frame);
+        }
+        let report = self.ingest(&slot.name, slot.session, slot.shed, &bytes[..]);
+        let report = self.complete(report);
+        self.remove_wal(&slot.name);
+        Ok(report)
+    }
+
+    /// Terminally fails the slot at `idx`: removes it, retires its WAL
+    /// segment, and files a `Failed` report.
+    fn durable_fail(
+        &self,
+        durable: &mut DurableState,
+        idx: usize,
+        message: String,
+    ) -> SessionReport {
+        let slot = durable.slots.swap_remove(idx);
+        self.remove_wal(&slot.name);
+        let report = durable_error_report(&slot.name, &message, SessionOutcome::Failed);
+        self.complete(report)
+    }
+
+    /// Releases an attached durable slot back to the idle lease — the
+    /// connection died (or tore) before `END`; the session awaits a
+    /// `RESUME`. A stale epoch is a no-op: a newer connection owns the
+    /// slot.
+    pub fn durable_detach(&self, name: &str, epoch: u64) {
+        let mut durable = lock(&self.durable);
+        if let Some(slot) = durable
+            .slots
+            .iter_mut()
+            .find(|s| s.name == name && s.epoch == epoch && s.attached)
+        {
+            slot.attached = false;
+            slot.idle_ticks = 0;
+        }
+    }
+
+    /// Advances the idle lease on every detached durable slot by one
+    /// tick; slots at the `--idle-timeout` limit are reaped — filed in
+    /// the `reaped` ledger bucket, WAL segment retired. Returns the
+    /// reaped reports. A no-op when no idle timeout is armed.
+    pub fn durable_tick(&self) -> Vec<SessionReport> {
+        let Some(limit) = self.cfg.idle_timeout_ticks else {
+            return Vec::new();
+        };
+        let mut durable = lock(&self.durable);
+        let mut reaped = Vec::new();
+        let mut idx = 0;
+        while idx < durable.slots.len() {
+            let slot = &mut durable.slots[idx];
+            if slot.attached {
+                idx += 1;
+                continue;
+            }
+            slot.idle_ticks += 1;
+            if slot.idle_ticks < limit {
+                idx += 1;
+                continue;
+            }
+            let slot = durable.slots.swap_remove(idx);
+            self.remove_wal(&slot.name);
+            let report = durable_error_report(
+                &slot.name,
+                &format!("idle timeout: reaped after {limit} idle tick(s)"),
+                SessionOutcome::Reaped,
+            );
+            reaped.push(self.complete(report));
+        }
+        reaped
+    }
+
+    /// Reaps every remaining durable slot at shutdown so the ledger is
+    /// complete — but *preserves* their WAL segments: a restarted server
+    /// pointed at the same `--wal` directory rebuilds them on `RESUME`.
+    pub fn durable_reap_remaining(&self) -> Vec<SessionReport> {
+        let slots = std::mem::take(&mut lock(&self.durable).slots);
+        slots
+            .into_iter()
+            .map(|slot| {
+                let report = durable_error_report(
+                    &slot.name,
+                    "durable session never completed; reaped at shutdown (wal segment retained)",
+                    SessionOutcome::Reaped,
+                );
+                self.complete(report)
+            })
+            .collect()
+    }
+}
+
+/// A zero-event error report for durable-session failures that happen
+/// before (or instead of) ingest.
+fn durable_error_report(name: &str, message: &str, outcome: SessionOutcome) -> SessionReport {
+    SessionReport {
+        name: name.to_string(),
+        body: format!("error: {message}\n"),
+        events: 0,
+        dynamic_races: 0,
+        distinct_races: 0,
+        shed_millionths: None,
+        truncated: false,
+        error: true,
+        outcome,
+    }
 }
 
 /// `Read` adapter enforcing per-session lifecycle budgets: an optional
@@ -1060,7 +1565,7 @@ pub fn run_service<T>(
     let kind = cfg.detector;
     let seed = cfg.seed;
     let plan = cfg.fault_plan.as_ref();
-    let (shard_counters, (driven, state)) = shard::run_sharded(
+    let (shard_counters, (driven, state, transport)) = shard::run_sharded(
         cfg.shards,
         cfg.capacity,
         |shard, inbox| shard_worker(kind, seed, plan, shard, inbox),
@@ -1079,13 +1584,18 @@ pub fn run_service<T>(
                     admitted: 0,
                     sessions: SessionCounters::default(),
                 }),
+                durable: Mutex::new(DurableState::default()),
             };
             let driven = drive(&handle);
+            let durable = handle
+                .durable
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             let state = handle
                 .state
                 .into_inner()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
-            (driven, state)
+            (driven, state, durable.transport)
         },
     );
     let driven = driven?;
@@ -1101,6 +1611,7 @@ pub fn run_service<T>(
         shard_counters,
         sessions: state.sessions,
         governor: state.governor.map(Governor::into_summary),
+        transport,
         transcript,
     };
     Ok((output, driven))
@@ -1638,5 +2149,352 @@ mod tests {
         assert!(out.sessions.conserved(), "{:?}", out.sessions);
         assert_eq!(out.sessions.failed, 1);
         assert_eq!(out.sessions.completed, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Durable (reconnectable) session engine
+    // ------------------------------------------------------------------
+
+    /// One wire frame per action, so durable flows exercise multi-frame
+    /// streams even for small traces.
+    fn per_action_frames(trace: &Trace) -> Vec<Vec<u8>> {
+        trace
+            .actions()
+            .iter()
+            .map(|action| {
+                let bytes = binary::encode_trace(&Trace::from_actions(vec![action.clone()]));
+                bytes[binary::HEADER_LEN..].to_vec()
+            })
+            .collect()
+    }
+
+    fn durable_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pacer-durable-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn open_started(handle: &ServiceHandle, name: &str) -> u64 {
+        match handle.durable_open(name, false) {
+            DurableOpen::Started { epoch } => epoch,
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_session_report_matches_direct_serve() {
+        let trace = racy_trace();
+        let frames = per_action_frames(&trace);
+        for shards in [1, 4] {
+            let config = cfg(ServeDetectorKind::FastTrack, shards);
+            let (out, ()) = run_service(&config, |handle| {
+                let epoch = open_started(handle, "a");
+                for (offset, frame) in frames.iter().enumerate() {
+                    let ack = handle
+                        .durable_frame("a", epoch, offset as u64, frame)
+                        .unwrap();
+                    assert_eq!(ack.applied(), offset as u64 + 1);
+                }
+                let report = handle
+                    .durable_close("a", epoch, frames.len() as u64)
+                    .unwrap();
+                assert!(!report.error, "{}", report.body);
+                Ok(())
+            })
+            .unwrap();
+            let direct = serve_sessions(
+                &cfg(ServeDetectorKind::FastTrack, shards),
+                vec![("a".into(), trace.to_binary())],
+                1,
+            )
+            .unwrap();
+            assert_eq!(out.reports[0].body, direct.reports[0].body);
+            assert_eq!(out.transcript, direct.transcript);
+            assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        }
+    }
+
+    #[test]
+    fn durable_frames_dedup_by_offset() {
+        let trace = racy_trace();
+        let frames = per_action_frames(&trace);
+        let config = cfg(ServeDetectorKind::FastTrack, 2);
+        let (out, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            for (offset, frame) in frames.iter().enumerate() {
+                handle
+                    .durable_frame("a", epoch, offset as u64, frame)
+                    .unwrap();
+                // A retransmitted overlap of the same frame: skipped,
+                // re-acked at the same watermark.
+                match handle.durable_frame("a", epoch, offset as u64, frame) {
+                    Ok(FrameAck::Duplicate { applied }) => {
+                        assert_eq!(applied, offset as u64 + 1);
+                    }
+                    other => panic!("expected Duplicate, got {other:?}"),
+                }
+            }
+            handle
+                .durable_close("a", epoch, frames.len() as u64)
+                .unwrap();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.transport.frames_deduped, frames.len() as u64);
+        let direct = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("a".into(), trace.to_binary())],
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.reports[0].body, direct.reports[0].body);
+    }
+
+    #[test]
+    fn durable_frame_gap_fails_session() {
+        let frames = per_action_frames(&racy_trace());
+        let config = cfg(ServeDetectorKind::FastTrack, 1);
+        let (out, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            match handle.durable_frame("a", epoch, 3, &frames[3]) {
+                Err(DurableFrameError::Failed(report)) => {
+                    assert!(report.error);
+                    assert!(report.body.contains("frame gap"), "{}", report.body);
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+            // The slot is gone: further frames from this connection are
+            // fenced off.
+            assert!(matches!(
+                handle.durable_frame("a", epoch, 0, &frames[0]),
+                Err(DurableFrameError::Detached)
+            ));
+            Ok(())
+        })
+        .unwrap();
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.failed, 1);
+        assert_eq!(out.reports[0].outcome, SessionOutcome::Failed);
+    }
+
+    #[test]
+    fn durable_detach_resume_fences_stale_epoch() {
+        let trace = racy_trace();
+        let frames = per_action_frames(&trace);
+        let config = cfg(ServeDetectorKind::FastTrack, 2);
+        let (out, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            handle.durable_frame("a", epoch, 0, &frames[0]).unwrap();
+            handle.durable_detach("a", epoch);
+
+            let (epoch2, applied) = match handle.durable_open("a", true) {
+                DurableOpen::Resumed { epoch, applied } => (epoch, applied),
+                other => panic!("expected Resumed, got {other:?}"),
+            };
+            assert_eq!((epoch2, applied), (epoch + 1, 1));
+
+            // The old connection wakes up and tries to keep writing: it
+            // is fenced, and its writes change nothing.
+            assert!(matches!(
+                handle.durable_frame("a", epoch, 1, &frames[1]),
+                Err(DurableFrameError::Detached)
+            ));
+            assert!(matches!(
+                handle.durable_close("a", epoch, 1),
+                Err(DurableFrameError::Detached)
+            ));
+
+            for (offset, frame) in frames.iter().enumerate().skip(applied as usize) {
+                handle
+                    .durable_frame("a", epoch2, offset as u64, frame)
+                    .unwrap();
+            }
+            let report = handle
+                .durable_close("a", epoch2, frames.len() as u64)
+                .unwrap();
+            assert!(!report.error, "{}", report.body);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.transport.session_resumes, 1);
+        let direct = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("a".into(), trace.to_binary())],
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.reports[0].body, direct.reports[0].body);
+    }
+
+    #[test]
+    fn resume_of_completed_session_re_serves_report() {
+        let frames = per_action_frames(&racy_trace());
+        let config = cfg(ServeDetectorKind::FastTrack, 1);
+        let (_, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            for (offset, frame) in frames.iter().enumerate() {
+                handle
+                    .durable_frame("a", epoch, offset as u64, frame)
+                    .unwrap();
+            }
+            let report = handle
+                .durable_close("a", epoch, frames.len() as u64)
+                .unwrap();
+            match handle.durable_open("a", true) {
+                DurableOpen::Completed(again) => assert_eq!(again, report),
+                other => panic!("expected Completed, got {other:?}"),
+            }
+            // A fresh SESSION under the same name is still a duplicate.
+            assert!(matches!(
+                handle.durable_open("a", false),
+                DurableOpen::Rejected(_)
+            ));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn resume_of_unknown_session_is_rejected() {
+        let config = cfg(ServeDetectorKind::FastTrack, 1);
+        let (out, ()) = run_service(&config, |handle| {
+            match handle.durable_open("ghost", true) {
+                DurableOpen::Rejected(msg) => assert!(msg.contains("unknown session"), "{msg}"),
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+            assert!(matches!(
+                handle.durable_open("bad name!", false),
+                DurableOpen::Rejected(_)
+            ));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.transport.resumes_rejected, 1);
+    }
+
+    #[test]
+    fn durable_tick_reaps_idle_detached_sessions() {
+        let dir = durable_dir("tick-reap");
+        let config = ServeConfig {
+            shards: 1,
+            idle_timeout_ticks: Some(2),
+            wal: Some(dir.clone()),
+            ..ServeConfig::new(ServeDetectorKind::FastTrack)
+        };
+        let frames = per_action_frames(&racy_trace());
+        let (out, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            handle.durable_frame("a", epoch, 0, &frames[0]).unwrap();
+            // Attached slots never age.
+            assert!(handle.durable_tick().is_empty());
+            handle.durable_detach("a", epoch);
+            assert!(handle.durable_tick().is_empty());
+            let reaped = handle.durable_tick();
+            assert_eq!(reaped.len(), 1);
+            assert_eq!(reaped[0].outcome, SessionOutcome::Reaped);
+            assert!(
+                reaped[0].body.contains("idle timeout"),
+                "{}",
+                reaped[0].body
+            );
+            // Tick-reap retires the WAL segment: the lease expired for
+            // good, there is nothing to come back to.
+            assert!(!wal_path(&dir, "a").exists());
+            Ok(())
+        })
+        .unwrap();
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.reaped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_reap_preserves_wal_and_cold_resume_completes() {
+        let dir = durable_dir("cold-resume");
+        let trace = racy_trace();
+        let frames = per_action_frames(&trace);
+        let config = ServeConfig {
+            shards: 2,
+            wal: Some(dir.clone()),
+            ..ServeConfig::new(ServeDetectorKind::FastTrack)
+        };
+
+        // Run 1: two frames land, then the server shuts down.
+        let (out1, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            handle.durable_frame("a", epoch, 0, &frames[0]).unwrap();
+            handle.durable_frame("a", epoch, 1, &frames[1]).unwrap();
+            let reaped = handle.durable_reap_remaining();
+            assert_eq!(reaped.len(), 1);
+            assert_eq!(reaped[0].outcome, SessionOutcome::Reaped);
+            Ok(())
+        })
+        .unwrap();
+        assert!(out1.sessions.conserved(), "{:?}", out1.sessions);
+        assert_eq!(out1.transport.frames_journaled, 2);
+        let wal = wal_path(&dir, "a");
+        assert!(wal.exists(), "shutdown reap must retain the wal segment");
+
+        // A crash can tear the tail of the segment mid-append; the
+        // rebuild truncates back to the last complete frame.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+            f.write_all(&[0x07, 0x00, 0x00]).unwrap();
+        }
+
+        // Run 2: cold resume from the segment alone.
+        let (out2, ()) = run_service(&config, |handle| {
+            let (epoch, applied) = match handle.durable_open("a", true) {
+                DurableOpen::Resumed { epoch, applied } => (epoch, applied),
+                other => panic!("expected Resumed, got {other:?}"),
+            };
+            assert_eq!(applied, 2, "torn tail must not cost complete frames");
+            for (offset, frame) in frames.iter().enumerate().skip(applied as usize) {
+                handle
+                    .durable_frame("a", epoch, offset as u64, frame)
+                    .unwrap();
+            }
+            let report = handle
+                .durable_close("a", epoch, frames.len() as u64)
+                .unwrap();
+            assert!(!report.error, "{}", report.body);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out2.transport.session_resumes, 1);
+        assert!(!wal.exists(), "completion must retire the wal segment");
+
+        let direct = serve_sessions(
+            &cfg(ServeDetectorKind::FastTrack, 2),
+            vec![("a".into(), trace.to_binary())],
+            1,
+        )
+        .unwrap();
+        assert_eq!(out2.reports[0].body, direct.reports[0].body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_frame_rejects_corrupt_payload() {
+        let frames = per_action_frames(&racy_trace());
+        let config = cfg(ServeDetectorKind::FastTrack, 1);
+        let (out, ()) = run_service(&config, |handle| {
+            let epoch = open_started(handle, "a");
+            let mut bad = frames[0].clone();
+            *bad.last_mut().unwrap() ^= 0xff;
+            match handle.durable_frame("a", epoch, 0, &bad) {
+                Err(DurableFrameError::Failed(report)) => {
+                    assert!(report.error, "{}", report.body);
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(out.sessions.conserved(), "{:?}", out.sessions);
+        assert_eq!(out.sessions.failed, 1);
     }
 }

@@ -1,0 +1,157 @@
+//! Property tests for the durable-session engine behind `pacer serve`:
+//! any chaotic delivery schedule — reconnects, retransmitted overlaps,
+//! duplicated frames — replays to the same report as an uninterrupted
+//! stream, and the dedup counter equals the retransmitted overlap.
+
+// Compiled only with the non-default `proptest` feature (the workspace is
+// offline by default; the shim crate stands in for the real proptest).
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+
+use pacer_harness::{
+    run_service, serve_sessions, DurableOpen, FrameAck, ServeConfig, ServeDetectorKind,
+};
+use pacer_prng::Rng;
+use pacer_trace::gen::GenConfig;
+use pacer_trace::{binary, Trace};
+
+fn config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        ..ServeConfig::new(ServeDetectorKind::FastTrack)
+    }
+}
+
+/// One frame per action, so even a small generated trace exercises many
+/// ack/dedup boundaries.
+fn per_action_frames(trace: &Trace) -> Vec<Vec<u8>> {
+    trace
+        .actions()
+        .iter()
+        .map(|action| {
+            let bytes = binary::encode_trace(&Trace::from_actions(vec![action.clone()]));
+            bytes[binary::HEADER_LEN..].to_vec()
+        })
+        .collect()
+}
+
+/// Drives a durable session through a chaos-seeded delivery schedule:
+/// random detach/resume cycles, each resume retransmitting a random
+/// overlap below the watermark, plus random immediate duplicates of the
+/// frame just applied. Returns (report body, frames deduped).
+fn chaotic_delivery(shards: usize, frames: &[Vec<u8>], chaos: u64) -> (String, u64, u64) {
+    let total = frames.len() as u64;
+    let (out, expected_dups) = run_service(&config(shards), |handle| {
+        let mut rng = Rng::seed_from_u64(chaos);
+        let mut epoch = match handle.durable_open("s", false) {
+            DurableOpen::Started { epoch } => epoch,
+            other => panic!("fresh open must start: {other:?}"),
+        };
+        let mut applied = 0u64;
+        let mut expected_dups = 0u64;
+        while applied < total {
+            // Random disconnect: detach, resume, retransmit a random
+            // overlap of already-applied frames. Every one must come
+            // back as a Duplicate at the unchanged watermark.
+            if rng.gen_bool(0.25) {
+                handle.durable_detach("s", epoch);
+                let (e, a) = match handle.durable_open("s", true) {
+                    DurableOpen::Resumed { epoch, applied } => (epoch, applied),
+                    other => panic!("resume of live slot must attach: {other:?}"),
+                };
+                assert_eq!(a, applied, "ack watermark survives reconnects");
+                epoch = e;
+                let overlap = rng.bounded_u64(applied + 1);
+                for offset in (applied - overlap)..applied {
+                    match handle.durable_frame("s", epoch, offset, &frames[offset as usize]) {
+                        Ok(FrameAck::Duplicate { applied: w }) => {
+                            assert_eq!(w, applied);
+                            expected_dups += 1;
+                        }
+                        other => panic!("overlap retransmit must dedup: {other:?}"),
+                    }
+                }
+            }
+            // Deliver the next fresh frame.
+            match handle.durable_frame("s", epoch, applied, &frames[applied as usize]) {
+                Ok(FrameAck::Applied { applied: w }) => {
+                    assert_eq!(w, applied + 1);
+                    applied = w;
+                }
+                other => panic!("in-order frame must apply: {other:?}"),
+            }
+            // Random duplicated frame right behind the watermark (a
+            // client-side dup-frame fault).
+            if rng.gen_bool(0.3) {
+                let offset = applied - 1;
+                match handle.durable_frame("s", epoch, offset, &frames[offset as usize]) {
+                    Ok(FrameAck::Duplicate { applied: w }) => {
+                        assert_eq!(w, applied);
+                        expected_dups += 1;
+                    }
+                    other => panic!("duplicate must dedup: {other:?}"),
+                }
+            }
+        }
+        handle.durable_close("s", epoch, total).unwrap();
+        Ok(expected_dups)
+    })
+    .unwrap();
+    assert_eq!(out.reports.len(), 1);
+    assert!(!out.reports[0].error, "{}", out.reports[0].body);
+    assert!(out.sessions.conserved(), "{:?}", out.sessions);
+    (
+        out.reports[0].body.clone(),
+        out.transport.frames_deduped,
+        expected_dups,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any split of a frame stream into delivered, retransmitted-overlap,
+    // and duplicated segments applies every event exactly once: the
+    // report is byte-identical to an uninterrupted stream of the same
+    // trace, and the dedup counter equals the injected overlap.
+    #[test]
+    fn chaotic_delivery_replays_to_the_uninterrupted_report(
+        seed in 0u64..12,
+        chaos in 0u64..10_000,
+        shards in 1usize..5,
+    ) {
+        let trace = GenConfig::small(seed).generate();
+        let frames = per_action_frames(&trace);
+        prop_assert!(frames.len() > 4, "trace must span several frames");
+
+        let (body, deduped, expected) = chaotic_delivery(shards, &frames, chaos);
+        prop_assert_eq!(
+            deduped, expected,
+            "dedup counter must equal the retransmitted overlap"
+        );
+
+        let direct = serve_sessions(
+            &config(shards),
+            vec![("s".into(), trace.to_binary())],
+            1,
+        )
+        .unwrap();
+        prop_assert_eq!(&body, &direct.reports[0].body);
+    }
+
+    // The delivery schedule never changes the answer: two different
+    // chaos seeds over the same trace produce byte-identical reports.
+    #[test]
+    fn report_is_invariant_under_the_delivery_schedule(
+        seed in 0u64..12,
+        chaos_a in 0u64..10_000,
+        chaos_b in 0u64..10_000,
+    ) {
+        let trace = GenConfig::small(seed).generate();
+        let frames = per_action_frames(&trace);
+        let (body_a, ..) = chaotic_delivery(2, &frames, chaos_a);
+        let (body_b, ..) = chaotic_delivery(2, &frames, chaos_b);
+        prop_assert_eq!(body_a, body_b);
+    }
+}

@@ -68,7 +68,7 @@ pub use event::{Event, EventRing};
 pub use hist::{HistKind, Histogram, HIST_BUCKETS, HIST_COUNT};
 pub use metrics::{
     serve_metrics_json, FaultCounters, FuzzCounters, GovernorCounters, Metrics, MetricsParseError,
-    RuntimeCounters, ServeCounters, SessionCounters,
+    RuntimeCounters, ServeCounters, SessionCounters, TransportCounters,
 };
 pub use observe::{ObservableDetector, Observed};
 pub use registry::{Registry, RegistryConfig};

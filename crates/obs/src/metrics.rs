@@ -192,10 +192,82 @@ impl SessionCounters {
     }
 }
 
+/// Durable-transport counters for `pacer serve --tcp` — one instance per
+/// service run, covering the accept loop, the per-frame ack channel, and
+/// the per-session write-ahead segments (schema in OBSERVABILITY.md).
+///
+/// The exactly-once invariant is checkable from these: every frame a
+/// client retransmits past the server's applied offset lands in
+/// `frames_deduped` instead of being applied twice, so after any
+/// disconnect/reconnect pattern `frames_deduped` equals the
+/// retransmitted-frame overlap and the session report stays byte-identical
+/// to an uninterrupted replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Connections the TCP accept loop handed to a session handler.
+    pub connections: u64,
+    /// `RESUME` handshakes honored: reattached to a live slot, rebuilt
+    /// from a write-ahead segment, or re-served a completed report.
+    pub session_resumes: u64,
+    /// `RESUME` handshakes rejected (unknown session, unreadable
+    /// segment).
+    pub resumes_rejected: u64,
+    /// `ACK` lines written back to clients (handshake and per-frame).
+    pub acks_sent: u64,
+    /// Frames appended durably to write-ahead segments.
+    pub frames_journaled: u64,
+    /// Frames skipped as duplicate or overlapping retransmits — each one
+    /// an exactly-once dedup at the applied-offset watermark.
+    pub frames_deduped: u64,
+}
+
+impl AddAssign for TransportCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.connections += rhs.connections;
+        self.session_resumes += rhs.session_resumes;
+        self.resumes_rejected += rhs.resumes_rejected;
+        self.acks_sent += rhs.acks_sent;
+        self.frames_journaled += rhs.frames_journaled;
+        self.frames_deduped += rhs.frames_deduped;
+    }
+}
+
+impl TransportCounters {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        json::field_u64(out, &mut first, "connections", self.connections);
+        json::field_u64(out, &mut first, "session_resumes", self.session_resumes);
+        json::field_u64(out, &mut first, "resumes_rejected", self.resumes_rejected);
+        json::field_u64(out, &mut first, "acks_sent", self.acks_sent);
+        json::field_u64(out, &mut first, "frames_journaled", self.frames_journaled);
+        json::field_u64(out, &mut first, "frames_deduped", self.frames_deduped);
+        out.push('}');
+    }
+
+    /// One counter object as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// True when no durable transport activity happened (e.g. a unix or
+    /// framed-stdin run).
+    pub fn is_zero(&self) -> bool {
+        *self == TransportCounters::default()
+    }
+}
+
 /// The `pacer serve --metrics-out` snapshot: every shard's counters in
-/// shard-index order, their sum, and the service-level session
-/// lifecycle buckets (schema in OBSERVABILITY.md).
-pub fn serve_metrics_json(shards: &[ServeCounters], sessions: &SessionCounters) -> String {
+/// shard-index order, their sum, the service-level session lifecycle
+/// buckets, and the durable-transport counters (schema in
+/// OBSERVABILITY.md).
+pub fn serve_metrics_json(
+    shards: &[ServeCounters],
+    sessions: &SessionCounters,
+    transport: &TransportCounters,
+) -> String {
     let mut total = ServeCounters::default();
     let mut out = String::from("{\n  \"serve\": {\n    \"shards\": [");
     for (i, s) in shards.iter().enumerate() {
@@ -209,6 +281,8 @@ pub fn serve_metrics_json(shards: &[ServeCounters], sessions: &SessionCounters) 
     total.write_json(&mut out);
     out.push_str(",\n    \"sessions\": ");
     sessions.write_json(&mut out);
+    out.push_str(",\n    \"transport\": ");
+    transport.write_json(&mut out);
     out.push_str("\n  }\n}\n");
     out
 }
@@ -996,6 +1070,52 @@ mod tests {
         let j = Metrics::default().to_json();
         assert!(j.contains("\"space\": []"));
         assert!(j.contains("\"trials\":0"));
+    }
+
+    #[test]
+    fn serve_snapshot_carries_transport_counters() {
+        let shards = [
+            ServeCounters {
+                sessions: 1,
+                events: 10,
+                ..ServeCounters::default()
+            },
+            ServeCounters {
+                sessions: 1,
+                events: 5,
+                ..ServeCounters::default()
+            },
+        ];
+        let sessions = SessionCounters {
+            admitted: 2,
+            completed: 2,
+            ..SessionCounters::default()
+        };
+        let mut transport = TransportCounters {
+            connections: 3,
+            session_resumes: 1,
+            resumes_rejected: 0,
+            acks_sent: 7,
+            frames_journaled: 4,
+            frames_deduped: 2,
+        };
+        let j = serve_metrics_json(&shards, &sessions, &transport);
+        assert!(
+            j.contains("\"total\": {\"sessions\":2,\"events\":15"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"transport\": {\"connections\":3,\"session_resumes\":1,\"resumes_rejected\":0,\"acks_sent\":7,\"frames_journaled\":4,\"frames_deduped\":2}"),
+            "{j}"
+        );
+        assert!(!transport.is_zero());
+        assert!(TransportCounters::default().is_zero());
+        transport += TransportCounters {
+            frames_deduped: 1,
+            ..TransportCounters::default()
+        };
+        assert_eq!(transport.frames_deduped, 3);
+        assert!(transport.to_json().contains("\"frames_deduped\":3"));
     }
 
     #[test]

@@ -77,6 +77,17 @@ pub const FRAME_EVENT_TARGET: usize = 4096;
 /// Per-frame overhead: 4-byte length + 8-byte checksum.
 const FRAME_HEADER_LEN: usize = 12;
 
+/// The frame header length made public for transports that address
+/// whole frames (header + payload) as opaque byte ranges.
+pub const FRAME_OVERHEAD: usize = FRAME_HEADER_LEN;
+
+/// Out-of-band end-of-stream marker for frame-at-a-time transports: 12
+/// zero bytes, shaped like a frame header declaring a zero-length payload.
+/// `.ptrace` decoding rejects zero-length frames as corrupt, so the marker
+/// can never be produced by an encoder and never collides with real frame
+/// bytes; transports strip it before handing bytes to a [`TraceReader`].
+pub const END_FRAME_MARKER: [u8; FRAME_OVERHEAD] = [0u8; FRAME_OVERHEAD];
+
 // Event opcodes (TRACE_FORMAT.md §4).
 const OP_READ: u8 = 0x00;
 const OP_WRITE: u8 = 0x01;
@@ -527,6 +538,194 @@ pub fn decode_trace(bytes: &[u8]) -> Result<Trace, BinaryTraceError> {
         return Err(BinaryTraceError::Truncated { frame });
     }
     Ok(trace)
+}
+
+/// One checksum-verified frame located inside a complete `.ptrace` byte
+/// buffer (see [`split_frames`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRange {
+    /// 0-based frame offset within the trace — the dedup/ack key durable
+    /// transports exchange.
+    pub offset: u64,
+    /// Byte index where the frame's 12-byte header starts.
+    pub start: usize,
+    /// Byte index one past the frame's payload, so `&bytes[start..end]`
+    /// is the whole frame, retransmittable or journalable verbatim.
+    pub end: usize,
+}
+
+/// The result of [`split_frames`]: every complete, checksum-verified
+/// frame in offset order, plus whether the buffer ended mid-frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrameSplit {
+    /// Byte ranges of the complete frames, indexed by frame offset.
+    pub frames: Vec<FrameRange>,
+    /// True when the buffer ended inside the file header or a frame (a
+    /// torn tail — the same clean-stop semantics as [`TraceReader`]).
+    pub truncated: bool,
+}
+
+/// Splits a complete `.ptrace` byte buffer into offset-addressed,
+/// checksum-verified frame byte ranges.
+///
+/// This is the sender side of the durable-session wire protocol: a client
+/// splits its trace once, then transmits `&bytes[f.start..f.end]` per
+/// frame and can retransmit any suffix after a reconnect without
+/// re-encoding. A torn tail sets [`FrameSplit::truncated`] and the frames
+/// before the cut stand, mirroring [`TraceReader`] semantics.
+///
+/// # Errors
+///
+/// Header errors ([`BadMagic`], [`UnsupportedVersion`],
+/// [`ReservedNonZero`]) and per-frame corruption ([`FrameTooLarge`],
+/// empty-frame [`Corrupt`], [`ChecksumMismatch`]) are hard errors, exactly
+/// as in streaming decode.
+///
+/// [`BadMagic`]: BinaryTraceError::BadMagic
+/// [`UnsupportedVersion`]: BinaryTraceError::UnsupportedVersion
+/// [`ReservedNonZero`]: BinaryTraceError::ReservedNonZero
+/// [`FrameTooLarge`]: BinaryTraceError::FrameTooLarge
+/// [`Corrupt`]: BinaryTraceError::Corrupt
+/// [`ChecksumMismatch`]: BinaryTraceError::ChecksumMismatch
+pub fn split_frames(bytes: &[u8]) -> Result<FrameSplit, BinaryTraceError> {
+    // Reuse the reader's header validation (including its partial-valid-
+    // header truncation semantics) on a throwaway slice reader.
+    let probe = TraceReader::new(bytes)?;
+    if !probe.header_complete {
+        return Ok(FrameSplit {
+            frames: Vec::new(),
+            truncated: true,
+        });
+    }
+    let mut split = FrameSplit::default();
+    let mut at = HEADER_LEN;
+    while at < bytes.len() {
+        let frame_index = split.frames.len() as u64;
+        if bytes.len() - at < FRAME_HEADER_LEN {
+            split.truncated = true;
+            break;
+        }
+        let declared = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4-byte slice"));
+        let expected = u64::from_le_bytes(
+            bytes[at + 4..at + FRAME_HEADER_LEN]
+                .try_into()
+                .expect("8-byte slice"),
+        );
+        if declared > MAX_FRAME_BYTES {
+            return Err(BinaryTraceError::FrameTooLarge {
+                frame: frame_index + 1,
+                declared,
+            });
+        }
+        if declared == 0 {
+            return Err(BinaryTraceError::Corrupt {
+                frame: frame_index + 1,
+                offset: 0,
+                message: "empty frame".to_string(),
+            });
+        }
+        let end = at + FRAME_HEADER_LEN + declared as usize;
+        if end > bytes.len() {
+            split.truncated = true;
+            break;
+        }
+        let actual = fnv1a64(&bytes[at + FRAME_HEADER_LEN..end]);
+        if actual != expected {
+            return Err(BinaryTraceError::ChecksumMismatch {
+                frame: frame_index + 1,
+                expected,
+                actual,
+            });
+        }
+        split.frames.push(FrameRange {
+            offset: frame_index,
+            start: at,
+            end,
+        });
+        at = end;
+    }
+    Ok(split)
+}
+
+/// Validates one complete frame — 12-byte header plus payload, exactly
+/// the bytes a [`FrameRange`] addresses or a durable transport carries —
+/// and decodes its events.
+///
+/// `frame_index` is the 1-based frame number used in error reports (pass
+/// `offset + 1` for a [`FrameRange`]).
+///
+/// # Errors
+///
+/// [`Truncated`] when the bytes are shorter than the declared payload (or
+/// shorter than a frame header), [`FrameTooLarge`] / empty-frame
+/// [`Corrupt`] / [`ChecksumMismatch`] as in streaming decode, [`Corrupt`]
+/// when trailing bytes follow the declared payload or the payload is not
+/// a well-formed event stream.
+///
+/// [`Truncated`]: BinaryTraceError::Truncated
+/// [`FrameTooLarge`]: BinaryTraceError::FrameTooLarge
+/// [`Corrupt`]: BinaryTraceError::Corrupt
+/// [`ChecksumMismatch`]: BinaryTraceError::ChecksumMismatch
+pub fn decode_frame_payload(
+    frame: &[u8],
+    frame_index: u64,
+) -> Result<Vec<Action>, BinaryTraceError> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(BinaryTraceError::Truncated { frame: frame_index });
+    }
+    let declared = u32::from_le_bytes(frame[..4].try_into().expect("4-byte slice"));
+    let expected = u64::from_le_bytes(frame[4..FRAME_HEADER_LEN].try_into().expect("8-byte slice"));
+    if declared > MAX_FRAME_BYTES {
+        return Err(BinaryTraceError::FrameTooLarge {
+            frame: frame_index,
+            declared,
+        });
+    }
+    if declared == 0 {
+        return Err(BinaryTraceError::Corrupt {
+            frame: frame_index,
+            offset: 0,
+            message: "empty frame".to_string(),
+        });
+    }
+    let body = frame.len() - FRAME_HEADER_LEN;
+    if body < declared as usize {
+        return Err(BinaryTraceError::Truncated { frame: frame_index });
+    }
+    if body > declared as usize {
+        return Err(BinaryTraceError::Corrupt {
+            frame: frame_index,
+            offset: declared as usize,
+            message: format!(
+                "{} byte(s) past the declared payload",
+                body - declared as usize
+            ),
+        });
+    }
+    let payload = &frame[FRAME_HEADER_LEN..];
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(BinaryTraceError::ChecksumMismatch {
+            frame: frame_index,
+            expected,
+            actual,
+        });
+    }
+    let mut pos = 0;
+    let mut actions = Vec::new();
+    while pos < payload.len() {
+        match read_action(payload, &mut pos) {
+            Ok(action) => actions.push(action),
+            Err((offset, message)) => {
+                return Err(BinaryTraceError::Corrupt {
+                    frame: frame_index,
+                    offset,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(actions)
 }
 
 /// Streaming binary trace decoder with bounded memory.
@@ -1189,6 +1388,95 @@ mod tests {
             "binary {binary_bytes}B vs text {text_bytes}B on {} events",
             trace.len()
         );
+    }
+
+    #[test]
+    fn split_frames_addresses_every_frame_verbatim() {
+        let trace = Trace::from_actions(vec![Action::SampleBegin; 2 * FRAME_EVENT_TARGET + 100]);
+        let bytes = encode_trace(&trace);
+        let split = split_frames(&bytes).unwrap();
+        assert_eq!(split.frames.len(), 3);
+        assert!(!split.truncated);
+        // Ranges tile the buffer exactly: header, then frames end-to-end.
+        assert_eq!(split.frames[0].start, HEADER_LEN);
+        for (i, f) in split.frames.iter().enumerate() {
+            assert_eq!(f.offset, i as u64);
+            if i > 0 {
+                assert_eq!(f.start, split.frames[i - 1].end);
+            }
+        }
+        assert_eq!(split.frames.last().unwrap().end, bytes.len());
+        // Reassembling header + frames is byte-identity, and each frame
+        // decodes standalone; concatenated they are the whole trace.
+        let mut rebuilt = bytes[..HEADER_LEN].to_vec();
+        let mut events = Vec::new();
+        for f in &split.frames {
+            rebuilt.extend_from_slice(&bytes[f.start..f.end]);
+            events.extend(decode_frame_payload(&bytes[f.start..f.end], f.offset + 1).unwrap());
+        }
+        assert_eq!(rebuilt, bytes);
+        assert_eq!(events, trace.actions());
+    }
+
+    #[test]
+    fn split_frames_mirrors_reader_damage_semantics() {
+        let bytes = encode_trace(&sample_trace());
+        // Torn tail: every strict-interior cut is clean truncation — except
+        // a cut exactly at the header boundary, a complete empty stream.
+        for cut in 0..bytes.len() - 1 {
+            let split = split_frames(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("cut {cut}: torn tail must not be a hard error: {e}"));
+            assert_eq!(split.truncated, cut != HEADER_LEN, "cut {cut}");
+            assert!(split.frames.is_empty(), "single-frame trace, cut {cut}");
+        }
+        // Payload damage is a hard checksum error.
+        let mut damaged = bytes.clone();
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0x01;
+        assert!(matches!(
+            split_frames(&damaged),
+            Err(BinaryTraceError::ChecksumMismatch { frame: 1, .. })
+        ));
+        // Header damage is a hard header error.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Q';
+        assert!(matches!(
+            split_frames(&bad_magic),
+            Err(BinaryTraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_frame_payload_rejects_damage() {
+        let bytes = encode_trace(&sample_trace());
+        let split = split_frames(&bytes).unwrap();
+        let frame = &bytes[split.frames[0].start..split.frames[0].end];
+
+        // Short of the declared payload → truncated, with the caller's index.
+        assert!(matches!(
+            decode_frame_payload(&frame[..frame.len() - 1], 7),
+            Err(BinaryTraceError::Truncated { frame: 7 })
+        ));
+        // Trailing garbage past the declared payload → corrupt.
+        let mut long = frame.to_vec();
+        long.push(0xaa);
+        assert!(matches!(
+            decode_frame_payload(&long, 1),
+            Err(BinaryTraceError::Corrupt { frame: 1, .. })
+        ));
+        // Flipped payload byte → checksum mismatch.
+        let mut flipped = frame.to_vec();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame_payload(&flipped, 1),
+            Err(BinaryTraceError::ChecksumMismatch { frame: 1, .. })
+        ));
+        // The END marker is a zero-length frame: never valid payload bytes.
+        assert!(matches!(
+            decode_frame_payload(&END_FRAME_MARKER, 1),
+            Err(BinaryTraceError::Corrupt { frame: 1, .. })
+        ));
     }
 
     #[test]
